@@ -1,0 +1,115 @@
+// Ablation (§3.2 design choice): RAG-style embedding test selection vs
+// random selection vs running the whole suite, measured by execution-tree
+// coverage (fraction of static paths some selected test drives to the
+// target) against the number of tests replayed.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "inference/embedding.hpp"
+#include "lisa/pipeline.hpp"
+#include "minilang/sema.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lisa;
+
+struct SelectionScore {
+  int covered = 0;
+  int paths = 0;
+  int tests_run = 0;
+};
+
+SelectionScore score_with_tests(const corpus::FailureTicket& ticket,
+                                const core::SemanticContract& contract,
+                                std::vector<std::string> tests) {
+  const minilang::Program program = minilang::parse_checked(ticket.patched_source);
+  core::CheckOptions options;
+  options.forced_tests = std::move(tests);
+  const core::ContractCheckReport report =
+      core::Checker().check(program, contract, options);
+  SelectionScore score;
+  score.paths = static_cast<int>(report.paths.size());
+  score.covered = score.paths - report.uncovered;
+  score.tests_run = report.dynamic.tests_run;
+  return score;
+}
+
+std::vector<std::string> all_tests_of(const corpus::FailureTicket& ticket) {
+  const minilang::Program program = minilang::parse_checked(ticket.patched_source);
+  std::vector<std::string> out;
+  for (const minilang::FuncDecl* test : program.functions_with("test"))
+    out.push_back(test->name);
+  return out;
+}
+
+void print_selection_table() {
+  std::printf("=== Ablation: test selection strategy (k = 2 per contract) ===\n\n");
+  std::printf("%-12s %12s %14s %12s\n", "strategy", "tests run", "paths covered",
+              "coverage %");
+  const std::size_t k = 2;
+  SelectionScore rag_total;
+  SelectionScore random_total;
+  SelectionScore all_total;
+  support::Rng rng(2024);
+  for (const corpus::FailureTicket& ticket : corpus::Corpus::all()) {
+    if (ticket.kind != corpus::SemanticsKind::kStatePredicate) continue;
+    const inference::SemanticsProposal proposal = inference::MockLlm().infer(ticket);
+    core::TranslationResult translation = core::translate(proposal, ticket.system);
+    const core::SemanticContract& contract = translation.contracts[0];
+
+    // RAG: the checker's default per-path embedding selection, capped at k.
+    const minilang::Program program = minilang::parse_checked(ticket.patched_source);
+    core::CheckOptions rag_options;
+    rag_options.max_tests_per_contract = k;
+    const core::ContractCheckReport rag_report =
+        core::Checker().check(program, contract, rag_options);
+    const std::vector<std::string> rag = rag_report.dynamic.selected_tests;
+    // Random: k arbitrary tests.
+    std::vector<std::string> pool = all_tests_of(ticket);
+    rng.shuffle(pool);
+    std::vector<std::string> random_pick(pool.begin(),
+                                         pool.begin() + std::min(k, pool.size()));
+
+    const auto accumulate = [](SelectionScore& total, const SelectionScore& s) {
+      total.covered += s.covered;
+      total.paths += s.paths;
+      total.tests_run += s.tests_run;
+    };
+    accumulate(rag_total, score_with_tests(ticket, contract, rag));
+    accumulate(random_total, score_with_tests(ticket, contract, random_pick));
+    accumulate(all_total, score_with_tests(ticket, contract, all_tests_of(ticket)));
+  }
+  const auto row = [](const char* name, const SelectionScore& s) {
+    std::printf("%-12s %12d %9d/%-4d %11.0f%%\n", name, s.tests_run, s.covered, s.paths,
+                100.0 * s.covered / s.paths);
+  };
+  row("RAG top-k", rag_total);
+  row("random-k", random_total);
+  row("all tests", all_total);
+  std::printf("\nshape check: at the same replay budget, per-path RAG selection covers\n"
+              "substantially more execution-tree paths than random selection; the rest\n"
+              "is the paper's residue — \"the test suite does not have enough coverage,\n"
+              "or the LLM misses the related tests\" — reported as uncovered for a\n"
+              "developer verdict (or testgen synthesis).\n\n");
+}
+
+void BM_RagSelection(benchmark::State& state) {
+  const corpus::FailureTicket* ticket = corpus::Corpus::find("zk-1208-ephemeral-create");
+  const minilang::Program program = minilang::parse_checked(ticket->patched_source);
+  for (auto _ : state) {
+    const inference::TestSelector selector(program);
+    benchmark::DoNotOptimize(selector.select("ephemeral closing session", 3).size());
+  }
+}
+BENCHMARK(BM_RagSelection)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_selection_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

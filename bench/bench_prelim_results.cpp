@@ -1,0 +1,86 @@
+// §4 Preliminary Results: LISA applied to the latest releases of mini-HBase
+// and mini-HDFS with contracts mined from their historical tickets uncovers
+// the two previously unknown bugs the paper reported, and regenerates the
+// per-bug summary table.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "lisa/pipeline.hpp"
+
+namespace {
+
+using namespace lisa;
+
+struct HuntRow {
+  std::string paper_bug;
+  std::string learned_from;
+  std::size_t targets = 0;
+  int verified = 0;
+  int violated = 0;
+  std::string new_bug_path;
+  bool found_expected = false;
+};
+
+HuntRow hunt(const std::string& case_id, const std::string& paper_bug,
+             const std::string& expected_fn) {
+  HuntRow row;
+  row.paper_bug = paper_bug;
+  const corpus::FailureTicket* ticket = corpus::Corpus::find(case_id);
+  row.learned_from = ticket->original.id;
+  const core::Pipeline pipeline;
+  const core::PipelineResult result = pipeline.run(*ticket, ticket->latest_source);
+  for (const core::ContractCheckReport& report : result.reports) {
+    row.targets += report.target_statements;
+    row.verified += report.verified;
+    row.violated += report.violated;
+    for (const core::PathReport& path : report.paths) {
+      if (path.verdict != core::PathVerdict::kViolated) continue;
+      for (const std::string& fn : path.call_chain) {
+        if (!row.new_bug_path.empty()) row.new_bug_path += "->";
+        row.new_bug_path += fn;
+        if (fn == expected_fn) row.found_expected = true;
+      }
+    }
+  }
+  return row;
+}
+
+void print_prelim_table() {
+  std::printf("=== §4 Preliminary results: unknown bugs in the latest releases ===\n\n");
+  std::printf("%-22s %-14s %8s %9s %9s  %-36s %8s\n", "bug", "learned from", "targets",
+              "verified", "violated", "new unguarded path", "matches");
+  for (const HuntRow& row :
+       {hunt("hbase-27671-snapshot-ttl", "Bug #1 (HBASE-29296)", "scan_snapshot"),
+        hunt("hdfs-13924-observer-locations", "Bug #2 (HDFS-17768)",
+             "get_batched_listing")}) {
+    std::printf("%-22s %-14s %8zu %9d %9d  %-36s %8s\n", row.paper_bug.c_str(),
+                row.learned_from.c_str(), row.targets, row.verified, row.violated,
+                row.new_bug_path.c_str(), row.found_expected ? "paper" : "NO");
+  }
+  std::printf("\nshape check: exactly one violated path per system, on the same code\n"
+              "path the paper's community-confirmed bugs were on; the fix LISA proposes\n"
+              "(add the mined check to the new path) is the accepted fix.\n\n");
+}
+
+void BM_BugHunt(benchmark::State& state) {
+  const char* ids[] = {"hbase-27671-snapshot-ttl", "hdfs-13924-observer-locations"};
+  const corpus::FailureTicket* ticket =
+      corpus::Corpus::find(ids[static_cast<std::size_t>(state.range(0))]);
+  const core::Pipeline pipeline;
+  for (auto _ : state) {
+    const core::PipelineResult result = pipeline.run(*ticket, ticket->latest_source);
+    benchmark::DoNotOptimize(result.total_violations());
+  }
+  state.SetLabel(ticket->case_id);
+}
+BENCHMARK(BM_BugHunt)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_prelim_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Substrate micro-benchmark: the DPLL(T) solver on checker-style formulas.
+//
+// Measures satisfiability queries of the exact shape LISA issues —
+// `π ∧ ¬P` with π a conjunction of guard atoms and P a contract — across
+// growing variable counts and boolean structure, plus random-formula
+// throughput, with solver statistics as counters.
+#include <benchmark/benchmark.h>
+
+#include "smt/formula.hpp"
+#include "smt/solver.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace lisa::smt;
+
+FormulaPtr bvar(const std::string& name) { return Formula::make_atom(Atom::bool_var(name)); }
+FormulaPtr cmp(const std::string& v, CmpOp op, std::int64_t c) {
+  return Formula::make_atom(Atom::cmp_const(v, op, c));
+}
+
+/// A checker formula over n "sessions": every session must be non-null, not
+/// closing, with positive ttl.
+FormulaPtr checker_formula(int n) {
+  std::vector<FormulaPtr> conjuncts;
+  for (int i = 0; i < n; ++i) {
+    const std::string s = "s" + std::to_string(i);
+    conjuncts.push_back(Formula::negate(bvar(s + "#null")));
+    conjuncts.push_back(Formula::negate(bvar(s + ".is_closing")));
+    conjuncts.push_back(cmp(s + ".ttl", CmpOp::kGt, 0));
+  }
+  return Formula::conj(std::move(conjuncts));
+}
+
+/// A trace that checks all but the last session's ttl (a missing check).
+FormulaPtr trace_formula(int n) {
+  std::vector<FormulaPtr> conjuncts;
+  for (int i = 0; i < n; ++i) {
+    const std::string s = "s" + std::to_string(i);
+    conjuncts.push_back(Formula::negate(bvar(s + "#null")));
+    conjuncts.push_back(Formula::negate(bvar(s + ".is_closing")));
+    if (i + 1 < n) conjuncts.push_back(cmp(s + ".ttl", CmpOp::kGt, 0));
+  }
+  return Formula::conj(std::move(conjuncts));
+}
+
+void BM_ComplementCheckViolated(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const FormulaPtr query =
+      Formula::conj2(trace_formula(n), Formula::negate(checker_formula(n)));
+  Solver solver;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(query).sat());
+  state.counters["atoms"] = static_cast<double>(solver.stats().atoms) /
+                            static_cast<double>(state.iterations());
+  state.counters["sessions"] = n;
+}
+BENCHMARK(BM_ComplementCheckViolated)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ComplementCheckVerified(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  // The full trace implies the checker: the query is UNSAT (verified path).
+  const FormulaPtr query =
+      Formula::conj2(checker_formula(n), Formula::negate(checker_formula(n)));
+  Solver solver;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(query).sat());
+  state.counters["sessions"] = n;
+}
+BENCHMARK(BM_ComplementCheckVerified)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+FormulaPtr random_formula(lisa::support::Rng& rng, int depth, int vars) {
+  if (depth == 0 || rng.next_bool(0.3)) {
+    const std::string v = "x" + std::to_string(rng.next_below(static_cast<std::uint64_t>(vars)));
+    if (rng.next_bool(0.3)) return bvar("b" + v);
+    return cmp(v, static_cast<CmpOp>(rng.next_below(6)), rng.next_in(-8, 8));
+  }
+  switch (rng.next_below(3)) {
+    case 0: return Formula::negate(random_formula(rng, depth - 1, vars));
+    case 1:
+      return Formula::conj2(random_formula(rng, depth - 1, vars),
+                            random_formula(rng, depth - 1, vars));
+    default:
+      return Formula::disj2(random_formula(rng, depth - 1, vars),
+                            random_formula(rng, depth - 1, vars));
+  }
+}
+
+void BM_RandomFormulas(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  lisa::support::Rng rng(123);
+  std::vector<FormulaPtr> formulas;
+  for (int i = 0; i < 64; ++i) formulas.push_back(random_formula(rng, depth, 6));
+  Solver solver;
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(formulas[index % formulas.size()]).sat());
+    ++index;
+  }
+  state.counters["theory_conflicts"] =
+      static_cast<double>(solver.stats().theory_conflicts);
+  state.counters["decisions"] = static_cast<double>(solver.stats().decisions);
+}
+BENCHMARK(BM_RandomFormulas)->Arg(3)->Arg(5)->Arg(7)->Unit(benchmark::kMicrosecond);
+
+void BM_EquivalenceQuery(benchmark::State& state) {
+  // The inference-accuracy check used by tests/benches: equivalence of the
+  // extracted and ground-truth condition.
+  const FormulaPtr a = checker_formula(4);
+  const FormulaPtr b = to_nnf(Formula::negate(Formula::negate(checker_formula(4))));
+  Solver solver;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.equivalent(a, b));
+}
+BENCHMARK(BM_EquivalenceQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

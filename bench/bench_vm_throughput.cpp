@@ -1,0 +1,99 @@
+// Substrate benchmark: test-replay throughput of the two execution engines.
+//
+// The CI gate replays test suites on every commit; this measures the
+// tree-walking interpreter against the bytecode VM on (a) the full corpus
+// suites and (b) a compute-heavy kernel, plus one-time compilation cost.
+#include <benchmark/benchmark.h>
+
+#include "corpus/ticket.hpp"
+#include "minilang/compiler.hpp"
+#include "minilang/interp.hpp"
+#include "minilang/sema.hpp"
+#include "minilang/vm.hpp"
+
+namespace {
+
+using namespace lisa::minilang;
+
+const char* kKernel = R"(
+fn fib(n: int) -> int {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+fn work() -> int {
+  let total = 0;
+  let i = 0;
+  while (i < 50) {
+    total = total + fib(12) % 97;
+    i = i + 1;
+  }
+  return total;
+}
+)";
+
+void BM_InterpKernel(benchmark::State& state) {
+  const Program program = parse_checked(kKernel);
+  Interp interp(program);
+  interp.set_fuel(1'000'000'000);
+  for (auto _ : state) benchmark::DoNotOptimize(interp.call("work", {}).as_int());
+}
+BENCHMARK(BM_InterpKernel)->Unit(benchmark::kMillisecond);
+
+void BM_VmKernel(benchmark::State& state) {
+  const Program program = parse_checked(kKernel);
+  const Module module = compile(program);
+  Vm vm(module);
+  vm.set_fuel(1'000'000'000);
+  for (auto _ : state) benchmark::DoNotOptimize(vm.call("work", {}).as_int());
+  state.counters["insns/iter"] = static_cast<double>(vm.instructions_executed()) /
+                                 static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_VmKernel)->Unit(benchmark::kMillisecond);
+
+void BM_InterpCorpusSuites(benchmark::State& state) {
+  std::vector<Program> programs;
+  for (const auto& ticket : lisa::corpus::Corpus::all())
+    programs.push_back(parse_checked(ticket.patched_source));
+  for (auto _ : state) {
+    int passed = 0;
+    for (const Program& program : programs) {
+      Interp interp(program);
+      passed += interp.run_all_tests().first;
+    }
+    benchmark::DoNotOptimize(passed);
+  }
+}
+BENCHMARK(BM_InterpCorpusSuites)->Unit(benchmark::kMillisecond);
+
+void BM_VmCorpusSuites(benchmark::State& state) {
+  std::vector<Program> programs;
+  for (const auto& ticket : lisa::corpus::Corpus::all())
+    programs.push_back(parse_checked(ticket.patched_source));
+  std::vector<Module> modules;
+  for (const Program& program : programs) modules.push_back(compile(program));
+  for (auto _ : state) {
+    int passed = 0;
+    for (const Module& module : modules) {
+      Vm vm(module);
+      passed += vm.run_all_tests().first;
+    }
+    benchmark::DoNotOptimize(passed);
+  }
+}
+BENCHMARK(BM_VmCorpusSuites)->Unit(benchmark::kMillisecond);
+
+void BM_CompileCorpus(benchmark::State& state) {
+  std::vector<Program> programs;
+  for (const auto& ticket : lisa::corpus::Corpus::all())
+    programs.push_back(parse_checked(ticket.patched_source));
+  for (auto _ : state) {
+    std::size_t chunks = 0;
+    for (const Program& program : programs) chunks += compile(program).chunks.size();
+    benchmark::DoNotOptimize(chunks);
+  }
+}
+BENCHMARK(BM_CompileCorpus)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

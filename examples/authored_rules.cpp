@@ -1,0 +1,106 @@
+// §5 extensions in action: a developer authors a rule through the structured
+// template, composes it with a mined contract into a high-level property,
+// and watches the property verdict flip as the codebase is fixed.
+#include <cstdio>
+
+#include "lisa/authoring.hpp"
+#include "lisa/composition.hpp"
+#include "lisa/pipeline.hpp"
+#include "minilang/sema.hpp"
+
+namespace {
+
+const char* kOrdersV1 = R"ml(
+struct Order { id: int; paid: bool; shipped: bool; }
+struct Warehouse { dispatched: int; }
+
+fn dispatch(w: Warehouse, o: Order) {
+  o.shipped = true;
+  w.dispatched = w.dispatched + 1;
+}
+
+@entry
+fn ship_order(w: Warehouse, o: Order?) {
+  if (o == null) { throw "NoSuchOrder"; }
+  if (o.paid) {
+    dispatch(w, o);
+  }
+}
+
+@entry
+fn ship_priority(w: Warehouse, o: Order?) {
+  if (o == null) { throw "NoSuchOrder"; }
+  dispatch(w, o);
+}
+
+@test
+fn test_ship_paid_order() {
+  let w = new Warehouse {};
+  let o = new Order { id: 1, paid: true, shipped: false };
+  ship_order(w, o);
+  assert(o.shipped, "shipped");
+}
+)ml";
+
+void print_feedback(const lisa::core::AuthoringFeedback& feedback) {
+  std::printf("rule %s: %s\n", feedback.contract.id.c_str(),
+              feedback.accepted ? "ACCEPTED" : "REJECTED");
+  for (const std::string& error : feedback.errors) std::printf("  error:   %s\n", error.c_str());
+  for (const std::string& warning : feedback.warnings)
+    std::printf("  warning: %s\n", warning.c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace lisa;
+
+  std::printf("=== developer authors a semantic rule through the template ===\n\n");
+  const minilang::Program program = minilang::parse_checked(kOrdersV1);
+
+  // First attempt: the developer misnames the variable root; the assistant
+  // explains instead of accepting a vacuous rule.
+  core::DeveloperRule draft;
+  draft.id = "no-unpaid-dispatch";
+  draft.behavior = "An order must never be dispatched before it is paid.";
+  draft.operation = "dispatch";
+  draft.required_condition = "!(order == null) && order.paid";
+  print_feedback(core::author_rule(program, draft));
+
+  // Second attempt, as the target frames actually name it.
+  draft.required_condition = "!(o == null) && o.paid";
+  const core::AuthoringFeedback accepted = core::author_rule(program, draft);
+  print_feedback(accepted);
+
+  std::printf("\n=== composing into a high-level property ===\n\n");
+  core::HighLevelProperty property;
+  property.id = "order-integrity";
+  property.statement = "only resolved, paid orders are ever dispatched";
+  property.constituents = {accepted.contract};
+
+  core::CheckOptions options;
+  options.run_concolic = false;
+  const core::Composer composer(options);
+  const core::PropertyReport broken = composer.evaluate(program, property);
+  std::printf("property '%s' on v1: %s\n", property.id.c_str(),
+              core::property_status_name(broken.status));
+  for (const std::string& finding : broken.findings)
+    std::printf("  %s\n", finding.c_str());
+
+  // The fix: guard the priority path too.
+  std::string v2 = kOrdersV1;
+  const std::string anchor = "  if (o == null) { throw \"NoSuchOrder\"; }\n  dispatch(w, o);";
+  const std::size_t pos = v2.find(anchor);
+  if (pos != std::string::npos) {
+    v2.replace(pos, anchor.size(),
+               "  if (o == null) { throw \"NoSuchOrder\"; }\n  if (o.paid) {\n"
+               "    dispatch(w, o);\n  }");
+  }
+  const minilang::Program fixed = minilang::parse_checked(v2);
+  const core::PropertyReport healed = composer.evaluate(fixed, property);
+  std::printf("\nproperty '%s' on v2: %s\n", property.id.c_str(),
+              core::property_status_name(healed.status));
+  std::printf("\nThe high-level claim is now backed, path by path, by validated\n"
+              "low-level semantics — the composition the paper's §5 envisions.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces §4 (Preliminary Results): applying LISA to the *latest*
+// versions of mini-HBase and mini-HDFS with the contracts mined from their
+// historical tickets uncovers the two previously-unknown bugs the paper
+// reported (HBASE-29296 and HDFS-17768 analogs).
+#include <cstdio>
+
+#include "lisa/pipeline.hpp"
+
+namespace {
+
+void hunt(const char* case_id, const char* paper_bug, const char* expected_path) {
+  using namespace lisa;
+  const corpus::FailureTicket* ticket = corpus::Corpus::find(case_id);
+  if (ticket == nullptr || ticket->latest_source.empty()) {
+    std::printf("corpus case %s missing a latest version\n", case_id);
+    return;
+  }
+  std::printf("=== %s: checking the latest release with rules from %s ===\n", paper_bug,
+              ticket->original.id.c_str());
+
+  const core::Pipeline pipeline;
+  const core::PipelineResult result = pipeline.run(*ticket, ticket->latest_source);
+  for (const core::ContractCheckReport& report : result.reports) {
+    std::printf("contract %s over %zu target statements, %zu paths\n",
+                report.contract_id.c_str(), report.target_statements, report.paths.size());
+    for (const core::PathReport& path : report.paths) {
+      std::string chain;
+      for (const std::string& fn : path.call_chain) {
+        if (!chain.empty()) chain += " -> ";
+        chain += fn;
+      }
+      std::printf("  [%-9s] %s\n", core::path_verdict_name(path.verdict), chain.c_str());
+      if (path.verdict == core::PathVerdict::kViolated) {
+        std::printf("      NEW BUG: unguarded path (counterexample %s)\n",
+                    path.counterexample.c_str());
+        std::printf("      proposed fix: add the check <%s> before the call\n",
+                    result.contracts[0].condition_text.c_str());
+      }
+    }
+  }
+  std::printf("expected finding: the %s path — matches the paper's community-confirmed "
+              "bug.\n\n", expected_path);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("LISA bug hunt over the latest mini-HBase / mini-HDFS releases\n"
+              "(the paper's §4: two previously unknown, community-confirmed bugs)\n\n");
+  hunt("hbase-27671-snapshot-ttl", "Bug #1 (HBASE-29296)", "scan_snapshot");
+  hunt("hdfs-13924-observer-locations", "Bug #2 (HDFS-17768)", "get_batched_listing");
+  return 0;
+}

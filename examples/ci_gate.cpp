@@ -1,0 +1,76 @@
+// Simulates the development workflow the paper envisions (§1): every fixed
+// failure becomes an executable contract in the CI/CD pipeline, and commits
+// that would reintroduce the failure class are blocked.
+//
+// The commit stream below mirrors the real ZooKeeper history:
+//   commit 1  the ZK-1208 fix lands              → contract mined + stored
+//   commit 2  unrelated feature work             → passes the gate
+//   commit 3  the change that routed traffic through the unguarded batch
+//             path (the ZK-1496 regression)      → BLOCKED by the gate
+//   commit 4  the complete fix (guards the batch path too) → passes
+#include <cstdio>
+
+#include "lisa/ci_gate.hpp"
+#include "lisa/pipeline.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+void print_decision(const char* label, const lisa::core::GateDecision& decision) {
+  std::printf("%-46s %s  (%.1f ms, %zu contracts checked)\n", label,
+              decision.allowed ? "ALLOWED" : "BLOCKED", decision.evaluation_ms,
+              decision.reports.size());
+  for (const std::string& violation : decision.violations)
+    std::printf("    - %s\n", violation.c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace lisa;
+  const corpus::FailureTicket* ticket = corpus::Corpus::find("zk-1208-ephemeral-create");
+
+  std::printf("=== commit 1: the ZK-1208 fix lands ===\n");
+  std::printf("LISA mines the incident ticket and stores the contract.\n\n");
+  const inference::SemanticsProposal proposal = inference::MockLlm().infer(*ticket);
+  core::TranslationResult translation = core::translate(proposal, ticket->system);
+  core::ContractStore store;
+  store.add_all(std::move(translation.contracts));
+  for (const core::SemanticContract& contract : store.all())
+    std::printf("stored contract %s: <%s> %s\n", contract.id.c_str(),
+                contract.condition_text.c_str(), contract.target_fragment.c_str());
+
+  // For gating we use the static checker only (fast path for CI).
+  core::CheckOptions options;
+  options.run_concolic = false;
+  const core::CiGate gate(options);
+
+  std::printf("\n=== evaluating the commit stream ===\n");
+
+  // Commit 2: unrelated feature — a fresh module with no ephemeral logic.
+  const std::string commit2 = R"ml(
+struct Metric { name: string; value: int; }
+fn record_metric(m: Metric) { print(m.name, m.value); }
+@entry
+fn report(m: Metric) { record_metric(m); }
+)ml";
+  print_decision("commit 2 (unrelated feature):", gate.evaluate(commit2, store));
+
+  // Commit 3: the history-repeating commit. The patched codebase still ships
+  // the unguarded batch path; this commit is exactly what production ran
+  // when ZK-1496 fired one year later.
+  print_decision("commit 3 (re-exposes the unguarded batch path):",
+                 gate.evaluate(ticket->patched_source, store));
+
+  // Commit 4: the complete fix — the batch path gets the same guard.
+  std::string commit4 = ticket->patched_source;
+  const std::string anchor =
+      "  let i = 0;\n  while (i < len(paths)) {\n    create_ephemeral_node(";
+  const std::size_t pos = commit4.find(anchor);
+  if (pos != std::string::npos)
+    commit4.insert(pos, "  if (s.is_closing) {\n    throw \"SessionClosingException\";\n  }\n");
+  print_decision("commit 4 (guards every create path):", gate.evaluate(commit4, store));
+
+  std::printf("\nOnce bitten, no longer shy: the second incident never ships.\n");
+  return 0;
+}

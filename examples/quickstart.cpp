@@ -1,0 +1,160 @@
+// Quickstart: the smallest end-to-end LISA run.
+//
+// 1. Write a tiny "cloud system" in MiniLang with a bug-fix history.
+// 2. Feed the failure ticket to the inference backend.
+// 3. Translate the proposal into a semantic contract.
+// 4. Assert the contract over the current codebase and print the verdicts.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "lisa/pipeline.hpp"
+
+namespace {
+
+// The codebase BEFORE the fix: pay() never checks the account status.
+const char* kBuggy = R"ml(
+struct Account { id: int; frozen: bool; balance: int; }
+
+fn debit(a: Account, amount: int) {
+  a.balance = a.balance - amount;
+}
+
+@entry
+fn pay(a: Account?, amount: int) {
+  if (a == null) {
+    throw "NoSuchAccount";
+  }
+  debit(a, amount);
+}
+
+@entry
+fn pay_batch(a: Account?, amounts: list<int>) {
+  if (a == null) {
+    throw "NoSuchAccount";
+  }
+  let i = 0;
+  while (i < len(amounts)) {
+    debit(a, amounts[i]);
+    i = i + 1;
+  }
+}
+
+@test
+fn test_pay_debits_balance() {
+  let a = new Account { id: 1, frozen: false, balance: 100 };
+  pay(a, 30);
+  assert(a.balance == 70, "debited");
+}
+)ml";
+
+// The fix adds the frozen-account guard on pay() — but pay_batch() still
+// lacks it, exactly the shape of the paper's recurring regressions.
+const char* kPatched = R"ml(
+struct Account { id: int; frozen: bool; balance: int; }
+
+fn debit(a: Account, amount: int) {
+  a.balance = a.balance - amount;
+}
+
+@entry
+fn pay(a: Account?, amount: int) {
+  if (a == null) {
+    throw "NoSuchAccount";
+  }
+  if (a.frozen) {
+    throw "AccountFrozen";
+  }
+  debit(a, amount);
+}
+
+@entry
+fn pay_batch(a: Account?, amounts: list<int>) {
+  if (a == null) {
+    throw "NoSuchAccount";
+  }
+  let i = 0;
+  while (i < len(amounts)) {
+    debit(a, amounts[i]);
+    i = i + 1;
+  }
+}
+
+@test
+fn test_pay_debits_balance() {
+  let a = new Account { id: 1, frozen: false, balance: 100 };
+  pay(a, 30);
+  assert(a.balance == 70, "debited");
+}
+
+@test
+fn test_frozen_account_rejected() {
+  let a = new Account { id: 2, frozen: true, balance: 100 };
+  let rejected = false;
+  try {
+    pay(a, 30);
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "frozen account must not be debited");
+}
+
+@test
+fn test_pay_batch_debits_all() {
+  let a = new Account { id: 3, frozen: false, balance: 100 };
+  let amounts = list_new();
+  push(amounts, 10);
+  push(amounts, 20);
+  pay_batch(a, amounts);
+  assert(a.balance == 70, "batch debited");
+}
+)ml";
+
+}  // namespace
+
+int main() {
+  using namespace lisa;
+
+  // A failure ticket bundles exactly what the paper feeds the LLM.
+  corpus::FailureTicket ticket;
+  ticket.case_id = "billing-frozen-account";
+  ticket.system = "billing";
+  ticket.feature = "payments";
+  ticket.description =
+      "A payment was debited from a frozen account. Developer discussion: "
+      "no debit may happen while the account is frozen. Fix adds the frozen "
+      "check before debit on the pay path.";
+  ticket.buggy_source = kBuggy;
+  ticket.patched_source = kPatched;
+
+  const core::Pipeline pipeline;
+  const core::PipelineResult result = pipeline.run(ticket, ticket.patched_source);
+
+  std::printf("== inferred semantics ==\n%s\n\n",
+              result.proposal.to_json().pretty().c_str());
+
+  for (const core::ContractCheckReport& report : result.reports) {
+    std::printf("== contract %s on current codebase ==\n", report.contract_id.c_str());
+    std::printf("target statements: %zu, paths: %zu (verified %d, violated %d)\n",
+                report.target_statements, report.paths.size(), report.verified,
+                report.violated);
+    for (const core::PathReport& path : report.paths) {
+      std::string chain;
+      for (const std::string& fn : path.call_chain) {
+        if (!chain.empty()) chain += " -> ";
+        chain += fn;
+      }
+      std::printf("  [%-9s] %s  (pi: %s)\n", core::path_verdict_name(path.verdict),
+                  chain.c_str(), path.path_condition.c_str());
+      if (!path.counterexample.empty())
+        std::printf("              counterexample: %s\n", path.counterexample.c_str());
+    }
+    std::printf("dynamic: %d tests replayed, %d target hits, %d missing-check traces\n",
+                report.dynamic.tests_run, report.dynamic.target_hits,
+                report.dynamic.symbolic_violations);
+  }
+
+  std::printf("\nverdict: the pay() path verifies, the pay_batch() path is flagged —\n"
+              "the regression that would have shipped is blocked before it happens.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduces the paper's Figure 2 incident end-to-end on the native
+// mini-ZooKeeper, then shows how the LISA contract learned from the first
+// incident would have prevented the second one.
+//
+// Timeline (all virtual time):
+//   1. Kafka-style consumers register ephemeral nodes for their addresses.
+//   2. A consumer crashes; its session close races with a create that lands
+//      in the CLOSING window (ZOOKEEPER-1208). With the buggy server the
+//      node survives — producers keep sending to a dead address.
+//   3. The same replay on a fixed server shows the create rejected.
+//   4. LISA infers <s != null && !s.is_closing> create_ephemeral_node< >
+//      from the incident ticket and flags the batch path that caused
+//      ZOOKEEPER-1496 a year later.
+#include <cstdio>
+
+#include "lisa/pipeline.hpp"
+#include "systems/sim/event_loop.hpp"
+#include "systems/zookeeper/registry.hpp"
+#include "systems/zookeeper/server.hpp"
+
+namespace {
+
+struct IncidentOutcome {
+  std::size_t stale_nodes = 0;
+  std::uint64_t stale_sends = 0;
+  std::uint64_t ok_sends = 0;
+};
+
+IncidentOutcome replay_incident(bool fix_enabled) {
+  using namespace lisa::systems;
+  EventLoop loop;
+  zk::ZkConfig config;
+  config.fix_zk1208 = fix_enabled;
+  zk::ZooKeeperServer server(loop, config);
+  zk::ConsumerRegistry registry(server);
+  std::map<std::string, bool> live;
+
+  // Three healthy consumers register.
+  for (int i = 1; i <= 3; ++i) {
+    const std::string id = "consumer-" + std::to_string(i);
+    registry.register_consumer(id, "host-" + std::to_string(i) + ":9092");
+    live[id] = true;
+  }
+
+  // consumer-2 crashes at t=100; its client library races: the session close
+  // begins, and a queued (re)create of the registration node arrives while
+  // the session is CLOSING — the ZK-1208 window.
+  loop.schedule_at(100, [&] {
+    live["consumer-2"] = false;
+    const std::int64_t session = 2;  // consumer-2's session id
+    server.close_session(session);
+    server.create(session, "/consumers/ids/consumer-2b", "host-2:9092",
+                  /*ephemeral=*/true);
+  });
+  loop.run_until(2000);
+
+  // Producers send one message to every registered consumer for a while.
+  zk::Producer producer(registry, &live);
+  live["consumer-2b"] = false;  // the re-registration points at the dead host
+  for (int round = 0; round < 50; ++round) {
+    for (const std::string& id : registry.list_consumers()) producer.send(id);
+  }
+
+  IncidentOutcome outcome;
+  outcome.stale_nodes = server.find_stale_ephemerals().size();
+  outcome.stale_sends = producer.stale_address_errors();
+  outcome.ok_sends = producer.sent_ok();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Replaying ZOOKEEPER-1208 (Fig. 2) on mini-ZooKeeper ===\n\n");
+
+  const IncidentOutcome buggy = replay_incident(/*fix_enabled=*/false);
+  std::printf("buggy server : stale ephemeral nodes = %zu, sends to dead address = %llu, "
+              "healthy sends = %llu\n",
+              buggy.stale_nodes, static_cast<unsigned long long>(buggy.stale_sends),
+              static_cast<unsigned long long>(buggy.ok_sends));
+
+  const IncidentOutcome fixed = replay_incident(/*fix_enabled=*/true);
+  std::printf("fixed server : stale ephemeral nodes = %zu, sends to dead address = %llu, "
+              "healthy sends = %llu\n\n",
+              fixed.stale_nodes, static_cast<unsigned long long>(fixed.stale_sends),
+              static_cast<unsigned long long>(fixed.ok_sends));
+
+  std::printf("=== What LISA learns from the incident ticket ===\n\n");
+  const lisa::corpus::FailureTicket* ticket =
+      lisa::corpus::Corpus::find("zk-1208-ephemeral-create");
+  const lisa::core::Pipeline pipeline;
+  const lisa::core::PipelineResult result = pipeline.run(*ticket, ticket->patched_source);
+  for (const auto& low : result.proposal.low_level) {
+    std::printf("low-level semantics: <%s> %s\n", low.condition_statement.c_str(),
+                low.target_statement.c_str());
+  }
+
+  std::printf("\n=== Enforcing it on the post-fix codebase ===\n\n");
+  for (const auto& report : result.reports) {
+    for (const auto& path : report.paths) {
+      std::string chain;
+      for (const std::string& fn : path.call_chain) {
+        if (!chain.empty()) chain += " -> ";
+        chain += fn;
+      }
+      std::printf("  [%-9s] %s\n", lisa::core::path_verdict_name(path.verdict),
+                  chain.c_str());
+    }
+  }
+  std::printf("\nThe batch_create path — the exact shape of ZOOKEEPER-1496, which hit\n"
+              "production a year later — is flagged the day the first fix lands.\n");
+  return 0;
+}

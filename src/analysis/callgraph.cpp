@@ -1,0 +1,152 @@
+#include "analysis/callgraph.hpp"
+
+#include <functional>
+
+#include "minilang/interp.hpp"
+
+namespace lisa::analysis {
+
+using minilang::Expr;
+using minilang::FuncDecl;
+using minilang::Program;
+using minilang::Stmt;
+
+namespace {
+
+void collect_calls(const Expr& expr, const std::function<void(const Expr&)>& on_call) {
+  if (expr.kind == Expr::Kind::kCall) on_call(expr);
+  for (const minilang::ExprPtr& arg : expr.args) collect_calls(*arg, on_call);
+}
+
+void walk_stmts(const std::vector<minilang::StmtPtr>& stmts, bool inside_sync,
+                const std::function<void(const Stmt&, const Expr&, bool)>& on_call) {
+  for (const minilang::StmtPtr& stmt : stmts) {
+    const auto visit_expr = [&](const minilang::ExprPtr& expr) {
+      if (expr) collect_calls(*expr, [&](const Expr& call) { on_call(*stmt, call, inside_sync); });
+    };
+    visit_expr(stmt->expr);
+    visit_expr(stmt->expr2);
+    const bool body_sync = inside_sync || stmt->kind == Stmt::Kind::kSync;
+    walk_stmts(stmt->body, body_sync, on_call);
+    walk_stmts(stmt->else_body, inside_sync, on_call);
+  }
+}
+
+}  // namespace
+
+CallGraph CallGraph::build(const Program& program) {
+  CallGraph graph;
+  graph.program_ = &program;
+  for (const FuncDecl& fn : program.functions) {
+    graph.callees_[fn.name];  // ensure node exists
+    graph.callers_[fn.name];
+    walk_stmts(fn.body, /*inside_sync=*/false,
+               [&](const Stmt& stmt, const Expr& call, bool inside_sync) {
+                 CallSite site;
+                 site.caller = &fn;
+                 site.stmt = &stmt;
+                 site.call = &call;
+                 site.inside_sync = inside_sync;
+                 graph.sites_.push_back(site);
+                 graph.callees_[fn.name].insert(call.text);
+                 graph.callers_[call.text].insert(fn.name);
+               });
+  }
+  return graph;
+}
+
+std::vector<const CallSite*> CallGraph::sites_calling(const std::string& name) const {
+  std::vector<const CallSite*> out;
+  for (const CallSite& site : sites_)
+    if (site.callee() == name) out.push_back(&site);
+  return out;
+}
+
+const std::set<std::string>& CallGraph::callees_of(const std::string& name) const {
+  static const std::set<std::string> empty;
+  const auto it = callees_.find(name);
+  return it == callees_.end() ? empty : it->second;
+}
+
+const std::set<std::string>& CallGraph::callers_of(const std::string& name) const {
+  static const std::set<std::string> empty;
+  const auto it = callers_.find(name);
+  return it == callers_.end() ? empty : it->second;
+}
+
+std::vector<const FuncDecl*> CallGraph::entry_functions() const {
+  std::vector<const FuncDecl*> out;
+  for (const FuncDecl& fn : program_->functions) {
+    if (fn.has_annotation("test")) continue;
+    const bool annotated = fn.has_annotation("entry");
+    // A function is a root if annotated, or if no non-test function calls it.
+    bool has_real_caller = false;
+    for (const std::string& caller : callers_of(fn.name)) {
+      const FuncDecl* caller_fn = program_->find_function(caller);
+      if (caller_fn != nullptr && !caller_fn->has_annotation("test")) {
+        has_real_caller = true;
+        break;
+      }
+    }
+    if (annotated || !has_real_caller) out.push_back(&fn);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> CallGraph::chains_to(const std::string& target,
+                                                           std::size_t max_chains) const {
+  std::vector<std::vector<std::string>> chains;
+  const std::vector<const FuncDecl*> entries = entry_functions();
+  std::set<std::string> entry_names;
+  for (const FuncDecl* fn : entries) entry_names.insert(fn->name);
+
+  // DFS backwards from target to entries, avoiding cycles.
+  std::vector<std::string> stack{target};
+  std::set<std::string> on_stack{target};
+  const std::function<void()> dfs = [&] {
+    if (chains.size() >= max_chains) return;
+    const std::string& current = stack.back();
+    if (entry_names.count(current) > 0) {
+      chains.emplace_back(stack.rbegin(), stack.rend());
+      // An entry can itself be called by another entry; keep exploring.
+    }
+    for (const std::string& caller : callers_of(current)) {
+      if (on_stack.count(caller) > 0) continue;
+      const FuncDecl* caller_fn = program_->find_function(caller);
+      if (caller_fn == nullptr || caller_fn->has_annotation("test")) continue;
+      stack.push_back(caller);
+      on_stack.insert(caller);
+      dfs();
+      on_stack.erase(caller);
+      stack.pop_back();
+    }
+  };
+  dfs();
+  return chains;
+}
+
+bool CallGraph::reaches_blocking(const std::string& name) const {
+  const auto cached = blocking_cache_.find(name);
+  if (cached != blocking_cache_.end()) return cached->second;
+  blocking_cache_[name] = false;  // cycle guard: assume non-blocking on cycles
+  bool result = false;
+  if (minilang::blocking_builtins().count(name) > 0) {
+    result = true;
+  } else {
+    const FuncDecl* fn = program_->find_function(name);
+    if (fn != nullptr && fn->has_annotation("blocking")) {
+      result = true;
+    } else if (fn != nullptr) {
+      for (const std::string& callee : callees_of(name)) {
+        if (reaches_blocking(callee)) {
+          result = true;
+          break;
+        }
+      }
+    }
+  }
+  blocking_cache_[name] = result;
+  return result;
+}
+
+}  // namespace lisa::analysis

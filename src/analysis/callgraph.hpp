@@ -1,0 +1,68 @@
+// Call-graph construction over MiniLang programs — the reproduction's Soot.
+//
+// Nodes are functions; edges are syntactic call sites. Blocking builtins
+// (write_record, fsync_log, ...) appear as leaf pseudo-nodes so that
+// transitive "does this function ever block?" queries (needed by the
+// no-blocking-in-sync structural rule) are simple reachability.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minilang/ast.hpp"
+
+namespace lisa::analysis {
+
+/// One syntactic call site: `call` appears somewhere inside `stmt` of
+/// `caller`. Pointers borrow from the Program, which must outlive the graph.
+struct CallSite {
+  const minilang::FuncDecl* caller = nullptr;
+  const minilang::Stmt* stmt = nullptr;
+  const minilang::Expr* call = nullptr;  // Expr::Kind::kCall
+  /// True if the site is lexically inside a `sync` block of `caller`.
+  bool inside_sync = false;
+
+  [[nodiscard]] const std::string& callee() const { return call->text; }
+};
+
+class CallGraph {
+ public:
+  /// Builds the graph; `program` must outlive the result.
+  [[nodiscard]] static CallGraph build(const minilang::Program& program);
+
+  [[nodiscard]] const std::vector<CallSite>& sites() const { return sites_; }
+
+  /// All call sites whose callee is `name`.
+  [[nodiscard]] std::vector<const CallSite*> sites_calling(const std::string& name) const;
+
+  /// Direct callees of `name` (user functions only).
+  [[nodiscard]] const std::set<std::string>& callees_of(const std::string& name) const;
+
+  /// Direct callers of `name`.
+  [[nodiscard]] const std::set<std::string>& callers_of(const std::string& name) const;
+
+  /// Functions with no callers inside the program, plus @entry-annotated
+  /// ones. @test functions are excluded: they are inputs, not API surface.
+  [[nodiscard]] std::vector<const minilang::FuncDecl*> entry_functions() const;
+
+  /// All acyclic call chains `entry → ... → target` (each element a function
+  /// name), capped at `max_chains`. If `target` is itself an entry, the
+  /// one-element chain is included.
+  [[nodiscard]] std::vector<std::vector<std::string>> chains_to(
+      const std::string& target, std::size_t max_chains = 256) const;
+
+  /// True if `name` (transitively) performs a blocking call — reaches a
+  /// blocking builtin or an @blocking function.
+  [[nodiscard]] bool reaches_blocking(const std::string& name) const;
+
+ private:
+  const minilang::Program* program_ = nullptr;
+  std::vector<CallSite> sites_;
+  std::map<std::string, std::set<std::string>> callees_;
+  std::map<std::string, std::set<std::string>> callers_;
+  mutable std::map<std::string, bool> blocking_cache_;
+};
+
+}  // namespace lisa::analysis

@@ -1,0 +1,79 @@
+#include "analysis/patterns.hpp"
+
+#include <functional>
+#include <set>
+
+#include "minilang/interp.hpp"
+#include "minilang/printer.hpp"
+
+namespace lisa::analysis {
+
+using minilang::FuncDecl;
+using minilang::Program;
+
+namespace {
+
+/// DFS from `name` to a blocking leaf, returning one witness chain.
+std::vector<std::string> blocking_chain(const Program& program, const CallGraph& graph,
+                                        const std::string& name) {
+  std::vector<std::string> chain;
+  std::set<std::string> visited;
+  const std::function<bool(const std::string&)> dfs = [&](const std::string& current) -> bool {
+    if (!visited.insert(current).second) return false;
+    chain.push_back(current);
+    if (minilang::blocking_builtins().count(current) > 0) return true;
+    const FuncDecl* fn = program.find_function(current);
+    if (fn != nullptr && fn->has_annotation("blocking")) return true;
+    for (const std::string& callee : graph.callees_of(current))
+      if (graph.reaches_blocking(callee) && dfs(callee)) return true;
+    chain.pop_back();
+    return false;
+  };
+  dfs(name);
+  return chain;
+}
+
+}  // namespace
+
+std::vector<PatternViolation> check_no_blocking_in_sync(const Program& program,
+                                                        const CallGraph& graph) {
+  std::vector<PatternViolation> out;
+  for (const CallSite& site : graph.sites()) {
+    if (!site.inside_sync) continue;
+    if (site.caller->has_annotation("test")) continue;
+    if (!graph.reaches_blocking(site.callee())) continue;
+    PatternViolation violation;
+    violation.function = site.caller->name;
+    violation.stmt = site.stmt;
+    violation.call_path = blocking_chain(program, graph, site.callee());
+    violation.blocking_call =
+        violation.call_path.empty() ? site.callee() : violation.call_path.back();
+    violation.description = "blocking call " + violation.blocking_call +
+                            " reachable inside sync block of " + site.caller->name + " via " +
+                            minilang::stmt_header_text(*site.stmt);
+    out.push_back(std::move(violation));
+  }
+  return out;
+}
+
+std::vector<PatternViolation> check_specific_call_in_sync(const Program& program,
+                                                          const CallGraph& graph,
+                                                          const std::string& specific_callee) {
+  (void)program;
+  std::vector<PatternViolation> out;
+  for (const CallSite& site : graph.sites()) {
+    if (!site.inside_sync || site.callee() != specific_callee) continue;
+    if (site.caller->has_annotation("test")) continue;
+    PatternViolation violation;
+    violation.function = site.caller->name;
+    violation.stmt = site.stmt;
+    violation.blocking_call = specific_callee;
+    violation.call_path = {specific_callee};
+    violation.description = "direct call to " + specific_callee + " inside sync block of " +
+                            site.caller->name;
+    out.push_back(std::move(violation));
+  }
+  return out;
+}
+
+}  // namespace lisa::analysis

@@ -1,0 +1,38 @@
+// Structural (pattern) semantic rules.
+//
+// §3.1 / Fig. 6 of the paper: some low-level semantics generalize beyond a
+// state predicate at one statement — e.g. ZK-2201/ZK-3531's "no blocking I/O
+// within synchronized blocks", which recurred in a *different* serialization
+// function a year later. Such rules are checked structurally over the call
+// graph rather than via path conditions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+
+namespace lisa::analysis {
+
+struct PatternViolation {
+  std::string function;             // function whose sync block is affected
+  const minilang::Stmt* stmt = nullptr;  // the offending statement
+  std::string blocking_call;        // the blocking leaf reached
+  std::vector<std::string> call_path;  // call chain from the sync site to the leaf
+  std::string description;
+};
+
+/// Checks the generalized rule "no blocking call may execute while holding a
+/// monitor": flags every call site lexically inside a `sync` block whose
+/// callee transitively reaches a blocking builtin or @blocking function.
+[[nodiscard]] std::vector<PatternViolation> check_no_blocking_in_sync(
+    const minilang::Program& program, const CallGraph& graph);
+
+/// Narrow (non-generalized) variant used by the Fig. 6 bench: flags only
+/// direct calls to `specific_callee` inside sync blocks. Demonstrates why
+/// rules tied to one function miss recurrences elsewhere.
+[[nodiscard]] std::vector<PatternViolation> check_specific_call_in_sync(
+    const minilang::Program& program, const CallGraph& graph,
+    const std::string& specific_callee);
+
+}  // namespace lisa::analysis

@@ -1,0 +1,76 @@
+#include "analysis/rename.hpp"
+
+#include "support/strings.hpp"
+
+namespace lisa::analysis {
+
+std::string canonical_var(const std::string& var, const FrameMap& map) {
+  // Opaque guards produced by the bridge are frame-local; qualify wholesale.
+  if (support::starts_with(var, "opaque:")) return map.frame + "::" + var;
+  // Root = segment before the first '.' or '#'.
+  const std::size_t cut = var.find_first_of(".#");
+  const std::string root = cut == std::string::npos ? var : var.substr(0, cut);
+  const std::string rest = cut == std::string::npos ? "" : var.substr(cut);
+  const auto it = map.roots.find(root);
+  if (it == map.roots.end()) return map.frame + "::" + var;
+  if (it->second == kOpaqueRoot) return kOpaqueRoot;
+  return it->second + rest;
+}
+
+namespace {
+
+smt::Atom rename_atom(const smt::Atom& atom,
+                      const std::function<std::string(const std::string&)>& rename) {
+  smt::Atom out = atom;
+  std::string lhs = rename(atom.lhs);
+  if (lhs == kOpaqueRoot) {
+    // Collapse to an opaque boolean variable: the constraint's subject cannot
+    // be expressed in canonical terms, so it constrains nothing checkable.
+    return smt::Atom::bool_var("opaque:" + atom.key());
+  }
+  out.lhs = std::move(lhs);
+  if (atom.kind == smt::Atom::Kind::kCmpVar) {
+    std::string rhs = rename(atom.rhs_var);
+    if (rhs == kOpaqueRoot) return smt::Atom::bool_var("opaque:" + atom.key());
+    out.rhs_var = std::move(rhs);
+  }
+  return out;
+}
+
+}  // namespace
+
+smt::FormulaPtr rename_formula(const smt::FormulaPtr& f,
+                               const std::function<std::string(const std::string&)>& rename) {
+  using smt::Formula;
+  switch (f->kind) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return f;
+    case Formula::Kind::kAtom:
+      return Formula::make_atom(rename_atom(f->atom, rename));
+    case Formula::Kind::kNot:
+      return Formula::negate(rename_formula(f->children[0], rename));
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::vector<smt::FormulaPtr> children;
+      children.reserve(f->children.size());
+      for (const smt::FormulaPtr& child : f->children)
+        children.push_back(rename_formula(child, rename));
+      return f->kind == Formula::Kind::kAnd ? Formula::conj(std::move(children))
+                                            : Formula::disj(std::move(children));
+    }
+  }
+  return f;
+}
+
+smt::FormulaPtr rename_formula(const smt::FormulaPtr& f, const FrameMap& map) {
+  return rename_formula(f, [&](const std::string& var) { return canonical_var(var, map); });
+}
+
+bool has_opaque_root(const smt::FormulaPtr& f, const FrameMap& map) {
+  for (const std::string& var : f->variables())
+    if (canonical_var(var, map) == kOpaqueRoot) return true;
+  return false;
+}
+
+}  // namespace lisa::analysis

@@ -1,0 +1,49 @@
+// Frame-qualified renaming of formula variables.
+//
+// Execution paths cross function boundaries; a guard `s.is_closing` inside
+// `touch_session` and a guard `req.session.is_closing` inside its caller may
+// or may not denote the same storage. LISA canonicalizes every variable to a
+// frame-qualified name: parameters are substituted through the call-site
+// argument map (so data that flows through calls unifies), while locals are
+// prefixed with their owning function ("touch_session::s"). This mirrors the
+// paper's step of "mapping the condition's placeholders to concrete
+// variables" before Z3 comparison.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "smt/formula.hpp"
+
+namespace lisa::analysis {
+
+/// The marker a frame map uses for parameters bound to non-path arguments
+/// (e.g. `touch(make_session())`): their callee-side contents cannot be
+/// expressed in caller terms.
+inline constexpr const char* kOpaqueRoot = "!opaque";
+
+/// Maps local variable roots of one frame to canonical names. Roots absent
+/// from the map are locals and canonicalize to "<frame>::<root>".
+struct FrameMap {
+  std::string frame;                         // function name
+  std::map<std::string, std::string> roots;  // param root → canonical path (or kOpaqueRoot)
+};
+
+/// Canonicalizes one variable name ("s.ttl", "s#null") under `map`.
+/// Returns kOpaqueRoot when the variable's root maps to an opaque argument.
+[[nodiscard]] std::string canonical_var(const std::string& var, const FrameMap& map);
+
+/// Renames every variable in `f` via `rename`. If `rename` returns
+/// kOpaqueRoot for a variable, the atom collapses to an unconstrained opaque
+/// boolean variable (unique per original spelling).
+[[nodiscard]] smt::FormulaPtr rename_formula(
+    const smt::FormulaPtr& f, const std::function<std::string(const std::string&)>& rename);
+
+/// Convenience: rename_formula under a FrameMap.
+[[nodiscard]] smt::FormulaPtr rename_formula(const smt::FormulaPtr& f, const FrameMap& map);
+
+/// True if any variable of `f` would canonicalize to an opaque root.
+[[nodiscard]] bool has_opaque_root(const smt::FormulaPtr& f, const FrameMap& map);
+
+}  // namespace lisa::analysis

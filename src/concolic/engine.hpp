@@ -1,0 +1,80 @@
+// Concolic execution engine — the reproduction's WeBridge.
+//
+// Runs a @test function concretely while collecting a symbolic path
+// condition over locations relevant to a semantic contract, and fires an
+// injected check every time execution reaches a target statement:
+//
+//   1. The *trace condition* π is the conjunction of recorded branch guards
+//      (only guards whose shadows touch contract-relevant fields, mirroring
+//      the paper's selective branch exploration; an option disables the
+//      filter for the pruning ablation).
+//   2. The contract P is *instantiated* at the hit: its variable paths are
+//      resolved against the live frame, naming atoms by object identity.
+//   3. Per §3.2, the path VIOLATES the contract iff π ∧ ¬P is satisfiable —
+//      "the trace fulfills the complement of the checker formula"; a missing
+//      check is treated as an unconstrained (true) condition exactly as the
+//      paper prescribes.
+//   4. Independently, P is evaluated on the concrete state; a false result
+//      is a concrete witness (the injected assertion actually failing).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minilang/ast.hpp"
+#include "smt/formula.hpp"
+
+namespace lisa::concolic {
+
+/// What to check during a run.
+struct CheckConfig {
+  /// Canonical-text fragment identifying target statements.
+  std::string target_fragment;
+  /// Contract precondition in target-frame local names (e.g. over `s.ttl`).
+  smt::FormulaPtr contract;
+  /// Record only guards touching fields the contract mentions (paper's
+  /// relevant-variable pruning). Disable for the ablation bench.
+  bool prune_irrelevant = true;
+};
+
+/// One arrival at a target statement.
+struct TargetHit {
+  int stmt_id = -1;
+  std::string function;                  // function containing the target
+  std::vector<std::string> call_chain;   // test frame first, target last
+  smt::FormulaPtr trace_condition;       // π over object-named atoms
+  smt::FormulaPtr instantiated_contract; // P over object-named atoms
+  bool instantiable = true;   // all contract paths resolved to locations
+  bool concrete_violation = false;  // P false on the live concrete state
+  bool symbolic_violation = false;  // sat(π ∧ ¬P): a missing-check path
+  std::string witness;              // model of π ∧ ¬P when symbolically violated
+};
+
+struct RunResult {
+  bool test_passed = false;
+  std::string failure;                 // populated when !test_passed
+  std::vector<TargetHit> hits;
+  std::int64_t branches_total = 0;     // branch decisions executed
+  std::int64_t branches_recorded = 0;  // decisions recorded into π
+  std::int64_t stmts_executed = 0;
+};
+
+class Engine {
+ public:
+  /// `program` must outlive the engine.
+  explicit Engine(const minilang::Program& program);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `test_name` under `config`. Deterministic.
+  [[nodiscard]] RunResult run_test(const std::string& test_name, const CheckConfig& config);
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace lisa::concolic

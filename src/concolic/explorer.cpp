@@ -1,0 +1,122 @@
+#include "concolic/explorer.hpp"
+
+#include "analysis/callgraph.hpp"
+#include "concolic/engine.hpp"
+#include "minilang/printer.hpp"
+#include "minilang/sema.hpp"
+#include "smt/solver.hpp"
+
+namespace lisa::concolic {
+
+const char* explored_verdict_name(ExploredVerdict verdict) {
+  switch (verdict) {
+    case ExploredVerdict::kVerifiedByReplay: return "verified-by-replay";
+    case ExploredVerdict::kViolatedByReplay: return "violated-by-replay";
+    case ExploredVerdict::kInfeasible: return "infeasible";
+    case ExploredVerdict::kNotSynthesizable: return "needs-human";
+    case ExploredVerdict::kReplayMismatch: return "replay-mismatch";
+  }
+  return "?";
+}
+
+namespace {
+
+struct ReplayResult {
+  bool reached = false;
+  bool violated = false;
+  std::string witness;
+};
+
+ReplayResult replay(const minilang::Program& program, const SynthesizedTest& test,
+                    const std::string& target_fragment,
+                    const smt::FormulaPtr& contract_condition) {
+  ReplayResult result;
+  minilang::Program with_test;
+  try {
+    with_test = minilang::parse_checked(minilang::program_text(program) + "\n" + test.source);
+  } catch (const std::exception&) {
+    return result;
+  }
+  Engine engine(with_test);
+  CheckConfig config;
+  config.target_fragment = target_fragment;
+  config.contract = contract_condition;
+  const RunResult run = engine.run_test(test.test_name, config);
+  for (const TargetHit& hit : run.hits) {
+    result.reached = true;
+    if (hit.symbolic_violation || hit.concrete_violation) {
+      result.violated = true;
+      result.witness = hit.witness;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ExplorationReport explore(const minilang::Program& program,
+                          const std::string& target_fragment,
+                          const smt::FormulaPtr& contract_condition) {
+  ExplorationReport report;
+  const analysis::CallGraph graph = analysis::CallGraph::build(program);
+  analysis::TreeOptions options;
+  options.contract_condition = contract_condition;
+  // Full path conditions: a synthesized input must satisfy every guard on
+  // the way to the target, not only the contract-relevant ones.
+  options.prune_irrelevant = false;
+  const analysis::ExecutionTree tree =
+      analysis::build_execution_tree(program, graph, target_fragment, options);
+
+  smt::Solver solver;
+  int sequence = 1;
+  for (const analysis::ExecutionPath& path : tree.paths) {
+    ExploredPath explored;
+    explored.call_chain = path.call_chain;
+
+    if (!solver.solve(path.condition).sat()) {
+      explored.verdict = ExploredVerdict::kInfeasible;
+      explored.detail = "path condition unsatisfiable: " + path.condition->to_string();
+      report.paths.push_back(std::move(explored));
+      ++report.infeasible;
+      continue;
+    }
+    // Prefer a violating witness; fall back to a covering driver when the
+    // path is guarded (π ∧ ¬P unsat).
+    const bool violating =
+        path.mappable &&
+        solver
+            .solve(smt::Formula::conj2(path.condition,
+                                       smt::Formula::negate(path.renamed_contract)))
+            .sat();
+    const auto test = synthesize_path_test(program, path, violating, sequence);
+    if (!test.has_value()) {
+      explored.verdict = ExploredVerdict::kNotSynthesizable;
+      explored.detail = "required state is not constructible through entry arguments";
+      report.paths.push_back(std::move(explored));
+      ++report.human_needed;
+      continue;
+    }
+    ++sequence;
+    explored.test_source = test->source;
+    const ReplayResult run = replay(program, *test, target_fragment, contract_condition);
+    if (!run.reached) {
+      explored.verdict = ExploredVerdict::kReplayMismatch;
+      explored.detail = "synthesized driver did not reach the target (model " +
+                        test->model_text + ")";
+      ++report.human_needed;
+    } else if (run.violated) {
+      explored.verdict = ExploredVerdict::kViolatedByReplay;
+      explored.detail = "missing check reproduced; witness " +
+                        (run.witness.empty() ? test->model_text : run.witness);
+      ++report.violated;
+    } else {
+      explored.verdict = ExploredVerdict::kVerifiedByReplay;
+      explored.detail = "replay confirmed the guard (model " + test->model_text + ")";
+      ++report.verified;
+    }
+    report.paths.push_back(std::move(explored));
+  }
+  return report;
+}
+
+}  // namespace lisa::concolic

@@ -1,0 +1,55 @@
+// Systematic path exploration: close the coverage gap the test suite leaves.
+//
+// §3.2's workflow replays *existing* tests and reports paths none of them
+// reaches. This module implements the natural next step (classic concolic
+// exploration, specialized to LISA's setting): for every static path of a
+// contract's execution tree that no test covers, solve the full path
+// condition, synthesize a driver test from the model (testgen), replay it on
+// the concolic engine, and fold the result back into the report. Paths whose
+// required state cannot be constructed through entry arguments remain for
+// the human — but they are now the only ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/paths.hpp"
+#include "concolic/testgen.hpp"
+#include "minilang/ast.hpp"
+#include "smt/formula.hpp"
+
+namespace lisa::concolic {
+
+enum class ExploredVerdict {
+  kVerifiedByReplay,   // synthesized run hit the target, no violation
+  kViolatedByReplay,   // synthesized run exhibited the missing check
+  kInfeasible,         // path condition unsatisfiable (dead static path)
+  kNotSynthesizable,   // needs container-mediated state: human verdict
+  kReplayMismatch,     // synthesized test did not reach the target
+};
+
+[[nodiscard]] const char* explored_verdict_name(ExploredVerdict verdict);
+
+struct ExploredPath {
+  std::vector<std::string> call_chain;
+  ExploredVerdict verdict = ExploredVerdict::kNotSynthesizable;
+  std::string test_source;  // the synthesized driver, when one exists
+  std::string detail;       // model / witness / reason
+};
+
+struct ExplorationReport {
+  std::vector<ExploredPath> paths;
+  int verified = 0;
+  int violated = 0;
+  int infeasible = 0;
+  int human_needed = 0;  // not synthesizable or replay mismatch
+};
+
+/// Explores every path of the contract's (unpruned) execution tree whose
+/// chain-head entry is synthesizable, replaying a generated driver for each.
+/// `contract_condition` is in target-frame local names (as in TreeOptions).
+[[nodiscard]] ExplorationReport explore(const minilang::Program& program,
+                                        const std::string& target_fragment,
+                                        const smt::FormulaPtr& contract_condition);
+
+}  // namespace lisa::concolic

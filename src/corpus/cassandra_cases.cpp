@@ -1,0 +1,396 @@
+// Cassandra incident cases.
+#include "corpus/ticket.hpp"
+
+namespace lisa::corpus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Case 1: hints replayed to a decommissioned node.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kCassHintCommon = R"ml(
+struct RingNode { host: string; decommissioned: bool; hints_received: int; }
+struct HintStore { nodes: map<string, RingNode>; pending: map<string, string>; delivered: int; }
+
+fn new_hint_store() -> HintStore {
+  return new HintStore {};
+}
+
+fn add_ring_node(store: HintStore, host: string, decommissioned: bool) {
+  put(store.nodes, host, new RingNode { host: host, decommissioned: decommissioned,
+                                        hints_received: 0 });
+}
+
+fn queue_hint(store: HintStore, host: string, mutation: string) {
+  put(store.pending, host, mutation);
+}
+
+fn deliver_hints(store: HintStore, target: RingNode) {
+  target.hints_received = target.hints_received + 1;
+  store.delivered = store.delivered + 1;
+  del(store.pending, target.host);
+}
+
+// Full replay on coordinator restart: the second delivery path.
+@entry
+fn replay_all_hints(store: HintStore) {
+  let hosts = keys(store.pending);
+  let i = 0;
+  while (i < len(hosts)) {
+    let target = get(store.nodes, hosts[i]);
+    if (target != null) {
+      deliver_hints(store, target);
+    }
+    i = i + 1;
+  }
+}
+)ml";
+
+constexpr const char* kCassHintTests = R"ml(
+@test
+fn test_replay_hint_to_live_node() {
+  let store = new_hint_store();
+  add_ring_node(store, "10.0.0.1", false);
+  queue_hint(store, "10.0.0.1", "mut-1");
+  replay_hints_for(store, "10.0.0.1");
+  assert(store.delivered == 1, "hint delivered");
+}
+
+@test
+fn test_replay_all_delivers_pending() {
+  let store = new_hint_store();
+  add_ring_node(store, "10.0.0.2", false);
+  queue_hint(store, "10.0.0.2", "mut-2");
+  replay_all_hints(store);
+  assert(store.delivered == 1, "pending hint delivered");
+}
+)ml";
+
+FailureTicket cass_hint_case() {
+  FailureTicket ticket;
+  ticket.case_id = "cass-hint-decommissioned";
+  ticket.system = "cassandra";
+  ticket.feature = "hinted handoff";
+  ticket.title = "Hints replayed to a decommissioned node resurrect deleted data";
+  ticket.description =
+      "Hinted handoff kept replaying stored mutations to a node that had "
+      "been decommissioned and later re-bootstrapped with the same address; "
+      "the replay resurrected deleted rows past their tombstones. Developer "
+      "discussion: hints must never be delivered to a decommissioned node — "
+      "the ring state must be consulted before delivery. Fix adds the check "
+      "on the per-endpoint replay path.";
+
+  const std::string buggy_replay = R"ml(
+@entry
+fn replay_hints_for(store: HintStore, host: string) {
+  let target = get(store.nodes, host);
+  if (target == null) {
+    return;
+  }
+  deliver_hints(store, target);
+}
+)ml";
+
+  const std::string patched_replay = R"ml(
+@entry
+fn replay_hints_for(store: HintStore, host: string) {
+  let target = get(store.nodes, host);
+  if (target == null) {
+    return;
+  }
+  if (target.decommissioned) {
+    throw "NodeDecommissionedException";
+  }
+  deliver_hints(store, target);
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_casshint_no_replay_to_decommissioned() {
+  let store = new_hint_store();
+  add_ring_node(store, "10.0.0.3", true);
+  queue_hint(store, "10.0.0.3", "mut-3");
+  let rejected = false;
+  try {
+    replay_hints_for(store, "10.0.0.3");
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "replay to decommissioned node rejected");
+  assert(store.delivered == 0, "nothing delivered");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kCassHintCommon) + buggy_replay + kCassHintTests;
+  ticket.patched_source =
+      std::string(kCassHintCommon) + patched_replay + kCassHintTests + regression_test;
+  ticket.regression_tests = {"test_casshint_no_replay_to_decommissioned"};
+  ticket.original = {"CASS-H1", "2015-05-07",
+                     "Deleted rows resurrected by hint replay to decommissioned node"};
+  ticket.regressions = {{"CASS-H2", "2016-03-29",
+                         "Coordinator-restart replay path delivers hints to decommissioned "
+                         "nodes; per-endpoint fix missed it"},
+                        {"CASS-H3", "2017-05-02",
+                         "Hints delivered to a decommissioned node that re-bootstrapped "
+                         "with the same address; ring check still missing on one path"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "deliver_hints(";
+  ticket.expected_condition = "!(target == null) && !(target.decommissioned)";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 2: read repair writes back a purgeable tombstoned row.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kCassRepairCommon = R"ml(
+struct Row { key: string; tombstoned: bool; purgeable: bool; repairs: int; }
+struct Table { rows: map<string, Row>; repaired: int; }
+
+fn new_table() -> Table {
+  return new Table {};
+}
+
+fn add_row(t: Table, key: string, tombstoned: bool, purgeable: bool) {
+  put(t.rows, key, new Row { key: key, tombstoned: tombstoned, purgeable: purgeable,
+                             repairs: 0 });
+}
+
+fn send_repair(t: Table, row: Row) {
+  row.repairs = row.repairs + 1;
+  t.repaired = t.repaired + 1;
+}
+
+// Background anti-entropy repair: the second repair path.
+@entry
+fn background_repair(t: Table) {
+  let ks = keys(t.rows);
+  let i = 0;
+  while (i < len(ks)) {
+    let row = get(t.rows, ks[i]);
+    if (row != null) {
+      send_repair(t, row);
+    }
+    i = i + 1;
+  }
+}
+)ml";
+
+constexpr const char* kCassRepairTests = R"ml(
+@test
+fn test_repair_live_row() {
+  let t = new_table();
+  add_row(t, "k1", false, false);
+  read_repair(t, "k1");
+  assert(t.repaired == 1, "row repaired");
+}
+
+@test
+fn test_background_repair_covers_rows() {
+  let t = new_table();
+  add_row(t, "k2", false, false);
+  background_repair(t);
+  assert(t.repaired == 1, "background repaired");
+}
+)ml";
+
+FailureTicket cass_repair_case() {
+  FailureTicket ticket;
+  ticket.case_id = "cass-repair-purgeable-tombstone";
+  ticket.system = "cassandra";
+  ticket.feature = "read repair / tombstone GC";
+  ticket.title = "Read repair propagates a tombstone past gc_grace and resurrects data";
+  ticket.description =
+      "Read repair wrote back rows whose tombstones had already passed "
+      "gc_grace_seconds on some replicas; the replicas that had purged the "
+      "tombstone accepted the stale live data, resurrecting deleted rows. "
+      "Developer discussion: a row whose tombstone is already purgeable must "
+      "never be repaired back — check the purgeable flag before sending the "
+      "repair mutation. Fix guards the foreground read-repair path.";
+
+  const std::string buggy_repair = R"ml(
+@entry
+fn read_repair(t: Table, key: string) {
+  let row = get(t.rows, key);
+  if (row == null) {
+    return;
+  }
+  send_repair(t, row);
+}
+)ml";
+
+  const std::string patched_repair = R"ml(
+@entry
+fn read_repair(t: Table, key: string) {
+  let row = get(t.rows, key);
+  if (row == null) {
+    return;
+  }
+  if (row.purgeable == false) {
+    send_repair(t, row);
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_cassrepair_skips_purgeable_row() {
+  let t = new_table();
+  add_row(t, "k3", true, true);
+  read_repair(t, "k3");
+  assert(t.repaired == 0, "purgeable row not repaired");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kCassRepairCommon) + buggy_repair + kCassRepairTests;
+  ticket.patched_source =
+      std::string(kCassRepairCommon) + patched_repair + kCassRepairTests + regression_test;
+  ticket.regression_tests = {"test_cassrepair_skips_purgeable_row"};
+  ticket.original = {"CASS-R1", "2017-09-13",
+                     "Deleted rows resurrected by read repair past gc_grace"};
+  ticket.regressions = {{"CASS-R2", "2018-07-02",
+                         "Background anti-entropy repair writes back purgeable rows; "
+                         "foreground fix missed it"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "send_repair(";
+  ticket.expected_condition = "!(row == null) && row.purgeable == false";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 3: counter mutation applied on a bootstrapping node.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kCassCounterCommon = R"ml(
+struct CounterNode { host: string; bootstrapping: bool; applied: int; }
+struct CounterService { nodes: map<string, CounterNode>; total_applied: int; }
+
+fn new_counter_service() -> CounterService {
+  return new CounterService {};
+}
+
+fn add_counter_node(svc: CounterService, host: string, bootstrapping: bool) {
+  put(svc.nodes, host, new CounterNode { host: host, bootstrapping: bootstrapping,
+                                         applied: 0 });
+}
+
+fn apply_counter_mutation(svc: CounterService, node: CounterNode, delta: int) {
+  node.applied = node.applied + 1;
+  svc.total_applied = svc.total_applied + 1;
+}
+
+// Batched counter writes: the second apply path.
+@entry
+fn apply_counter_batch(svc: CounterService, host: string, deltas: list<int>) {
+  let node = get(svc.nodes, host);
+  if (node == null) {
+    throw "UnavailableException";
+  }
+  let i = 0;
+  while (i < len(deltas)) {
+    apply_counter_mutation(svc, node, deltas[i]);
+    i = i + 1;
+  }
+}
+)ml";
+
+constexpr const char* kCassCounterTests = R"ml(
+@test
+fn test_counter_write_on_normal_node() {
+  let svc = new_counter_service();
+  add_counter_node(svc, "10.0.1.1", false);
+  write_counter(svc, "10.0.1.1", 5);
+  assert(svc.total_applied == 1, "applied");
+}
+
+@test
+fn test_counter_batch_applies_all() {
+  let svc = new_counter_service();
+  add_counter_node(svc, "10.0.1.2", false);
+  let deltas = list_new();
+  push(deltas, 1);
+  push(deltas, 2);
+  apply_counter_batch(svc, "10.0.1.2", deltas);
+  assert(svc.total_applied == 2, "batch applied");
+}
+)ml";
+
+FailureTicket cass_counter_case() {
+  FailureTicket ticket;
+  ticket.case_id = "cass-counter-bootstrap";
+  ticket.system = "cassandra";
+  ticket.feature = "counters / bootstrap";
+  ticket.title = "Counter mutation applied on a bootstrapping node double-counts";
+  ticket.description =
+      "Counter writes landed on a node that was still bootstrapping; once "
+      "the node finished streaming its ranges, the streamed counter state "
+      "was merged on top of the already-applied mutations and counters "
+      "double-counted. Developer discussion: a counter mutation must never "
+      "be applied while the node is bootstrapping — check the bootstrapping "
+      "flag before apply. Fix rejects single counter writes during "
+      "bootstrap.";
+
+  const std::string buggy_write = R"ml(
+@entry
+fn write_counter(svc: CounterService, host: string, delta: int) {
+  let node = get(svc.nodes, host);
+  if (node == null) {
+    throw "UnavailableException";
+  }
+  apply_counter_mutation(svc, node, delta);
+}
+)ml";
+
+  const std::string patched_write = R"ml(
+@entry
+fn write_counter(svc: CounterService, host: string, delta: int) {
+  let node = get(svc.nodes, host);
+  if (node == null) {
+    throw "UnavailableException";
+  }
+  if (node.bootstrapping) {
+    throw "UnavailableException";
+  }
+  apply_counter_mutation(svc, node, delta);
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_casscounter_rejected_during_bootstrap() {
+  let svc = new_counter_service();
+  add_counter_node(svc, "10.0.1.3", true);
+  let rejected = false;
+  try {
+    write_counter(svc, "10.0.1.3", 7);
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "counter write rejected during bootstrap");
+  assert(svc.total_applied == 0, "nothing applied");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kCassCounterCommon) + buggy_write + kCassCounterTests;
+  ticket.patched_source =
+      std::string(kCassCounterCommon) + patched_write + kCassCounterTests + regression_test;
+  ticket.regression_tests = {"test_casscounter_rejected_during_bootstrap"};
+  ticket.original = {"CASS-C1", "2014-08-11",
+                     "Counters double-counted after bootstrap merge"};
+  ticket.regressions = {{"CASS-C2", "2015-06-22",
+                         "Batched counter path applies mutations on bootstrapping nodes; "
+                         "single-write fix missed it"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "apply_counter_mutation(";
+  ticket.expected_condition = "!(node == null) && !(node.bootstrapping)";
+  return ticket;
+}
+
+}  // namespace
+
+std::vector<FailureTicket> cassandra_cases() {
+  return {cass_hint_case(), cass_repair_case(), cass_counter_case()};
+}
+
+}  // namespace lisa::corpus

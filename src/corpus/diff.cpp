@@ -1,0 +1,75 @@
+#include "corpus/diff.hpp"
+
+#include <map>
+
+#include "minilang/printer.hpp"
+
+namespace lisa::corpus {
+
+using minilang::FuncDecl;
+using minilang::Program;
+using minilang::Stmt;
+using minilang::StmtPtr;
+
+namespace {
+
+void collect(const FuncDecl& fn, const std::vector<StmtPtr>& stmts,
+             std::multimap<std::string, const Stmt*>& out) {
+  for (const StmtPtr& stmt : stmts) {
+    out.emplace(minilang::stmt_header_text(*stmt), stmt.get());
+    collect(fn, stmt->body, out);
+    collect(fn, stmt->else_body, out);
+  }
+}
+
+}  // namespace
+
+ProgramDiff diff_programs(const Program& before, const Program& after) {
+  ProgramDiff diff;
+  for (const FuncDecl& fn : after.functions)
+    if (before.find_function(fn.name) == nullptr) diff.added_functions.push_back(fn.name);
+  for (const FuncDecl& fn : before.functions)
+    if (after.find_function(fn.name) == nullptr) diff.removed_functions.push_back(fn.name);
+
+  for (const FuncDecl& after_fn : after.functions) {
+    const FuncDecl* before_fn = before.find_function(after_fn.name);
+    std::multimap<std::string, const Stmt*> before_stmts;
+    if (before_fn != nullptr) collect(*before_fn, before_fn->body, before_stmts);
+    std::multimap<std::string, const Stmt*> after_stmts;
+    collect(after_fn, after_fn.body, after_stmts);
+
+    // Multiset difference by canonical text.
+    for (const auto& [text, stmt] : after_stmts) {
+      const auto it = before_stmts.find(text);
+      if (it != before_stmts.end()) {
+        before_stmts.erase(it);
+      } else {
+        diff.added.push_back(DiffEntry{after_fn.name, stmt, text});
+      }
+    }
+    for (const auto& [text, stmt] : before_stmts)
+      diff.removed.push_back(DiffEntry{after_fn.name, stmt, text});
+  }
+  // Statements of functions deleted entirely.
+  for (const FuncDecl& before_fn : before.functions) {
+    if (after.find_function(before_fn.name) != nullptr) continue;
+    std::multimap<std::string, const Stmt*> stmts;
+    collect(before_fn, before_fn.body, stmts);
+    for (const auto& [text, stmt] : stmts)
+      diff.removed.push_back(DiffEntry{before_fn.name, stmt, text});
+  }
+  return diff;
+}
+
+std::string render_diff(const ProgramDiff& diff) {
+  std::string out;
+  for (const std::string& fn : diff.added_functions) out += "+ fn " + fn + " (new)\n";
+  for (const std::string& fn : diff.removed_functions) out += "- fn " + fn + " (deleted)\n";
+  for (const DiffEntry& entry : diff.added)
+    out += "+ [" + entry.function + "] " + entry.text + "\n";
+  for (const DiffEntry& entry : diff.removed)
+    out += "- [" + entry.function + "] " + entry.text + "\n";
+  return out;
+}
+
+}  // namespace lisa::corpus

@@ -1,0 +1,44 @@
+// Structural diff between two MiniLang program versions.
+//
+// The mock LLM reasons over "the code patch (the diff)" exactly like the
+// paper's prompt. Rather than a textual line diff, LISA diffs at statement
+// granularity: for each function present in both versions, statements are
+// compared by canonical header text (multiset semantics), yielding the
+// added/removed statements with their enclosing function — which is what
+// guard-extraction needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minilang/ast.hpp"
+
+namespace lisa::corpus {
+
+struct DiffEntry {
+  std::string function;               // enclosing function name
+  const minilang::Stmt* stmt = nullptr;  // borrowed from the owning Program
+  std::string text;                   // canonical header text
+};
+
+struct ProgramDiff {
+  std::vector<DiffEntry> added;       // statements only in `after`
+  std::vector<DiffEntry> removed;     // statements only in `before`
+  std::vector<std::string> added_functions;
+  std::vector<std::string> removed_functions;
+
+  [[nodiscard]] bool empty() const {
+    return added.empty() && removed.empty() && added_functions.empty() &&
+           removed_functions.empty();
+  }
+};
+
+/// Computes the structural diff. Pointers in `added` borrow from `after`;
+/// pointers in `removed` borrow from `before`.
+[[nodiscard]] ProgramDiff diff_programs(const minilang::Program& before,
+                                        const minilang::Program& after);
+
+/// Renders a unified-diff-like text summary (for reports and tickets).
+[[nodiscard]] std::string render_diff(const ProgramDiff& diff);
+
+}  // namespace lisa::corpus

@@ -1,0 +1,566 @@
+// HBase incident cases.
+//
+// Case 1 models HBASE-27671 → HBASE-28704 → HBASE-29296: expired snapshots
+// must never be served. The "latest" version reproduces §4 Bug #1 — the
+// snapshot-scan path added later is missing the expiration check, and LISA
+// flags it (the fix was accepted by HBase developers in the paper).
+#include "corpus/ticket.hpp"
+
+namespace lisa::corpus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Case 1: expired snapshot served to clients.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHbaseSnapshotCommon = R"ml(
+struct Snapshot { name: string; is_expired: bool; ttl_sec: int; reads: int; }
+struct SnapshotManager { snapshots: map<string, Snapshot>; served: int; }
+
+fn new_snapshot_manager() -> SnapshotManager {
+  return new SnapshotManager {};
+}
+
+fn add_snapshot(mgr: SnapshotManager, name: string, expired: bool) {
+  put(mgr.snapshots, name, new Snapshot { name: name, is_expired: expired,
+                                          ttl_sec: 86400, reads: 0 });
+}
+
+fn serve_snapshot(mgr: SnapshotManager, snap: Snapshot) {
+  snap.reads = snap.reads + 1;
+  mgr.served = mgr.served + 1;
+}
+)ml";
+
+constexpr const char* kHbaseSnapshotTests = R"ml(
+@test
+fn test_restore_live_snapshot() {
+  let mgr = new_snapshot_manager();
+  add_snapshot(mgr, "daily-1", false);
+  restore_snapshot(mgr, "daily-1");
+  assert(mgr.served == 1, "snapshot served");
+}
+
+@test
+fn test_restore_missing_snapshot_raises() {
+  let mgr = new_snapshot_manager();
+  let failed = false;
+  try {
+    restore_snapshot(mgr, "none");
+  } catch (e) {
+    failed = true;
+  }
+  assert(failed, "missing snapshot raises");
+}
+
+@test
+fn test_export_live_snapshot() {
+  let mgr = new_snapshot_manager();
+  add_snapshot(mgr, "daily-2", false);
+  export_snapshot(mgr, "daily-2");
+  assert(mgr.served == 1, "snapshot exported");
+}
+)ml";
+
+FailureTicket hbase_snapshot_case() {
+  FailureTicket ticket;
+  ticket.case_id = "hbase-27671-snapshot-ttl";
+  ticket.system = "hbase";
+  ticket.feature = "snapshot TTL";
+  ticket.title = "Client can restore a snapshot after its TTL has expired";
+  ticket.description =
+      "Snapshots carry a TTL after which their data is stale and must not be "
+      "served, but the restore/clone path never consulted the expiration "
+      "flag: users restored day-old snapshots and silently read stale rows "
+      "without any alarm. Developer discussion: an expired snapshot must "
+      "never be served to a client — every path that serves snapshot data "
+      "has to check is_expired first. Fix adds the expiration check on the "
+      "restore path.";
+
+  const std::string buggy_ops = R"ml(
+@entry
+fn restore_snapshot(mgr: SnapshotManager, name: string) {
+  let snap = get(mgr.snapshots, name);
+  if (snap == null) {
+    throw "SnapshotDoesNotExistException";
+  }
+  serve_snapshot(mgr, snap);
+}
+
+@entry
+fn export_snapshot(mgr: SnapshotManager, name: string) {
+  let snap = get(mgr.snapshots, name);
+  if (snap == null) {
+    throw "SnapshotDoesNotExistException";
+  }
+  serve_snapshot(mgr, snap);
+}
+)ml";
+
+  const std::string patched_ops = R"ml(
+@entry
+fn restore_snapshot(mgr: SnapshotManager, name: string) {
+  let snap = get(mgr.snapshots, name);
+  if (snap == null) {
+    throw "SnapshotDoesNotExistException";
+  }
+  if (snap.is_expired) {
+    throw "SnapshotTTLExpiredException";
+  }
+  serve_snapshot(mgr, snap);
+}
+
+@entry
+fn export_snapshot(mgr: SnapshotManager, name: string) {
+  let snap = get(mgr.snapshots, name);
+  if (snap == null) {
+    throw "SnapshotDoesNotExistException";
+  }
+  serve_snapshot(mgr, snap);
+}
+)ml";
+
+  // Latest release (5dafa9e analog): restore and export both carry the check
+  // after HBASE-27671 and HBASE-28704, but the snapshot-scan path added for
+  // the read-replica feature does not — §4 Bug #1 (HBASE-29296 analog).
+  const std::string latest_ops = R"ml(
+@entry
+fn restore_snapshot(mgr: SnapshotManager, name: string) {
+  let snap = get(mgr.snapshots, name);
+  if (snap == null) {
+    throw "SnapshotDoesNotExistException";
+  }
+  if (snap.is_expired) {
+    throw "SnapshotTTLExpiredException";
+  }
+  serve_snapshot(mgr, snap);
+}
+
+@entry
+fn export_snapshot(mgr: SnapshotManager, name: string) {
+  let snap = get(mgr.snapshots, name);
+  if (snap == null) {
+    throw "SnapshotDoesNotExistException";
+  }
+  if (snap.is_expired) {
+    throw "SnapshotTTLExpiredException";
+  }
+  serve_snapshot(mgr, snap);
+}
+
+@entry
+fn scan_snapshot(mgr: SnapshotManager, name: string, start_row: string) {
+  let snap = get(mgr.snapshots, name);
+  if (snap == null) {
+    throw "SnapshotDoesNotExistException";
+  }
+  serve_snapshot(mgr, snap);
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_hbase27671_expired_restore_rejected() {
+  let mgr = new_snapshot_manager();
+  add_snapshot(mgr, "old-1", true);
+  let rejected = false;
+  try {
+    restore_snapshot(mgr, "old-1");
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "expired snapshot rejected");
+  assert(mgr.served == 0, "nothing served");
+}
+)ml";
+
+  const std::string latest_tests = R"ml(
+@test
+fn test_scan_snapshot_serves_rows() {
+  let mgr = new_snapshot_manager();
+  add_snapshot(mgr, "daily-3", false);
+  scan_snapshot(mgr, "daily-3", "row-0");
+  assert(mgr.served == 1, "scan served");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kHbaseSnapshotCommon) + buggy_ops + kHbaseSnapshotTests;
+  ticket.patched_source =
+      std::string(kHbaseSnapshotCommon) + patched_ops + kHbaseSnapshotTests + regression_test;
+  ticket.latest_source = std::string(kHbaseSnapshotCommon) + latest_ops + kHbaseSnapshotTests +
+                         regression_test + latest_tests;
+  ticket.regression_tests = {"test_hbase27671_expired_restore_rejected"};
+  ticket.original = {"HBASE-27671", "2023-02-27",
+                     "Client restores/clones a snapshot whose TTL has expired"};
+  ticket.regressions = {{"HBASE-28704", "2024-06-27",
+                         "Expired snapshot readable via copytable/exportsnapshot; the "
+                         "restore-path fix did not cover export"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "serve_snapshot(";
+  ticket.expected_condition = "!(snap == null) && !(snap.is_expired)";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 2: region split started while compaction is running.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHbaseSplitCommon = R"ml(
+struct Region { name: string; compacting: bool; splits: int; online: bool; }
+struct RegionServer { regions: map<string, Region>; }
+
+fn new_region_server() -> RegionServer {
+  return new RegionServer {};
+}
+
+fn add_region(rs: RegionServer, name: string, compacting: bool) {
+  put(rs.regions, name, new Region { name: name, compacting: compacting,
+                                     splits: 0, online: true });
+}
+
+fn execute_split(r: Region) {
+  r.splits = r.splits + 1;
+  r.online = false;
+}
+
+// Balancer-initiated splits: the second trigger path.
+@entry
+fn split_for_balancer(rs: RegionServer, name: string) {
+  let r = get(rs.regions, name);
+  if (r == null) {
+    return;
+  }
+  execute_split(r);
+}
+)ml";
+
+constexpr const char* kHbaseSplitTests = R"ml(
+@test
+fn test_split_idle_region() {
+  let rs = new_region_server();
+  add_region(rs, "r1", false);
+  request_split(rs, "r1");
+  let r = get(rs.regions, "r1");
+  assert(r.splits == 1, "split executed");
+}
+
+@test
+fn test_balancer_split_runs() {
+  let rs = new_region_server();
+  add_region(rs, "r2", false);
+  split_for_balancer(rs, "r2");
+  let r = get(rs.regions, "r2");
+  assert(r.splits == 1, "balancer split executed");
+}
+)ml";
+
+FailureTicket hbase_split_case() {
+  FailureTicket ticket;
+  ticket.case_id = "hbase-split-during-compaction";
+  ticket.system = "hbase";
+  ticket.feature = "region lifecycle";
+  ticket.title = "Region split during compaction loses store files";
+  ticket.description =
+      "A split executed while a major compaction was rewriting store files; "
+      "the daughter regions referenced files the compaction deleted, and the "
+      "region went permanently offline. Developer discussion: a region must "
+      "not split while compacting — the compacting flag has to be checked "
+      "before execute_split. Fix rejects client split requests during "
+      "compaction.";
+
+  const std::string buggy_split = R"ml(
+@entry
+fn request_split(rs: RegionServer, name: string) {
+  let r = get(rs.regions, name);
+  if (r == null) {
+    return;
+  }
+  execute_split(r);
+}
+)ml";
+
+  const std::string patched_split = R"ml(
+@entry
+fn request_split(rs: RegionServer, name: string) {
+  let r = get(rs.regions, name);
+  if (r == null) {
+    return;
+  }
+  if (r.compacting) {
+    throw "RegionBusyException";
+  }
+  execute_split(r);
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_hbasesplit_rejected_during_compaction() {
+  let rs = new_region_server();
+  add_region(rs, "r3", true);
+  let rejected = false;
+  try {
+    request_split(rs, "r3");
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "split rejected during compaction");
+  let r = get(rs.regions, "r3");
+  assert(r.splits == 0, "no split ran");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kHbaseSplitCommon) + buggy_split + kHbaseSplitTests;
+  ticket.patched_source =
+      std::string(kHbaseSplitCommon) + patched_split + kHbaseSplitTests + regression_test;
+  ticket.regression_tests = {"test_hbasesplit_rejected_during_compaction"};
+  ticket.original = {"HBASE-SP1", "2016-10-05",
+                     "Daughter regions referenced compacted-away files; region offline"};
+  ticket.regressions = {{"HBASE-SP2", "2017-08-17",
+                         "Balancer-initiated split bypasses the compaction check"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "execute_split(";
+  ticket.expected_condition = "!(r == null) && !(r.compacting)";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 3: request routed through a stale meta-cache entry.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHbaseMetaCommon = R"ml(
+struct CacheEntry { region: string; server: string; stale: bool; hits: int; }
+struct MetaCache { entries: map<string, CacheEntry>; routed: int; }
+
+fn new_meta_cache() -> MetaCache {
+  return new MetaCache {};
+}
+
+fn cache_region(cache: MetaCache, row: string, region: string, server: string, stale: bool) {
+  put(cache.entries, row, new CacheEntry { region: region, server: server,
+                                           stale: stale, hits: 0 });
+}
+
+fn route_to_region(cache: MetaCache, entry: CacheEntry) {
+  entry.hits = entry.hits + 1;
+  cache.routed = cache.routed + 1;
+}
+
+fn refresh_entry(cache: MetaCache, row: string) {
+  let entry = get(cache.entries, row);
+  if (entry != null) {
+    entry.stale = false;
+  }
+}
+
+// Batched multi-get routing: the second lookup path.
+@entry
+fn route_batch(cache: MetaCache, rows: list<string>) {
+  let i = 0;
+  while (i < len(rows)) {
+    let entry = get(cache.entries, rows[i]);
+    if (entry != null) {
+      route_to_region(cache, entry);
+    }
+    i = i + 1;
+  }
+}
+)ml";
+
+constexpr const char* kHbaseMetaTests = R"ml(
+@test
+fn test_route_fresh_entry() {
+  let cache = new_meta_cache();
+  cache_region(cache, "row1", "r1", "rs1", false);
+  route_request(cache, "row1");
+  assert(cache.routed == 1, "routed");
+}
+
+@test
+fn test_route_batch_routes_all() {
+  let cache = new_meta_cache();
+  cache_region(cache, "row2", "r1", "rs1", false);
+  cache_region(cache, "row3", "r2", "rs2", false);
+  let rows = list_new();
+  push(rows, "row2");
+  push(rows, "row3");
+  route_batch(cache, rows);
+  assert(cache.routed == 2, "both routed");
+}
+)ml";
+
+FailureTicket hbase_meta_case() {
+  FailureTicket ticket;
+  ticket.case_id = "hbase-stale-meta-cache";
+  ticket.system = "hbase";
+  ticket.feature = "meta cache / request routing";
+  ticket.title = "Requests routed via stale meta cache after region move";
+  ticket.description =
+      "After a region moved, clients kept routing requests through the stale "
+      "cache entry to the old region server, which answered with "
+      "NotServingRegionException storms and long retry loops. Developer "
+      "discussion: a request must only be routed through a cache entry that "
+      "is not stale; stale entries must be refreshed first. Fix checks the "
+      "stale flag on the single-get routing path.";
+
+  const std::string buggy_route = R"ml(
+@entry
+fn route_request(cache: MetaCache, row: string) {
+  let entry = get(cache.entries, row);
+  if (entry == null) {
+    throw "NoCacheEntryException";
+  }
+  route_to_region(cache, entry);
+}
+)ml";
+
+  const std::string patched_route = R"ml(
+@entry
+fn route_request(cache: MetaCache, row: string) {
+  let entry = get(cache.entries, row);
+  if (entry == null) {
+    throw "NoCacheEntryException";
+  }
+  if (entry.stale == false) {
+    route_to_region(cache, entry);
+  } else {
+    refresh_entry(cache, row);
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_hbasemeta_stale_entry_not_routed() {
+  let cache = new_meta_cache();
+  cache_region(cache, "row4", "r1", "rs-old", true);
+  route_request(cache, "row4");
+  assert(cache.routed == 0, "stale entry not routed");
+  let entry = get(cache.entries, "row4");
+  assert(entry.stale == false, "entry refreshed");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kHbaseMetaCommon) + buggy_route + kHbaseMetaTests;
+  ticket.patched_source =
+      std::string(kHbaseMetaCommon) + patched_route + kHbaseMetaTests + regression_test;
+  ticket.regression_tests = {"test_hbasemeta_stale_entry_not_routed"};
+  ticket.original = {"HBASE-M1", "2019-12-02",
+                     "NotServingRegionException storm via stale cache entries"};
+  ticket.regressions = {{"HBASE-M2", "2020-10-26",
+                         "Batched multi-get path routes through stale entries; single-get "
+                         "fix did not cover it"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "route_to_region(";
+  ticket.expected_condition = "!(entry == null) && entry.stale == false";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 4: WAL rolled while a region flush is in progress.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHbaseWalCommon = R"ml(
+struct Wal { rolls: int; active_writers: int; }
+struct FlushRegion { name: string; flushing: bool; wal: Wal; }
+
+fn new_flush_region(name: string, flushing: bool) -> FlushRegion {
+  return new FlushRegion { name: name, flushing: flushing, wal: new Wal {} };
+}
+
+fn roll_wal_now(w: Wal) {
+  w.rolls = w.rolls + 1;
+}
+
+// Periodic size-triggered roll: the second trigger path.
+@entry
+fn periodic_roll(region: FlushRegion) {
+  let w = region.wal;
+  roll_wal_now(w);
+}
+)ml";
+
+constexpr const char* kHbaseWalTests = R"ml(
+@test
+fn test_manual_roll_idle_region() {
+  let region = new_flush_region("r1", false);
+  request_wal_roll(region);
+  assert(region.wal.rolls == 1, "rolled");
+}
+
+@test
+fn test_periodic_roll_runs() {
+  let region = new_flush_region("r2", false);
+  periodic_roll(region);
+  assert(region.wal.rolls == 1, "periodic rolled");
+}
+)ml";
+
+FailureTicket hbase_wal_case() {
+  FailureTicket ticket;
+  ticket.case_id = "hbase-wal-roll-during-flush";
+  ticket.system = "hbase";
+  ticket.feature = "write-ahead log";
+  ticket.title = "WAL rolled mid-flush drops edits on recovery";
+  ticket.description =
+      "A WAL roll during an in-progress memstore flush archived the segment "
+      "containing edits the flush had not yet persisted; after a crash, "
+      "recovery replayed from the new segment and the edits were lost. "
+      "Developer discussion: the WAL must not roll while the region is "
+      "flushing. Fix rejects manual roll requests during a flush.";
+
+  const std::string buggy_roll = R"ml(
+@entry
+fn request_wal_roll(region: FlushRegion) {
+  let w = region.wal;
+  roll_wal_now(w);
+}
+)ml";
+
+  const std::string patched_roll = R"ml(
+@entry
+fn request_wal_roll(region: FlushRegion) {
+  let w = region.wal;
+  if (region.flushing) {
+    throw "FlushInProgressException";
+  }
+  roll_wal_now(w);
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_hbasewal_roll_rejected_during_flush() {
+  let region = new_flush_region("r3", true);
+  let rejected = false;
+  try {
+    request_wal_roll(region);
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "roll rejected during flush");
+  assert(region.wal.rolls == 0, "no roll ran");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kHbaseWalCommon) + buggy_roll + kHbaseWalTests;
+  ticket.patched_source =
+      std::string(kHbaseWalCommon) + patched_roll + kHbaseWalTests + regression_test;
+  ticket.regression_tests = {"test_hbasewal_roll_rejected_during_flush"};
+  ticket.original = {"HBASE-W1", "2021-03-18", "Edits lost after WAL rolled mid-flush"};
+  ticket.regressions = {{"HBASE-W2", "2022-02-07",
+                         "Periodic size-triggered roll fires during flush; manual-roll fix "
+                         "did not cover the timer path"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "roll_wal_now(";
+  ticket.expected_condition = "!(region.flushing)";
+  return ticket;
+}
+
+}  // namespace
+
+std::vector<FailureTicket> hbase_cases() {
+  return {hbase_snapshot_case(), hbase_split_case(), hbase_meta_case(), hbase_wal_case()};
+}
+
+}  // namespace lisa::corpus

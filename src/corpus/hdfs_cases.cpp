@@ -1,0 +1,582 @@
+// HDFS incident cases.
+//
+// Case 1 models HDFS-13924 → HDFS-16732 → HDFS-17768: when the observer
+// namenode's block report is delayed, listing results return blocks without
+// locations. The "latest" version reproduces §4 Bug #2 — the batched-listing
+// path added later is missing the location check, and LISA flags it.
+#include "corpus/ticket.hpp"
+
+namespace lisa::corpus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Case 1: observer namenode returns blocks without locations.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHdfsObserverCommon = R"ml(
+struct LocatedBlock { block_id: int; location_count: int; gen_stamp: int; }
+struct Listing { results: list<LocatedBlock>; partial: bool; }
+struct ObserverNode { blocks: map<string, LocatedBlock>; report_delay_ms: int; }
+
+fn new_observer() -> ObserverNode {
+  return new ObserverNode { report_delay_ms: 0 };
+}
+
+fn report_block(nn: ObserverNode, path: string, block_id: int, locations: int) {
+  put(nn.blocks, path, new LocatedBlock { block_id: block_id,
+                                          location_count: locations,
+                                          gen_stamp: 1 });
+}
+
+fn push_result(out: Listing, blk: LocatedBlock) {
+  push(out.results, blk);
+}
+)ml";
+
+constexpr const char* kHdfsObserverTests = R"ml(
+@test
+fn test_get_block_locations_returns_located_block() {
+  let nn = new_observer();
+  report_block(nn, "/data/f1", 100, 3);
+  let out = new Listing {};
+  get_block_locations(nn, "/data/f1", out);
+  assert(len(out.results) == 1, "block returned");
+}
+
+@test
+fn test_get_block_locations_missing_file() {
+  let nn = new_observer();
+  let out = new Listing {};
+  let failed = false;
+  try {
+    get_block_locations(nn, "/data/none", out);
+  } catch (e) {
+    failed = true;
+  }
+  assert(failed, "missing file raises");
+}
+
+@test
+fn test_list_status_returns_block() {
+  let nn = new_observer();
+  report_block(nn, "/data/f2", 200, 2);
+  let out = new Listing {};
+  list_status(nn, "/data/f2", out);
+  assert(len(out.results) == 1, "listing returned block");
+}
+)ml";
+
+FailureTicket hdfs_observer_case() {
+  FailureTicket ticket;
+  ticket.case_id = "hdfs-13924-observer-locations";
+  ticket.system = "hdfs";
+  ticket.feature = "observer namenode reads";
+  ticket.title = "Observer read returns blocks without any location";
+  ticket.description =
+      "When the observer namenode's block report is delayed, read requests "
+      "served by the observer return located blocks whose location list is "
+      "empty; clients then fail with BlockMissingException instead of "
+      "retrying against the active namenode. Developer discussion: a block "
+      "must only be returned to the client if it has at least one valid "
+      "location — otherwise the observer is stale and the request must be "
+      "redirected. Fix adds the location_count check on the "
+      "getBlockLocations path before the block is pushed to the result.";
+
+  const std::string buggy_reads = R"ml(
+@entry
+fn get_block_locations(nn: ObserverNode, path: string, out: Listing) {
+  let blk = get(nn.blocks, path);
+  if (blk == null) {
+    throw "FileNotFoundException";
+  }
+  push_result(out, blk);
+}
+
+@entry
+fn list_status(nn: ObserverNode, path: string, out: Listing) {
+  let blk = get(nn.blocks, path);
+  if (blk == null) {
+    return;
+  }
+  push_result(out, blk);
+}
+)ml";
+
+  const std::string patched_reads = R"ml(
+@entry
+fn get_block_locations(nn: ObserverNode, path: string, out: Listing) {
+  let blk = get(nn.blocks, path);
+  if (blk == null) {
+    throw "FileNotFoundException";
+  }
+  if (blk.location_count <= 0) {
+    throw "ObserverRetryException";
+  }
+  push_result(out, blk);
+}
+
+@entry
+fn list_status(nn: ObserverNode, path: string, out: Listing) {
+  let blk = get(nn.blocks, path);
+  if (blk == null) {
+    return;
+  }
+  push_result(out, blk);
+}
+)ml";
+
+  // Latest release: both original read paths carry the check (HDFS-13924 and
+  // HDFS-16732), but the batched-listing API added afterwards does not —
+  // this is the previously unknown bug LISA reported (HDFS-17768 analog).
+  const std::string latest_reads = R"ml(
+@entry
+fn get_block_locations(nn: ObserverNode, path: string, out: Listing) {
+  let blk = get(nn.blocks, path);
+  if (blk == null) {
+    throw "FileNotFoundException";
+  }
+  if (blk.location_count <= 0) {
+    throw "ObserverRetryException";
+  }
+  push_result(out, blk);
+}
+
+@entry
+fn list_status(nn: ObserverNode, path: string, out: Listing) {
+  let blk = get(nn.blocks, path);
+  if (blk == null) {
+    return;
+  }
+  if (blk.location_count <= 0) {
+    throw "ObserverRetryException";
+  }
+  push_result(out, blk);
+}
+
+@entry
+fn get_batched_listing(nn: ObserverNode, paths: list<string>, out: Listing) {
+  let i = 0;
+  while (i < len(paths)) {
+    let blk = get(nn.blocks, paths[i]);
+    if (blk != null) {
+      push_result(out, blk);
+    }
+    i = i + 1;
+  }
+  out.partial = false;
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_hdfs13924_stale_observer_redirects() {
+  let nn = new_observer();
+  report_block(nn, "/data/delayed", 300, 0);
+  let out = new Listing {};
+  let redirected = false;
+  try {
+    get_block_locations(nn, "/data/delayed", out);
+  } catch (e) {
+    redirected = true;
+  }
+  assert(redirected, "stale observer must redirect");
+  assert(len(out.results) == 0, "no locationless block returned");
+}
+)ml";
+
+  const std::string latest_tests = R"ml(
+@test
+fn test_batched_listing_returns_blocks() {
+  let nn = new_observer();
+  report_block(nn, "/data/b1", 400, 2);
+  report_block(nn, "/data/b2", 401, 1);
+  let paths = list_new();
+  push(paths, "/data/b1");
+  push(paths, "/data/b2");
+  let out = new Listing {};
+  get_batched_listing(nn, paths, out);
+  assert(len(out.results) == 2, "both blocks listed");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kHdfsObserverCommon) + buggy_reads + kHdfsObserverTests;
+  ticket.patched_source =
+      std::string(kHdfsObserverCommon) + patched_reads + kHdfsObserverTests + regression_test;
+  ticket.latest_source = std::string(kHdfsObserverCommon) + latest_reads + kHdfsObserverTests +
+                         regression_test + latest_tests;
+  ticket.regression_tests = {"test_hdfs13924_stale_observer_redirects"};
+  ticket.original = {"HDFS-13924", "2018-09-20",
+                     "BlockMissingException reading from observer with delayed block report"};
+  ticket.regressions = {{"HDFS-16732", "2022-08-16",
+                         "Listing path returns location-less blocks from a stale observer; "
+                         "same root cause on a second read path"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "push_result(";
+  ticket.expected_condition = "!(blk == null) && !(blk.location_count <= 0)";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 2: lease recovery started on a file still under construction.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHdfsLeaseCommon = R"ml(
+struct INodeFile { id: int; under_construction: bool; holder: string; recoveries: int; }
+struct LeaseManager { files: map<string, INodeFile>; }
+
+fn new_lease_manager() -> LeaseManager {
+  return new LeaseManager {};
+}
+
+fn add_file(mgr: LeaseManager, path: string, under_construction: bool, holder: string) {
+  put(mgr.files, path, new INodeFile { id: 1, under_construction: under_construction,
+                                       holder: holder });
+}
+
+fn start_recovery(f: INodeFile) {
+  f.recoveries = f.recoveries + 1;
+  f.holder = "";
+}
+
+// Expired-lease sweep: releases every file of a dead client.
+@entry
+fn release_expired_leases(mgr: LeaseManager, holder: string) {
+  let paths = keys(mgr.files);
+  let i = 0;
+  while (i < len(paths)) {
+    let f = get(mgr.files, paths[i]);
+    if (f != null && f.holder == holder) {
+      start_recovery(f);
+    }
+    i = i + 1;
+  }
+}
+)ml";
+
+constexpr const char* kHdfsLeaseTests = R"ml(
+@test
+fn test_recover_closed_file() {
+  let mgr = new_lease_manager();
+  add_file(mgr, "/logs/a", false, "client-1");
+  recover_lease(mgr, "/logs/a");
+  let f = get(mgr.files, "/logs/a");
+  assert(f.recoveries == 1, "recovery ran");
+}
+
+@test
+fn test_recover_missing_file_raises() {
+  let mgr = new_lease_manager();
+  let failed = false;
+  try {
+    recover_lease(mgr, "/logs/none");
+  } catch (e) {
+    failed = true;
+  }
+  assert(failed, "missing file raises");
+}
+
+@test
+fn test_expired_sweep_releases_holder_files() {
+  let mgr = new_lease_manager();
+  add_file(mgr, "/logs/b", false, "client-2");
+  release_expired_leases(mgr, "client-2");
+  let f = get(mgr.files, "/logs/b");
+  assert(f.recoveries == 1, "swept");
+}
+)ml";
+
+FailureTicket hdfs_lease_case() {
+  FailureTicket ticket;
+  ticket.case_id = "hdfs-lease-under-construction";
+  ticket.system = "hdfs";
+  ticket.feature = "lease recovery";
+  ticket.title = "Lease recovery on an under-construction file corrupts the last block";
+  ticket.description =
+      "Manual lease recovery was triggered while the writer was still "
+      "appending; recovery truncated the in-flight last block and the writer's "
+      "next flush failed with a generation-stamp mismatch, corrupting the "
+      "file. Developer discussion: recovery must not start while the file is "
+      "still under construction by a live writer — the under_construction "
+      "flag has to be checked before start_recovery. Fix adds the check on "
+      "the manual recoverLease path.";
+
+  const std::string buggy_recover = R"ml(
+@entry
+fn recover_lease(mgr: LeaseManager, path: string) {
+  let f = get(mgr.files, path);
+  if (f == null) {
+    throw "FileNotFoundException";
+  }
+  start_recovery(f);
+}
+)ml";
+
+  const std::string patched_recover = R"ml(
+@entry
+fn recover_lease(mgr: LeaseManager, path: string) {
+  let f = get(mgr.files, path);
+  if (f == null) {
+    throw "FileNotFoundException";
+  }
+  if (f.under_construction) {
+    throw "AlreadyBeingCreatedException";
+  }
+  start_recovery(f);
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_hdfslease_no_recovery_while_writing() {
+  let mgr = new_lease_manager();
+  add_file(mgr, "/logs/open", true, "client-3");
+  let rejected = false;
+  try {
+    recover_lease(mgr, "/logs/open");
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "recovery on open file rejected");
+  let f = get(mgr.files, "/logs/open");
+  assert(f.recoveries == 0, "no recovery ran");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kHdfsLeaseCommon) + buggy_recover + kHdfsLeaseTests;
+  ticket.patched_source =
+      std::string(kHdfsLeaseCommon) + patched_recover + kHdfsLeaseTests + regression_test;
+  ticket.regression_tests = {"test_hdfslease_no_recovery_while_writing"};
+  ticket.original = {"HDFS-L1", "2015-11-03",
+                     "Lease recovery truncated an in-flight block; file corrupted"};
+  ticket.regressions = {{"HDFS-L2", "2016-09-14",
+                         "Expired-lease sweep recovers under-construction files of "
+                         "half-dead clients; same missing check"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "start_recovery(";
+  ticket.expected_condition = "!(f == null) && !(f.under_construction)";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 3: block allocated while the namenode is in safe mode.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHdfsSafemodeCommon = R"ml(
+struct NameNodeState { safe_mode: bool; blocks_allocated: int; }
+
+fn new_namenode(safe: bool) -> NameNodeState {
+  return new NameNodeState { safe_mode: safe, blocks_allocated: 0 };
+}
+
+fn allocate_block(nn: NameNodeState, path: string) -> int {
+  nn.blocks_allocated = nn.blocks_allocated + 1;
+  return nn.blocks_allocated;
+}
+
+// Append: the second write path that also allocates blocks.
+@entry
+fn append_file(nn: NameNodeState, path: string) -> int {
+  return allocate_block(nn, path);
+}
+)ml";
+
+constexpr const char* kHdfsSafemodeTests = R"ml(
+@test
+fn test_create_allocates_block() {
+  let nn = new_namenode(false);
+  let id = create_file(nn, "/a");
+  assert(id == 1, "block allocated");
+}
+
+@test
+fn test_append_allocates_block() {
+  let nn = new_namenode(false);
+  create_file(nn, "/a");
+  let id = append_file(nn, "/a");
+  assert(id == 2, "append allocated next block");
+}
+)ml";
+
+FailureTicket hdfs_safemode_case() {
+  FailureTicket ticket;
+  ticket.case_id = "hdfs-safemode-allocation";
+  ticket.system = "hdfs";
+  ticket.feature = "safe mode";
+  ticket.title = "Block allocated during safe mode breaks namespace consistency";
+  ticket.description =
+      "During startup safe mode the namenode must be read-only, but the "
+      "create path allocated new blocks anyway; after the edit-log replay the "
+      "block map disagreed with the namespace and the namenode crashed on "
+      "the next checkpoint. Developer discussion: no block may be allocated "
+      "while safe_mode is set. Fix rejects create during safe mode.";
+
+  const std::string buggy_create = R"ml(
+@entry
+fn create_file(nn: NameNodeState, path: string) -> int {
+  return allocate_block(nn, path);
+}
+)ml";
+
+  const std::string patched_create = R"ml(
+@entry
+fn create_file(nn: NameNodeState, path: string) -> int {
+  if (nn.safe_mode) {
+    throw "SafeModeException";
+  }
+  return allocate_block(nn, path);
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_hdfssafemode_create_rejected() {
+  let nn = new_namenode(true);
+  let rejected = false;
+  try {
+    create_file(nn, "/a");
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "create rejected in safe mode");
+  assert(nn.blocks_allocated == 0, "no block allocated");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kHdfsSafemodeCommon) + buggy_create + kHdfsSafemodeTests;
+  ticket.patched_source =
+      std::string(kHdfsSafemodeCommon) + patched_create + kHdfsSafemodeTests + regression_test;
+  ticket.regression_tests = {"test_hdfssafemode_create_rejected"};
+  ticket.original = {"HDFS-S1", "2014-04-22",
+                     "Blocks allocated during safe mode; checkpoint crash"};
+  ticket.regressions = {{"HDFS-S2", "2015-02-09",
+                         "Append path allocates blocks during safe mode; create-only fix "
+                         "missed it"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "allocate_block(";
+  ticket.expected_condition = "!(nn.safe_mode)";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 4: decommissioning datanode chosen as replication target.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHdfsDecomCommon = R"ml(
+struct DataNodeInfo { name: string; decommissioning: bool; alive: bool; assigned: int; }
+struct BlockManager { nodes: map<string, DataNodeInfo>; }
+
+fn new_block_manager() -> BlockManager {
+  return new BlockManager {};
+}
+
+fn add_datanode(bm: BlockManager, name: string, decommissioning: bool, alive: bool) {
+  put(bm.nodes, name, new DataNodeInfo { name: name, decommissioning: decommissioning,
+                                         alive: alive, assigned: 0 });
+}
+
+fn assign_replica(dn: DataNodeInfo, block_id: int) {
+  dn.assigned = dn.assigned + 1;
+}
+
+// Re-replication sweep after a node loss: the second placement path.
+@entry
+fn replicate_under_replicated(bm: BlockManager, name: string, block_id: int) {
+  let dn = get(bm.nodes, name);
+  if (dn == null) {
+    return;
+  }
+  assign_replica(dn, block_id);
+}
+)ml";
+
+constexpr const char* kHdfsDecomTests = R"ml(
+@test
+fn test_choose_live_target() {
+  let bm = new_block_manager();
+  add_datanode(bm, "dn1", false, true);
+  choose_target(bm, "dn1", 500);
+  let dn = get(bm.nodes, "dn1");
+  assert(dn.assigned == 1, "replica placed");
+}
+
+@test
+fn test_rereplication_places_replica() {
+  let bm = new_block_manager();
+  add_datanode(bm, "dn2", false, true);
+  replicate_under_replicated(bm, "dn2", 501);
+  let dn = get(bm.nodes, "dn2");
+  assert(dn.assigned == 1, "re-replication placed");
+}
+)ml";
+
+FailureTicket hdfs_decommission_case() {
+  FailureTicket ticket;
+  ticket.case_id = "hdfs-decommission-target";
+  ticket.system = "hdfs";
+  ticket.feature = "replica placement";
+  ticket.title = "Decommissioning datanode selected as replication target";
+  ticket.description =
+      "The block placement policy kept choosing a datanode that was already "
+      "decommissioning, so replicas written there were immediately scheduled "
+      "for another move and decommissioning never finished. Developer "
+      "discussion: a replication target must be alive and must not be "
+      "decommissioning. Fix filters targets on the primary placement path.";
+
+  const std::string buggy_choose = R"ml(
+@entry
+fn choose_target(bm: BlockManager, name: string, block_id: int) {
+  let dn = get(bm.nodes, name);
+  if (dn == null) {
+    return;
+  }
+  assign_replica(dn, block_id);
+}
+)ml";
+
+  const std::string patched_choose = R"ml(
+@entry
+fn choose_target(bm: BlockManager, name: string, block_id: int) {
+  let dn = get(bm.nodes, name);
+  if (dn == null) {
+    return;
+  }
+  if (dn.decommissioning == false && dn.alive) {
+    assign_replica(dn, block_id);
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_hdfsdecom_skips_decommissioning_target() {
+  let bm = new_block_manager();
+  add_datanode(bm, "dn3", true, true);
+  choose_target(bm, "dn3", 502);
+  let dn = get(bm.nodes, "dn3");
+  assert(dn.assigned == 0, "no replica on decommissioning node");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kHdfsDecomCommon) + buggy_choose + kHdfsDecomTests;
+  ticket.patched_source =
+      std::string(kHdfsDecomCommon) + patched_choose + kHdfsDecomTests + regression_test;
+  ticket.regression_tests = {"test_hdfsdecom_skips_decommissioning_target"};
+  ticket.original = {"HDFS-D1", "2017-07-12",
+                     "Decommissioning never completes: node keeps receiving replicas"};
+  ticket.regressions = {{"HDFS-D2", "2018-05-28",
+                         "Re-replication sweep assigns replicas to decommissioning nodes; "
+                         "placement-path fix did not cover it"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "assign_replica(";
+  ticket.expected_condition = "!(dn == null) && dn.decommissioning == false && dn.alive";
+  return ticket;
+}
+
+}  // namespace
+
+std::vector<FailureTicket> hdfs_cases() {
+  return {hdfs_observer_case(), hdfs_lease_case(), hdfs_safemode_case(),
+          hdfs_decommission_case()};
+}
+
+}  // namespace lisa::corpus

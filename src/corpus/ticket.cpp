@@ -1,0 +1,33 @@
+#include "corpus/ticket.hpp"
+
+namespace lisa::corpus {
+
+const std::vector<FailureTicket>& Corpus::all() {
+  static const std::vector<FailureTicket> corpus = [] {
+    std::vector<FailureTicket> cases;
+    const auto append = [&cases](std::vector<FailureTicket> group) {
+      for (FailureTicket& ticket : group) cases.push_back(std::move(ticket));
+    };
+    append(zookeeper_cases());
+    append(hdfs_cases());
+    append(hbase_cases());
+    append(cassandra_cases());
+    return cases;
+  }();
+  return corpus;
+}
+
+const FailureTicket* Corpus::find(const std::string& case_id) {
+  for (const FailureTicket& ticket : all())
+    if (ticket.case_id == case_id) return &ticket;
+  return nullptr;
+}
+
+std::vector<const FailureTicket*> Corpus::for_system(const std::string& system) {
+  std::vector<const FailureTicket*> out;
+  for (const FailureTicket& ticket : all())
+    if (ticket.system == system) out.push_back(&ticket);
+  return out;
+}
+
+}  // namespace lisa::corpus

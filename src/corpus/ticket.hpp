@@ -1,0 +1,84 @@
+// Failure-ticket schema for the incident corpus.
+//
+// §2.1 of the paper: "we collect and analyze 16 regression cases from widely
+// used cloud systems, including ZooKeeper, HDFS, HBase, and Cassandra. Each
+// case includes one original bug and at least one new (regression) bugs. In
+// total we study 34 software bugs."
+//
+// Each ticket bundles exactly what the paper's workflow feeds the LLM
+// (Fig. 5): the textual failure description and developer discussion, the
+// code patch (derivable from buggy vs patched source), and the source code
+// after the patch. The MiniLang sources stand in for the Java code of the
+// real tickets; the cases are modeled on the incidents the paper cites
+// (ZOOKEEPER-1208/1496, ZOOKEEPER-2201/3531, HBASE-27671/28704/29296,
+// HDFS-13924/16732/17768) plus additional cases in the same four systems to
+// reach the study's 16-case / 34-bug shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lisa::corpus {
+
+/// One concrete bug occurrence inside a case.
+struct BugRecord {
+  std::string id;       // tracker id, e.g. "ZK-1208"
+  std::string date;     // ISO date of the report
+  std::string summary;  // one-line manifestation
+};
+
+enum class SemanticsKind {
+  kStatePredicate,    // <P> s — guard condition at a target statement
+  kStructuralPattern, // e.g. no blocking I/O inside sync blocks (Fig. 6)
+};
+
+struct FailureTicket {
+  std::string case_id;   // stable corpus id, e.g. "zk-1208-ephemeral-create"
+  std::string system;    // "zookeeper" | "hdfs" | "hbase" | "cassandra"
+  std::string feature;   // subsystem/feature the case concerns
+  std::string title;
+  /// Failure description + developer discussion (the LLM's first input).
+  std::string description;
+  /// MiniLang source before the original fix (second input: diff base).
+  std::string buggy_source;
+  /// MiniLang source after the original fix (third input).
+  std::string patched_source;
+  /// Latest-version source for the preliminary-results experiments (§4);
+  /// empty when the case has no "latest" scenario.
+  std::string latest_source;
+  /// Names of the @test functions the original fix added.
+  std::vector<std::string> regression_tests;
+
+  BugRecord original;
+  std::vector<BugRecord> regressions;  // at least one per §2.1
+
+  SemanticsKind kind = SemanticsKind::kStatePredicate;
+  /// Ground truth for evaluation benches (not visible to inference):
+  std::string expected_target;     // canonical target fragment
+  std::string expected_condition;  // condition in target-frame names
+
+  [[nodiscard]] int bug_count() const {
+    return 1 + static_cast<int>(regressions.size());
+  }
+};
+
+/// The full study corpus.
+class Corpus {
+ public:
+  /// All 16 cases, in stable order.
+  [[nodiscard]] static const std::vector<FailureTicket>& all();
+
+  /// Case lookup by id; nullptr if absent.
+  [[nodiscard]] static const FailureTicket* find(const std::string& case_id);
+
+  /// Cases for one system.
+  [[nodiscard]] static std::vector<const FailureTicket*> for_system(const std::string& system);
+};
+
+// Per-system case constructors (implemented in <system>_cases.cpp).
+[[nodiscard]] std::vector<FailureTicket> zookeeper_cases();
+[[nodiscard]] std::vector<FailureTicket> hdfs_cases();
+[[nodiscard]] std::vector<FailureTicket> hbase_cases();
+[[nodiscard]] std::vector<FailureTicket> cassandra_cases();
+
+}  // namespace lisa::corpus

@@ -1,0 +1,732 @@
+// ZooKeeper incident cases.
+//
+// Case 1 models ZOOKEEPER-1208 → ZOOKEEPER-1496 (Figs. 2 and 3 of the paper):
+// an ephemeral node created on a closing session leaves stale data behind.
+// Case 2 models ZOOKEEPER-2201 → ZOOKEEPER-3531 (Fig. 6): blocking
+// serialization inside a synchronized block wedges the request pipeline.
+// Cases 3–5 are additional ZooKeeper regressions in the same shape.
+#include "corpus/ticket.hpp"
+
+namespace lisa::corpus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Case 1: ephemeral node created on closing session (ZK-1208 / ZK-1496).
+// ---------------------------------------------------------------------------
+
+// Shared scaffolding for both versions of the ephemeral-node codebase.
+constexpr const char* kZkEphemeralCommon = R"ml(
+struct Session { id: int; owner: string; is_closing: bool; ttl: int; }
+struct DataNode { path: string; data: string; ephemeral_owner: int; }
+struct SessionTracker { sessions: map<string, Session>; }
+struct DataTree { nodes: map<string, DataNode>; node_count: int; }
+struct Server { tracker: SessionTracker; tree: DataTree; }
+
+fn new_server() -> Server {
+  return new Server { tracker: new SessionTracker {}, tree: new DataTree {} };
+}
+
+fn open_session(server: Server, session_id: int, owner: string) -> Session {
+  let s = new Session { id: session_id, owner: owner, is_closing: false, ttl: 30000 };
+  put(server.tracker.sessions, str(session_id), s);
+  return s;
+}
+
+fn get_session(server: Server, session_id: int) -> Session? {
+  return get(server.tracker.sessions, str(session_id));
+}
+
+// Phase one of session close: the session is marked closing while its
+// ephemeral nodes are being collected (the race window of ZK-1208).
+fn begin_close_session(server: Server, session_id: int) {
+  let s = get_session(server, session_id);
+  if (s != null) {
+    s.is_closing = true;
+  }
+}
+
+fn finish_close_session(server: Server, session_id: int) {
+  let s = get_session(server, session_id);
+  if (s == null) {
+    return;
+  }
+  let paths = keys(server.tree.nodes);
+  let i = 0;
+  while (i < len(paths)) {
+    let node = get(server.tree.nodes, paths[i]);
+    if (node != null && node.ephemeral_owner == session_id) {
+      del(server.tree.nodes, paths[i]);
+      server.tree.node_count = server.tree.node_count - 1;
+    }
+    i = i + 1;
+  }
+  del(server.tracker.sessions, str(session_id));
+}
+
+fn create_ephemeral_node(server: Server, path: string, data: string, owner: int) {
+  let node = new DataNode { path: path, data: data, ephemeral_owner: owner };
+  put(server.tree.nodes, path, node);
+  server.tree.node_count = server.tree.node_count + 1;
+}
+
+fn node_exists(server: Server, path: string) -> bool {
+  let node = get(server.tree.nodes, path);
+  return node != null;
+}
+)ml";
+
+constexpr const char* kZkEphemeralTests = R"ml(
+@test
+fn test_create_then_close_removes_node() {
+  let server = new_server();
+  open_session(server, 1, "kafka-consumer-1");
+  p_request_create(server, 1, "/consumers/ids/1", "host-a:9092");
+  assert(node_exists(server, "/consumers/ids/1"), "registered");
+  begin_close_session(server, 1);
+  finish_close_session(server, 1);
+  assert(!node_exists(server, "/consumers/ids/1"), "ephemeral cleaned up");
+}
+
+@test
+fn test_create_on_live_session_succeeds() {
+  let server = new_server();
+  open_session(server, 7, "kafka-consumer-7");
+  p_request_create(server, 7, "/consumers/ids/7", "host-b:9092");
+  assert(node_exists(server, "/consumers/ids/7"), "create succeeded");
+}
+
+@test
+fn test_create_on_expired_session_rejected() {
+  let server = new_server();
+  let rejected = false;
+  try {
+    p_request_create(server, 99, "/consumers/ids/99", "host-x:9092");
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "expired session must be rejected");
+}
+
+@test
+fn test_batch_create_registers_all_paths() {
+  let server = new_server();
+  open_session(server, 3, "kafka-consumer-3");
+  let paths = list_new();
+  push(paths, "/consumers/ids/3a");
+  push(paths, "/consumers/ids/3b");
+  batch_create(server, 3, paths, "host-c:9092");
+  assert(node_exists(server, "/consumers/ids/3a"), "first path created");
+  assert(node_exists(server, "/consumers/ids/3b"), "second path created");
+}
+)ml";
+
+FailureTicket zk_ephemeral_case() {
+  FailureTicket ticket;
+  ticket.case_id = "zk-1208-ephemeral-create";
+  ticket.system = "zookeeper";
+  ticket.feature = "ephemeral nodes / session lifecycle";
+  ticket.title = "Ephemeral node not removed after the client session is long gone";
+  ticket.description =
+      "A Kafka deployment registers consumer addresses as ephemeral nodes. A "
+      "concurrency window in the request processor allows an ephemeral node to "
+      "be created while its owner session is already CLOSING; the close path "
+      "has already collected the ephemeral list, so the new node survives the "
+      "session and clients keep reading a dead consumer address. Developer "
+      "discussion: the PrepRequestProcessor must reject create requests when "
+      "the session is closing — an ephemeral node must never be created on a "
+      "closing session. Fix adds the is_closing check before the node is "
+      "created and a regression test for the exact Kafka workload.";
+
+  const std::string buggy_entries = R"ml(
+@entry
+fn p_request_create(server: Server, session_id: int, path: string, data: string) {
+  let s = get_session(server, session_id);
+  if (s == null) {
+    throw "SessionExpiredException";
+  }
+  create_ephemeral_node(server, path, data, session_id);
+}
+
+@entry
+fn batch_create(server: Server, session_id: int, paths: list<string>, data: string) {
+  let s = get_session(server, session_id);
+  if (s == null) {
+    throw "SessionExpiredException";
+  }
+  let i = 0;
+  while (i < len(paths)) {
+    create_ephemeral_node(server, paths[i], data, session_id);
+    i = i + 1;
+  }
+}
+)ml";
+
+  const std::string patched_entries = R"ml(
+@entry
+fn p_request_create(server: Server, session_id: int, path: string, data: string) {
+  let s = get_session(server, session_id);
+  if (s == null) {
+    throw "SessionExpiredException";
+  }
+  if (s.is_closing) {
+    throw "SessionClosingException";
+  }
+  create_ephemeral_node(server, path, data, session_id);
+}
+
+@entry
+fn batch_create(server: Server, session_id: int, paths: list<string>, data: string) {
+  let s = get_session(server, session_id);
+  if (s == null) {
+    throw "SessionExpiredException";
+  }
+  let i = 0;
+  while (i < len(paths)) {
+    create_ephemeral_node(server, paths[i], data, session_id);
+    i = i + 1;
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_zk1208_no_create_on_closing_session() {
+  let server = new_server();
+  open_session(server, 1, "kafka-consumer-1");
+  begin_close_session(server, 1);
+  let rejected = false;
+  try {
+    p_request_create(server, 1, "/consumers/ids/1", "host-a:9092");
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "create on closing session must be rejected");
+  finish_close_session(server, 1);
+  assert(!node_exists(server, "/consumers/ids/1"), "no stale node");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kZkEphemeralCommon) + buggy_entries + kZkEphemeralTests;
+  ticket.patched_source =
+      std::string(kZkEphemeralCommon) + patched_entries + kZkEphemeralTests + regression_test;
+  ticket.regression_tests = {"test_zk1208_no_create_on_closing_session"};
+  ticket.original = {"ZK-1208", "2011-09-15",
+                     "Ephemeral node survives session close; Kafka consumers read a dead "
+                     "address"};
+  ticket.regressions = {{"ZK-1496", "2012-07-02",
+                         "Ephemeral node created via the batch path on a closing session; "
+                         "Kafka cluster stuck in zombie mode one year after the fix"},
+                        {"ZK-2355", "2016-03-14",
+                         "Ephemeral node never deleted when the close raced a follower "
+                         "failure; third occurrence of the same closing-session semantics"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "create_ephemeral_node(";
+  ticket.expected_condition = "!(s == null) && !(s.is_closing)";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 2: blocking serialization inside a sync block (ZK-2201 / ZK-3531).
+// ---------------------------------------------------------------------------
+
+constexpr const char* kZkSerializeCommon = R"ml(
+struct OutputArchive { name: string; records_written: int; }
+struct SnapNode { path: string; data: string; child_count: int; }
+struct SnapTree { nodes: map<string, SnapNode>; }
+struct AclCache { acl_map: map<string, string>; ref_count: int; }
+
+fn new_snap_tree() -> SnapTree {
+  return new SnapTree {};
+}
+
+fn add_snap_node(tree: SnapTree, path: string, data: string) {
+  put(tree.nodes, path, new SnapNode { path: path, data: data, child_count: 0 });
+}
+
+fn new_acl_cache() -> AclCache {
+  return new AclCache {};
+}
+
+fn add_acl(cache: AclCache, id: string, acl: string) {
+  put(cache.acl_map, id, acl);
+}
+
+// The ACL cache serializer: it already existed when ZK-2201 was fixed and
+// carries the same latent pattern — blocking writes under the cache monitor.
+@entry
+fn serialize_acls(cache: AclCache, oa: OutputArchive) {
+  sync (cache) {
+    let ids = keys(cache.acl_map);
+    let i = 0;
+    while (i < len(ids)) {
+      write_record(oa, ids[i]);
+      oa.records_written = oa.records_written + 1;
+      i = i + 1;
+    }
+  }
+}
+)ml";
+
+constexpr const char* kZkSerializeTests = R"ml(
+@test
+fn test_serialize_node_writes_record() {
+  let tree = new_snap_tree();
+  add_snap_node(tree, "/a", "payload");
+  let oa = new OutputArchive { name: "snap-1" };
+  serialize_node(tree, "/a", oa);
+  assert(oa.records_written == 1, "one record written");
+}
+
+@test
+fn test_serialize_missing_node_is_noop() {
+  let tree = new_snap_tree();
+  let oa = new OutputArchive { name: "snap-2" };
+  serialize_node(tree, "/missing", oa);
+  assert(oa.records_written == 0, "nothing written");
+}
+
+@test
+fn test_serialize_acls_writes_all_entries() {
+  let cache = new_acl_cache();
+  add_acl(cache, "1", "world:anyone");
+  add_acl(cache, "2", "digest:u");
+  let oa = new OutputArchive { name: "snap-3" };
+  serialize_acls(cache, oa);
+  assert(oa.records_written == 2, "both acls written");
+}
+)ml";
+
+FailureTicket zk_sync_serialize_case() {
+  FailureTicket ticket;
+  ticket.case_id = "zk-2201-sync-serialize";
+  ticket.system = "zookeeper";
+  ticket.feature = "snapshot serialization / request pipeline";
+  ticket.title = "Serialization blocked inside synchronized block wedges write pipeline";
+  ticket.description =
+      "Snapshot serialization wrote records to disk while holding the data "
+      "node monitor. When the disk stalled, the serialization call blocked for "
+      "a long time inside the synchronized block, every writer queued behind "
+      "the monitor, and the cluster degraded into a zombie state that silently "
+      "dropped writes. Developer discussion: never perform blocking I/O while "
+      "holding a monitor; copy the state under the lock and write it outside. "
+      "The fix moves write_record out of the synchronized region.";
+
+  const std::string buggy_serializer = R"ml(
+@entry
+fn serialize_node(tree: SnapTree, path: string, oa: OutputArchive) {
+  let node = get(tree.nodes, path);
+  if (node == null) {
+    return;
+  }
+  sync (node) {
+    write_record(oa, node.data);
+    oa.records_written = oa.records_written + 1;
+  }
+}
+)ml";
+
+  const std::string patched_serializer = R"ml(
+@entry
+fn serialize_node(tree: SnapTree, path: string, oa: OutputArchive) {
+  let node = get(tree.nodes, path);
+  if (node == null) {
+    return;
+  }
+  let data = "";
+  sync (node) {
+    data = node.data;
+  }
+  write_record(oa, data);
+  oa.records_written = oa.records_written + 1;
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_zk2201_serialize_does_not_hold_monitor() {
+  let tree = new_snap_tree();
+  add_snap_node(tree, "/locked", "payload");
+  let oa = new OutputArchive { name: "snap-r" };
+  serialize_node(tree, "/locked", oa);
+  assert(oa.records_written == 1, "record written without monitor held");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kZkSerializeCommon) + buggy_serializer + kZkSerializeTests;
+  ticket.patched_source =
+      std::string(kZkSerializeCommon) + patched_serializer + kZkSerializeTests + regression_test;
+  ticket.regression_tests = {"test_zk2201_serialize_does_not_hold_monitor"};
+  ticket.original = {"ZK-2201", "2015-06-10",
+                     "Write pipeline blocked: snapshot serialization stalls while holding "
+                     "the node monitor"};
+  ticket.regressions = {{"ZK-3531", "2019-08-21",
+                         "Same pattern in ReferenceCountedACLCache.serialize: blocking "
+                         "writes under the cache monitor, one year after discussion"}};
+  ticket.kind = SemanticsKind::kStructuralPattern;
+  ticket.expected_target = "write_record(";
+  ticket.expected_condition = "no_blocking_in_sync";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 3: watch delivered to a disconnected session.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kZkWatchCommon = R"ml(
+struct Watcher { id: int; session_id: int; connected: bool; delivered: int; }
+struct WatchManager { watchers: map<string, Watcher>; child_watchers: map<string, Watcher>; }
+
+fn new_watch_manager() -> WatchManager {
+  return new WatchManager {};
+}
+
+fn register_watch(mgr: WatchManager, path: string, w: Watcher) {
+  put(mgr.watchers, path, w);
+}
+
+fn register_child_watch(mgr: WatchManager, path: string, w: Watcher) {
+  put(mgr.child_watchers, path, w);
+}
+
+fn deliver_watch_event(w: Watcher, event: string) {
+  w.delivered = w.delivered + 1;
+  network_send(w, event);
+}
+
+// Child-watch dispatch: a second dispatch path with the same latent hazard.
+@entry
+fn trigger_child_watches(mgr: WatchManager, path: string, event: string) {
+  let w = get(mgr.child_watchers, path);
+  if (w == null) {
+    return;
+  }
+  deliver_watch_event(w, event);
+}
+)ml";
+
+constexpr const char* kZkWatchTests = R"ml(
+@test
+fn test_watch_fires_for_connected_session() {
+  let mgr = new_watch_manager();
+  let w = new Watcher { id: 1, session_id: 10, connected: true };
+  register_watch(mgr, "/cfg", w);
+  trigger_watches(mgr, "/cfg", "NodeDataChanged");
+  assert(w.delivered == 1, "event delivered");
+}
+
+@test
+fn test_missing_watch_is_noop() {
+  let mgr = new_watch_manager();
+  trigger_watches(mgr, "/none", "NodeDataChanged");
+  assert(true, "no crash");
+}
+
+@test
+fn test_child_watch_fires() {
+  let mgr = new_watch_manager();
+  let w = new Watcher { id: 2, session_id: 11, connected: true };
+  register_child_watch(mgr, "/parent", w);
+  trigger_child_watches(mgr, "/parent", "NodeChildrenChanged");
+  assert(w.delivered == 1, "child event delivered");
+}
+)ml";
+
+FailureTicket zk_watch_case() {
+  FailureTicket ticket;
+  ticket.case_id = "zk-watch-disconnected";
+  ticket.system = "zookeeper";
+  ticket.feature = "watches / session lifecycle";
+  ticket.title = "Watch event delivered to a disconnected session corrupts client state";
+  ticket.description =
+      "After a client disconnected, the watch manager still delivered pending "
+      "watch events to its watcher object. The client library reconnected "
+      "under a new session and processed the stale event against the new "
+      "session's state, corrupting its view. Developer discussion: a watch "
+      "event must only be delivered while the watcher's session is connected. "
+      "Fix guards dispatch with the connected flag.";
+
+  const std::string buggy_dispatch = R"ml(
+@entry
+fn trigger_watches(mgr: WatchManager, path: string, event: string) {
+  let w = get(mgr.watchers, path);
+  if (w == null) {
+    return;
+  }
+  deliver_watch_event(w, event);
+}
+)ml";
+
+  const std::string patched_dispatch = R"ml(
+@entry
+fn trigger_watches(mgr: WatchManager, path: string, event: string) {
+  let w = get(mgr.watchers, path);
+  if (w == null) {
+    return;
+  }
+  if (w.connected) {
+    deliver_watch_event(w, event);
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_zkwatch_no_delivery_after_disconnect() {
+  let mgr = new_watch_manager();
+  let w = new Watcher { id: 3, session_id: 12, connected: false };
+  register_watch(mgr, "/cfg", w);
+  trigger_watches(mgr, "/cfg", "NodeDataChanged");
+  assert(w.delivered == 0, "no delivery to disconnected watcher");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kZkWatchCommon) + buggy_dispatch + kZkWatchTests;
+  ticket.patched_source =
+      std::string(kZkWatchCommon) + patched_dispatch + kZkWatchTests + regression_test;
+  ticket.regression_tests = {"test_zkwatch_no_delivery_after_disconnect"};
+  ticket.original = {"ZK-W1", "2013-03-04",
+                     "Stale watch event delivered after disconnect corrupts client cache"};
+  ticket.regressions = {{"ZK-W2", "2014-05-19",
+                         "Child-watch dispatch path delivers to disconnected watchers; same "
+                         "root cause, different dispatcher"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "deliver_watch_event(";
+  ticket.expected_condition = "!(w == null) && w.connected";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 4: quota check bypassed on an alternate create path.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kZkQuotaCommon = R"ml(
+struct QuotaTree { node_count: int; quota_limit: int; }
+struct QuotaServer { tree: QuotaTree; seq_counter: int; }
+
+fn new_quota_server(limit: int) -> QuotaServer {
+  return new QuotaServer { tree: new QuotaTree { node_count: 0, quota_limit: limit },
+                           seq_counter: 0 };
+}
+
+fn add_node(t: QuotaTree, path: string) {
+  t.node_count = t.node_count + 1;
+}
+
+// Sequential-node creation: the alternate path that also grows the tree.
+@entry
+fn create_sequential(server: QuotaServer, prefix: string) -> string {
+  let t = server.tree;
+  server.seq_counter = server.seq_counter + 1;
+  let path = prefix + str(server.seq_counter);
+  add_node(t, path);
+  return path;
+}
+)ml";
+
+constexpr const char* kZkQuotaTests = R"ml(
+@test
+fn test_create_within_quota() {
+  let server = new_quota_server(2);
+  create_node(server, "/q/a");
+  assert(server.tree.node_count == 1, "node added");
+}
+
+@test
+fn test_sequential_create_increments_counter() {
+  let server = new_quota_server(5);
+  let p1 = create_sequential(server, "/q/seq-");
+  let p2 = create_sequential(server, "/q/seq-");
+  assert(p1 != p2, "unique sequential paths");
+  assert(server.tree.node_count == 2, "two nodes");
+}
+)ml";
+
+FailureTicket zk_quota_case() {
+  FailureTicket ticket;
+  ticket.case_id = "zk-quota-bypass";
+  ticket.system = "zookeeper";
+  ticket.feature = "quotas";
+  ticket.title = "Node quota exceeded: enforcement missing on create path";
+  ticket.description =
+      "A tenant exceeded its node quota because the create path never "
+      "compared the tree's node count against the configured quota limit, "
+      "exhausting server memory. Developer discussion: no node may be added "
+      "once node_count has reached quota_limit. Fix adds the quota check "
+      "before the node is added on the plain create path.";
+
+  const std::string buggy_create = R"ml(
+@entry
+fn create_node(server: QuotaServer, path: string) {
+  let t = server.tree;
+  add_node(t, path);
+}
+)ml";
+
+  const std::string patched_create = R"ml(
+@entry
+fn create_node(server: QuotaServer, path: string) {
+  let t = server.tree;
+  if (t.node_count >= t.quota_limit) {
+    throw "QuotaExceededException";
+  }
+  add_node(t, path);
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_zkquota_rejects_over_limit() {
+  let server = new_quota_server(1);
+  create_node(server, "/q/a");
+  let rejected = false;
+  try {
+    create_node(server, "/q/b");
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "quota enforced");
+  assert(server.tree.node_count == 1, "no node added past quota");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kZkQuotaCommon) + buggy_create + kZkQuotaTests;
+  ticket.patched_source =
+      std::string(kZkQuotaCommon) + patched_create + kZkQuotaTests + regression_test;
+  ticket.regression_tests = {"test_zkquota_rejects_over_limit"};
+  ticket.original = {"ZK-Q1", "2016-02-11",
+                     "Tenant exceeded node quota; server memory exhausted"};
+  ticket.regressions = {{"ZK-Q2", "2017-01-30",
+                         "Sequential-create path grows the tree without any quota check"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "add_node(";
+  ticket.expected_condition = "!(t.node_count >= t.quota_limit)";
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// Case 5: ACL installed without validation on the restore path.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kZkAclCommon = R"ml(
+struct Acl { id: string; scheme: string; validated: bool; }
+struct AclStore { installed: map<string, Acl>; install_count: int; }
+struct SnapshotFile { entries: list<Acl>; }
+
+fn new_acl_store() -> AclStore {
+  return new AclStore {};
+}
+
+fn validate_acl(a: Acl) {
+  if (a.scheme == "") {
+    throw "InvalidACLException";
+  }
+  a.validated = true;
+}
+
+fn install_acl(store: AclStore, a: Acl) {
+  put(store.installed, a.id, a);
+  store.install_count = store.install_count + 1;
+}
+
+// Snapshot restore: installs every entry from the snapshot file. Snapshot
+// entries skipped validation when written by older versions.
+@entry
+fn restore_acls(store: AclStore, snapshot: SnapshotFile) {
+  let i = 0;
+  while (i < len(snapshot.entries)) {
+    let a = snapshot.entries[i];
+    install_acl(store, a);
+    i = i + 1;
+  }
+}
+)ml";
+
+constexpr const char* kZkAclTests = R"ml(
+@test
+fn test_set_acl_installs_valid_entry() {
+  let store = new_acl_store();
+  let a = new Acl { id: "1", scheme: "digest", validated: false };
+  set_acl(store, a);
+  assert(store.install_count == 1, "installed");
+}
+
+@test
+fn test_restore_installs_snapshot_entries() {
+  let store = new_acl_store();
+  let snap = new SnapshotFile {};
+  let a = new Acl { id: "2", scheme: "world", validated: true };
+  push(snap.entries, a);
+  restore_acls(store, snap);
+  assert(store.install_count == 1, "restored");
+}
+)ml";
+
+FailureTicket zk_acl_case() {
+  FailureTicket ticket;
+  ticket.case_id = "zk-acl-unvalidated";
+  ticket.system = "zookeeper";
+  ticket.feature = "ACL management";
+  ticket.title = "Malformed ACL installed without validation grants open access";
+  ticket.description =
+      "A malformed ACL with an empty scheme was installed directly, which the "
+      "permission checker treated as world-readable, exposing protected "
+      "znodes. Developer discussion: an ACL must be validated before it is "
+      "installed — install_acl must only see entries whose validated flag is "
+      "set. Fix validates on the set-ACL path before installation.";
+
+  const std::string buggy_set = R"ml(
+@entry
+fn set_acl(store: AclStore, a: Acl) {
+  install_acl(store, a);
+}
+)ml";
+
+  const std::string patched_set = R"ml(
+@entry
+fn set_acl(store: AclStore, a: Acl) {
+  validate_acl(a);
+  if (a.validated) {
+    install_acl(store, a);
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_zkacl_rejects_empty_scheme() {
+  let store = new_acl_store();
+  let a = new Acl { id: "3", scheme: "", validated: false };
+  let rejected = false;
+  try {
+    set_acl(store, a);
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "invalid acl rejected");
+  assert(store.install_count == 0, "nothing installed");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kZkAclCommon) + buggy_set + kZkAclTests;
+  ticket.patched_source =
+      std::string(kZkAclCommon) + patched_set + kZkAclTests + regression_test;
+  ticket.regression_tests = {"test_zkacl_rejects_empty_scheme"};
+  ticket.original = {"ZK-A1", "2018-06-25",
+                     "Malformed ACL installed; protected znodes world-readable"};
+  ticket.regressions = {{"ZK-A2", "2019-04-08",
+                         "Snapshot-restore path installs unvalidated ACL entries from old "
+                         "snapshot files"}};
+  ticket.kind = SemanticsKind::kStatePredicate;
+  ticket.expected_target = "install_acl(";
+  ticket.expected_condition = "a.validated";
+  return ticket;
+}
+
+}  // namespace
+
+std::vector<FailureTicket> zookeeper_cases() {
+  return {zk_ephemeral_case(), zk_sync_serialize_case(), zk_watch_case(), zk_quota_case(),
+          zk_acl_case()};
+}
+
+}  // namespace lisa::corpus

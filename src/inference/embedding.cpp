@@ -1,0 +1,108 @@
+#include "inference/embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "minilang/printer.hpp"
+#include "support/strings.hpp"
+
+namespace lisa::inference {
+
+void TfIdfModel::fit(const std::vector<std::string>& documents) {
+  idf_.clear();
+  document_count_ = documents.size();
+  std::map<std::string, std::size_t> doc_frequency;
+  for (const std::string& doc : documents) {
+    std::map<std::string, bool> seen;
+    for (const std::string& token : support::word_tokens(doc)) {
+      if (!seen.emplace(token, true).second) continue;
+      ++doc_frequency[token];
+    }
+  }
+  for (const auto& [token, frequency] : doc_frequency) {
+    // Smoothed IDF; never negative.
+    idf_[token] = std::log((1.0 + static_cast<double>(document_count_)) /
+                           (1.0 + static_cast<double>(frequency))) +
+                  1.0;
+  }
+}
+
+SparseVector TfIdfModel::embed(const std::string& text) const {
+  SparseVector tf;
+  for (const std::string& token : support::word_tokens(text)) tf[token] += 1.0;
+  SparseVector out;
+  double norm = 0.0;
+  for (const auto& [token, count] : tf) {
+    const auto it = idf_.find(token);
+    if (it == idf_.end()) continue;  // out-of-vocabulary
+    const double weight = count * it->second;
+    out[token] = weight;
+    norm += weight * weight;
+  }
+  if (norm > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm);
+    for (auto& [token, weight] : out) weight *= inv;
+  }
+  return out;
+}
+
+double TfIdfModel::cosine(const SparseVector& a, const SparseVector& b) {
+  const SparseVector& small = a.size() <= b.size() ? a : b;
+  const SparseVector& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [token, weight] : small) {
+    const auto it = large.find(token);
+    if (it != large.end()) dot += weight * it->second;
+  }
+  return dot;  // inputs are L2-normalized
+}
+
+TestSelector::TestSelector(const minilang::Program& program) {
+  std::vector<std::string> docs;
+  std::vector<std::string> names;
+  for (const minilang::FuncDecl* test : program.functions_with("test")) {
+    names.push_back(test->name);
+    docs.push_back(minilang::function_text(*test));
+  }
+  model_.fit(docs);
+  for (std::size_t i = 0; i < docs.size(); ++i)
+    tests_.push_back(TestDoc{names[i], model_.embed(docs[i])});
+}
+
+std::vector<TestRanking> TestSelector::rank(const std::string& query) const {
+  const SparseVector embedded = model_.embed(query);
+  std::vector<TestRanking> out;
+  out.reserve(tests_.size());
+  for (const TestDoc& test : tests_)
+    out.push_back(TestRanking{test.name, TfIdfModel::cosine(embedded, test.embedding)});
+  std::stable_sort(out.begin(), out.end(), [](const TestRanking& a, const TestRanking& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.test_name < b.test_name;
+  });
+  return out;
+}
+
+std::vector<std::string> TestSelector::select(const std::string& query, std::size_t max_tests,
+                                              double min_score) const {
+  std::vector<std::string> out;
+  for (const TestRanking& ranking : rank(query)) {
+    if (out.size() >= max_tests) break;
+    if (ranking.score < min_score) break;  // rankings are sorted
+    out.push_back(ranking.test_name);
+  }
+  return out;
+}
+
+std::string TestSelector::describe_path(const analysis::ExecutionPath& path) {
+  std::string out;
+  for (const std::string& fn : path.call_chain) out += fn + " ";
+  out += path.target_function + " ";
+  for (const analysis::GuardStep& guard : path.guards) {
+    out += guard.text + " ";
+    out += guard.taken ? "taken " : "not taken ";
+  }
+  if (path.renamed_contract) out += path.renamed_contract->to_string();
+  return out;
+}
+
+}  // namespace lisa::inference

@@ -1,0 +1,292 @@
+#include "inference/mock_llm.hpp"
+
+#include <set>
+
+#include "corpus/diff.hpp"
+#include "minilang/interp.hpp"
+#include "minilang/parser.hpp"
+#include "minilang/printer.hpp"
+#include "minilang/sema.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace lisa::inference {
+
+using minilang::Expr;
+using minilang::FuncDecl;
+using minilang::Program;
+using minilang::Stmt;
+using minilang::StmtPtr;
+
+namespace {
+
+/// Collects the root identifiers of every access path in `expr`.
+void collect_roots(const Expr& expr, std::set<std::string>& out) {
+  if (expr.kind == Expr::Kind::kVar) {
+    out.insert(expr.text);
+    return;
+  }
+  if (expr.kind == Expr::Kind::kField) {
+    // Descend to the path root.
+    collect_roots(*expr.args[0], out);
+    return;
+  }
+  for (const minilang::ExprPtr& arg : expr.args) collect_roots(*arg, out);
+}
+
+/// First call expression inside a statement (pre-order), or nullptr.
+const Expr* first_call(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kCall) return &expr;
+  for (const minilang::ExprPtr& arg : expr.args) {
+    const Expr* found = first_call(*arg);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+const Expr* first_call_in_stmt(const Stmt& stmt) {
+  if (stmt.expr) {
+    const Expr* found = first_call(*stmt.expr);
+    if (found != nullptr) return found;
+  }
+  if (stmt.expr2) {
+    const Expr* found = first_call(*stmt.expr2);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+/// True if every statement of `body` exits the function or raises — the
+/// early-exit guard shape.
+bool is_early_exit_body(const std::vector<StmtPtr>& body) {
+  if (body.empty()) return false;
+  for (const StmtPtr& stmt : body)
+    if (stmt->kind != Stmt::Kind::kThrow && stmt->kind != Stmt::Kind::kReturn) return false;
+  return true;
+}
+
+/// Locates the block containing `needle` and its index within that block.
+struct StmtContext {
+  const std::vector<StmtPtr>* block = nullptr;
+  std::size_t index = 0;
+};
+
+bool find_context(const std::vector<StmtPtr>& stmts, const Stmt* needle, StmtContext* out) {
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    if (stmts[i].get() == needle) {
+      out->block = &stmts;
+      out->index = i;
+      return true;
+    }
+    if (find_context(stmts[i]->body, needle, out)) return true;
+    if (find_context(stmts[i]->else_body, needle, out)) return true;
+  }
+  return false;
+}
+
+/// Pre-order scan collecting early-exit guards that appear before `target`.
+/// Returns false once `target` is reached (stopping the scan).
+bool collect_preceding_guards(const std::vector<StmtPtr>& stmts, const Stmt* target,
+                              const Stmt* skip,
+                              std::vector<const Expr*>* guards) {
+  for (const StmtPtr& stmt : stmts) {
+    if (stmt.get() == target) return false;
+    if (stmt.get() != skip && stmt->kind == Stmt::Kind::kIf &&
+        is_early_exit_body(stmt->body) && stmt->else_body.empty()) {
+      guards->push_back(stmt->expr.get());
+    }
+    if (!collect_preceding_guards(stmt->body, target, skip, guards)) return false;
+    if (!collect_preceding_guards(stmt->else_body, target, skip, guards)) return false;
+  }
+  return true;
+}
+
+/// True if the expression (transitively) calls a blocking builtin.
+bool contains_blocking_call(const Expr& expr, std::string* name) {
+  if (expr.kind == Expr::Kind::kCall && minilang::blocking_builtins().count(expr.text) > 0) {
+    *name = expr.text;
+    return true;
+  }
+  for (const minilang::ExprPtr& arg : expr.args)
+    if (contains_blocking_call(*arg, name)) return true;
+  return false;
+}
+
+std::string negate_text(const std::string& expr_text) { return "!(" + expr_text + ")"; }
+
+}  // namespace
+
+std::string MockLlm::render_prompt(const corpus::FailureTicket& ticket) {
+  const Program before = minilang::parse(ticket.buggy_source);
+  const Program after = minilang::parse(ticket.patched_source);
+  const corpus::ProgramDiff diff = corpus::diff_programs(before, after);
+  std::string prompt =
+      "You are an AI assistant that extracts violated low-level semantics from a "
+      "past system failure.\n"
+      "You will receive three inputs:\n"
+      "  Failure description and developer discussion\n"
+      "  Code patch (the diff)\n"
+      "  Source code after the patch has been applied\n"
+      "Steps: identify the root cause; identify the high-level semantics; identify "
+      "the low-level semantics; translate it into one condition statement and one "
+      "target statement; describe your reasoning; repeat for all unique checks.\n"
+      "Output JSON: {\"high_level_semantics\": ..., \"low_level_semantics\": "
+      "{\"description\", \"target_statement\", \"condition_statement\"}, "
+      "\"reasoning\"}\n\n";
+  prompt += "== Failure description ==\n" + ticket.description + "\n\n";
+  prompt += "== Code patch ==\n" + corpus::render_diff(diff) + "\n";
+  prompt += "== Patched source ==\n" + ticket.patched_source + "\n";
+  return prompt;
+}
+
+SemanticsProposal MockLlm::infer(const corpus::FailureTicket& ticket) const {
+  const Program before = minilang::parse_checked(ticket.buggy_source);
+  const Program after = minilang::parse_checked(ticket.patched_source);
+  const corpus::ProgramDiff diff = corpus::diff_programs(before, after);
+
+  SemanticsProposal proposal;
+  proposal.case_id = ticket.case_id;
+  std::string reasoning =
+      "Root cause localized from the patch diff of " + ticket.case_id + ". ";
+
+  // ---- Structural rule: blocking call moved out of a sync region ----------
+  const bool blocking_language =
+      support::contains_ci(ticket.description, "blocked") ||
+      support::contains_ci(ticket.description, "blocking") ||
+      support::contains_ci(ticket.description, "synchronized") ||
+      support::contains_ci(ticket.description, "monitor");
+  if (blocking_language) {
+    for (const corpus::DiffEntry& removed : diff.removed) {
+      std::string blocking_name;
+      if (removed.stmt->expr == nullptr ||
+          !contains_blocking_call(*removed.stmt->expr, &blocking_name))
+        continue;
+      proposal.kind = corpus::SemanticsKind::kStructuralPattern;
+      proposal.pattern = "no_blocking_in_sync";
+      proposal.high_level_semantics =
+          "The request pipeline must never stall on I/O while holding a monitor: "
+          "blocking calls are forbidden inside synchronized regions.";
+      LowLevelSemantics low;
+      low.description =
+          "No blocking I/O (" + blocking_name + " and equivalents) may execute while a "
+          "monitor is held; copy state under the lock and perform the I/O outside.";
+      low.target_statement = blocking_name + "(";
+      low.condition_statement = "sync_depth == 0";
+      proposal.low_level.push_back(std::move(low));
+      reasoning +=
+          "The patch moved the blocking call " + blocking_name + " out of the "
+          "synchronized block; generalized to the class of serialization patterns "
+          "per the ticket discussion rather than the single function that was "
+          "patched.";
+      proposal.reasoning = reasoning;
+      return proposal;
+    }
+  }
+
+  // ---- State-predicate rules: added guards ---------------------------------
+  proposal.kind = corpus::SemanticsKind::kStatePredicate;
+  std::set<std::string> emitted;
+  for (const corpus::DiffEntry& added : diff.added) {
+    if (added.stmt->kind != Stmt::Kind::kIf) continue;
+    const FuncDecl* fn = after.find_function(added.function);
+    if (fn == nullptr) continue;
+
+    std::string condition_text;
+    const Stmt* target = nullptr;
+    if (is_early_exit_body(added.stmt->body) && added.stmt->else_body.empty()) {
+      // Early-exit shape: the protected statement follows the guard.
+      StmtContext context;
+      if (!find_context(fn->body, added.stmt, &context)) continue;
+      for (std::size_t i = context.index + 1; i < context.block->size(); ++i) {
+        if (first_call_in_stmt(*(*context.block)[i]) != nullptr) {
+          target = (*context.block)[i].get();
+          break;
+        }
+      }
+      condition_text = negate_text(minilang::expr_text(*added.stmt->expr));
+    } else {
+      // Guard-wrap shape: the protected call sits inside the branch body.
+      for (const StmtPtr& inner : added.stmt->body) {
+        if (first_call_in_stmt(*inner) != nullptr) {
+          target = inner.get();
+          break;
+        }
+      }
+      condition_text = minilang::expr_text(*added.stmt->expr);
+    }
+    if (target == nullptr) continue;
+
+    // Condition completion: conjoin the negations of pre-existing early-exit
+    // guards over the same variable roots that dominate the target.
+    std::set<std::string> roots;
+    collect_roots(*added.stmt->expr, roots);
+    std::vector<const Expr*> preceding;
+    collect_preceding_guards(fn->body, target, added.stmt, &preceding);
+    std::string completed;
+    for (const Expr* guard : preceding) {
+      std::set<std::string> guard_roots;
+      collect_roots(*guard, guard_roots);
+      const bool shared = std::any_of(guard_roots.begin(), guard_roots.end(),
+                                      [&](const std::string& r) { return roots.count(r) > 0; });
+      if (!shared) continue;
+      if (!completed.empty()) completed += " && ";
+      completed += negate_text(minilang::expr_text(*guard));
+    }
+    if (!completed.empty()) completed += " && ";
+    completed += condition_text;
+
+    // Generalize the target from the concrete statement to the callee.
+    const Expr* call = first_call_in_stmt(*target);
+    const std::string target_fragment = call->text + "(";
+
+    const std::string key = target_fragment + "|" + completed;
+    if (!emitted.insert(key).second) continue;
+
+    LowLevelSemantics low;
+    low.description = "Before any call to " + call->text + ", the condition (" + completed +
+                      ") must hold in the calling context.";
+    low.target_statement = target_fragment;
+    low.condition_statement = completed;
+    proposal.low_level.push_back(std::move(low));
+    reasoning += "Added guard `" + minilang::stmt_header_text(*added.stmt) + "` in " +
+                 added.function + " protects `" + minilang::stmt_header_text(*target) +
+                 "`; completed with dominating guards over the same state and "
+                 "generalized to every call site of " +
+                 call->text + ". ";
+  }
+
+  proposal.high_level_semantics =
+      "After this fix, the " + ticket.system + " " + ticket.feature +
+      " feature guarantees: " +
+      (proposal.low_level.empty() ? std::string("(no checkable rule extracted)")
+                                  : proposal.low_level.front().description);
+  proposal.reasoning = reasoning;
+
+  // ---- Noise injection (hallucination model for the §5 ablation) ----------
+  if (options_.noise > 0.0) {
+    support::Rng rng(options_.seed * 1315423911ULL + ticket.case_id.size());
+    for (LowLevelSemantics& low : proposal.low_level) {
+      if (!rng.next_bool(options_.noise)) continue;
+      switch (rng.next_below(3)) {
+        case 0: {  // drop the leading conjunct
+          const std::size_t pos = low.condition_statement.find("&&");
+          if (pos != std::string::npos)
+            low.condition_statement =
+                std::string(support::trim(low.condition_statement.substr(pos + 2)));
+          break;
+        }
+        case 1:  // flip the whole condition
+          low.condition_statement = negate_text(low.condition_statement);
+          break;
+        default:  // hallucinate a variable root
+          low.condition_statement = support::replace_all(
+              low.condition_statement, low.condition_statement.substr(0, 0), "");
+          low.condition_statement = "ghost_flag && " + low.condition_statement;
+          break;
+      }
+    }
+  }
+  return proposal;
+}
+
+}  // namespace lisa::inference

@@ -1,0 +1,61 @@
+// Deterministic semantics-inference backend — the reproduction's o4-mini.
+//
+// The paper prompts an LLM with the failure description, the code diff, and
+// the patched source, and asks it to walk through root cause → high-level
+// semantics → low-level semantics → checkable (condition, target) pairs
+// (Listing 1). No LLM is available offline, so this backend re-implements
+// that *reasoning recipe* as a deterministic program over the same three
+// inputs:
+//
+//   1. Root-cause localization: structural diff between buggy and patched
+//      versions (corpus::diff_programs).
+//   2. Guard extraction: an added `if` whose body throws/returns is an
+//      early-exit guard — the protected statement is the next statement in
+//      the enclosing block and the condition is the guard's negation. An
+//      added `if` that wraps a call is a positive guard for that call.
+//   3. Condition completion: pre-existing early-exit guards over the same
+//      variable roots that dominate the target (e.g. the `s == null` check
+//      that was already there) are conjoined, because the invariant the
+//      developers relied on includes them.
+//   4. Generalization (§3.1 / Fig. 6): the target statement is generalized
+//      from the concrete call text to "<callee>(" so the rule matches every
+//      call site of the protected operation; diffs that move a blocking
+//      call out of a sync block (plus "blocked/synchronized"-style ticket
+//      language) generalize to the structural no-blocking-in-sync rule.
+//
+// The ablation bench injects controlled noise (dropped conjuncts, flipped
+// comparisons, renamed roots) to model LLM non-determinism/hallucination
+// (§5), which the cross-validation stage must filter.
+#pragma once
+
+#include <cstdint>
+
+#include "corpus/ticket.hpp"
+#include "inference/proposal.hpp"
+
+namespace lisa::inference {
+
+struct MockLlmOptions {
+  /// Probability that each low-level semantics is corrupted (hallucination
+  /// model for the §5 ablation). 0 = faithful extraction.
+  double noise = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class MockLlm {
+ public:
+  explicit MockLlm(MockLlmOptions options = {}) : options_(options) {}
+
+  /// Infers semantics from a failure ticket. Throws std::runtime_error if
+  /// the ticket's sources do not parse (corpus corruption).
+  [[nodiscard]] SemanticsProposal infer(const corpus::FailureTicket& ticket) const;
+
+  /// The prompt text a real-LLM backend would send (Listing 1 instantiated
+  /// with this ticket); recorded into reports for auditability.
+  [[nodiscard]] static std::string render_prompt(const corpus::FailureTicket& ticket);
+
+ private:
+  MockLlmOptions options_;
+};
+
+}  // namespace lisa::inference

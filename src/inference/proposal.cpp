@@ -1,0 +1,50 @@
+#include "inference/proposal.hpp"
+
+namespace lisa::inference {
+
+using support::Json;
+using support::JsonArray;
+using support::JsonObject;
+
+Json SemanticsProposal::to_json() const {
+  JsonObject root;
+  root["case_id"] = case_id;
+  root["high_level_semantics"] = high_level_semantics;
+  JsonArray lows;
+  for (const LowLevelSemantics& low : low_level) {
+    JsonObject entry;
+    entry["description"] = low.description;
+    entry["target_statement"] = low.target_statement;
+    entry["condition_statement"] = low.condition_statement;
+    lows.push_back(Json(std::move(entry)));
+  }
+  root["low_level_semantics"] = Json(std::move(lows));
+  root["reasoning"] = reasoning;
+  root["kind"] = kind == corpus::SemanticsKind::kStatePredicate ? "state_predicate"
+                                                                : "structural_pattern";
+  if (!pattern.empty()) root["pattern"] = pattern;
+  return Json(std::move(root));
+}
+
+SemanticsProposal SemanticsProposal::from_json(const Json& json) {
+  SemanticsProposal proposal;
+  proposal.case_id = json.get_string("case_id");
+  proposal.high_level_semantics = json.get_string("high_level_semantics");
+  proposal.reasoning = json.get_string("reasoning");
+  proposal.kind = json.get_string("kind") == "structural_pattern"
+                      ? corpus::SemanticsKind::kStructuralPattern
+                      : corpus::SemanticsKind::kStatePredicate;
+  proposal.pattern = json.get_string("pattern");
+  if (json.has("low_level_semantics")) {
+    for (const Json& entry : json.at("low_level_semantics").as_array()) {
+      LowLevelSemantics low;
+      low.description = entry.get_string("description");
+      low.target_statement = entry.get_string("target_statement");
+      low.condition_statement = entry.get_string("condition_statement");
+      proposal.low_level.push_back(std::move(low));
+    }
+  }
+  return proposal;
+}
+
+}  // namespace lisa::inference

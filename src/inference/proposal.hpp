@@ -1,0 +1,42 @@
+// Semantics proposals — the JSON contract of Listing 1.
+//
+// The paper's LLM outputs, per failure ticket:
+//   {"high_level_semantics": "<description>",
+//    "low_level_semantics": {
+//       "description": "<concise_description>",
+//       "target_statement": "<code_text>",
+//       "condition_statement": "<predicates>", ...},
+//    "reasoning": "<summary>" ...}
+// This header defines that structure plus (de)serialization, so the mock
+// inference backend and any future real-LLM backend are interchangeable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/ticket.hpp"
+#include "support/json.hpp"
+
+namespace lisa::inference {
+
+struct LowLevelSemantics {
+  std::string description;          // concise natural-language statement
+  std::string target_statement;     // code text locating the checked statement
+  std::string condition_statement;  // predicate text over concrete state
+};
+
+struct SemanticsProposal {
+  std::string case_id;
+  std::string high_level_semantics;
+  std::vector<LowLevelSemantics> low_level;
+  std::string reasoning;
+  corpus::SemanticsKind kind = corpus::SemanticsKind::kStatePredicate;
+  /// For structural proposals: the generalized pattern id
+  /// (currently "no_blocking_in_sync").
+  std::string pattern;
+
+  [[nodiscard]] support::Json to_json() const;
+  [[nodiscard]] static SemanticsProposal from_json(const support::Json& json);
+};
+
+}  // namespace lisa::inference

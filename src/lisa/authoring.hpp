@@ -1,0 +1,54 @@
+// Developer-authored semantics (§5, second open question).
+//
+// "Besides mining low-level semantics from existing resources, another
+//  approach is to enable developers to explicitly express these semantic
+//  rules in a more effective way ... a structured prompt template to
+//  describe expected behaviors in natural language ... paired with
+//  LLM-assisted suggestions that generate corresponding formal rules."
+//
+// This module implements that interface: a structured template the developer
+// fills in (subject / operation / forbidden state, in near-natural language)
+// plus an assistant that turns it into a checkable contract, validates it
+// against the codebase (targets exist, condition parses, variables resolve
+// in the target frames) and reports actionable errors instead of silently
+// producing a vacuous rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lisa/contract.hpp"
+#include "minilang/ast.hpp"
+
+namespace lisa::core {
+
+/// The structured template a developer fills in.
+struct DeveloperRule {
+  std::string id;                // short rule name, e.g. "no-frozen-debit"
+  std::string behavior;          // free text: what must never happen
+  /// The protected operation, named by the function whose calls are guarded
+  /// (the assistant expands it to the "<fn>(" target fragment).
+  std::string operation;
+  /// The required condition over the operation's calling context, written as
+  /// a MiniLang boolean expression (e.g. "!(a == null) && !(a.frozen)").
+  std::string required_condition;
+};
+
+struct AuthoringFeedback {
+  bool accepted = false;
+  std::vector<std::string> errors;    // must be fixed
+  std::vector<std::string> warnings;  // suspicious but admissible
+  SemanticContract contract;          // valid only when accepted
+};
+
+/// Validates a developer rule against `program` and assembles the contract.
+/// Checks performed:
+///   * the operation has at least one call site in the program;
+///   * the condition parses into the checkable fragment;
+///   * every condition variable root resolves in at least one target frame
+///     (parameter or dominating local of a function containing a target);
+///   * warns when the rule is vacuous (no entry path reaches any target).
+[[nodiscard]] AuthoringFeedback author_rule(const minilang::Program& program,
+                                            const DeveloperRule& rule);
+
+}  // namespace lisa::core

@@ -1,0 +1,218 @@
+#include "lisa/checker.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/paths.hpp"
+#include "analysis/patterns.hpp"
+#include "concolic/engine.hpp"
+#include "inference/embedding.hpp"
+#include "minilang/printer.hpp"
+#include "smt/solver.hpp"
+
+namespace lisa::core {
+
+using support::Json;
+using support::JsonArray;
+using support::JsonObject;
+
+const char* path_verdict_name(PathVerdict verdict) {
+  switch (verdict) {
+    case PathVerdict::kVerified: return "verified";
+    case PathVerdict::kViolated: return "violated";
+    case PathVerdict::kUnmappable: return "unmappable";
+  }
+  return "?";
+}
+
+Json ContractCheckReport::to_json() const {
+  JsonObject root;
+  root["contract_id"] = contract_id;
+  root["target_fragment"] = target_fragment;
+  root["target_statements"] = target_statements;
+  root["verified"] = verified;
+  root["violated"] = violated;
+  root["unmappable"] = unmappable;
+  root["uncovered"] = uncovered;
+  root["raw_paths"] = raw_paths;
+  root["truncated"] = truncated;
+  root["sanity_ok"] = sanity_ok;
+  root["passed"] = passed();
+  JsonArray path_entries;
+  for (const PathReport& path : paths) {
+    JsonObject entry;
+    std::string chain;
+    for (const std::string& fn : path.call_chain) {
+      if (!chain.empty()) chain += " -> ";
+      chain += fn;
+    }
+    entry["chain"] = chain;
+    entry["target_stmt"] = path.target_text;
+    entry["path_condition"] = path.path_condition;
+    entry["verdict"] = path_verdict_name(path.verdict);
+    if (!path.counterexample.empty()) entry["counterexample"] = path.counterexample;
+    entry["covered_by_test"] = path.covered_by_test;
+    path_entries.push_back(Json(std::move(entry)));
+  }
+  root["paths"] = Json(std::move(path_entries));
+  JsonObject dyn;
+  JsonArray selected;
+  for (const std::string& test : dynamic.selected_tests) selected.push_back(Json(test));
+  dyn["selected_tests"] = Json(std::move(selected));
+  dyn["tests_run"] = dynamic.tests_run;
+  dyn["tests_passed"] = dynamic.tests_passed;
+  dyn["target_hits"] = dynamic.target_hits;
+  dyn["symbolic_violations"] = dynamic.symbolic_violations;
+  dyn["concrete_violations"] = dynamic.concrete_violations;
+  root["dynamic"] = Json(std::move(dyn));
+  JsonArray structural;
+  for (const std::string& violation : structural_violations)
+    structural.push_back(Json(violation));
+  root["structural_violations"] = Json(std::move(structural));
+  return Json(std::move(root));
+}
+
+namespace {
+
+/// True if `hit_chain` (test frame first) ends with `path_chain`.
+bool chain_suffix_matches(const std::vector<std::string>& hit_chain,
+                          const std::vector<std::string>& path_chain) {
+  if (path_chain.size() > hit_chain.size()) return false;
+  return std::equal(path_chain.rbegin(), path_chain.rend(), hit_chain.rbegin());
+}
+
+}  // namespace
+
+ContractCheckReport Checker::check(const minilang::Program& program,
+                                   const SemanticContract& contract,
+                                   const CheckOptions& options) const {
+  ContractCheckReport report;
+  report.contract_id = contract.id;
+  report.target_fragment = contract.target_fragment;
+
+  const analysis::CallGraph graph = analysis::CallGraph::build(program);
+
+  if (contract.kind == corpus::SemanticsKind::kStructuralPattern) {
+    const std::vector<analysis::PatternViolation> violations =
+        analysis::check_no_blocking_in_sync(program, graph);
+    for (const analysis::PatternViolation& violation : violations)
+      report.structural_violations.push_back(violation.description);
+    report.target_statements =
+        analysis::find_target_statements(program, contract.target_fragment).size();
+    report.sanity_ok = true;  // structural rules need no fixed-path witness
+    return report;
+  }
+
+  // ---- Static assertion over the execution tree ---------------------------
+  analysis::TreeOptions tree_options;
+  tree_options.max_paths = options.max_paths;
+  tree_options.prune_irrelevant = options.prune_irrelevant;
+  tree_options.contract_condition = contract.condition;
+  const analysis::ExecutionTree tree = analysis::build_execution_tree(
+      program, graph, contract.target_fragment, tree_options);
+  report.target_statements = tree.targets.size();
+  report.raw_paths = tree.enumerated_raw;
+  report.truncated = tree.truncated;
+
+  smt::Solver solver;
+  for (const analysis::ExecutionPath& path : tree.paths) {
+    PathReport path_report;
+    path_report.call_chain = path.call_chain;
+    path_report.target_stmt_id = path.target != nullptr ? path.target->id : -1;
+    path_report.target_text =
+        path.target != nullptr ? minilang::stmt_header_text(*path.target) : "";
+    path_report.path_condition = path.condition->to_string();
+    path_report.contract_condition = path.renamed_contract->to_string();
+    if (!path.mappable) {
+      path_report.verdict = PathVerdict::kUnmappable;
+      ++report.unmappable;
+    } else {
+      const smt::SolveResult result = solver.solve(smt::Formula::conj2(
+          path.condition, smt::Formula::negate(path.renamed_contract)));
+      if (result.sat()) {
+        path_report.verdict = PathVerdict::kViolated;
+        path_report.counterexample = result.model.to_string();
+        ++report.violated;
+      } else {
+        path_report.verdict = PathVerdict::kVerified;
+        ++report.verified;
+      }
+    }
+    report.paths.push_back(std::move(path_report));
+  }
+  report.sanity_ok = report.verified > 0;
+
+  // ---- Dynamic confirmation via concolic replay of selected tests ---------
+  if (options.run_concolic) {
+    std::vector<std::string> tests = options.forced_tests;
+    if (tests.empty()) {
+      // Per-path selection (§3.2: "selects relevant tests for each path"):
+      // rank the suite against each path's description, then take picks
+      // round-robin across paths so every path gets its best candidates
+      // before any path gets its second-best.
+      const inference::TestSelector selector(program);
+      std::vector<std::vector<inference::TestRanking>> rankings;
+      rankings.reserve(tree.paths.size());
+      for (const analysis::ExecutionPath& path : tree.paths)
+        rankings.push_back(
+            selector.rank(contract.target_fragment + " " + contract.condition_text + " " +
+                          inference::TestSelector::describe_path(path)));
+      std::set<std::string> seen;
+      for (std::size_t round = 0; tests.size() < options.max_tests_per_contract; ++round) {
+        bool any = false;
+        for (const std::vector<inference::TestRanking>& ranking : rankings) {
+          if (round >= ranking.size()) continue;
+          if (ranking[round].score < options.min_test_score) continue;
+          any = true;
+          if (seen.insert(ranking[round].test_name).second) {
+            tests.push_back(ranking[round].test_name);
+            if (tests.size() >= options.max_tests_per_contract) break;
+          }
+        }
+        if (!any) break;
+      }
+    }
+    report.dynamic.selected_tests = tests;
+
+    concolic::Engine engine(program);
+    concolic::CheckConfig config;
+    config.target_fragment = contract.target_fragment;
+    config.contract = contract.condition;
+    config.prune_irrelevant = options.prune_irrelevant;
+    std::vector<concolic::TargetHit> all_hits;
+    for (const std::string& test : tests) {
+      const concolic::RunResult run = engine.run_test(test, config);
+      ++report.dynamic.tests_run;
+      if (run.test_passed) ++report.dynamic.tests_passed;
+      for (const concolic::TargetHit& hit : run.hits) {
+        ++report.dynamic.target_hits;
+        if (hit.symbolic_violation) {
+          ++report.dynamic.symbolic_violations;
+          report.dynamic.violation_details.push_back(
+              test + " -> " + hit.function + ": missing-check path, witness " + hit.witness);
+        }
+        if (hit.concrete_violation) {
+          ++report.dynamic.concrete_violations;
+          report.dynamic.violation_details.push_back(
+              test + " -> " + hit.function + ": contract concretely false at target");
+        }
+        all_hits.push_back(hit);
+        // Mark static paths covered by this hit.
+        for (PathReport& path : report.paths) {
+          if (path.target_stmt_id != hit.stmt_id) continue;
+          if (!chain_suffix_matches(hit.call_chain, path.call_chain)) continue;
+          path.covered_by_test = true;
+          if (std::find(path.covering_tests.begin(), path.covering_tests.end(), test) ==
+              path.covering_tests.end())
+            path.covering_tests.push_back(test);
+        }
+      }
+    }
+    for (const PathReport& path : report.paths)
+      if (!path.covered_by_test) ++report.uncovered;
+  }
+  return report;
+}
+
+}  // namespace lisa::core

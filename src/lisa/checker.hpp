@@ -1,0 +1,102 @@
+// Contract enforcement: static path assertion + concolic confirmation.
+//
+// For a state-predicate contract <P> s:
+//   * STATIC: the execution tree enumerates every entry→s path; each path's
+//     condition π is checked against the renamed contract — the path is
+//     VIOLATED iff π ∧ ¬P is satisfiable (the trace "fulfills the complement
+//     of the checker formula", §3.2, with missing checks unconstrained).
+//     Paths whose contract variables cannot be expressed in entry terms are
+//     UNMAPPABLE and surfaced for a developer verdict.
+//   * SANITY: the paths fixed by the original patch must verify — "we want at
+//     least one path in this execution tree that will give verified result".
+//   * DYNAMIC: relevant @test functions are selected by embedding similarity
+//     and replayed on the concolic engine, which fires the injected check at
+//     every target hit; static paths never reached by any selected test are
+//     reported uncovered ("either the test suite does not have enough
+//     coverage, or the LLM misses the related tests").
+//
+// Structural contracts are checked over the call graph instead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lisa/contract.hpp"
+#include "minilang/ast.hpp"
+#include "support/json.hpp"
+
+namespace lisa::core {
+
+enum class PathVerdict { kVerified, kViolated, kUnmappable };
+
+[[nodiscard]] const char* path_verdict_name(PathVerdict verdict);
+
+struct PathReport {
+  std::vector<std::string> call_chain;
+  int target_stmt_id = -1;
+  std::string target_text;
+  std::string path_condition;
+  std::string contract_condition;  // renamed to canonical names
+  PathVerdict verdict = PathVerdict::kVerified;
+  std::string counterexample;  // model of π ∧ ¬P for violated paths
+  bool covered_by_test = false;
+  std::vector<std::string> covering_tests;
+};
+
+struct DynamicReport {
+  std::vector<std::string> selected_tests;
+  int tests_run = 0;
+  int tests_passed = 0;
+  int target_hits = 0;
+  int symbolic_violations = 0;
+  int concrete_violations = 0;
+  std::vector<std::string> violation_details;
+};
+
+struct ContractCheckReport {
+  std::string contract_id;
+  std::string target_fragment;
+  std::size_t target_statements = 0;
+  std::vector<PathReport> paths;
+  int verified = 0;
+  int violated = 0;
+  int unmappable = 0;
+  int uncovered = 0;        // static paths no selected test exercised
+  std::size_t raw_paths = 0;  // before pruning/dedup (ablation metric)
+  bool truncated = false;
+  /// ≥1 statically verified path (the fixed path) — the paper's sanity
+  /// check; also the cross-validation signal that grounds LLM output
+  /// against actual system behaviour (§5).
+  bool sanity_ok = false;
+  DynamicReport dynamic;
+  std::vector<std::string> structural_violations;  // structural contracts
+
+  /// True when the checked program satisfies the contract everywhere.
+  [[nodiscard]] bool passed() const {
+    return violated == 0 && structural_violations.empty() &&
+           dynamic.symbolic_violations == 0 && dynamic.concrete_violations == 0;
+  }
+
+  [[nodiscard]] support::Json to_json() const;
+};
+
+struct CheckOptions {
+  bool run_concolic = true;
+  bool prune_irrelevant = true;   // §3.2 relevant-variable branch pruning
+  std::size_t max_paths = 4096;
+  std::size_t max_tests_per_contract = 8;
+  double min_test_score = 0.01;
+  /// Override test selection: run exactly these tests (empty = use RAG
+  /// selection). Used by the test-selection ablation.
+  std::vector<std::string> forced_tests;
+};
+
+class Checker {
+ public:
+  /// Checks one contract against one program version.
+  [[nodiscard]] ContractCheckReport check(const minilang::Program& program,
+                                          const SemanticContract& contract,
+                                          const CheckOptions& options = {}) const;
+};
+
+}  // namespace lisa::core

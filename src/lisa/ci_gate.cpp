@@ -1,0 +1,90 @@
+#include "lisa/ci_gate.hpp"
+
+#include "analysis/paths.hpp"
+#include "minilang/sema.hpp"
+#include "support/stopwatch.hpp"
+
+namespace lisa::core {
+
+using support::Json;
+using support::JsonArray;
+using support::JsonObject;
+
+void ContractStore::add(SemanticContract contract) {
+  contracts_.push_back(std::move(contract));
+}
+
+void ContractStore::add_all(std::vector<SemanticContract> contracts) {
+  for (SemanticContract& contract : contracts) contracts_.push_back(std::move(contract));
+}
+
+Json ContractStore::to_json() const {
+  JsonArray entries;
+  for (const SemanticContract& contract : contracts_) entries.push_back(contract.to_json());
+  JsonObject root;
+  root["contracts"] = Json(std::move(entries));
+  return Json(std::move(root));
+}
+
+ContractStore ContractStore::from_json(const Json& json) {
+  ContractStore store;
+  if (json.has("contracts"))
+    for (const Json& entry : json.at("contracts").as_array())
+      store.add(SemanticContract::from_json(entry));
+  return store;
+}
+
+Json GateDecision::to_json() const {
+  JsonObject root;
+  root["allowed"] = allowed;
+  JsonArray violation_entries;
+  for (const std::string& violation : violations) violation_entries.push_back(Json(violation));
+  root["violations"] = Json(std::move(violation_entries));
+  JsonArray report_entries;
+  for (const ContractCheckReport& report : reports) report_entries.push_back(report.to_json());
+  root["reports"] = Json(std::move(report_entries));
+  root["evaluation_ms"] = evaluation_ms;
+  return Json(std::move(root));
+}
+
+GateDecision CiGate::evaluate(const std::string& source, const ContractStore& store) const {
+  GateDecision decision;
+  const support::Stopwatch timer;
+  minilang::Program program;
+  try {
+    program = minilang::parse_checked(source);
+  } catch (const std::exception& error) {
+    decision.allowed = false;
+    decision.violations.push_back(std::string("commit does not build: ") + error.what());
+    decision.evaluation_ms = timer.elapsed_ms();
+    return decision;
+  }
+  const Checker checker;
+  for (const SemanticContract& contract : store.all()) {
+    // Contracts whose target no longer exists in this codebase are vacuous
+    // for the commit (e.g. contracts from another system's history).
+    if (analysis::find_target_statements(program, contract.target_fragment).empty() &&
+        contract.kind == corpus::SemanticsKind::kStatePredicate)
+      continue;
+    ContractCheckReport report = checker.check(program, contract, options_);
+    if (!report.passed()) {
+      decision.allowed = false;
+      std::string reason = contract.id + " [" + contract.target_fragment + "]: ";
+      if (report.violated > 0)
+        reason += std::to_string(report.violated) + " unguarded path(s); ";
+      if (!report.structural_violations.empty())
+        reason += std::to_string(report.structural_violations.size()) +
+                  " structural violation(s); ";
+      if (report.dynamic.symbolic_violations > 0)
+        reason += std::to_string(report.dynamic.symbolic_violations) +
+                  " missing-check trace(s); ";
+      reason += contract.description;
+      decision.violations.push_back(std::move(reason));
+    }
+    decision.reports.push_back(std::move(report));
+  }
+  decision.evaluation_ms = timer.elapsed_ms();
+  return decision;
+}
+
+}  // namespace lisa::core

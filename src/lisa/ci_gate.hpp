@@ -1,0 +1,57 @@
+// CI/CD enforcement — "every failure, once fixed, automatically becomes an
+// executable contract that shields the system from ever repeating the same
+// mistake" (§1).
+//
+// The ContractStore accumulates contracts as incidents are fixed; the CiGate
+// evaluates every stored contract against each proposed commit and blocks
+// commits that reintroduce a violated semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lisa/checker.hpp"
+#include "lisa/contract.hpp"
+
+namespace lisa::core {
+
+/// Durable store of contracts learned from past incidents.
+class ContractStore {
+ public:
+  void add(SemanticContract contract);
+  void add_all(std::vector<SemanticContract> contracts);
+
+  [[nodiscard]] const std::vector<SemanticContract>& all() const { return contracts_; }
+  [[nodiscard]] std::size_t size() const { return contracts_.size(); }
+
+  /// Serialization for persistence across "CI runs".
+  [[nodiscard]] support::Json to_json() const;
+  [[nodiscard]] static ContractStore from_json(const support::Json& json);
+
+ private:
+  std::vector<SemanticContract> contracts_;
+};
+
+struct GateDecision {
+  bool allowed = true;
+  std::vector<std::string> violations;        // human-readable block reasons
+  std::vector<ContractCheckReport> reports;   // one per contract evaluated
+  double evaluation_ms = 0.0;
+
+  [[nodiscard]] support::Json to_json() const;
+};
+
+class CiGate {
+ public:
+  explicit CiGate(CheckOptions options = {}) : options_(std::move(options)) {}
+
+  /// Evaluates a commit (a full program source) against every stored
+  /// contract. A parse/check failure of the source blocks the commit too.
+  [[nodiscard]] GateDecision evaluate(const std::string& source,
+                                      const ContractStore& store) const;
+
+ private:
+  CheckOptions options_;
+};
+
+}  // namespace lisa::core

@@ -1,0 +1,75 @@
+// Composing validated low-level semantics into high-level guarantees
+// (§5, third open question).
+//
+// "Low-level semantics might serve as building blocks for higher-level
+//  guarantees. Our long-term goal is to logically compose multiple low-level
+//  semantic rules and merge partial insights, so that it could provide a
+//  more complete, high-level form of system correctness guarantee ... we
+//  plan to begin with a preliminary study on the collected cases."
+//
+// This module implements that preliminary study: a high-level property is
+// declared as a named claim plus the set of low-level contracts that jointly
+// entail it (an explicit entailment obligation, reviewed by a human — the
+// part today's techniques cannot automate). The composer then:
+//   * checks every constituent contract on the codebase,
+//   * reports the property as GUARANTEED only when all constituents hold
+//     everywhere (no violated, unmappable, or structurally violating path),
+//   * otherwise lists exactly which constituent broke where — turning a
+//     high-level "ephemeral nodes are cleaned up" alarm into the low-level
+//     unguarded path that explains it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lisa/checker.hpp"
+#include "lisa/contract.hpp"
+
+namespace lisa::core {
+
+/// A high-level system property composed from low-level contracts.
+struct HighLevelProperty {
+  std::string id;
+  std::string statement;  // e.g. "every ephemeral node is deleted once its
+                          // client session is fully disconnected"
+  /// Contracts that jointly entail the property (human-reviewed obligation).
+  std::vector<SemanticContract> constituents;
+};
+
+enum class PropertyStatus {
+  kGuaranteed,   // every constituent holds on every path
+  kBroken,       // >=1 constituent violated somewhere
+  kInconclusive, // no violation, but unmappable/uncovered paths remain
+};
+
+[[nodiscard]] const char* property_status_name(PropertyStatus status);
+
+struct PropertyReport {
+  std::string property_id;
+  PropertyStatus status = PropertyStatus::kInconclusive;
+  std::vector<ContractCheckReport> constituent_reports;
+  /// Human-readable explanations of what broke / what is unresolved.
+  std::vector<std::string> findings;
+
+  [[nodiscard]] support::Json to_json() const;
+};
+
+class Composer {
+ public:
+  explicit Composer(CheckOptions options = {}) : options_(std::move(options)) {}
+
+  /// Evaluates the property on `program` by checking every constituent.
+  [[nodiscard]] PropertyReport evaluate(const minilang::Program& program,
+                                        const HighLevelProperty& property) const;
+
+ private:
+  CheckOptions options_;
+};
+
+/// The paper's running example assembled as a composed property: the
+/// ephemeral-node lifecycle guarantee built from the creation-guard contract
+/// mined from ZK-1208 (plus any extra contracts the caller adds).
+[[nodiscard]] HighLevelProperty ephemeral_lifecycle_property(
+    std::vector<SemanticContract> constituents);
+
+}  // namespace lisa::core

@@ -1,0 +1,77 @@
+#include "lisa/contract.hpp"
+
+#include "smt/minilang_bridge.hpp"
+
+namespace lisa::core {
+
+using support::Json;
+using support::JsonObject;
+
+Json SemanticContract::to_json() const {
+  JsonObject root;
+  root["id"] = id;
+  root["case_id"] = case_id;
+  root["system"] = system;
+  root["kind"] = kind == corpus::SemanticsKind::kStatePredicate ? "state_predicate"
+                                                                : "structural_pattern";
+  root["description"] = description;
+  root["high_level"] = high_level;
+  root["target_fragment"] = target_fragment;
+  root["condition_text"] = condition_text;
+  if (!pattern.empty()) root["pattern"] = pattern;
+  return Json(std::move(root));
+}
+
+SemanticContract SemanticContract::from_json(const Json& json) {
+  SemanticContract contract;
+  contract.id = json.get_string("id");
+  contract.case_id = json.get_string("case_id");
+  contract.system = json.get_string("system");
+  contract.kind = json.get_string("kind") == "structural_pattern"
+                      ? corpus::SemanticsKind::kStructuralPattern
+                      : corpus::SemanticsKind::kStatePredicate;
+  contract.description = json.get_string("description");
+  contract.high_level = json.get_string("high_level");
+  contract.target_fragment = json.get_string("target_fragment");
+  contract.condition_text = json.get_string("condition_text");
+  contract.pattern = json.get_string("pattern");
+  if (contract.kind == corpus::SemanticsKind::kStatePredicate &&
+      !contract.condition_text.empty()) {
+    const auto parsed = smt::parse_condition(contract.condition_text);
+    if (parsed.has_value()) contract.condition = *parsed;
+  }
+  return contract;
+}
+
+TranslationResult translate(const inference::SemanticsProposal& proposal,
+                            const std::string& system) {
+  TranslationResult result;
+  int index = 0;
+  for (const inference::LowLevelSemantics& low : proposal.low_level) {
+    SemanticContract contract;
+    contract.id = proposal.case_id + "#" + std::to_string(index++);
+    contract.case_id = proposal.case_id;
+    contract.system = system;
+    contract.kind = proposal.kind;
+    contract.description = low.description;
+    contract.high_level = proposal.high_level_semantics;
+    contract.target_fragment = low.target_statement;
+    contract.condition_text = low.condition_statement;
+    contract.pattern = proposal.pattern;
+    if (proposal.kind == corpus::SemanticsKind::kStatePredicate) {
+      const auto parsed = smt::parse_condition(low.condition_statement);
+      if (!parsed.has_value()) {
+        result.rejected.push_back(contract.id + ": condition outside checkable fragment: " +
+                                  low.condition_statement);
+        continue;
+      }
+      // Normalization: negation-normal form with comparison atoms negated in
+      // place, so equal semantics always render equally in reports.
+      contract.condition = smt::to_nnf(*parsed);
+    }
+    result.contracts.push_back(std::move(contract));
+  }
+  return result;
+}
+
+}  // namespace lisa::core

@@ -1,0 +1,77 @@
+#include "lisa/pipeline.hpp"
+
+#include "minilang/sema.hpp"
+#include "support/stopwatch.hpp"
+
+namespace lisa::core {
+
+using support::Json;
+using support::JsonArray;
+using support::JsonObject;
+
+bool PipelineResult::all_passed() const {
+  for (const ContractCheckReport& report : reports)
+    if (!report.passed()) return false;
+  return true;
+}
+
+int PipelineResult::total_violations() const {
+  int total = 0;
+  for (const ContractCheckReport& report : reports) {
+    total += report.violated;
+    total += static_cast<int>(report.structural_violations.size());
+    total += report.dynamic.symbolic_violations;
+  }
+  return total;
+}
+
+Json PipelineResult::to_json() const {
+  JsonObject root;
+  root["proposal"] = proposal.to_json();
+  JsonArray contract_entries;
+  for (const SemanticContract& contract : contracts)
+    contract_entries.push_back(contract.to_json());
+  root["contracts"] = Json(std::move(contract_entries));
+  JsonArray rejected_entries;
+  for (const std::string& entry : rejected) rejected_entries.push_back(Json(entry));
+  root["rejected"] = Json(std::move(rejected_entries));
+  JsonArray report_entries;
+  for (const ContractCheckReport& report : reports)
+    report_entries.push_back(report.to_json());
+  root["reports"] = Json(std::move(report_entries));
+  JsonObject timing;
+  timing["infer_ms"] = timings.infer_ms;
+  timing["translate_ms"] = timings.translate_ms;
+  timing["check_ms"] = timings.check_ms;
+  timing["total_ms"] = timings.total_ms;
+  root["timings"] = Json(std::move(timing));
+  root["all_passed"] = all_passed();
+  return Json(std::move(root));
+}
+
+PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
+                             const std::string& source_to_check) const {
+  PipelineResult result;
+  const support::Stopwatch total;
+
+  support::Stopwatch stage;
+  result.proposal = llm_.infer(ticket);
+  result.timings.infer_ms = stage.elapsed_ms();
+
+  stage.reset();
+  TranslationResult translation = translate(result.proposal, ticket.system);
+  result.contracts = std::move(translation.contracts);
+  result.rejected = std::move(translation.rejected);
+  result.timings.translate_ms = stage.elapsed_ms();
+
+  stage.reset();
+  const minilang::Program program = minilang::parse_checked(source_to_check);
+  const Checker checker;
+  for (const SemanticContract& contract : result.contracts)
+    result.reports.push_back(checker.check(program, contract, check_options_));
+  result.timings.check_ms = stage.elapsed_ms();
+  result.timings.total_ms = total.elapsed_ms();
+  return result;
+}
+
+}  // namespace lisa::core

@@ -1,0 +1,58 @@
+// The end-to-end LISA workflow (Fig. 5).
+//
+// ticket → LLM inference → translation to contracts → execution-tree
+// construction + test selection + concolic assertion → report.
+// Stage latencies are recorded for the Fig. 5 bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "inference/mock_llm.hpp"
+#include "lisa/checker.hpp"
+#include "lisa/contract.hpp"
+
+namespace lisa::core {
+
+struct StageTimings {
+  double infer_ms = 0.0;
+  double translate_ms = 0.0;
+  double check_ms = 0.0;  // execution tree + SMT + test selection + concolic
+  double total_ms = 0.0;
+};
+
+struct PipelineResult {
+  inference::SemanticsProposal proposal;
+  std::vector<SemanticContract> contracts;
+  std::vector<std::string> rejected;   // out-of-fragment low-level semantics
+  std::vector<ContractCheckReport> reports;
+  StageTimings timings;
+
+  /// True when every contract held on the checked version.
+  [[nodiscard]] bool all_passed() const;
+  /// Total violated paths + structural + dynamic violations across contracts.
+  [[nodiscard]] int total_violations() const;
+
+  [[nodiscard]] support::Json to_json() const;
+};
+
+class Pipeline {
+ public:
+  Pipeline(inference::MockLlmOptions llm_options, CheckOptions check_options)
+      : llm_(llm_options), check_options_(std::move(check_options)) {}
+  Pipeline() : Pipeline(inference::MockLlmOptions{}, CheckOptions{}) {}
+
+  /// Runs the full workflow for `ticket`, asserting the inferred contracts
+  /// against `source_to_check` (e.g. the patched version right after the
+  /// fix, or the latest release for the §4 bug hunt).
+  [[nodiscard]] PipelineResult run(const corpus::FailureTicket& ticket,
+                                   const std::string& source_to_check) const;
+
+  [[nodiscard]] const CheckOptions& check_options() const { return check_options_; }
+
+ private:
+  inference::MockLlm llm_;
+  CheckOptions check_options_;
+};
+
+}  // namespace lisa::core

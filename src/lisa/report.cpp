@@ -1,0 +1,129 @@
+#include "lisa/report.hpp"
+
+#include <cstdio>
+
+namespace lisa::core {
+
+namespace {
+
+std::string chain_text(const std::vector<std::string>& chain) {
+  std::string out;
+  for (const std::string& fn : chain) {
+    if (!out.empty()) out += " → ";
+    out += "`" + fn + "`";
+  }
+  return out;
+}
+
+const char* verdict_emoji(PathVerdict verdict) {
+  switch (verdict) {
+    case PathVerdict::kVerified: return "✅";
+    case PathVerdict::kViolated: return "❌";
+    case PathVerdict::kUnmappable: return "❓";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string render_markdown(const ContractCheckReport& report,
+                            const SemanticContract* contract) {
+  std::string out = "### Contract `" + report.contract_id + "`\n\n";
+  if (contract != nullptr) {
+    out += "> " + contract->description + "\n>\n";
+    out += "> `<" + contract->condition_text + "> " + contract->target_fragment + "...`\n\n";
+  }
+  out += "- target statements: " + std::to_string(report.target_statements) + "\n";
+  out += "- paths: " + std::to_string(report.paths.size()) + " (verified " +
+         std::to_string(report.verified) + ", violated " + std::to_string(report.violated) +
+         ", unmappable " + std::to_string(report.unmappable) + ", uncovered by tests " +
+         std::to_string(report.uncovered) + ")\n";
+  out += std::string("- sanity (fixed path verifies): ") + (report.sanity_ok ? "yes" : "NO") +
+         "\n";
+  out += std::string("- overall: **") + (report.passed() ? "PASS" : "FAIL") + "**\n\n";
+  if (!report.paths.empty()) {
+    out += "| path | verdict | detail |\n|---|---|---|\n";
+    for (const PathReport& path : report.paths) {
+      out += "| " + chain_text(path.call_chain) + " | " + verdict_emoji(path.verdict) + " " +
+             path_verdict_name(path.verdict) + " | ";
+      if (path.verdict == PathVerdict::kViolated)
+        out += "reachable with " + path.counterexample;
+      else if (!path.covering_tests.empty())
+        out += "exercised by `" + path.covering_tests.front() + "`";
+      out += " |\n";
+    }
+    out += "\n";
+  }
+  for (const std::string& violation : report.structural_violations)
+    out += "- ⚠ structural: " + violation + "\n";
+  if (report.dynamic.tests_run > 0) {
+    out += "\nConcolic replay: " + std::to_string(report.dynamic.tests_run) + " tests, " +
+           std::to_string(report.dynamic.target_hits) + " target hits, " +
+           std::to_string(report.dynamic.symbolic_violations) + " missing-check traces, " +
+           std::to_string(report.dynamic.concrete_violations) + " concrete violations.\n";
+    for (const std::string& detail : report.dynamic.violation_details)
+      out += "  - " + detail + "\n";
+  }
+  return out;
+}
+
+std::string render_markdown(const PipelineResult& result) {
+  std::string out = "## LISA pipeline report — case `" + result.proposal.case_id + "`\n\n";
+  out += "**High-level semantics.** " + result.proposal.high_level_semantics + "\n\n";
+  out += "**Low-level semantics.**\n\n";
+  for (const auto& low : result.proposal.low_level)
+    out += "- `<" + low.condition_statement + "> " + low.target_statement + "...` — " +
+           low.description + "\n";
+  if (!result.rejected.empty()) {
+    out += "\n**Rejected (outside checkable fragment).**\n\n";
+    for (const std::string& rejected : result.rejected) out += "- " + rejected + "\n";
+  }
+  out += "\n";
+  for (std::size_t i = 0; i < result.reports.size(); ++i) {
+    const SemanticContract* contract =
+        i < result.contracts.size() ? &result.contracts[i] : nullptr;
+    out += render_markdown(result.reports[i], contract);
+    out += "\n";
+  }
+  char timing[160];
+  std::snprintf(timing, sizeof(timing),
+                "_Timings: infer %.2f ms, translate %.2f ms, assert %.2f ms, total %.2f "
+                "ms._\n",
+                result.timings.infer_ms, result.timings.translate_ms,
+                result.timings.check_ms, result.timings.total_ms);
+  out += timing;
+  return out;
+}
+
+std::string render_markdown(const GateDecision& decision) {
+  std::string out = decision.allowed ? "## ✅ Commit admitted\n\n" : "## ⛔ Commit blocked\n\n";
+  if (!decision.allowed) {
+    out += "This change violates semantics learned from past incidents:\n\n";
+    for (const std::string& violation : decision.violations) out += "- " + violation + "\n";
+    out += "\nEach rule below links the unguarded path and a state that reaches it.\n\n";
+  }
+  for (const ContractCheckReport& report : decision.reports) {
+    if (report.passed()) continue;
+    out += render_markdown(report);
+    out += "\n";
+  }
+  char timing[64];
+  std::snprintf(timing, sizeof(timing), "_Gate evaluation: %.1f ms._\n",
+                decision.evaluation_ms);
+  out += timing;
+  return out;
+}
+
+std::string render_markdown(const PropertyReport& report) {
+  std::string out = "## High-level property `" + report.property_id + "`: **" +
+                    property_status_name(report.status) + "**\n\n";
+  for (const std::string& finding : report.findings) out += "- " + finding + "\n";
+  if (!report.findings.empty()) out += "\n";
+  for (const ContractCheckReport& constituent : report.constituent_reports) {
+    out += render_markdown(constituent);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lisa::core

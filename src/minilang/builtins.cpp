@@ -1,0 +1,133 @@
+#include "minilang/builtins.hpp"
+
+#include <algorithm>
+
+namespace lisa::minilang {
+
+std::optional<Value> dispatch_builtin(const std::string& name, std::vector<Value>& args,
+                                      BuiltinContext& context) {
+  const auto need = [&](std::size_t n) {
+    if (args.size() != n)
+      throw InterpError("builtin " + name + " expects " + std::to_string(n) + " args");
+  };
+  const auto key_of = [](const Value& k) {
+    return k.is_string() ? k.as_string() : std::to_string(k.as_int());
+  };
+
+  if (blocking_builtins().count(name) > 0) {
+    if (context.now_ms != nullptr) *context.now_ms += context.blocking_latency_ms;
+    if (context.observer != nullptr) context.observer->on_blocking(name, context.sync_depth);
+    return Value::null();
+  }
+  if (name == "print" || name == "log") {
+    if (context.output != nullptr) {
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) *context.output += " ";
+        *context.output += args[i].to_display();
+      }
+      *context.output += "\n";
+    }
+    return Value::null();
+  }
+  if (name == "len") {
+    need(1);
+    if (args[0].is_list())
+      return Value::of_int(static_cast<std::int64_t>(args[0].as_list()->size()));
+    if (args[0].is_map())
+      return Value::of_int(static_cast<std::int64_t>(args[0].as_map()->size()));
+    if (args[0].is_string())
+      return Value::of_int(static_cast<std::int64_t>(args[0].as_string().size()));
+    throw InterpError("len() on non-container");
+  }
+  if (name == "list_new") {
+    need(0);
+    return Value::new_list();
+  }
+  if (name == "map_new") {
+    need(0);
+    return Value::new_map();
+  }
+  if (name == "push") {
+    need(2);
+    if (!args[0].is_list()) throw InterpError("push() on non-list");
+    args[0].as_list()->push_back(args[1]);
+    return Value::null();
+  }
+  if (name == "put") {
+    need(3);
+    if (!args[0].is_map()) throw InterpError("put() on non-map");
+    (*args[0].as_map())[key_of(args[1])] = args[2];
+    return Value::null();
+  }
+  if (name == "get") {
+    need(2);
+    if (!args[0].is_map()) throw InterpError("get() on non-map");
+    const auto& map = *args[0].as_map();
+    const auto it = map.find(key_of(args[1]));
+    return it == map.end() ? Value::null() : it->second;
+  }
+  if (name == "has") {
+    need(2);
+    if (!args[0].is_map()) throw InterpError("has() on non-map");
+    return Value::of_bool(args[0].as_map()->count(key_of(args[1])) > 0);
+  }
+  if (name == "del") {
+    need(2);
+    if (!args[0].is_map()) throw InterpError("del() on non-map");
+    args[0].as_map()->erase(key_of(args[1]));
+    return Value::null();
+  }
+  if (name == "keys") {
+    need(1);
+    if (!args[0].is_map()) throw InterpError("keys() on non-map");
+    Value out = Value::new_list();
+    for (const auto& [key, value] : *args[0].as_map()) {
+      (void)value;
+      out.as_list()->push_back(Value::of_string(key));
+    }
+    return out;
+  }
+  if (name == "contains") {
+    need(2);
+    if (!args[0].is_list()) throw InterpError("contains() on non-list");
+    for (const Value& item : *args[0].as_list())
+      if (item.equals(args[1])) return Value::of_bool(true);
+    return Value::of_bool(false);
+  }
+  if (name == "str") {
+    need(1);
+    return Value::of_string(args[0].to_display());
+  }
+  if (name == "min" || name == "max") {
+    need(2);
+    const std::int64_t a = args[0].as_int();
+    const std::int64_t b = args[1].as_int();
+    return Value::of_int(name == "min" ? std::min(a, b) : std::max(a, b));
+  }
+  if (name == "abs") {
+    need(1);
+    const std::int64_t a = args[0].as_int();
+    return Value::of_int(a < 0 ? -a : a);
+  }
+  if (name == "assert") {
+    if (args.empty() || !args[0].is_bool()) throw InterpError("assert() expects a bool");
+    if (!args[0].as_bool()) {
+      std::string message = "assertion failed";
+      if (args.size() > 1) message += ": " + args[1].to_display();
+      throw MiniThrow(Value::of_string(message));
+    }
+    return Value::null();
+  }
+  if (name == "now") {
+    need(0);
+    return Value::of_int(context.now_ms != nullptr ? *context.now_ms : 0);
+  }
+  if (name == "advance_clock") {
+    need(1);
+    if (context.now_ms != nullptr) *context.now_ms += args[0].as_int();
+    return Value::null();
+  }
+  return std::nullopt;
+}
+
+}  // namespace lisa::minilang

@@ -1,0 +1,31 @@
+// Shared builtin dispatcher used by both execution engines (the tree-walking
+// interpreter and the bytecode VM), so builtin semantics cannot drift.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minilang/interp.hpp"
+#include "minilang/value.hpp"
+
+namespace lisa::minilang {
+
+/// Mutable engine state a builtin may touch.
+struct BuiltinContext {
+  std::string* output = nullptr;            // print()/log() sink
+  std::int64_t* now_ms = nullptr;           // virtual clock
+  std::int64_t blocking_latency_ms = 5;
+  ExecObserver* observer = nullptr;         // may be null
+  int sync_depth = 0;                       // for on_blocking()
+};
+
+/// Executes builtin `name` on already-evaluated arguments. Returns nullopt
+/// when `name` is not a builtin (caller reports unknown function). Throws
+/// MiniThrow for language-level failures (assert, divide) and InterpError
+/// for misuse (wrong arity/types).
+std::optional<Value> dispatch_builtin(const std::string& name, std::vector<Value>& args,
+                                      BuiltinContext& context);
+
+}  // namespace lisa::minilang

@@ -1,0 +1,439 @@
+#include "minilang/compiler.hpp"
+
+#include <unordered_map>
+
+namespace lisa::minilang {
+
+namespace {
+
+class FunctionCompiler {
+ public:
+  FunctionCompiler(Module& module, const Program& program)
+      : module_(module), program_(program) {}
+
+  Chunk compile_function(const FuncDecl& fn) {
+    chunk_ = Chunk{};
+    chunk_.name = fn.name;
+    chunk_.arity = static_cast<int>(fn.params.size());
+    chunk_.is_blocking = fn.has_annotation("blocking");
+    scopes_.clear();
+    scopes_.emplace_back();
+    next_slot_ = 0;
+    sync_depth_ = 0;
+    try_depth_ = 0;
+    loops_.clear();
+    for (const Param& param : fn.params) declare(param.name);
+    compile_block(fn.body);
+    // Implicit `return null` at the end of every function body.
+    emit(Op::kPushNull);
+    emit(Op::kReturn);
+    chunk_.slot_count = next_slot_;
+    return std::move(chunk_);
+  }
+
+ private:
+  struct LoopContext {
+    int sync_depth;
+    int try_depth;
+    std::vector<int> break_jumps;     // indices of kJump insns to patch to end
+    std::vector<int> continue_jumps;  // ... to patch to loop head
+  };
+
+  [[noreturn]] void fail(const std::string& message) { throw CompileError(message); }
+
+  int emit(Op op, std::int32_t a = 0, std::int32_t b = 0, std::int32_t c = 0) {
+    chunk_.code.push_back(Insn{op, a, b, c});
+    return static_cast<int>(chunk_.code.size()) - 1;
+  }
+
+  [[nodiscard]] int here() const { return static_cast<int>(chunk_.code.size()); }
+
+  void patch(int insn_index, int target) {
+    chunk_.code[static_cast<std::size_t>(insn_index)].a = target;
+  }
+
+  int declare(const std::string& name) {
+    const int slot = next_slot_++;
+    scopes_.back()[name] = slot;
+    return slot;
+  }
+
+  [[nodiscard]] int resolve(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return -1;
+  }
+
+  // -- Pools ------------------------------------------------------------
+
+  int intern_int(std::int64_t value) {
+    const auto it = int_index_.find(value);
+    if (it != int_index_.end()) return it->second;
+    module_.int_pool.push_back(value);
+    const int index = static_cast<int>(module_.int_pool.size()) - 1;
+    int_index_.emplace(value, index);
+    return index;
+  }
+
+  int intern_string(const std::string& value, std::vector<std::string>& pool,
+                    std::unordered_map<std::string, int>& index) {
+    const auto it = index.find(value);
+    if (it != index.end()) return it->second;
+    pool.push_back(value);
+    const int id = static_cast<int>(pool.size()) - 1;
+    index.emplace(value, id);
+    return id;
+  }
+
+  int intern_literal(const std::string& value) {
+    return intern_string(value, module_.string_pool, string_index_);
+  }
+  int intern_name(const std::string& value) {
+    return intern_string(value, module_.name_pool, name_index_);
+  }
+
+  // -- Statements ---------------------------------------------------------
+
+  void compile_block(const std::vector<StmtPtr>& stmts) {
+    scopes_.emplace_back();
+    for (const StmtPtr& stmt : stmts) compile_stmt(*stmt);
+    scopes_.pop_back();
+  }
+
+  void compile_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kLet: {
+        compile_expr(*stmt.expr);
+        emit(Op::kStore, declare(stmt.name));
+        return;
+      }
+      case Stmt::Kind::kAssign: {
+        const Expr& lvalue = *stmt.expr;
+        switch (lvalue.kind) {
+          case Expr::Kind::kVar: {
+            const int slot = resolve(lvalue.text);
+            if (slot < 0) fail("assignment to undeclared variable " + lvalue.text);
+            compile_expr(*stmt.expr2);
+            emit(Op::kStore, slot);
+            return;
+          }
+          case Expr::Kind::kField:
+            compile_expr(*lvalue.args[0]);
+            compile_expr(*stmt.expr2);
+            emit(Op::kFieldSet, intern_name(lvalue.text));
+            return;
+          case Expr::Kind::kIndex:
+            compile_expr(*lvalue.args[0]);
+            compile_expr(*lvalue.args[1]);
+            compile_expr(*stmt.expr2);
+            emit(Op::kIndexSet);
+            return;
+          default:
+            fail("invalid assignment target");
+        }
+      }
+      case Stmt::Kind::kIf: {
+        compile_expr(*stmt.expr);
+        const int to_else = emit(Op::kJumpIfFalse);
+        compile_block(stmt.body);
+        const int to_end = emit(Op::kJump);
+        patch(to_else, here());
+        compile_block(stmt.else_body);
+        patch(to_end, here());
+        return;
+      }
+      case Stmt::Kind::kWhile: {
+        const int head = here();
+        compile_expr(*stmt.expr);
+        const int to_end = emit(Op::kJumpIfFalse);
+        loops_.push_back(LoopContext{sync_depth_, try_depth_, {}, {}});
+        compile_block(stmt.body);
+        LoopContext loop = std::move(loops_.back());
+        loops_.pop_back();
+        for (const int jump : loop.continue_jumps) patch(jump, head);
+        emit(Op::kJump, head);
+        patch(to_end, here());
+        for (const int jump : loop.break_jumps) patch(jump, here());
+        return;
+      }
+      case Stmt::Kind::kReturn: {
+        if (stmt.expr) compile_expr(*stmt.expr);
+        else emit(Op::kPushNull);
+        emit(Op::kReturn);
+        return;
+      }
+      case Stmt::Kind::kThrow: {
+        compile_expr(*stmt.expr);
+        emit(Op::kThrow);
+        return;
+      }
+      case Stmt::Kind::kExpr: {
+        compile_expr(*stmt.expr);
+        emit(Op::kPop);
+        return;
+      }
+      case Stmt::Kind::kSync: {
+        compile_expr(*stmt.expr);
+        emit(Op::kSyncEnter);
+        ++sync_depth_;
+        compile_block(stmt.body);
+        --sync_depth_;
+        emit(Op::kSyncExit);
+        return;
+      }
+      case Stmt::Kind::kBlock:
+        compile_block(stmt.body);
+        return;
+      case Stmt::Kind::kTry: {
+        scopes_.emplace_back();
+        const int catch_slot = declare(stmt.catch_var);
+        const int try_push = emit(Op::kTryPush, /*a=*/0, /*b=*/catch_slot);
+        ++try_depth_;
+        compile_block(stmt.body);
+        --try_depth_;
+        emit(Op::kTryPop);
+        const int to_end = emit(Op::kJump);
+        patch(try_push, here());  // handler ip
+        for (const StmtPtr& handler_stmt : stmt.else_body) compile_stmt(*handler_stmt);
+        patch(to_end, here());
+        scopes_.pop_back();
+        return;
+      }
+      case Stmt::Kind::kBreak:
+      case Stmt::Kind::kContinue: {
+        if (loops_.empty()) fail("break/continue outside loop");
+        LoopContext& loop = loops_.back();
+        // Unwind monitors/handlers entered since the loop started.
+        for (int i = sync_depth_; i > loop.sync_depth; --i) emit(Op::kSyncExit);
+        for (int i = try_depth_; i > loop.try_depth; --i) emit(Op::kTryPop);
+        const int jump = emit(Op::kJump);
+        if (stmt.kind == Stmt::Kind::kBreak) loop.break_jumps.push_back(jump);
+        else loop.continue_jumps.push_back(jump);
+        return;
+      }
+    }
+  }
+
+  // -- Expressions ----------------------------------------------------------
+
+  void compile_expr(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kIntLit:
+        emit(Op::kPushInt, intern_int(expr.int_value));
+        return;
+      case Expr::Kind::kBoolLit:
+        emit(Op::kPushBool, expr.bool_value ? 1 : 0);
+        return;
+      case Expr::Kind::kStrLit:
+        emit(Op::kPushStr, intern_literal(expr.text));
+        return;
+      case Expr::Kind::kNullLit:
+        emit(Op::kPushNull);
+        return;
+      case Expr::Kind::kVar: {
+        const int slot = resolve(expr.text);
+        if (slot < 0) fail("unknown variable: " + expr.text);
+        emit(Op::kLoad, slot);
+        return;
+      }
+      case Expr::Kind::kField:
+        compile_expr(*expr.args[0]);
+        emit(Op::kFieldGet, intern_name(expr.text));
+        return;
+      case Expr::Kind::kIndex:
+        compile_expr(*expr.args[0]);
+        compile_expr(*expr.args[1]);
+        emit(Op::kIndexGet);
+        return;
+      case Expr::Kind::kUnary:
+        compile_expr(*expr.args[0]);
+        emit(expr.un_op == UnOp::kNot ? Op::kNot : Op::kNeg);
+        return;
+      case Expr::Kind::kBinary:
+        compile_binary(expr);
+        return;
+      case Expr::Kind::kCall: {
+        for (const ExprPtr& arg : expr.args) compile_expr(*arg);
+        const int chunk = module_.chunk_of(expr.text);
+        if (chunk >= 0) {
+          emit(Op::kCall, chunk, static_cast<std::int32_t>(expr.args.size()));
+        } else {
+          emit(Op::kCallBuiltin, intern_name(expr.text),
+               static_cast<std::int32_t>(expr.args.size()));
+        }
+        return;
+      }
+      case Expr::Kind::kNew: {
+        for (const ExprPtr& arg : expr.args) compile_expr(*arg);
+        NewSpec spec;
+        spec.struct_name = expr.text;
+        spec.fields = expr.field_names;
+        module_.new_specs.push_back(std::move(spec));
+        emit(Op::kNew, static_cast<std::int32_t>(module_.new_specs.size()) - 1);
+        return;
+      }
+    }
+  }
+
+  void compile_binary(const Expr& expr) {
+    switch (expr.bin_op) {
+      case BinOp::kAnd: {
+        compile_expr(*expr.args[0]);
+        const int to_false = emit(Op::kJumpIfFalse);
+        compile_expr(*expr.args[1]);
+        const int to_end = emit(Op::kJump);
+        patch(to_false, here());
+        emit(Op::kPushBool, 0);
+        patch(to_end, here());
+        return;
+      }
+      case BinOp::kOr: {
+        compile_expr(*expr.args[0]);
+        const int to_true = emit(Op::kJumpIfTrue);
+        compile_expr(*expr.args[1]);
+        const int to_end = emit(Op::kJump);
+        patch(to_true, here());
+        emit(Op::kPushBool, 1);
+        patch(to_end, here());
+        return;
+      }
+      default: {
+        compile_expr(*expr.args[0]);
+        compile_expr(*expr.args[1]);
+        switch (expr.bin_op) {
+          case BinOp::kAdd: emit(Op::kAdd); return;
+          case BinOp::kSub: emit(Op::kSub); return;
+          case BinOp::kMul: emit(Op::kMul); return;
+          case BinOp::kDiv: emit(Op::kDiv); return;
+          case BinOp::kMod: emit(Op::kMod); return;
+          case BinOp::kEq: emit(Op::kEq); return;
+          case BinOp::kNe: emit(Op::kNe); return;
+          case BinOp::kLt: emit(Op::kLt); return;
+          case BinOp::kLe: emit(Op::kLe); return;
+          case BinOp::kGt: emit(Op::kGt); return;
+          case BinOp::kGe: emit(Op::kGe); return;
+          default: fail("unreachable binary op");
+        }
+      }
+    }
+  }
+
+  Module& module_;
+  const Program& program_;
+  Chunk chunk_;
+  std::vector<std::unordered_map<std::string, int>> scopes_;
+  int next_slot_ = 0;
+  int sync_depth_ = 0;
+  int try_depth_ = 0;
+  std::vector<LoopContext> loops_;
+  std::unordered_map<std::int64_t, int> int_index_;
+  std::unordered_map<std::string, int> string_index_;
+  std::unordered_map<std::string, int> name_index_;
+};
+
+}  // namespace
+
+Module compile(const Program& program) {
+  Module module;
+  module.program = &program;
+  // Pre-register every function so calls resolve regardless of order.
+  for (std::size_t i = 0; i < program.functions.size(); ++i)
+    module.function_index[program.functions[i].name] = static_cast<int>(i);
+  FunctionCompiler compiler(module, program);
+  module.chunks.reserve(program.functions.size());
+  for (const FuncDecl& fn : program.functions)
+    module.chunks.push_back(compiler.compile_function(fn));
+  return module;
+}
+
+namespace {
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPushInt: return "push_int";
+    case Op::kPushBool: return "push_bool";
+    case Op::kPushStr: return "push_str";
+    case Op::kPushNull: return "push_null";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kFieldGet: return "field_get";
+    case Op::kFieldSet: return "field_set";
+    case Op::kIndexGet: return "index_get";
+    case Op::kIndexSet: return "index_set";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kNot: return "not";
+    case Op::kNeg: return "neg";
+    case Op::kJump: return "jump";
+    case Op::kJumpIfFalse: return "jump_if_false";
+    case Op::kJumpIfTrue: return "jump_if_true";
+    case Op::kCall: return "call";
+    case Op::kCallBuiltin: return "call_builtin";
+    case Op::kNew: return "new";
+    case Op::kPop: return "pop";
+    case Op::kReturn: return "return";
+    case Op::kThrow: return "throw";
+    case Op::kTryPush: return "try_push";
+    case Op::kTryPop: return "try_pop";
+    case Op::kSyncEnter: return "sync_enter";
+    case Op::kSyncExit: return "sync_exit";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string disassemble(const Module& module, const Chunk& chunk) {
+  std::string out = "fn " + chunk.name + " (arity " + std::to_string(chunk.arity) +
+                    ", slots " + std::to_string(chunk.slot_count) + ")\n";
+  for (std::size_t i = 0; i < chunk.code.size(); ++i) {
+    const Insn& insn = chunk.code[i];
+    out += "  " + std::to_string(i) + ": " + op_name(insn.op);
+    switch (insn.op) {
+      case Op::kPushInt:
+        out += " " + std::to_string(module.int_pool[static_cast<std::size_t>(insn.a)]);
+        break;
+      case Op::kPushStr:
+        out += " \"" + module.string_pool[static_cast<std::size_t>(insn.a)] + "\"";
+        break;
+      case Op::kFieldGet:
+      case Op::kFieldSet:
+      case Op::kCallBuiltin:
+        out += " " + module.name_pool[static_cast<std::size_t>(insn.a)];
+        if (insn.op == Op::kCallBuiltin) out += "/" + std::to_string(insn.b);
+        break;
+      case Op::kCall:
+        out += " " + module.chunks[static_cast<std::size_t>(insn.a)].name + "/" +
+               std::to_string(insn.b);
+        break;
+      case Op::kNew:
+        out += " " + module.new_specs[static_cast<std::size_t>(insn.a)].struct_name;
+        break;
+      case Op::kLoad:
+      case Op::kStore:
+      case Op::kPushBool:
+      case Op::kJump:
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfTrue:
+      case Op::kTryPush:
+        out += " " + std::to_string(insn.a);
+        if (insn.op == Op::kTryPush) out += " slot=" + std::to_string(insn.b);
+        break;
+      default:
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lisa::minilang

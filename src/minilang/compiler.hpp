@@ -1,0 +1,21 @@
+// AST → bytecode compiler for the MiniLang VM.
+#pragma once
+
+#include <stdexcept>
+
+#include "minilang/bytecode.hpp"
+
+namespace lisa::minilang {
+
+/// Raised for constructs the compiler cannot lower (none in the current
+/// language; kept for forward compatibility) or internal inconsistencies.
+class CompileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Compiles every function of `program`. The returned Module borrows
+/// `program` (struct layouts for `new`), which must outlive it.
+[[nodiscard]] Module compile(const Program& program);
+
+}  // namespace lisa::minilang

@@ -1,0 +1,406 @@
+#include "minilang/interp.hpp"
+
+#include <utility>
+
+#include "minilang/builtins.hpp"
+#include "minilang/printer.hpp"
+
+namespace lisa::minilang {
+
+const std::unordered_set<std::string>& blocking_builtins() {
+  // Models the serialization / disk / network calls that the ZK-2201 class of
+  // incidents performs while holding a monitor.
+  static const std::unordered_set<std::string> names = {
+      "write_record", "flush_to_disk", "fsync_log", "network_send", "block_io",
+  };
+  return names;
+}
+
+Interp::Interp(const Program& program) : program_(program) {}
+
+void Interp::burn_fuel() {
+  if (++fuel_used_ > fuel_limit_)
+    throw InterpError("fuel exhausted: possible non-terminating MiniLang program");
+}
+
+bool Interp::truthy(const Value& v, const Expr& where) const {
+  if (!v.is_bool())
+    throw InterpError("condition is not a bool: " + expr_text(where));
+  return v.as_bool();
+}
+
+Value Interp::call(const std::string& function, std::vector<Value> args) {
+  const FuncDecl* fn = program_.find_function(function);
+  if (fn == nullptr) throw InterpError("unknown function: " + function);
+  return call_function(*fn, std::move(args));
+}
+
+Value Interp::call_function(const FuncDecl& fn, std::vector<Value> args) {
+  if (args.size() != fn.params.size())
+    throw InterpError("arity mismatch calling " + fn.name + ": expected " +
+                      std::to_string(fn.params.size()) + ", got " +
+                      std::to_string(args.size()));
+  if (++call_depth_ > 256) {
+    --call_depth_;
+    throw InterpError("call depth limit exceeded in " + fn.name);
+  }
+  if (observer_ != nullptr) observer_->on_call(fn);
+  if (fn.has_annotation("blocking")) {
+    now_ms_ += blocking_latency_ms_;
+    if (observer_ != nullptr) observer_->on_blocking(fn.name, sync_depth_);
+  }
+  Frame frame;
+  frame.scopes.emplace_back();
+  for (std::size_t i = 0; i < args.size(); ++i)
+    frame.scopes.back()[fn.params[i].name] = std::move(args[i]);
+  Value return_value;
+  try {
+    exec_block(fn.body, frame, return_value);
+  } catch (...) {
+    --call_depth_;
+    throw;
+  }
+  --call_depth_;
+  return return_value;
+}
+
+Interp::Flow Interp::exec_block(const std::vector<StmtPtr>& stmts, Frame& frame,
+                                Value& return_value) {
+  frame.scopes.emplace_back();
+  Flow flow = Flow::kNormal;
+  for (const StmtPtr& stmt : stmts) {
+    flow = exec_stmt(*stmt, frame, return_value);
+    if (flow != Flow::kNormal) break;
+  }
+  frame.scopes.pop_back();
+  return flow;
+}
+
+Interp::Flow Interp::exec_stmt(const Stmt& stmt, Frame& frame, Value& return_value) {
+  burn_fuel();
+  covered_.insert(stmt.id);
+  if (observer_ != nullptr) {
+    // The owning function is not threaded through; pass a sentinel-free call
+    // with the statement only via a dedicated overload would complicate the
+    // interface, so observers that need the function track on_call instead.
+    static const FuncDecl kNoFunc{};
+    observer_->on_stmt(kNoFunc, stmt);
+  }
+  switch (stmt.kind) {
+    case Stmt::Kind::kLet:
+      frame.scopes.back()[stmt.name] = eval(*stmt.expr, frame);
+      return Flow::kNormal;
+    case Stmt::Kind::kAssign:
+      assign_lvalue(*stmt.expr, eval(*stmt.expr2, frame), frame);
+      return Flow::kNormal;
+    case Stmt::Kind::kIf: {
+      if (truthy(eval(*stmt.expr, frame), *stmt.expr))
+        return exec_block(stmt.body, frame, return_value);
+      return exec_block(stmt.else_body, frame, return_value);
+    }
+    case Stmt::Kind::kWhile: {
+      while (truthy(eval(*stmt.expr, frame), *stmt.expr)) {
+        burn_fuel();
+        const Flow flow = exec_block(stmt.body, frame, return_value);
+        if (flow == Flow::kReturn) return flow;
+        if (flow == Flow::kBreak) break;
+      }
+      return Flow::kNormal;
+    }
+    case Stmt::Kind::kReturn:
+      if (stmt.expr) return_value = eval(*stmt.expr, frame);
+      return Flow::kReturn;
+    case Stmt::Kind::kThrow:
+      throw MiniThrow(eval(*stmt.expr, frame));
+    case Stmt::Kind::kExpr:
+      eval(*stmt.expr, frame);
+      return Flow::kNormal;
+    case Stmt::Kind::kSync: {
+      eval(*stmt.expr, frame);  // the monitor expression; evaluated for effect
+      ++sync_depth_;
+      Flow flow;
+      try {
+        flow = exec_block(stmt.body, frame, return_value);
+      } catch (...) {
+        --sync_depth_;
+        throw;
+      }
+      --sync_depth_;
+      return flow;
+    }
+    case Stmt::Kind::kBlock:
+      return exec_block(stmt.body, frame, return_value);
+    case Stmt::Kind::kTry: {
+      try {
+        return exec_block(stmt.body, frame, return_value);
+      } catch (const MiniThrow& thrown) {
+        frame.scopes.emplace_back();
+        frame.scopes.back()[stmt.catch_var] = thrown.value();
+        Flow flow = Flow::kNormal;
+        for (const StmtPtr& handler_stmt : stmt.else_body) {
+          flow = exec_stmt(*handler_stmt, frame, return_value);
+          if (flow != Flow::kNormal) break;
+        }
+        frame.scopes.pop_back();
+        return flow;
+      }
+    }
+    case Stmt::Kind::kBreak:
+      return Flow::kBreak;
+    case Stmt::Kind::kContinue:
+      return Flow::kContinue;
+  }
+  return Flow::kNormal;
+}
+
+Value* Interp::lookup(Frame& frame, const std::string& name) {
+  for (auto it = frame.scopes.rbegin(); it != frame.scopes.rend(); ++it) {
+    const auto found = it->find(name);
+    if (found != it->end()) return &found->second;
+  }
+  return nullptr;
+}
+
+void Interp::assign_lvalue(const Expr& lvalue, Value value, Frame& frame) {
+  switch (lvalue.kind) {
+    case Expr::Kind::kVar: {
+      Value* slot = lookup(frame, lvalue.text);
+      if (slot == nullptr) throw InterpError("assignment to undeclared variable " + lvalue.text);
+      *slot = std::move(value);
+      return;
+    }
+    case Expr::Kind::kField: {
+      const Value base = eval(*lvalue.args[0], frame);
+      if (base.is_null())
+        throw MiniThrow(Value::of_string("NullPointerException: field write ." + lvalue.text));
+      if (!base.is_object()) throw InterpError("field write on non-object");
+      base.as_object()->fields[lvalue.text] = std::move(value);
+      return;
+    }
+    case Expr::Kind::kIndex: {
+      const Value base = eval(*lvalue.args[0], frame);
+      const Value index = eval(*lvalue.args[1], frame);
+      if (base.is_list()) {
+        auto& items = *base.as_list();
+        const std::int64_t i = index.as_int();
+        if (i < 0 || static_cast<std::size_t>(i) >= items.size())
+          throw MiniThrow(Value::of_string("IndexOutOfBounds: " + std::to_string(i)));
+        items[static_cast<std::size_t>(i)] = std::move(value);
+        return;
+      }
+      if (base.is_map()) {
+        const std::string key = index.is_string() ? index.as_string()
+                                                  : std::to_string(index.as_int());
+        (*base.as_map())[key] = std::move(value);
+        return;
+      }
+      throw InterpError("index write on non-container");
+    }
+    default:
+      throw InterpError("invalid assignment target");
+  }
+}
+
+Value Interp::eval(const Expr& expr, Frame& frame) {
+  burn_fuel();
+  switch (expr.kind) {
+    case Expr::Kind::kIntLit: return Value::of_int(expr.int_value);
+    case Expr::Kind::kBoolLit: return Value::of_bool(expr.bool_value);
+    case Expr::Kind::kStrLit: return Value::of_string(expr.text);
+    case Expr::Kind::kNullLit: return Value::null();
+    case Expr::Kind::kVar: {
+      Value* slot = lookup(frame, expr.text);
+      if (slot == nullptr) throw InterpError("unknown variable: " + expr.text);
+      return *slot;
+    }
+    case Expr::Kind::kField: {
+      const Value base = eval(*expr.args[0], frame);
+      if (base.is_null())
+        throw MiniThrow(Value::of_string("NullPointerException: field read ." + expr.text));
+      if (!base.is_object()) throw InterpError("field read on non-object: ." + expr.text);
+      const auto& fields = base.as_object()->fields;
+      const auto it = fields.find(expr.text);
+      if (it == fields.end())
+        throw InterpError("object " + base.as_object()->struct_name + " has no field " +
+                          expr.text);
+      return it->second;
+    }
+    case Expr::Kind::kIndex: {
+      const Value base = eval(*expr.args[0], frame);
+      const Value index = eval(*expr.args[1], frame);
+      if (base.is_list()) {
+        const auto& items = *base.as_list();
+        const std::int64_t i = index.as_int();
+        if (i < 0 || static_cast<std::size_t>(i) >= items.size())
+          throw MiniThrow(Value::of_string("IndexOutOfBounds: " + std::to_string(i)));
+        return items[static_cast<std::size_t>(i)];
+      }
+      if (base.is_map()) {
+        const std::string key = index.is_string() ? index.as_string()
+                                                  : std::to_string(index.as_int());
+        const auto& map = *base.as_map();
+        const auto it = map.find(key);
+        return it == map.end() ? Value::null() : it->second;
+      }
+      if (base.is_null())
+        throw MiniThrow(Value::of_string("NullPointerException: index access"));
+      throw InterpError("index on non-container");
+    }
+    case Expr::Kind::kUnary: {
+      const Value operand = eval(*expr.args[0], frame);
+      if (expr.un_op == UnOp::kNot) {
+        if (!operand.is_bool()) throw InterpError("'!' on non-bool");
+        return Value::of_bool(!operand.as_bool());
+      }
+      if (!operand.is_int()) throw InterpError("unary '-' on non-int");
+      return Value::of_int(-operand.as_int());
+    }
+    case Expr::Kind::kBinary: return eval_binary(expr, frame);
+    case Expr::Kind::kCall: {
+      const FuncDecl* fn = program_.find_function(expr.text);
+      if (fn != nullptr) {
+        std::vector<Value> args;
+        args.reserve(expr.args.size());
+        for (const ExprPtr& arg : expr.args) args.push_back(eval(*arg, frame));
+        return call_function(*fn, std::move(args));
+      }
+      return call_builtin(expr.text, expr, frame);
+    }
+    case Expr::Kind::kNew: {
+      const StructDecl* decl = program_.find_struct(expr.text);
+      if (decl == nullptr) throw InterpError("unknown struct: " + expr.text);
+      auto object = std::make_shared<Object>();
+      object->struct_name = expr.text;
+      object->object_id = next_object_id_++;
+      // Default-initialize every declared field, then apply initializers.
+      for (const FieldDecl& field : decl->fields) {
+        switch (field.type->kind) {
+          case Type::Kind::kInt: object->fields[field.name] = Value::of_int(0); break;
+          case Type::Kind::kBool: object->fields[field.name] = Value::of_bool(false); break;
+          case Type::Kind::kString: object->fields[field.name] = Value::of_string(""); break;
+          case Type::Kind::kList: object->fields[field.name] = Value::new_list(); break;
+          case Type::Kind::kMap: object->fields[field.name] = Value::new_map(); break;
+          default: object->fields[field.name] = Value::null(); break;
+        }
+      }
+      for (std::size_t i = 0; i < expr.args.size(); ++i) {
+        if (decl->find_field(expr.field_names[i]) == nullptr)
+          throw InterpError("struct " + expr.text + " has no field " + expr.field_names[i]);
+        object->fields[expr.field_names[i]] = eval(*expr.args[i], frame);
+      }
+      return Value::of_object(std::move(object));
+    }
+  }
+  throw InterpError("unreachable expression kind");
+}
+
+Value Interp::eval_binary(const Expr& expr, Frame& frame) {
+  // Short-circuit operators first.
+  if (expr.bin_op == BinOp::kAnd) {
+    const Value lhs = eval(*expr.args[0], frame);
+    if (!truthy(lhs, *expr.args[0])) return Value::of_bool(false);
+    return Value::of_bool(truthy(eval(*expr.args[1], frame), *expr.args[1]));
+  }
+  if (expr.bin_op == BinOp::kOr) {
+    const Value lhs = eval(*expr.args[0], frame);
+    if (truthy(lhs, *expr.args[0])) return Value::of_bool(true);
+    return Value::of_bool(truthy(eval(*expr.args[1], frame), *expr.args[1]));
+  }
+  const Value lhs = eval(*expr.args[0], frame);
+  const Value rhs = eval(*expr.args[1], frame);
+  switch (expr.bin_op) {
+    case BinOp::kEq: return Value::of_bool(lhs.equals(rhs));
+    case BinOp::kNe: return Value::of_bool(!lhs.equals(rhs));
+    case BinOp::kAdd:
+      if (lhs.is_string() || rhs.is_string())
+        return Value::of_string(lhs.to_display() + rhs.to_display());
+      if (lhs.is_int() && rhs.is_int()) return Value::of_int(lhs.as_int() + rhs.as_int());
+      throw InterpError("'+' on incompatible operands");
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod: {
+      if (!lhs.is_int() || !rhs.is_int()) throw InterpError("arithmetic on non-int");
+      const std::int64_t a = lhs.as_int();
+      const std::int64_t b = rhs.as_int();
+      switch (expr.bin_op) {
+        case BinOp::kSub: return Value::of_int(a - b);
+        case BinOp::kMul: return Value::of_int(a * b);
+        case BinOp::kDiv:
+          if (b == 0) throw MiniThrow(Value::of_string("ArithmeticException: divide by zero"));
+          return Value::of_int(a / b);
+        default:
+          if (b == 0) throw MiniThrow(Value::of_string("ArithmeticException: mod by zero"));
+          return Value::of_int(a % b);
+      }
+    }
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      if (lhs.is_string() && rhs.is_string()) {
+        const int cmp = lhs.as_string().compare(rhs.as_string());
+        switch (expr.bin_op) {
+          case BinOp::kLt: return Value::of_bool(cmp < 0);
+          case BinOp::kLe: return Value::of_bool(cmp <= 0);
+          case BinOp::kGt: return Value::of_bool(cmp > 0);
+          default: return Value::of_bool(cmp >= 0);
+        }
+      }
+      if (!lhs.is_int() || !rhs.is_int()) throw InterpError("comparison on incompatible types");
+      const std::int64_t a = lhs.as_int();
+      const std::int64_t b = rhs.as_int();
+      switch (expr.bin_op) {
+        case BinOp::kLt: return Value::of_bool(a < b);
+        case BinOp::kLe: return Value::of_bool(a <= b);
+        case BinOp::kGt: return Value::of_bool(a > b);
+        default: return Value::of_bool(a >= b);
+      }
+    }
+    default:
+      throw InterpError("unreachable binary operator");
+  }
+}
+
+Value Interp::call_builtin(const std::string& name, const Expr& expr, Frame& frame) {
+  std::vector<Value> args;
+  args.reserve(expr.args.size());
+  for (const ExprPtr& arg : expr.args) args.push_back(eval(*arg, frame));
+  BuiltinContext context;
+  context.output = &output_;
+  context.now_ms = &now_ms_;
+  context.blocking_latency_ms = blocking_latency_ms_;
+  context.observer = observer_;
+  context.sync_depth = sync_depth_;
+  std::optional<Value> result = dispatch_builtin(name, args, context);
+  if (!result.has_value()) throw InterpError("unknown function or builtin: " + name);
+  return std::move(*result);
+}
+
+bool Interp::run_test(const std::string& test_name) {
+  last_error_.clear();
+  try {
+    call(test_name, {});
+    return true;
+  } catch (const MiniThrow& thrown) {
+    last_error_ = thrown.value().to_display();
+    return false;
+  } catch (const InterpError& error) {
+    last_error_ = error.what();
+    return false;
+  }
+}
+
+std::pair<int, int> Interp::run_all_tests() {
+  int passed = 0;
+  int failed = 0;
+  for (const FuncDecl* test : program_.functions_with("test")) {
+    if (run_test(test->name))
+      ++passed;
+    else
+      ++failed;
+  }
+  return {passed, failed};
+}
+
+}  // namespace lisa::minilang

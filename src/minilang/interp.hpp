@@ -1,0 +1,127 @@
+// Tree-walking interpreter for MiniLang.
+//
+// This is the *concrete* engine: it runs corpus programs and their @test
+// functions natively (the concolic engine in src/concolic re-implements the
+// walk with shadow symbolic state). A virtual clock and a pluggable observer
+// make executions deterministic and measurable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "minilang/ast.hpp"
+#include "minilang/value.hpp"
+
+namespace lisa::minilang {
+
+/// MiniLang-level exception (a `throw` that escaped to the host).
+class MiniThrow : public std::runtime_error {
+ public:
+  explicit MiniThrow(Value value)
+      : std::runtime_error("uncaught MiniLang exception: " + value.to_display()),
+        value_(std::move(value)) {}
+  [[nodiscard]] const Value& value() const noexcept { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// Engine-level error: type confusion, unknown function, fuel exhaustion.
+class InterpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Observation points used by coverage measurement and the runtime
+/// blocking-in-sync detector. All callbacks default to no-ops.
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+  virtual void on_stmt(const FuncDecl& fn, const Stmt& stmt) { (void)fn, (void)stmt; }
+  virtual void on_call(const FuncDecl& fn) { (void)fn; }
+  /// Fired when a blocking builtin (or @blocking function) executes.
+  /// `sync_depth` > 0 means the call happens while holding a monitor.
+  virtual void on_blocking(const std::string& name, int sync_depth) {
+    (void)name, (void)sync_depth;
+  }
+};
+
+/// Names of builtins that model blocking I/O (serialization, disk, network).
+/// These advance the virtual clock and trip the blocking-in-sync detector.
+[[nodiscard]] const std::unordered_set<std::string>& blocking_builtins();
+
+class Interp {
+ public:
+  /// `program` must outlive the interpreter.
+  explicit Interp(const Program& program);
+
+  /// Calls a MiniLang function by name. Throws MiniThrow for uncaught
+  /// MiniLang exceptions, InterpError for engine errors.
+  Value call(const std::string& function, std::vector<Value> args);
+
+  /// Runs one @test function; returns true on success, false if the test
+  /// threw. Failure detail is available via last_error().
+  bool run_test(const std::string& test_name);
+
+  /// Runs every @test function; returns (passed, failed) counts.
+  std::pair<int, int> run_all_tests();
+
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+  /// Virtual clock (milliseconds). now() in MiniLang reads this.
+  [[nodiscard]] std::int64_t now_ms() const { return now_ms_; }
+  void set_now_ms(std::int64_t ms) { now_ms_ = ms; }
+
+  /// Per-blocking-call latency added to the virtual clock.
+  void set_blocking_latency_ms(std::int64_t ms) { blocking_latency_ms_ = ms; }
+
+  /// Upper bound on executed statements per call(); guards against
+  /// non-terminating corpus programs. Default 2 million.
+  void set_fuel(std::int64_t fuel) { fuel_limit_ = fuel; }
+
+  void set_observer(ExecObserver* observer) { observer_ = observer; }
+
+  /// Output accumulated by print(); cleared by take_output().
+  [[nodiscard]] std::string take_output() { return std::exchange(output_, std::string()); }
+
+  /// Statement ids executed since construction (coverage).
+  [[nodiscard]] const std::unordered_set<int>& covered_stmts() const { return covered_; }
+
+ private:
+  struct Frame {
+    std::vector<std::unordered_map<std::string, Value>> scopes;
+  };
+  enum class Flow { kNormal, kReturn, kBreak, kContinue };
+
+  Value call_function(const FuncDecl& fn, std::vector<Value> args);
+  Flow exec_block(const std::vector<StmtPtr>& stmts, Frame& frame, Value& return_value);
+  Flow exec_stmt(const Stmt& stmt, Frame& frame, Value& return_value);
+  Value eval(const Expr& expr, Frame& frame);
+  Value eval_binary(const Expr& expr, Frame& frame);
+  Value call_builtin(const std::string& name, const Expr& expr, Frame& frame);
+  Value* lookup(Frame& frame, const std::string& name);
+  void assign_lvalue(const Expr& lvalue, Value value, Frame& frame);
+  void burn_fuel();
+  [[nodiscard]] bool truthy(const Value& v, const Expr& where) const;
+
+  const Program& program_;
+  ExecObserver* observer_ = nullptr;
+  std::string output_;
+  std::string last_error_;
+  std::int64_t now_ms_ = 0;
+  std::int64_t blocking_latency_ms_ = 5;
+  std::int64_t fuel_limit_ = 2'000'000;
+  std::int64_t fuel_used_ = 0;
+  int sync_depth_ = 0;
+  int call_depth_ = 0;
+  std::uint64_t next_object_id_ = 1;
+  std::unordered_set<int> covered_;
+};
+
+}  // namespace lisa::minilang

@@ -1,0 +1,32 @@
+// Hand-written lexer for MiniLang. Produces the full token stream up front;
+// MiniLang sources in this repository are small (hundreds of lines), so the
+// simplicity is worth more than streaming.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minilang/token.hpp"
+
+namespace lisa::minilang {
+
+/// Error thrown for malformed input (unterminated string, stray byte, ...).
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, SourceLoc loc)
+      : std::runtime_error(message + " at line " + std::to_string(loc.line) + ":" +
+                           std::to_string(loc.column)),
+        loc_(loc) {}
+  [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Tokenizes `source`; the result always ends with a kEof token.
+/// Comments run from `//` to end of line and are skipped.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace lisa::minilang

@@ -1,0 +1,515 @@
+#include "minilang/parser.hpp"
+
+#include "minilang/lexer.hpp"
+
+namespace lisa::minilang {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Program* program)
+      : tokens_(std::move(tokens)), program_(program) {}
+
+  Program parse_program(std::string_view source) {
+    Program program;
+    program.source = std::string(source);
+    program_ = &program;
+    while (!check(TokenKind::kEof)) {
+      std::vector<std::string> annotations;
+      while (accept(TokenKind::kAt)) {
+        annotations.push_back(expect(TokenKind::kIdent, "annotation name").text);
+      }
+      if (check(TokenKind::kStruct)) {
+        if (!annotations.empty()) fail("annotations are only allowed on functions");
+        program.structs.push_back(parse_struct());
+      } else if (check(TokenKind::kFn)) {
+        FuncDecl fn = parse_function();
+        fn.annotations = std::move(annotations);
+        program.functions.push_back(std::move(fn));
+      } else {
+        fail("expected 'struct' or 'fn' at top level");
+      }
+    }
+    return program;
+  }
+
+  ExprPtr parse_single_expression() {
+    ExprPtr expr = parse_expr();
+    if (!check(TokenKind::kEof)) fail("trailing tokens after expression");
+    return expr;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().kind == kind; }
+
+  const Token& advance() {
+    const Token& token = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return token;
+  }
+
+  bool accept(TokenKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+
+  const Token& expect(TokenKind kind, const std::string& what) {
+    if (!check(kind))
+      fail("expected " + what + ", found " + token_kind_name(peek().kind));
+    return advance();
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, peek().loc);
+  }
+
+  // -- Declarations ---------------------------------------------------------
+
+  StructDecl parse_struct() {
+    StructDecl decl;
+    decl.loc = peek().loc;
+    expect(TokenKind::kStruct, "'struct'");
+    decl.name = expect(TokenKind::kIdent, "struct name").text;
+    expect(TokenKind::kLBrace, "'{'");
+    while (!accept(TokenKind::kRBrace)) {
+      FieldDecl field;
+      field.name = expect(TokenKind::kIdent, "field name").text;
+      expect(TokenKind::kColon, "':'");
+      field.type = parse_type();
+      expect(TokenKind::kSemi, "';'");
+      decl.fields.push_back(std::move(field));
+    }
+    return decl;
+  }
+
+  FuncDecl parse_function() {
+    FuncDecl fn;
+    fn.loc = peek().loc;
+    expect(TokenKind::kFn, "'fn'");
+    fn.name = expect(TokenKind::kIdent, "function name").text;
+    expect(TokenKind::kLParen, "'('");
+    if (!check(TokenKind::kRParen)) {
+      do {
+        Param param;
+        param.name = expect(TokenKind::kIdent, "parameter name").text;
+        expect(TokenKind::kColon, "':'");
+        param.type = parse_type();
+        fn.params.push_back(std::move(param));
+      } while (accept(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen, "')'");
+    if (accept(TokenKind::kArrow)) {
+      fn.return_type = parse_type();
+    } else {
+      fn.return_type = Type::make_void();
+    }
+    fn.body = parse_block();
+    return fn;
+  }
+
+  TypePtr parse_type() {
+    TypePtr base;
+    const Token& token = peek();
+    if (token.kind == TokenKind::kIdent) {
+      const std::string& name = token.text;
+      if (name == "int") {
+        advance();
+        base = Type::make_int();
+      } else if (name == "bool") {
+        advance();
+        base = Type::make_bool();
+      } else if (name == "string") {
+        advance();
+        base = Type::make_string();
+      } else if (name == "void") {
+        advance();
+        base = Type::make_void();
+      } else if (name == "any") {
+        advance();
+        base = Type::make_any();
+      } else if (name == "list") {
+        advance();
+        expect(TokenKind::kLt, "'<'");
+        TypePtr elem = parse_type();
+        expect(TokenKind::kGt, "'>'");
+        base = Type::make_list(std::move(elem));
+      } else if (name == "map") {
+        advance();
+        expect(TokenKind::kLt, "'<'");
+        TypePtr key = parse_type();
+        expect(TokenKind::kComma, "','");
+        TypePtr value = parse_type();
+        expect(TokenKind::kGt, "'>'");
+        base = Type::make_map(std::move(key), std::move(value));
+      } else {
+        advance();
+        base = Type::make_struct(name, /*nullable=*/false);
+      }
+    } else {
+      fail("expected type name");
+    }
+    if (accept(TokenKind::kQuestion)) return Type::as_nullable(base);
+    return base;
+  }
+
+  // -- Statements -----------------------------------------------------------
+
+  std::vector<StmtPtr> parse_block() {
+    expect(TokenKind::kLBrace, "'{'");
+    std::vector<StmtPtr> stmts;
+    while (!accept(TokenKind::kRBrace)) stmts.push_back(parse_stmt());
+    return stmts;
+  }
+
+  StmtPtr make_stmt(Stmt::Kind kind, SourceLoc loc) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = kind;
+    stmt->loc = loc;
+    stmt->id = program_ ? program_->next_stmt_id++ : -1;
+    return stmt;
+  }
+
+  StmtPtr parse_stmt() {
+    const SourceLoc loc = peek().loc;
+    switch (peek().kind) {
+      case TokenKind::kLet: {
+        advance();
+        StmtPtr stmt = make_stmt(Stmt::Kind::kLet, loc);
+        stmt->name = expect(TokenKind::kIdent, "variable name").text;
+        if (accept(TokenKind::kColon)) stmt->declared_type = parse_type();
+        expect(TokenKind::kAssign, "'='");
+        stmt->expr = parse_expr();
+        expect(TokenKind::kSemi, "';'");
+        return stmt;
+      }
+      case TokenKind::kIf: {
+        advance();
+        StmtPtr stmt = make_stmt(Stmt::Kind::kIf, loc);
+        expect(TokenKind::kLParen, "'('");
+        stmt->expr = parse_expr();
+        expect(TokenKind::kRParen, "')'");
+        stmt->body = parse_block();
+        if (accept(TokenKind::kElse)) {
+          if (check(TokenKind::kIf)) {
+            stmt->else_body.push_back(parse_stmt());
+          } else {
+            stmt->else_body = parse_block();
+          }
+        }
+        return stmt;
+      }
+      case TokenKind::kWhile: {
+        advance();
+        StmtPtr stmt = make_stmt(Stmt::Kind::kWhile, loc);
+        expect(TokenKind::kLParen, "'('");
+        stmt->expr = parse_expr();
+        expect(TokenKind::kRParen, "')'");
+        stmt->body = parse_block();
+        return stmt;
+      }
+      case TokenKind::kSync: {
+        advance();
+        StmtPtr stmt = make_stmt(Stmt::Kind::kSync, loc);
+        expect(TokenKind::kLParen, "'('");
+        stmt->expr = parse_expr();
+        expect(TokenKind::kRParen, "')'");
+        stmt->body = parse_block();
+        return stmt;
+      }
+      case TokenKind::kReturn: {
+        advance();
+        StmtPtr stmt = make_stmt(Stmt::Kind::kReturn, loc);
+        if (!check(TokenKind::kSemi)) stmt->expr = parse_expr();
+        expect(TokenKind::kSemi, "';'");
+        return stmt;
+      }
+      case TokenKind::kThrow: {
+        advance();
+        StmtPtr stmt = make_stmt(Stmt::Kind::kThrow, loc);
+        stmt->expr = parse_expr();
+        expect(TokenKind::kSemi, "';'");
+        return stmt;
+      }
+      case TokenKind::kTry: {
+        advance();
+        StmtPtr stmt = make_stmt(Stmt::Kind::kTry, loc);
+        stmt->body = parse_block();
+        expect(TokenKind::kCatch, "'catch'");
+        expect(TokenKind::kLParen, "'('");
+        stmt->catch_var = expect(TokenKind::kIdent, "catch variable").text;
+        expect(TokenKind::kRParen, "')'");
+        stmt->else_body = parse_block();
+        return stmt;
+      }
+      case TokenKind::kBreak: {
+        advance();
+        expect(TokenKind::kSemi, "';'");
+        return make_stmt(Stmt::Kind::kBreak, loc);
+      }
+      case TokenKind::kContinue: {
+        advance();
+        expect(TokenKind::kSemi, "';'");
+        return make_stmt(Stmt::Kind::kContinue, loc);
+      }
+      case TokenKind::kLBrace: {
+        StmtPtr stmt = make_stmt(Stmt::Kind::kBlock, loc);
+        stmt->body = parse_block();
+        return stmt;
+      }
+      default: {
+        // Either an assignment (lvalue = rhs;) or a bare expression statement.
+        ExprPtr expr = parse_expr();
+        if (accept(TokenKind::kAssign)) {
+          if (expr->kind != Expr::Kind::kVar && expr->kind != Expr::Kind::kField &&
+              expr->kind != Expr::Kind::kIndex)
+            fail("left side of '=' is not assignable");
+          StmtPtr stmt = make_stmt(Stmt::Kind::kAssign, loc);
+          stmt->expr = std::move(expr);
+          stmt->expr2 = parse_expr();
+          expect(TokenKind::kSemi, "';'");
+          return stmt;
+        }
+        StmtPtr stmt = make_stmt(Stmt::Kind::kExpr, loc);
+        stmt->expr = std::move(expr);
+        expect(TokenKind::kSemi, "';'");
+        return stmt;
+      }
+    }
+  }
+
+  // -- Expressions ----------------------------------------------------------
+  // Precedence (low→high): || , && , ==/!= , relational , +/- , * / % , unary,
+  // postfix (call/field/index), primary.
+
+  ExprPtr make_expr(Expr::Kind kind, SourceLoc loc) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = kind;
+    expr->loc = loc;
+    return expr;
+  }
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr binary(ExprPtr lhs, BinOp op, ExprPtr rhs) {
+    auto expr = make_expr(Expr::Kind::kBinary, lhs->loc);
+    expr->bin_op = op;
+    expr->args.push_back(std::move(lhs));
+    expr->args.push_back(std::move(rhs));
+    return expr;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (accept(TokenKind::kOrOr)) lhs = binary(std::move(lhs), BinOp::kOr, parse_and());
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_equality();
+    while (accept(TokenKind::kAndAnd))
+      lhs = binary(std::move(lhs), BinOp::kAnd, parse_equality());
+    return lhs;
+  }
+
+  ExprPtr parse_equality() {
+    ExprPtr lhs = parse_relational();
+    while (true) {
+      if (accept(TokenKind::kEq))
+        lhs = binary(std::move(lhs), BinOp::kEq, parse_relational());
+      else if (accept(TokenKind::kNe))
+        lhs = binary(std::move(lhs), BinOp::kNe, parse_relational());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr lhs = parse_additive();
+    while (true) {
+      if (accept(TokenKind::kLt))
+        lhs = binary(std::move(lhs), BinOp::kLt, parse_additive());
+      else if (accept(TokenKind::kLe))
+        lhs = binary(std::move(lhs), BinOp::kLe, parse_additive());
+      else if (accept(TokenKind::kGt))
+        lhs = binary(std::move(lhs), BinOp::kGt, parse_additive());
+      else if (accept(TokenKind::kGe))
+        lhs = binary(std::move(lhs), BinOp::kGe, parse_additive());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (true) {
+      if (accept(TokenKind::kPlus))
+        lhs = binary(std::move(lhs), BinOp::kAdd, parse_multiplicative());
+      else if (accept(TokenKind::kMinus))
+        lhs = binary(std::move(lhs), BinOp::kSub, parse_multiplicative());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (true) {
+      if (accept(TokenKind::kStar))
+        lhs = binary(std::move(lhs), BinOp::kMul, parse_unary());
+      else if (accept(TokenKind::kSlash))
+        lhs = binary(std::move(lhs), BinOp::kDiv, parse_unary());
+      else if (accept(TokenKind::kPercent))
+        lhs = binary(std::move(lhs), BinOp::kMod, parse_unary());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr parse_unary() {
+    const SourceLoc loc = peek().loc;
+    if (accept(TokenKind::kBang)) {
+      auto expr = make_expr(Expr::Kind::kUnary, loc);
+      expr->un_op = UnOp::kNot;
+      expr->args.push_back(parse_unary());
+      return expr;
+    }
+    if (accept(TokenKind::kMinus)) {
+      auto expr = make_expr(Expr::Kind::kUnary, loc);
+      expr->un_op = UnOp::kNeg;
+      expr->args.push_back(parse_unary());
+      return expr;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr expr = parse_primary();
+    while (true) {
+      const SourceLoc loc = peek().loc;
+      if (accept(TokenKind::kDot)) {
+        const std::string member = expect(TokenKind::kIdent, "member name").text;
+        if (check(TokenKind::kLParen)) {
+          // Method-call sugar: `recv.f(a, b)` desugars to `f(recv, a, b)`.
+          auto call = make_expr(Expr::Kind::kCall, loc);
+          call->text = member;
+          call->args.push_back(std::move(expr));
+          parse_call_args(*call);
+          expr = std::move(call);
+        } else {
+          auto field = make_expr(Expr::Kind::kField, loc);
+          field->text = member;
+          field->args.push_back(std::move(expr));
+          expr = std::move(field);
+        }
+      } else if (accept(TokenKind::kLBracket)) {
+        auto index = make_expr(Expr::Kind::kIndex, loc);
+        index->args.push_back(std::move(expr));
+        index->args.push_back(parse_expr());
+        expect(TokenKind::kRBracket, "']'");
+        expr = std::move(index);
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  void parse_call_args(Expr& call) {
+    expect(TokenKind::kLParen, "'('");
+    if (!check(TokenKind::kRParen)) {
+      do {
+        call.args.push_back(parse_expr());
+      } while (accept(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen, "')'");
+  }
+
+  ExprPtr parse_primary() {
+    const Token& token = peek();
+    const SourceLoc loc = token.loc;
+    switch (token.kind) {
+      case TokenKind::kIntLit: {
+        advance();
+        auto expr = make_expr(Expr::Kind::kIntLit, loc);
+        expr->int_value = token.int_value;
+        return expr;
+      }
+      case TokenKind::kStrLit: {
+        advance();
+        auto expr = make_expr(Expr::Kind::kStrLit, loc);
+        expr->text = token.text;
+        return expr;
+      }
+      case TokenKind::kTrue:
+      case TokenKind::kFalse: {
+        const bool value = token.kind == TokenKind::kTrue;
+        advance();
+        auto expr = make_expr(Expr::Kind::kBoolLit, loc);
+        expr->bool_value = value;
+        return expr;
+      }
+      case TokenKind::kNull:
+        advance();
+        return make_expr(Expr::Kind::kNullLit, loc);
+      case TokenKind::kNew: {
+        advance();
+        auto expr = make_expr(Expr::Kind::kNew, loc);
+        expr->text = expect(TokenKind::kIdent, "struct name").text;
+        expect(TokenKind::kLBrace, "'{'");
+        if (!check(TokenKind::kRBrace)) {
+          do {
+            expr->field_names.push_back(expect(TokenKind::kIdent, "field name").text);
+            expect(TokenKind::kColon, "':'");
+            expr->args.push_back(parse_expr());
+          } while (accept(TokenKind::kComma));
+        }
+        expect(TokenKind::kRBrace, "'}'");
+        return expr;
+      }
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr expr = parse_expr();
+        expect(TokenKind::kRParen, "')'");
+        return expr;
+      }
+      case TokenKind::kIdent: {
+        const std::string name = token.text;
+        advance();
+        if (check(TokenKind::kLParen)) {
+          auto call = make_expr(Expr::Kind::kCall, loc);
+          call->text = name;
+          parse_call_args(*call);
+          return call;
+        }
+        auto var = make_expr(Expr::Kind::kVar, loc);
+        var->text = name;
+        return var;
+      }
+      default:
+        fail(std::string("expected expression, found ") + token_kind_name(token.kind));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Program* program_;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  Parser parser(lex(source), nullptr);
+  return parser.parse_program(source);
+}
+
+ExprPtr parse_expression(std::string_view source) {
+  Parser parser(lex(source), nullptr);
+  return parser.parse_single_expression();
+}
+
+}  // namespace lisa::minilang

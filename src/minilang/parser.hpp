@@ -1,0 +1,33 @@
+// Recursive-descent parser for MiniLang.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "minilang/ast.hpp"
+
+namespace lisa::minilang {
+
+/// Error thrown for syntactically invalid programs.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, SourceLoc loc)
+      : std::runtime_error(message + " at line " + std::to_string(loc.line) + ":" +
+                           std::to_string(loc.column)),
+        loc_(loc) {}
+  [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Parses a complete MiniLang compilation unit.
+/// Throws LexError / ParseError on malformed input.
+[[nodiscard]] Program parse(std::string_view source);
+
+/// Parses a single expression (used by the contract translator to turn
+/// condition strings like `s != null && s.is_closing == false` into ASTs).
+[[nodiscard]] ExprPtr parse_expression(std::string_view source);
+
+}  // namespace lisa::minilang

@@ -1,0 +1,269 @@
+#include "minilang/printer.hpp"
+
+namespace lisa::minilang {
+namespace {
+
+void append_expr(std::string& out, const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kIntLit:
+      out += std::to_string(expr.int_value);
+      return;
+    case Expr::Kind::kBoolLit:
+      out += expr.bool_value ? "true" : "false";
+      return;
+    case Expr::Kind::kStrLit: {
+      out.push_back('"');
+      for (char c : expr.text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out.push_back(c);
+        }
+      }
+      out.push_back('"');
+      return;
+    }
+    case Expr::Kind::kNullLit:
+      out += "null";
+      return;
+    case Expr::Kind::kVar:
+      out += expr.text;
+      return;
+    case Expr::Kind::kField:
+      append_expr(out, *expr.args[0]);
+      out.push_back('.');
+      out += expr.text;
+      return;
+    case Expr::Kind::kIndex:
+      append_expr(out, *expr.args[0]);
+      out.push_back('[');
+      append_expr(out, *expr.args[1]);
+      out.push_back(']');
+      return;
+    case Expr::Kind::kUnary:
+      out += expr.un_op == UnOp::kNot ? "!" : "-";
+      out.push_back('(');
+      append_expr(out, *expr.args[0]);
+      out.push_back(')');
+      return;
+    case Expr::Kind::kBinary:
+      out.push_back('(');
+      append_expr(out, *expr.args[0]);
+      out.push_back(' ');
+      out += bin_op_text(expr.bin_op);
+      out.push_back(' ');
+      append_expr(out, *expr.args[1]);
+      out.push_back(')');
+      return;
+    case Expr::Kind::kCall: {
+      out += expr.text;
+      out.push_back('(');
+      for (std::size_t i = 0; i < expr.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        append_expr(out, *expr.args[i]);
+      }
+      out.push_back(')');
+      return;
+    }
+    case Expr::Kind::kNew: {
+      out += "new ";
+      out += expr.text;
+      out += " { ";
+      for (std::size_t i = 0; i < expr.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += expr.field_names[i];
+        out += ": ";
+        append_expr(out, *expr.args[i]);
+      }
+      out += " }";
+      return;
+    }
+  }
+}
+
+void append_stmt_header(std::string& out, const Stmt& stmt) {
+  switch (stmt.kind) {
+    case Stmt::Kind::kLet:
+      out += "let ";
+      out += stmt.name;
+      if (stmt.declared_type) {
+        out += ": ";
+        out += stmt.declared_type->to_string();
+      }
+      out += " = ";
+      append_expr(out, *stmt.expr);
+      out.push_back(';');
+      return;
+    case Stmt::Kind::kAssign:
+      append_expr(out, *stmt.expr);
+      out += " = ";
+      append_expr(out, *stmt.expr2);
+      out.push_back(';');
+      return;
+    case Stmt::Kind::kIf:
+      out += "if (";
+      append_expr(out, *stmt.expr);
+      out.push_back(')');
+      return;
+    case Stmt::Kind::kWhile:
+      out += "while (";
+      append_expr(out, *stmt.expr);
+      out.push_back(')');
+      return;
+    case Stmt::Kind::kReturn:
+      out += "return";
+      if (stmt.expr) {
+        out.push_back(' ');
+        append_expr(out, *stmt.expr);
+      }
+      out.push_back(';');
+      return;
+    case Stmt::Kind::kThrow:
+      out += "throw ";
+      append_expr(out, *stmt.expr);
+      out.push_back(';');
+      return;
+    case Stmt::Kind::kExpr:
+      append_expr(out, *stmt.expr);
+      out.push_back(';');
+      return;
+    case Stmt::Kind::kSync:
+      out += "sync (";
+      append_expr(out, *stmt.expr);
+      out.push_back(')');
+      return;
+    case Stmt::Kind::kBlock:
+      out.push_back('{');
+      return;
+    case Stmt::Kind::kTry:
+      out += "try";
+      return;
+    case Stmt::Kind::kBreak:
+      out += "break;";
+      return;
+    case Stmt::Kind::kContinue:
+      out += "continue;";
+      return;
+  }
+}
+
+void append_block(std::string& out, const std::vector<StmtPtr>& stmts, int depth);
+
+void append_stmt(std::string& out, const Stmt& stmt, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out += indent;
+  append_stmt_header(out, stmt);
+  switch (stmt.kind) {
+    case Stmt::Kind::kIf:
+      out += " {\n";
+      append_block(out, stmt.body, depth + 1);
+      out += indent;
+      out.push_back('}');
+      if (!stmt.else_body.empty()) {
+        out += " else {\n";
+        append_block(out, stmt.else_body, depth + 1);
+        out += indent;
+        out.push_back('}');
+      }
+      out.push_back('\n');
+      return;
+    case Stmt::Kind::kWhile:
+    case Stmt::Kind::kSync:
+      out += " {\n";
+      append_block(out, stmt.body, depth + 1);
+      out += indent;
+      out += "}\n";
+      return;
+    case Stmt::Kind::kBlock:
+      out.push_back('\n');
+      append_block(out, stmt.body, depth + 1);
+      out += indent;
+      out += "}\n";
+      return;
+    case Stmt::Kind::kTry:
+      out += " {\n";
+      append_block(out, stmt.body, depth + 1);
+      out += indent;
+      out += "} catch (";
+      out += stmt.catch_var;
+      out += ") {\n";
+      append_block(out, stmt.else_body, depth + 1);
+      out += indent;
+      out += "}\n";
+      return;
+    default:
+      out.push_back('\n');
+      return;
+  }
+}
+
+void append_block(std::string& out, const std::vector<StmtPtr>& stmts, int depth) {
+  for (const StmtPtr& stmt : stmts) append_stmt(out, *stmt, depth);
+}
+
+}  // namespace
+
+std::string expr_text(const Expr& expr) {
+  std::string out;
+  append_expr(out, expr);
+  return out;
+}
+
+std::string stmt_header_text(const Stmt& stmt) {
+  std::string out;
+  append_stmt_header(out, stmt);
+  return out;
+}
+
+std::string function_text(const FuncDecl& fn) {
+  std::string out;
+  for (const std::string& annotation : fn.annotations) {
+    out.push_back('@');
+    out += annotation;
+    out.push_back('\n');
+  }
+  out += "fn ";
+  out += fn.name;
+  out.push_back('(');
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fn.params[i].name;
+    out += ": ";
+    out += fn.params[i].type->to_string();
+  }
+  out.push_back(')');
+  if (fn.return_type && fn.return_type->kind != Type::Kind::kVoid) {
+    out += " -> ";
+    out += fn.return_type->to_string();
+  }
+  out += " {\n";
+  append_block(out, fn.body, 1);
+  out += "}\n";
+  return out;
+}
+
+std::string program_text(const Program& program) {
+  std::string out;
+  for (const StructDecl& s : program.structs) {
+    out += "struct ";
+    out += s.name;
+    out += " {\n";
+    for (const FieldDecl& field : s.fields) {
+      out += "  ";
+      out += field.name;
+      out += ": ";
+      out += field.type->to_string();
+      out += ";\n";
+    }
+    out += "}\n\n";
+  }
+  for (const FuncDecl& fn : program.functions) {
+    out += function_text(fn);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace lisa::minilang

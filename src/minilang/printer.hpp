@@ -1,0 +1,30 @@
+// Canonical source rendering of MiniLang ASTs.
+//
+// Statement/expression texts produced here are the *identity* used throughout
+// LISA: the structural diff engine compares canonical statement texts between
+// program versions, and semantic contracts name their target statement by a
+// canonical-text fragment (mirroring the paper's "target statement: the code
+// statement where the condition should be checked").
+#pragma once
+
+#include <string>
+
+#include "minilang/ast.hpp"
+
+namespace lisa::minilang {
+
+/// Canonical one-line rendering of an expression, fully parenthesized for
+/// binary operators so the text is unambiguous.
+[[nodiscard]] std::string expr_text(const Expr& expr);
+
+/// Canonical one-line header of a statement — the part before any nested
+/// block, e.g. `if (s.is_closing)`, `let n: int = 0;`, `create(path, s);`.
+[[nodiscard]] std::string stmt_header_text(const Stmt& stmt);
+
+/// Full pretty-printed function (signature + body).
+[[nodiscard]] std::string function_text(const FuncDecl& fn);
+
+/// Full pretty-printed program; parse(print(p)) is structurally equal to p.
+[[nodiscard]] std::string program_text(const Program& program);
+
+}  // namespace lisa::minilang

@@ -1,0 +1,29 @@
+// Lightweight semantic checker for MiniLang programs.
+//
+// Catches the errors that matter when authoring corpus programs: references
+// to unknown variables, functions, structs and struct fields. It is not a
+// full type checker — the interpreter enforces dynamic typing at run time —
+// but it turns most authoring mistakes into parse-time diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minilang/ast.hpp"
+
+namespace lisa::minilang {
+
+struct Diagnostic {
+  SourceLoc loc;
+  std::string message;
+  std::string function;  // enclosing function, if any
+};
+
+/// Checks `program`; returns all diagnostics found (empty means clean).
+[[nodiscard]] std::vector<Diagnostic> check(const Program& program);
+
+/// Convenience: parse + check, throwing InterpError-style std::runtime_error
+/// with the first diagnostic if the program is not clean.
+[[nodiscard]] Program parse_checked(std::string_view source);
+
+}  // namespace lisa::minilang

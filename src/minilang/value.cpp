@@ -1,0 +1,54 @@
+#include "minilang/value.hpp"
+
+namespace lisa::minilang {
+
+bool Value::equals(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_int() && other.is_int()) return as_int() == other.as_int();
+  if (is_bool() && other.is_bool()) return as_bool() == other.as_bool();
+  if (is_string() && other.is_string()) return as_string() == other.as_string();
+  if (is_object() && other.is_object()) return as_object() == other.as_object();
+  if (is_list() && other.is_list()) return as_list() == other.as_list();
+  if (is_map() && other.is_map()) return as_map() == other.as_map();
+  return false;
+}
+
+std::string Value::to_display() const {
+  if (is_null()) return "null";
+  if (is_int()) return std::to_string(as_int());
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_string()) return as_string();
+  if (is_object()) {
+    const ObjectPtr& object = as_object();
+    std::string out = object->struct_name + "{";
+    bool first = true;
+    // Render in sorted order for determinism.
+    std::map<std::string, const Value*> sorted;
+    for (const auto& [name, value] : object->fields) sorted[name] = &value;
+    for (const auto& [name, value] : sorted) {
+      if (!first) out += ", ";
+      first = false;
+      out += name + ": " + value->to_display();
+    }
+    return out + "}";
+  }
+  if (is_list()) {
+    std::string out = "[";
+    const auto& items = *as_list();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += items[i].to_display();
+    }
+    return out + "]";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : *as_map()) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + ": " + value.to_display();
+  }
+  return out + "}";
+}
+
+}  // namespace lisa::minilang

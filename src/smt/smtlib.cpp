@@ -1,0 +1,90 @@
+#include "smt/smtlib.hpp"
+
+#include <map>
+#include <set>
+
+namespace lisa::smt {
+
+namespace {
+
+/// SMT-LIB symbols cannot contain '.', '#', ':' — quote with pipes.
+std::string symbol(const std::string& name) { return "|" + name + "|"; }
+
+/// Whether a variable is used as Bool (boolean atom) or Int (comparison).
+void collect_sorts(const FormulaPtr& f, std::map<std::string, bool>* is_int) {
+  switch (f->kind) {
+    case Formula::Kind::kAtom: {
+      const Atom& atom = f->atom;
+      if (atom.kind == Atom::Kind::kBoolVar) {
+        is_int->emplace(atom.lhs, false);
+      } else {
+        (*is_int)[atom.lhs] = true;
+        if (atom.kind == Atom::Kind::kCmpVar) (*is_int)[atom.rhs_var] = true;
+      }
+      return;
+    }
+    default:
+      for (const FormulaPtr& child : f->children) collect_sorts(child, is_int);
+  }
+}
+
+std::string render(const FormulaPtr& f) {
+  switch (f->kind) {
+    case Formula::Kind::kTrue: return "true";
+    case Formula::Kind::kFalse: return "false";
+    case Formula::Kind::kNot: return "(not " + render(f->children[0]) + ")";
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::string out = f->kind == Formula::Kind::kAnd ? "(and" : "(or";
+      for (const FormulaPtr& child : f->children) out += " " + render(child);
+      return out + ")";
+    }
+    case Formula::Kind::kAtom: {
+      const Atom& atom = f->atom;
+      if (atom.kind == Atom::Kind::kBoolVar) return symbol(atom.lhs);
+      const std::string rhs = atom.kind == Atom::Kind::kCmpConst
+                                  ? (atom.rhs_const < 0
+                                         ? "(- " + std::to_string(-atom.rhs_const) + ")"
+                                         : std::to_string(atom.rhs_const))
+                                  : symbol(atom.rhs_var);
+      const std::string lhs = symbol(atom.lhs);
+      switch (atom.op) {
+        case CmpOp::kEq: return "(= " + lhs + " " + rhs + ")";
+        case CmpOp::kNe: return "(not (= " + lhs + " " + rhs + "))";
+        case CmpOp::kLt: return "(< " + lhs + " " + rhs + ")";
+        case CmpOp::kLe: return "(<= " + lhs + " " + rhs + ")";
+        case CmpOp::kGt: return "(> " + lhs + " " + rhs + ")";
+        case CmpOp::kGe: return "(>= " + lhs + " " + rhs + ")";
+      }
+      return "true";
+    }
+  }
+  return "true";
+}
+
+std::string declarations(const FormulaPtr& f) {
+  std::map<std::string, bool> is_int;
+  collect_sorts(f, &is_int);
+  std::string out;
+  for (const auto& [name, as_int] : is_int)
+    out += "(declare-const " + symbol(name) + (as_int ? " Int)\n" : " Bool)\n");
+  return out;
+}
+
+}  // namespace
+
+std::string to_smtlib(const FormulaPtr& f) {
+  std::string out = "(set-logic QF_LIA)\n";
+  out += declarations(f);
+  out += "(assert " + render(f) + ")\n(check-sat)\n(get-model)\n";
+  return out;
+}
+
+std::string complement_query_smtlib(const FormulaPtr& trace, const FormulaPtr& checker) {
+  const FormulaPtr query = Formula::conj2(trace, Formula::negate(checker));
+  std::string out = "; LISA complement check: sat => the trace violates the checker\n";
+  out += to_smtlib(query);
+  return out;
+}
+
+}  // namespace lisa::smt

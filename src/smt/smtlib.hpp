@@ -1,0 +1,24 @@
+// SMT-LIB 2 export.
+//
+// The mini solver decides the contract fragment natively, but every query it
+// answers can also be exported as an SMT-LIB 2 script so results are
+// cross-checkable against a real Z3 where one is available (the paper's
+// actual backend). Boolean variables become Bool constants, integer path
+// variables become Int constants, and nullness indicators stay Bool.
+#pragma once
+
+#include <string>
+
+#include "smt/formula.hpp"
+
+namespace lisa::smt {
+
+/// Renders `f` as a complete SMT-LIB 2 script: declarations for every
+/// variable, one (assert ...), and (check-sat).
+[[nodiscard]] std::string to_smtlib(const FormulaPtr& f);
+
+/// Renders the §3.2 complement query `trace ∧ ¬checker` (sat = violation).
+[[nodiscard]] std::string complement_query_smtlib(const FormulaPtr& trace,
+                                                  const FormulaPtr& checker);
+
+}  // namespace lisa::smt

@@ -1,0 +1,473 @@
+#include "smt/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace lisa::smt {
+
+std::string Model::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : bools) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + " = " + (value ? "true" : "false");
+  }
+  for (const auto& [name, value] : ints) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + " = " + std::to_string(value);
+  }
+  return out + "}";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitive atoms: boolean variables and difference bounds a - b <= k.
+// An empty variable name denotes the distinguished ZERO variable.
+// ---------------------------------------------------------------------------
+
+struct Primitive {
+  bool is_diff = false;
+  std::string name;  // boolean variable name (is_diff == false)
+  std::string a, b;  // difference constraint a - b <= k (is_diff == true)
+  std::int64_t k = 0;
+
+  [[nodiscard]] std::string key() const {
+    if (!is_diff) return "b:" + name;
+    return "d:" + a + "|" + b + "|" + std::to_string(k);
+  }
+};
+
+class PrimitiveTable {
+ public:
+  int intern(const Primitive& primitive) {
+    const std::string key = primitive.key();
+    const auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const int id = static_cast<int>(primitives_.size());
+    primitives_.push_back(primitive);
+    index_.emplace(key, id);
+    return id;
+  }
+
+  [[nodiscard]] const Primitive& at(int id) const {
+    return primitives_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] int size() const { return static_cast<int>(primitives_.size()); }
+
+ private:
+  std::vector<Primitive> primitives_;
+  std::unordered_map<std::string, int> index_;
+};
+
+// Lowered formula: same tree shape but every atom replaced by a primitive
+// literal (positive or negative primitive id).
+struct LNode {
+  enum class Kind { kTrue, kFalse, kLit, kAnd, kOr };
+  Kind kind = Kind::kTrue;
+  int lit = 0;  // kLit: primitive id + 1, negative for negated occurrence
+  std::vector<LNode> children;
+};
+
+LNode make_lit(int primitive_id, bool positive) {
+  LNode node;
+  node.kind = LNode::Kind::kLit;
+  node.lit = positive ? primitive_id + 1 : -(primitive_id + 1);
+  return node;
+}
+
+LNode make_bool_node(bool value) {
+  LNode node;
+  node.kind = value ? LNode::Kind::kTrue : LNode::Kind::kFalse;
+  return node;
+}
+
+/// Lowers one comparison atom into difference-bound structure.
+/// For x ⋈ c:   x - ZERO ⋈ c.  For x ⋈ y:  x - y ⋈ 0.
+LNode lower_cmp(PrimitiveTable& table, const std::string& lhs, CmpOp op,
+                const std::string& rhs_var, std::int64_t rhs_const) {
+  const auto diff_le = [&](const std::string& a, const std::string& b, std::int64_t k) {
+    Primitive primitive;
+    primitive.is_diff = true;
+    primitive.a = a;
+    primitive.b = b;
+    primitive.k = k;
+    return table.intern(primitive);
+  };
+  // a - b <= k primitives for the four basic shapes.
+  const std::string& y = rhs_var;  // empty when comparing against a constant
+  const std::int64_t c = rhs_const;
+  const auto le = [&] { return make_lit(diff_le(lhs, y, y.empty() ? c : 0), true); };
+  const auto ge = [&] {
+    return make_lit(diff_le(y, lhs, y.empty() ? -c : 0), true);
+  };
+  const auto lt = [&] { return make_lit(diff_le(lhs, y, (y.empty() ? c : 0) - 1), true); };
+  const auto gt = [&] {
+    return make_lit(diff_le(y, lhs, (y.empty() ? -c : 0) - 1), true);
+  };
+  switch (op) {
+    case CmpOp::kLe: return le();
+    case CmpOp::kGe: return ge();
+    case CmpOp::kLt: return lt();
+    case CmpOp::kGt: return gt();
+    case CmpOp::kEq: {
+      LNode node;
+      node.kind = LNode::Kind::kAnd;
+      node.children.push_back(le());
+      node.children.push_back(ge());
+      return node;
+    }
+    case CmpOp::kNe: {
+      LNode node;
+      node.kind = LNode::Kind::kOr;
+      node.children.push_back(lt());
+      node.children.push_back(gt());
+      return node;
+    }
+  }
+  return make_bool_node(true);
+}
+
+LNode lower(PrimitiveTable& table, const FormulaPtr& f, bool negated) {
+  switch (f->kind) {
+    case Formula::Kind::kTrue: return make_bool_node(!negated);
+    case Formula::Kind::kFalse: return make_bool_node(negated);
+    case Formula::Kind::kNot: return lower(table, f->children[0], !negated);
+    case Formula::Kind::kAtom: {
+      const Atom& atom = f->atom;
+      if (atom.kind == Atom::Kind::kBoolVar) {
+        Primitive primitive;
+        primitive.is_diff = false;
+        primitive.name = atom.lhs;
+        return make_lit(table.intern(primitive), !negated);
+      }
+      const CmpOp op = negated ? cmp_negate(atom.op) : atom.op;
+      const std::string rhs_var =
+          atom.kind == Atom::Kind::kCmpVar ? atom.rhs_var : std::string();
+      return lower_cmp(table, atom.lhs, op, rhs_var, atom.rhs_const);
+    }
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      LNode node;
+      const bool is_and = (f->kind == Formula::Kind::kAnd) != negated;
+      node.kind = is_and ? LNode::Kind::kAnd : LNode::Kind::kOr;
+      for (const FormulaPtr& child : f->children) {
+        LNode lowered = lower(table, child, negated);
+        if (lowered.kind == LNode::Kind::kTrue) {
+          if (!is_and) return make_bool_node(true);
+          continue;
+        }
+        if (lowered.kind == LNode::Kind::kFalse) {
+          if (is_and) return make_bool_node(false);
+          continue;
+        }
+        node.children.push_back(std::move(lowered));
+      }
+      if (node.children.empty()) return make_bool_node(is_and);
+      if (node.children.size() == 1) return std::move(node.children[0]);
+      return node;
+    }
+  }
+  return make_bool_node(true);
+}
+
+// ---------------------------------------------------------------------------
+// Tseitin encoding.
+// ---------------------------------------------------------------------------
+
+class Cnf {
+ public:
+  explicit Cnf(int primitive_count) : var_count_(primitive_count) {}
+
+  int fresh_var() { return var_count_++; }
+
+  void add_clause(std::vector<int> literals) { clauses_.push_back(std::move(literals)); }
+
+  /// Returns the literal representing `node`, adding definition clauses.
+  int encode(const LNode& node) {
+    switch (node.kind) {
+      case LNode::Kind::kTrue: {
+        const int v = fresh_var() + 1;
+        add_clause({v});
+        return v;
+      }
+      case LNode::Kind::kFalse: {
+        const int v = fresh_var() + 1;
+        add_clause({-v});
+        return v;
+      }
+      case LNode::Kind::kLit:
+        return node.lit;
+      case LNode::Kind::kAnd: {
+        const int g = fresh_var() + 1;
+        std::vector<int> big{g};
+        for (const LNode& child : node.children) {
+          const int c = encode(child);
+          add_clause({-g, c});
+          big.push_back(-c);
+        }
+        add_clause(std::move(big));
+        return g;
+      }
+      case LNode::Kind::kOr: {
+        const int g = fresh_var() + 1;
+        std::vector<int> big{-g};
+        for (const LNode& child : node.children) {
+          const int c = encode(child);
+          add_clause({g, -c});
+          big.push_back(c);
+        }
+        add_clause(std::move(big));
+        return g;
+      }
+    }
+    return 0;
+  }
+
+  [[nodiscard]] int var_count() const { return var_count_; }
+  [[nodiscard]] std::vector<std::vector<int>>& clauses() { return clauses_; }
+
+ private:
+  int var_count_;
+  std::vector<std::vector<int>> clauses_;
+};
+
+// ---------------------------------------------------------------------------
+// DPLL with chronological backtracking.
+// ---------------------------------------------------------------------------
+
+enum class Assign : std::int8_t { kUnset = 0, kTrue = 1, kFalse = 2 };
+
+class Dpll {
+ public:
+  using TheoryCheck = std::function<bool(const std::vector<Assign>&)>;
+
+  Dpll(int var_count, std::vector<std::vector<int>>* clauses, SolverStats* stats,
+       TheoryCheck theory_ok)
+      : var_count_(var_count),
+        clauses_(clauses),
+        stats_(stats),
+        theory_ok_(std::move(theory_ok)) {}
+
+  /// Finds a boolean model consistent with the theory, or nullopt. The
+  /// theory check runs on *partial* assignments after every propagation
+  /// round — inconsistent difference constraints prune the subtree early
+  /// (DPLL(T) with eager theory propagation), which keeps random formulas
+  /// with many numeric atoms tractable.
+  std::optional<std::vector<Assign>> next_model() {
+    std::vector<Assign> assignment(static_cast<std::size_t>(var_count_), Assign::kUnset);
+    if (search(assignment, 0)) return assignment;
+    return std::nullopt;
+  }
+
+ private:
+  [[nodiscard]] static bool lit_true(const std::vector<Assign>& a, int lit) {
+    const Assign v = a[static_cast<std::size_t>(std::abs(lit) - 1)];
+    return lit > 0 ? v == Assign::kTrue : v == Assign::kFalse;
+  }
+  [[nodiscard]] static bool lit_false(const std::vector<Assign>& a, int lit) {
+    const Assign v = a[static_cast<std::size_t>(std::abs(lit) - 1)];
+    return lit > 0 ? v == Assign::kFalse : v == Assign::kTrue;
+  }
+
+  /// Unit propagation over the full clause database. Returns false on
+  /// conflict; records assignments in `trail` for undo.
+  bool propagate(std::vector<Assign>& assignment, std::vector<int>& trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const std::vector<int>& clause : *clauses_) {
+        int unassigned_lit = 0;
+        int unassigned_count = 0;
+        bool satisfied = false;
+        for (const int lit : clause) {
+          if (lit_true(assignment, lit)) {
+            satisfied = true;
+            break;
+          }
+          if (!lit_false(assignment, lit)) {
+            ++unassigned_count;
+            unassigned_lit = lit;
+          }
+        }
+        if (satisfied) continue;
+        if (unassigned_count == 0) {
+          ++stats_->boolean_conflicts;
+          return false;
+        }
+        if (unassigned_count == 1) {
+          const int var = std::abs(unassigned_lit) - 1;
+          assignment[static_cast<std::size_t>(var)] =
+              unassigned_lit > 0 ? Assign::kTrue : Assign::kFalse;
+          trail.push_back(var);
+          ++stats_->propagations;
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool search(std::vector<Assign>& assignment, int from) {
+    std::vector<int> trail;
+    if (!propagate(assignment, trail) || !theory_ok_(assignment)) {
+      for (const int var : trail) assignment[static_cast<std::size_t>(var)] = Assign::kUnset;
+      return false;
+    }
+    int var = -1;
+    for (int i = from; i < var_count_; ++i) {
+      if (assignment[static_cast<std::size_t>(i)] == Assign::kUnset) {
+        var = i;
+        break;
+      }
+    }
+    if (var == -1) {
+      // Check residual clauses (all assigned): propagate() above already
+      // returned conflict-free, and with no unassigned vars every clause is
+      // satisfied. Full model found.
+      return true;
+    }
+    ++stats_->decisions;
+    for (const Assign choice : {Assign::kFalse, Assign::kTrue}) {
+      assignment[static_cast<std::size_t>(var)] = choice;
+      if (search(assignment, var + 1)) return true;
+      assignment[static_cast<std::size_t>(var)] = Assign::kUnset;
+    }
+    for (const int t : trail) assignment[static_cast<std::size_t>(t)] = Assign::kUnset;
+    return false;
+  }
+
+  int var_count_;
+  std::vector<std::vector<int>>* clauses_;
+  SolverStats* stats_;
+  TheoryCheck theory_ok_;
+};
+
+// ---------------------------------------------------------------------------
+// Difference-logic theory check (Bellman–Ford negative cycle detection).
+// ---------------------------------------------------------------------------
+
+struct TheoryResult {
+  bool consistent = true;
+  std::map<std::string, std::int64_t> values;  // only when consistent
+};
+
+TheoryResult check_theory(const PrimitiveTable& table, const std::vector<Assign>& assignment) {
+  // Collect active difference constraints: primitive id asserted true gives
+  // a - b <= k; asserted false gives b - a <= -k - 1.
+  struct Edge {
+    int from, to;
+    std::int64_t weight;
+  };
+  std::unordered_map<std::string, int> node_index;
+  const auto node = [&](const std::string& name) {
+    const auto it = node_index.find(name);
+    if (it != node_index.end()) return it->second;
+    const int id = static_cast<int>(node_index.size());
+    node_index.emplace(name, id);
+    return id;
+  };
+  node("");  // ZERO
+  std::vector<Edge> edges;
+  for (int i = 0; i < table.size(); ++i) {
+    const Primitive& primitive = table.at(i);
+    if (!primitive.is_diff) continue;
+    const Assign value = assignment[static_cast<std::size_t>(i)];
+    if (value == Assign::kUnset) continue;
+    std::string a = primitive.a;
+    std::string b = primitive.b;
+    std::int64_t k = primitive.k;
+    if (value == Assign::kFalse) {
+      std::swap(a, b);
+      k = -k - 1;
+    }
+    // a - b <= k: edge b --k--> a (dist[a] <= dist[b] + k).
+    edges.push_back(Edge{node(b), node(a), k});
+  }
+  const int n = static_cast<int>(node_index.size());
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n), 0);
+  bool changed = true;
+  for (int round = 0; round < n && changed; ++round) {
+    changed = false;
+    for (const Edge& edge : edges) {
+      const std::int64_t candidate = dist[static_cast<std::size_t>(edge.from)] + edge.weight;
+      if (candidate < dist[static_cast<std::size_t>(edge.to)]) {
+        dist[static_cast<std::size_t>(edge.to)] = candidate;
+        changed = true;
+      }
+    }
+  }
+  TheoryResult result;
+  if (changed) {  // still relaxing after n rounds → negative cycle
+    result.consistent = false;
+    return result;
+  }
+  const std::int64_t zero = dist[0];
+  for (const auto& [name, index] : node_index) {
+    if (name.empty()) continue;
+    result.values[name] = dist[static_cast<std::size_t>(index)] - zero;
+  }
+  return result;
+}
+
+}  // namespace
+
+SolveResult Solver::solve(const FormulaPtr& formula) {
+  PrimitiveTable table;
+  const LNode lowered = lower(table, formula, /*negated=*/false);
+  SolveResult result;
+  if (lowered.kind == LNode::Kind::kTrue) {
+    result.status = Status::kSat;
+    return result;
+  }
+  if (lowered.kind == LNode::Kind::kFalse) {
+    result.status = Status::kUnsat;
+    return result;
+  }
+  Cnf cnf(table.size());
+  const int root = cnf.encode(lowered);
+  cnf.add_clause({root});
+  stats_.atoms += table.size();
+
+  stats_.clauses = static_cast<std::int64_t>(cnf.clauses().size());
+  // Theory pruning on partial assignments: only the first `table.size()`
+  // variables are theory atoms (Tseitin variables carry no theory meaning).
+  const auto theory_ok = [&](const std::vector<Assign>& assignment) {
+    const bool consistent = check_theory(table, assignment).consistent;
+    if (!consistent) ++stats_.theory_conflicts;
+    return consistent;
+  };
+  Dpll dpll(cnf.var_count(), &cnf.clauses(), &stats_, theory_ok);
+  const std::optional<std::vector<Assign>> model = dpll.next_model();
+  if (!model.has_value()) {
+    result.status = Status::kUnsat;
+    return result;
+  }
+  const TheoryResult theory = check_theory(table, *model);
+  result.status = Status::kSat;
+  for (int i = 0; i < table.size(); ++i) {
+    const Primitive& primitive = table.at(i);
+    if (primitive.is_diff) continue;
+    const Assign value = (*model)[static_cast<std::size_t>(i)];
+    if (value != Assign::kUnset) result.model.bools[primitive.name] = value == Assign::kTrue;
+  }
+  result.model.ints = theory.values;
+  return result;
+}
+
+bool Solver::implies(const FormulaPtr& premise, const FormulaPtr& conclusion) {
+  return !solve(Formula::conj2(premise, Formula::negate(conclusion))).sat();
+}
+
+bool Solver::equivalent(const FormulaPtr& a, const FormulaPtr& b) {
+  return implies(a, b) && implies(b, a);
+}
+
+}  // namespace lisa::smt

@@ -1,0 +1,70 @@
+// DPLL(T) solver for the LISA contract fragment — the reproduction's Z3.
+//
+// Architecture (lazy SMT):
+//   1. lower: every comparison atom is rewritten into *difference
+//      constraints* `a - b <= k` over integer variables (a distinguished
+//      ZERO variable encodes constants), so equalities/disequalities become
+//      conjunctions/disjunctions of primitive bounds.
+//   2. Tseitin-encode the lowered formula into CNF over primitive literals.
+//   3. DPLL enumerates boolean models; each model's difference constraints
+//      are checked with Bellman–Ford negative-cycle detection; inconsistent
+//      models are blocked with a learned clause and search resumes.
+// The fragment (boolean structure over v ⋈ c, v ⋈ w, boolean vars) is exactly
+// what the paper's contracts use, and this procedure decides it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "smt/formula.hpp"
+
+namespace lisa::smt {
+
+enum class Status { kSat, kUnsat };
+
+/// A satisfying assignment (only meaningful when status == kSat). Variables
+/// not mentioned in the model are unconstrained.
+struct Model {
+  std::map<std::string, bool> bools;
+  std::map<std::string, std::int64_t> ints;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct SolveResult {
+  Status status = Status::kUnsat;
+  Model model;
+
+  [[nodiscard]] bool sat() const { return status == Status::kSat; }
+};
+
+/// Cumulative statistics for the solver-microbenchmark.
+struct SolverStats {
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t boolean_conflicts = 0;
+  std::int64_t theory_conflicts = 0;
+  std::int64_t clauses = 0;
+  std::int64_t atoms = 0;
+};
+
+class Solver {
+ public:
+  /// Decides `formula`. Deterministic: same formula, same result and model.
+  [[nodiscard]] SolveResult solve(const FormulaPtr& formula);
+
+  /// True iff `premise → conclusion` holds (i.e. premise ∧ ¬conclusion UNSAT).
+  [[nodiscard]] bool implies(const FormulaPtr& premise, const FormulaPtr& conclusion);
+
+  /// True iff the two formulas have the same models.
+  [[nodiscard]] bool equivalent(const FormulaPtr& a, const FormulaPtr& b);
+
+  /// Statistics accumulated across all queries on this instance.
+  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
+ private:
+  SolverStats stats_;
+};
+
+}  // namespace lisa::smt

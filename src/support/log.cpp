@@ -1,0 +1,33 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace lisa::support {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace lisa::support

@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// LISA is a library first; logging defaults to warnings-and-above on stderr
+// so that example binaries stay readable. The level is process-global and
+// intended to be set once at startup.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lisa::support {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Sets the process-global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the global threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename First, typename... Rest>
+void append_all(std::ostringstream& out, const First& first, const Rest&... rest) {
+  out << first;
+  append_all(out, rest...);
+}
+}  // namespace detail
+
+/// Streams all arguments into one log line: log(LogLevel::info, "x=", x).
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream out;
+  detail::append_all(out, args...);
+  log_line(level, out.str());
+}
+
+}  // namespace lisa::support

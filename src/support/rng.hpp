@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generator (SplitMix64).
+//
+// Every stochastic component in this repository — workload generators, the
+// discrete-event simulator, the LLM-noise ablation — draws from an explicit
+// Rng instance seeded by the caller, so all experiments replay bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lisa::support {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64 step).
+  std::uint64_t next_u64() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw.
+  bool next_bool(double probability_true = 0.5) { return next_double() < probability_true; }
+
+  /// Picks a uniformly random element index for a container of size `n`.
+  std::size_t pick_index(std::size_t n) { return static_cast<std::size_t>(next_below(n)); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = pick_index(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace lisa::support

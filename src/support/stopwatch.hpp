@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used by the pipeline stage-latency benchmarks (Fig. 5).
+#pragma once
+
+#include <chrono>
+
+namespace lisa::support {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed microseconds since construction or last reset().
+  [[nodiscard]] double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last reset().
+  [[nodiscard]] double elapsed_ms() const { return elapsed_us() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lisa::support

@@ -1,0 +1,63 @@
+#include "systems/cassandra/hints.hpp"
+
+namespace lisa::systems::cassandra {
+
+void HintedHandoff::add_node(const std::string& host) {
+  nodes_[host] = NodeState{host, false, 0};
+}
+
+void HintedHandoff::decommission(const std::string& host) {
+  const auto it = nodes_.find(host);
+  if (it != nodes_.end()) it->second.decommissioned = true;
+}
+
+const NodeState* HintedHandoff::node(const std::string& host) const {
+  const auto it = nodes_.find(host);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+void HintedHandoff::queue_hint(const std::string& host, const std::string& mutation,
+                               bool resurrects) {
+  pending_[host].push_back(Hint{mutation, resurrects});
+  ++stats_.hints_queued;
+}
+
+std::size_t HintedHandoff::replay_endpoint(const std::string& host, bool check_ring) {
+  const auto node_it = nodes_.find(host);
+  const auto hints_it = pending_.find(host);
+  if (node_it == nodes_.end() || hints_it == pending_.end()) return 0;
+  if (check_ring && node_it->second.decommissioned) {
+    stats_.hints_rejected += hints_it->second.size();
+    pending_.erase(hints_it);
+    return 0;
+  }
+  std::size_t delivered = 0;
+  for (const Hint& hint : hints_it->second) {
+    ++stats_.hints_delivered;
+    ++node_it->second.mutations_applied;
+    ++delivered;
+    if (node_it->second.decommissioned) {
+      ++stats_.hints_to_decommissioned;
+      if (hint.resurrects) ++stats_.rows_resurrected;  // the incident symptom
+    }
+  }
+  pending_.erase(hints_it);
+  return delivered;
+}
+
+std::size_t HintedHandoff::replay_all(bool check_ring) {
+  std::vector<std::string> hosts;
+  hosts.reserve(pending_.size());
+  for (const auto& [host, hints] : pending_) hosts.push_back(host);
+  std::size_t total = 0;
+  for (const std::string& host : hosts) total += replay_endpoint(host, check_ring);
+  return total;
+}
+
+std::size_t HintedHandoff::pending_hints() const {
+  std::size_t total = 0;
+  for (const auto& [host, hints] : pending_) total += hints.size();
+  return total;
+}
+
+}  // namespace lisa::systems::cassandra

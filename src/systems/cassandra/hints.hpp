@@ -1,0 +1,67 @@
+// Mini-Cassandra: a ring of nodes with hinted handoff and read repair.
+//
+// The CASS-H1/H2 incident class replays here: hints destined for a node that
+// was decommissioned must not be delivered — replaying them resurrects
+// deleted data. Each replay path can individually enforce or skip the ring
+// check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "systems/sim/event_loop.hpp"
+
+namespace lisa::systems::cassandra {
+
+struct NodeState {
+  std::string host;
+  bool decommissioned = false;
+  std::uint64_t mutations_applied = 0;
+};
+
+struct HintStats {
+  std::uint64_t hints_queued = 0;
+  std::uint64_t hints_delivered = 0;
+  std::uint64_t hints_to_decommissioned = 0;  // the incident symptom
+  std::uint64_t hints_rejected = 0;
+  std::uint64_t rows_resurrected = 0;
+};
+
+class HintedHandoff {
+ public:
+  explicit HintedHandoff(EventLoop& loop) : loop_(loop) {}
+
+  void add_node(const std::string& host);
+  void decommission(const std::string& host);
+  [[nodiscard]] const NodeState* node(const std::string& host) const;
+
+  /// Stores a hint for `host`. `deletes_row` marks mutations that would
+  /// resurrect a tombstoned row if replayed late.
+  void queue_hint(const std::string& host, const std::string& mutation, bool resurrects);
+
+  /// Replays the hints of one endpoint. With `check_ring`, hints for
+  /// decommissioned nodes are rejected (the fix); without it they are applied
+  /// and may resurrect rows.
+  std::size_t replay_endpoint(const std::string& host, bool check_ring);
+
+  /// Replays every endpoint's hints (the coordinator-restart path).
+  std::size_t replay_all(bool check_ring);
+
+  [[nodiscard]] const HintStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pending_hints() const;
+
+ private:
+  struct Hint {
+    std::string mutation;
+    bool resurrects = false;
+  };
+
+  EventLoop& loop_;
+  std::map<std::string, NodeState> nodes_;
+  std::map<std::string, std::vector<Hint>> pending_;
+  HintStats stats_;
+};
+
+}  // namespace lisa::systems::cassandra

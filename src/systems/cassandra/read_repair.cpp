@@ -1,0 +1,89 @@
+#include "systems/cassandra/read_repair.hpp"
+
+namespace lisa::systems::cassandra {
+
+void ReplicaSet::write_row(const std::string& key, const std::string& value) {
+  rows_[key] = Row{value, false, 0};
+}
+
+void ReplicaSet::delete_row(const std::string& key) {
+  Row& row = rows_[key];
+  row.tombstoned = true;
+  row.tombstone_ms = loop_.now();
+}
+
+bool ReplicaSet::is_purgeable(const std::string& key) const {
+  const auto it = rows_.find(key);
+  if (it == rows_.end() || !it->second.tombstoned) return false;
+  return loop_.now() >= it->second.tombstone_ms + gc_grace_ms_;
+}
+
+bool ReplicaSet::repair_one(const std::string& key, bool check) {
+  const auto it = rows_.find(key);
+  if (it == rows_.end()) return false;
+  if (check && is_purgeable(key)) {
+    ++stats_.repairs_skipped;
+    return false;
+  }
+  if (is_purgeable(key)) ++stats_.purgeable_repaired;
+  ++stats_.repairs_sent;
+  return true;
+}
+
+bool ReplicaSet::read_repair(const std::string& key) {
+  return repair_one(key, guards_.foreground_checks_purgeable);
+}
+
+std::size_t ReplicaSet::background_repair() {
+  std::size_t repaired = 0;
+  for (const auto& [key, row] : rows_)
+    if (repair_one(key, guards_.background_checks_purgeable)) ++repaired;
+  return repaired;
+}
+
+void ReplicaSet::add_counter_node(const std::string& host, bool bootstrapping) {
+  counters_[host] = CounterNode{bootstrapping, 0};
+}
+
+void ReplicaSet::finish_bootstrap(const std::string& host) {
+  const auto it = counters_.find(host);
+  if (it == counters_.end()) return;
+  if (it->second.bootstrapping) {
+    it->second.bootstrapping = false;
+    // Streamed state merges on top of whatever was applied locally — if
+    // mutations landed during bootstrap, they are now counted twice.
+    it->second.value *= 2;
+  }
+}
+
+bool ReplicaSet::apply_counter(const std::string& host, std::int64_t delta, bool check) {
+  const auto it = counters_.find(host);
+  if (it == counters_.end()) return false;
+  if (check && it->second.bootstrapping) {
+    ++stats_.counters_rejected;
+    return false;
+  }
+  if (it->second.bootstrapping) ++stats_.counters_on_bootstrap;
+  it->second.value += delta;
+  ++stats_.counters_applied;
+  return true;
+}
+
+bool ReplicaSet::write_counter(const std::string& host, std::int64_t delta) {
+  return apply_counter(host, delta, guards_.single_counter_checks_bootstrap);
+}
+
+std::size_t ReplicaSet::write_counter_batch(const std::string& host,
+                                            const std::vector<std::int64_t>& deltas) {
+  std::size_t applied = 0;
+  for (const std::int64_t delta : deltas)
+    if (apply_counter(host, delta, guards_.batch_counter_checks_bootstrap)) ++applied;
+  return applied;
+}
+
+std::int64_t ReplicaSet::counter_value(const std::string& host) const {
+  const auto it = counters_.find(host);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+}  // namespace lisa::systems::cassandra

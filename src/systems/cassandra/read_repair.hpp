@@ -1,0 +1,87 @@
+// Mini-Cassandra read path: replicated rows with tombstones and gc_grace,
+// foreground read repair and background anti-entropy, plus counter writes
+// during bootstrap.
+//
+// Native analogs of the CASS-R1/R2 (purgeable tombstone repaired back →
+// resurrection) and CASS-C1/C2 (counter applied on a bootstrapping node →
+// double counting) corpus cases, with per-path check toggles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "systems/sim/event_loop.hpp"
+
+namespace lisa::systems::cassandra {
+
+struct RepairGuards {
+  bool foreground_checks_purgeable = true;
+  bool background_checks_purgeable = true;
+  bool single_counter_checks_bootstrap = true;
+  bool batch_counter_checks_bootstrap = true;
+};
+
+struct RepairStats {
+  std::uint64_t repairs_sent = 0;
+  std::uint64_t purgeable_repaired = 0;   // incident: resurrection
+  std::uint64_t repairs_skipped = 0;
+  std::uint64_t counters_applied = 0;
+  std::uint64_t counters_on_bootstrap = 0;  // incident: double count
+  std::uint64_t counters_rejected = 0;
+};
+
+class ReplicaSet {
+ public:
+  ReplicaSet(EventLoop& loop, std::int64_t gc_grace_ms, RepairGuards guards = {})
+      : loop_(loop), gc_grace_ms_(gc_grace_ms), guards_(guards) {}
+
+  /// Writes a live row (clears any tombstone).
+  void write_row(const std::string& key, const std::string& value);
+  /// Deletes a row: a tombstone with the current timestamp.
+  void delete_row(const std::string& key);
+  /// True if the row's tombstone has outlived gc_grace (repairing it back
+  /// would resurrect deleted data on replicas that already purged it).
+  [[nodiscard]] bool is_purgeable(const std::string& key) const;
+
+  /// Foreground read repair for one key (triggered by a digest mismatch).
+  bool read_repair(const std::string& key);
+  /// Background anti-entropy over every row.
+  std::size_t background_repair();
+
+  // -- Counters ---------------------------------------------------------
+
+  void add_counter_node(const std::string& host, bool bootstrapping);
+  void finish_bootstrap(const std::string& host);
+  bool write_counter(const std::string& host, std::int64_t delta);
+  std::size_t write_counter_batch(const std::string& host,
+                                  const std::vector<std::int64_t>& deltas);
+  [[nodiscard]] std::int64_t counter_value(const std::string& host) const;
+
+  [[nodiscard]] const RepairStats& stats() const { return stats_; }
+
+ private:
+  struct Row {
+    std::string value;
+    bool tombstoned = false;
+    std::int64_t tombstone_ms = 0;
+  };
+  struct CounterNode {
+    bool bootstrapping = false;
+    std::int64_t value = 0;
+  };
+
+  bool repair_one(const std::string& key, bool check);
+  bool apply_counter(const std::string& host, std::int64_t delta, bool check);
+
+  EventLoop& loop_;
+  std::int64_t gc_grace_ms_;
+  RepairGuards guards_;
+  RepairStats stats_;
+  std::map<std::string, Row> rows_;
+  std::map<std::string, CounterNode> counters_;
+};
+
+}  // namespace lisa::systems::cassandra

@@ -1,0 +1,50 @@
+#include "systems/hbase/snapshots.hpp"
+
+namespace lisa::systems::hbase {
+
+void SnapshotStore::create_snapshot(const std::string& name, std::int64_t ttl_ms,
+                                    std::vector<std::string> rows) {
+  snapshots_[name] = Snapshot{loop_.now(), ttl_ms, std::move(rows)};
+}
+
+bool SnapshotStore::is_expired(const std::string& name) const {
+  const auto it = snapshots_.find(name);
+  if (it == snapshots_.end()) return false;
+  if (it->second.ttl_ms == 0) return false;
+  return loop_.now() >= it->second.created_ms + it->second.ttl_ms;
+}
+
+SnapshotStatus SnapshotStore::serve(const std::string& name, bool check_expiration) {
+  const auto it = snapshots_.find(name);
+  if (it == snapshots_.end()) {
+    ++stats_.not_found;
+    return SnapshotStatus::kNotFound;
+  }
+  if (is_expired(name)) {
+    if (check_expiration) {
+      ++stats_.expired_rejected;
+      return SnapshotStatus::kExpired;
+    }
+    // Unchecked path: stale snapshot data goes out without any alarm.
+    ++stats_.expired_served;
+  }
+  ++stats_.served_ok;
+  return SnapshotStatus::kOk;
+}
+
+SnapshotStatus SnapshotStore::restore(const std::string& name) {
+  return serve(name, coverage_.restore);
+}
+
+SnapshotStatus SnapshotStore::export_snapshot(const std::string& name) {
+  return serve(name, coverage_.export_op);
+}
+
+std::pair<SnapshotStatus, std::vector<std::string>> SnapshotStore::scan(
+    const std::string& name) {
+  const SnapshotStatus status = serve(name, coverage_.scan);
+  if (status != SnapshotStatus::kOk) return {status, {}};
+  return {status, snapshots_.at(name).rows};
+}
+
+}  // namespace lisa::systems::hbase

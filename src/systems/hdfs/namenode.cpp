@@ -1,0 +1,85 @@
+#include "systems/hdfs/namenode.hpp"
+
+#include "support/strings.hpp"
+
+namespace lisa::systems::hdfs {
+
+void ActiveNameNode::add_file(const std::string& path, std::int64_t block_id,
+                              std::vector<std::string> locations) {
+  files_[path] = BlockInfo{block_id, std::move(locations)};
+}
+
+std::optional<BlockInfo> ActiveNameNode::get_block(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+ObserverNameNode::ObserverNameNode(EventLoop& loop, MessageBus& bus, std::string name)
+    : loop_(loop), bus_(bus), name_(std::move(name)) {
+  bus_.register_endpoint(name_, [this](const Message& message) {
+    if (message.type != "block_report") return;
+    // payload: "<path>|<block_id>|<loc1,loc2,...>"
+    const std::vector<std::string> parts = support::split(message.payload, '|');
+    if (parts.size() != 3) return;
+    BlockInfo info;
+    info.block_id = std::stoll(parts[1]);
+    if (!parts[2].empty())
+      for (const std::string& loc : support::split(parts[2], ',')) info.locations.push_back(loc);
+    replica_[parts[0]] = std::move(info);
+    ++stats_.block_reports_applied;
+  });
+}
+
+void ObserverNameNode::receive_report_later(const ActiveNameNode& active,
+                                            const std::string& path,
+                                            std::int64_t extra_delay_ms) {
+  const std::optional<BlockInfo> block = active.get_block(path);
+  if (!block.has_value()) return;
+  // Until the (delayed) full report lands, the observer knows the block id
+  // but not its locations — exactly the stale state of the incident.
+  BlockInfo placeholder;
+  placeholder.block_id = block->block_id;
+  replica_[path] = std::move(placeholder);
+  std::string payload = path + "|" + std::to_string(block->block_id) + "|" +
+                        support::join(block->locations, ",");
+  loop_.schedule_after(extra_delay_ms, [this, payload = std::move(payload)] {
+    bus_.send("active-nn", name_, "block_report", payload);
+  });
+}
+
+std::optional<BlockInfo> ObserverNameNode::read(const std::string& path, bool check_locations) {
+  const auto it = replica_.find(path);
+  if (it == replica_.end()) return std::nullopt;
+  if (it->second.locations.empty()) {
+    if (check_locations) {
+      // The fixed behaviour: stale observer redirects to the active.
+      ++stats_.reads_redirected;
+      return std::nullopt;
+    }
+    ++stats_.empty_location_reads;  // the incident symptom
+  }
+  ++stats_.reads_served;
+  return it->second;
+}
+
+std::vector<BlockInfo> ObserverNameNode::batched_listing(const std::vector<std::string>& paths,
+                                                         bool check_locations) {
+  std::vector<BlockInfo> out;
+  for (const std::string& path : paths) {
+    const auto it = replica_.find(path);
+    if (it == replica_.end()) continue;
+    if (it->second.locations.empty()) {
+      if (check_locations) {
+        ++stats_.reads_redirected;
+        continue;
+      }
+      ++stats_.empty_location_reads;
+    }
+    ++stats_.reads_served;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace lisa::systems::hdfs

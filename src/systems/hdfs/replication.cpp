@@ -1,0 +1,112 @@
+#include "systems/hdfs/replication.hpp"
+
+#include <algorithm>
+
+namespace lisa::systems::hdfs {
+
+ReplicationManager::ReplicationManager(EventLoop& loop, ReplicationConfig config)
+    : loop_(loop), config_(config) {}
+
+void ReplicationManager::add_datanode(const std::string& name) {
+  DataNodeState node;
+  node.name = name;
+  node.last_heartbeat_ms = loop_.now();
+  nodes_[name] = std::move(node);
+}
+
+void ReplicationManager::heartbeat(const std::string& name) {
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end()) return;
+  it->second.last_heartbeat_ms = loop_.now();
+}
+
+void ReplicationManager::start_decommission(const std::string& name) {
+  const auto it = nodes_.find(name);
+  if (it != nodes_.end()) it->second.decommissioning = true;
+}
+
+const DataNodeState* ReplicationManager::datanode(const std::string& name) const {
+  const auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::size_t ReplicationManager::live_datanodes() const {
+  std::size_t count = 0;
+  for (const auto& [name, node] : nodes_)
+    if (node.alive) ++count;
+  return count;
+}
+
+bool ReplicationManager::eligible(const DataNodeState& node, bool check) const {
+  if (!node.alive) return false;
+  if (check && node.decommissioning) return false;
+  return true;
+}
+
+void ReplicationManager::place_one(std::int64_t block_id, bool check, bool is_sweep) {
+  // Choose the eligible node hosting the fewest replicas (deterministic
+  // tie-break by name through map order).
+  DataNodeState* best = nullptr;
+  for (auto& [name, node] : nodes_) {
+    if (!eligible(node, check)) continue;
+    if (std::find(node.blocks.begin(), node.blocks.end(), block_id) != node.blocks.end())
+      continue;  // one replica per node
+    if (best == nullptr || node.blocks.size() < best->blocks.size()) best = &node;
+  }
+  if (best == nullptr) {
+    ++stats_.placements_rejected;
+    return;
+  }
+  best->blocks.push_back(block_id);
+  ++stats_.replicas_placed;
+  if (is_sweep) ++stats_.re_replications;
+  if (best->decommissioning) ++stats_.placed_on_decommissioning;
+}
+
+std::vector<std::string> ReplicationManager::place_block(std::int64_t block_id) {
+  known_blocks_.push_back(block_id);
+  std::vector<std::string> chosen;
+  for (int i = 0; i < config_.replication_factor; ++i)
+    place_one(block_id, config_.check_on_write_path, /*is_sweep=*/false);
+  for (const auto& [name, node] : nodes_)
+    if (std::find(node.blocks.begin(), node.blocks.end(), block_id) != node.blocks.end())
+      chosen.push_back(name);
+  return chosen;
+}
+
+std::size_t ReplicationManager::replicate_under_replicated() {
+  const std::map<std::int64_t, int> counts = replica_counts();
+  std::size_t added = 0;
+  for (const std::int64_t block : known_blocks_) {
+    const auto it = counts.find(block);
+    const int have = it == counts.end() ? 0 : it->second;
+    for (int i = have; i < config_.replication_factor; ++i) {
+      const std::uint64_t before = stats_.replicas_placed;
+      place_one(block, config_.check_on_sweep_path, /*is_sweep=*/true);
+      if (stats_.replicas_placed > before) ++added;
+    }
+  }
+  return added;
+}
+
+void ReplicationManager::expire_dead_nodes() {
+  for (auto& [name, node] : nodes_) {
+    if (!node.alive) continue;
+    if (loop_.now() - node.last_heartbeat_ms > config_.heartbeat_timeout_ms) {
+      node.alive = false;
+      node.blocks.clear();  // replicas lost with the node
+      ++stats_.nodes_expired;
+    }
+  }
+}
+
+std::map<std::int64_t, int> ReplicationManager::replica_counts() const {
+  std::map<std::int64_t, int> counts;
+  for (const auto& [name, node] : nodes_) {
+    if (!node.alive) continue;
+    for (const std::int64_t block : node.blocks) ++counts[block];
+  }
+  return counts;
+}
+
+}  // namespace lisa::systems::hdfs

@@ -1,0 +1,81 @@
+// Mini-HDFS block replication: datanodes with heartbeats, decommissioning,
+// and replica placement over the discrete-event simulator.
+//
+// Native analog of the HDFS-D1/D2 corpus case: a decommissioning datanode
+// must never be chosen as a replication target, and both placement paths
+// (client writes and the under-replication sweep) can individually enforce
+// or skip the check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "systems/sim/event_loop.hpp"
+
+namespace lisa::systems::hdfs {
+
+struct DataNodeState {
+  std::string name;
+  bool alive = true;
+  bool decommissioning = false;
+  std::int64_t last_heartbeat_ms = 0;
+  std::vector<std::int64_t> blocks;  // replica block ids hosted here
+};
+
+struct ReplicationStats {
+  std::uint64_t replicas_placed = 0;
+  std::uint64_t placed_on_decommissioning = 0;  // the incident symptom
+  std::uint64_t placements_rejected = 0;
+  std::uint64_t nodes_expired = 0;
+  std::uint64_t re_replications = 0;
+};
+
+struct ReplicationConfig {
+  std::int64_t heartbeat_timeout_ms = 3000;
+  int replication_factor = 3;
+  bool check_on_write_path = true;   // the original fix
+  bool check_on_sweep_path = true;   // the path the regression hit
+};
+
+class ReplicationManager {
+ public:
+  ReplicationManager(EventLoop& loop, ReplicationConfig config = {});
+
+  void add_datanode(const std::string& name);
+  void heartbeat(const std::string& name);
+  void start_decommission(const std::string& name);
+  [[nodiscard]] const DataNodeState* datanode(const std::string& name) const;
+  [[nodiscard]] std::size_t live_datanodes() const;
+
+  /// Client write path: places `replication_factor` replicas of a new block
+  /// on eligible datanodes (round-robin over the map order). Returns the
+  /// names chosen.
+  std::vector<std::string> place_block(std::int64_t block_id);
+
+  /// Under-replication sweep: for every block below the replication factor,
+  /// place additional replicas. Returns replicas added.
+  std::size_t replicate_under_replicated();
+
+  /// Marks dead datanodes (heartbeat timeout); their replicas become
+  /// under-replicated. Called periodically from the event loop too.
+  void expire_dead_nodes();
+
+  [[nodiscard]] const ReplicationStats& stats() const { return stats_; }
+  /// Replica count per block id.
+  [[nodiscard]] std::map<std::int64_t, int> replica_counts() const;
+
+ private:
+  [[nodiscard]] bool eligible(const DataNodeState& node, bool check) const;
+  void place_one(std::int64_t block_id, bool check, bool is_sweep);
+
+  EventLoop& loop_;
+  ReplicationConfig config_;
+  ReplicationStats stats_;
+  std::map<std::string, DataNodeState> nodes_;
+  std::vector<std::int64_t> known_blocks_;
+};
+
+}  // namespace lisa::systems::hdfs

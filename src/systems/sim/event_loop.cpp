@@ -1,0 +1,44 @@
+#include "systems/sim/event_loop.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lisa::systems {
+
+void EventLoop::schedule_at(std::int64_t time_ms, Handler handler) {
+  if (time_ms < now_ms_) time_ms = now_ms_;
+  queue_.push(Event{time_ms, next_seq_++, std::move(handler)});
+}
+
+void EventLoop::schedule_after(std::int64_t delay_ms, Handler handler) {
+  schedule_at(now_ms_ + (delay_ms < 0 ? 0 : delay_ms), std::move(handler));
+}
+
+bool EventLoop::run_one() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast on the handler,
+  // which is safe because the element is popped immediately after.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ms_ = event.time;
+  ++executed_;
+  event.handler();
+  return true;
+}
+
+void EventLoop::run_until(std::int64_t time_ms) {
+  while (!queue_.empty() && queue_.top().time <= time_ms) {
+    if (!run_one()) break;
+  }
+  if (now_ms_ < time_ms) now_ms_ = time_ms;
+}
+
+void EventLoop::run_all(std::size_t max_events) {
+  std::size_t count = 0;
+  while (run_one()) {
+    if (++count > max_events)
+      throw std::runtime_error("EventLoop::run_all exceeded max_events — event storm?");
+  }
+}
+
+}  // namespace lisa::systems

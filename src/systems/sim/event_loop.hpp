@@ -1,0 +1,58 @@
+// Deterministic discrete-event simulator.
+//
+// All native mini cloud systems (ZooKeeper/HDFS/HBase/Cassandra analogs) run
+// on this loop: time is virtual, events fire in (time, sequence) order, and
+// identical seeds replay identical histories — the property every incident
+// reproduction in examples/ relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace lisa::systems {
+
+class EventLoop {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute virtual time `time_ms` (>= now).
+  void schedule_at(std::int64_t time_ms, Handler handler);
+
+  /// Schedules `handler` `delay_ms` after the current virtual time.
+  void schedule_after(std::int64_t delay_ms, Handler handler);
+
+  /// Runs the earliest pending event; returns false if none is pending.
+  bool run_one();
+
+  /// Runs events until virtual time exceeds `time_ms` or the queue drains.
+  void run_until(std::int64_t time_ms);
+
+  /// Drains the queue (bounded by `max_events` as a runaway guard).
+  void run_all(std::size_t max_events = 1'000'000);
+
+  [[nodiscard]] std::int64_t now() const { return now_ms_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    std::int64_t time;
+    std::uint64_t seq;  // FIFO among same-time events
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::int64_t now_ms_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace lisa::systems

@@ -1,0 +1,53 @@
+#include "systems/zookeeper/quota_acl.hpp"
+
+namespace lisa::systems::zk {
+
+bool QuotaTree::add(const std::string& path, bool check) {
+  if (check && node_count() >= quota_limit_) {
+    ++stats_.creates_rejected;
+    return false;
+  }
+  nodes_[path] = true;
+  ++stats_.creates_ok;
+  if (node_count() > quota_limit_) ++stats_.creates_over_quota;
+  return true;
+}
+
+bool QuotaTree::create_node(const std::string& path) {
+  return add(path, guards_.create_checks_quota);
+}
+
+std::string QuotaTree::create_sequential(const std::string& prefix) {
+  const std::string path = prefix + std::to_string(++seq_counter_);
+  if (!add(path, guards_.sequential_checks_quota)) return "";
+  return path;
+}
+
+bool AclManager::install(const AclEntry& entry, bool validate) {
+  if (validate && entry.scheme.empty()) {
+    ++stats_.rejected;
+    return false;
+  }
+  if (entry.scheme.empty()) ++stats_.installed_unvalidated;
+  installed_[entry.id] = entry;
+  ++stats_.installed;
+  return true;
+}
+
+bool AclManager::set_acl(const AclEntry& entry) {
+  return install(entry, guards_.set_path_validates);
+}
+
+std::size_t AclManager::restore_from_snapshot(const std::vector<AclEntry>& entries) {
+  std::size_t count = 0;
+  for (const AclEntry& entry : entries)
+    if (install(entry, guards_.restore_path_validates)) ++count;
+  return count;
+}
+
+bool AclManager::is_exposed(const std::string& id) const {
+  const auto it = installed_.find(id);
+  return it != installed_.end() && it->second.scheme.empty();
+}
+
+}  // namespace lisa::systems::zk

@@ -1,0 +1,91 @@
+// Mini-ZooKeeper quota enforcement and ACL management.
+//
+// Native analogs of the ZK-Q1/Q2 (node quota bypassed on the sequential
+// path) and ZK-A1/A2 (unvalidated ACL installed via the restore path) corpus
+// cases, with per-path check toggles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lisa::systems::zk {
+
+struct QuotaGuards {
+  bool create_checks_quota = true;
+  bool sequential_checks_quota = true;
+};
+
+struct QuotaStats {
+  std::uint64_t creates_ok = 0;
+  std::uint64_t creates_over_quota = 0;  // incident: memory exhaustion
+  std::uint64_t creates_rejected = 0;
+};
+
+/// A quota-scoped subtree with two node-creating request paths.
+class QuotaTree {
+ public:
+  QuotaTree(int quota_limit, QuotaGuards guards = {})
+      : quota_limit_(quota_limit), guards_(guards) {}
+
+  /// Plain create; returns false when rejected by the quota.
+  bool create_node(const std::string& path);
+  /// Sequential create (appends a counter); returns the created path or ""
+  /// when rejected.
+  std::string create_sequential(const std::string& prefix);
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] bool over_quota() const { return node_count() > quota_limit_; }
+  [[nodiscard]] const QuotaStats& stats() const { return stats_; }
+
+ private:
+  bool add(const std::string& path, bool check);
+
+  int quota_limit_;
+  QuotaGuards guards_;
+  QuotaStats stats_;
+  std::map<std::string, bool> nodes_;
+  int seq_counter_ = 0;
+};
+
+struct AclGuards {
+  bool set_path_validates = true;
+  bool restore_path_validates = true;
+};
+
+struct AclStats {
+  std::uint64_t installed = 0;
+  std::uint64_t installed_unvalidated = 0;  // incident: open access
+  std::uint64_t rejected = 0;
+};
+
+struct AclEntry {
+  std::string id;
+  std::string scheme;  // empty scheme = malformed (world-readable fallback)
+};
+
+/// ACL store with the client set-ACL path and the snapshot-restore path.
+class AclManager {
+ public:
+  explicit AclManager(AclGuards guards = {}) : guards_(guards) {}
+
+  /// Client path; returns false when validation rejects the entry.
+  bool set_acl(const AclEntry& entry);
+  /// Snapshot restore: installs every entry from the snapshot file.
+  std::size_t restore_from_snapshot(const std::vector<AclEntry>& entries);
+
+  /// True if `id` is installed AND world-readable due to a malformed scheme.
+  [[nodiscard]] bool is_exposed(const std::string& id) const;
+  [[nodiscard]] std::size_t installed_count() const { return installed_.size(); }
+  [[nodiscard]] const AclStats& stats() const { return stats_; }
+
+ private:
+  bool install(const AclEntry& entry, bool validate);
+
+  AclGuards guards_;
+  AclStats stats_;
+  std::map<std::string, AclEntry> installed_;
+};
+
+}  // namespace lisa::systems::zk

@@ -1,0 +1,54 @@
+#include "systems/zookeeper/registry.hpp"
+
+namespace lisa::systems::zk {
+
+std::optional<std::int64_t> ConsumerRegistry::register_consumer(const std::string& consumer_id,
+                                                                const std::string& address) {
+  const std::int64_t session = zk_.create_session("consumer-" + consumer_id);
+  const ZkStatus status = zk_.create(session, path_for(consumer_id), address,
+                                     /*ephemeral=*/true);
+  if (status != ZkStatus::kOk) {
+    zk_.close_session(session);
+    return std::nullopt;
+  }
+  sessions_[consumer_id] = session;
+  return session;
+}
+
+void ConsumerRegistry::unregister_consumer(const std::string& consumer_id) {
+  const auto it = sessions_.find(consumer_id);
+  if (it == sessions_.end()) return;
+  zk_.close_session(it->second);
+  sessions_.erase(it);
+}
+
+std::optional<std::string> ConsumerRegistry::lookup(const std::string& consumer_id) const {
+  return zk_.get_data(path_for(consumer_id));
+}
+
+std::vector<std::string> ConsumerRegistry::list_consumers() const {
+  std::vector<std::string> out;
+  for (const std::string& path : zk_.get_children("/consumers/ids")) {
+    const std::size_t slash = path.find_last_of('/');
+    out.push_back(path.substr(slash + 1));
+  }
+  return out;
+}
+
+bool Producer::send(const std::string& consumer_id) {
+  const std::optional<std::string> address = registry_.lookup(consumer_id);
+  if (!address.has_value()) {
+    ++unresolved_errors_;
+    return false;
+  }
+  const auto it = live_->find(consumer_id);
+  if (it == live_->end() || !it->second) {
+    // Address resolved from a stale ephemeral node: the consumer is dead.
+    ++stale_errors_;
+    return false;
+  }
+  ++sent_ok_;
+  return true;
+}
+
+}  // namespace lisa::systems::zk

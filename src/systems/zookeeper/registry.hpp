@@ -1,0 +1,71 @@
+// Kafka-style consumer registry on top of mini-ZooKeeper (Fig. 2 scenario).
+//
+// Consumers register their address as an ephemeral node under
+// /consumers/ids/<id>; producers resolve consumer addresses through the
+// registry. When a stale ephemeral node survives its session (ZK-1208),
+// producers keep sending to a dead address and the send-error counter climbs
+// — the "system-wide errors" of the paper's Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "systems/zookeeper/server.hpp"
+
+namespace lisa::systems::zk {
+
+class ConsumerRegistry {
+ public:
+  explicit ConsumerRegistry(ZooKeeperServer& zk) : zk_(zk) {}
+
+  /// Registers a consumer: opens a session and creates the ephemeral node.
+  /// Returns the session id, or nullopt if registration was rejected.
+  std::optional<std::int64_t> register_consumer(const std::string& consumer_id,
+                                                const std::string& address);
+
+  /// Consumer departs; its ephemeral registration should vanish with the
+  /// session.
+  void unregister_consumer(const std::string& consumer_id);
+
+  /// Resolves the address of a consumer (nullopt when not registered).
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& consumer_id) const;
+
+  /// All currently registered consumer ids.
+  [[nodiscard]] std::vector<std::string> list_consumers() const;
+
+ private:
+  [[nodiscard]] static std::string path_for(const std::string& consumer_id) {
+    return "/consumers/ids/" + consumer_id;
+  }
+
+  ZooKeeperServer& zk_;
+  std::map<std::string, std::int64_t> sessions_;  // consumer id → session id
+};
+
+/// A producer that resolves consumer addresses via the registry and "sends"
+/// to them; sends to addresses whose consumer is gone are counted as errors.
+class Producer {
+ public:
+  Producer(ConsumerRegistry& registry, const std::map<std::string, bool>* live_consumers)
+      : registry_(registry), live_(live_consumers) {}
+
+  /// Attempts to deliver one message to `consumer_id`. Returns true on
+  /// success; failures increment the error counters.
+  bool send(const std::string& consumer_id);
+
+  [[nodiscard]] std::uint64_t sent_ok() const { return sent_ok_; }
+  [[nodiscard]] std::uint64_t stale_address_errors() const { return stale_errors_; }
+  [[nodiscard]] std::uint64_t unresolved_errors() const { return unresolved_errors_; }
+
+ private:
+  ConsumerRegistry& registry_;
+  const std::map<std::string, bool>* live_;  // consumer id → actually alive
+  std::uint64_t sent_ok_ = 0;
+  std::uint64_t stale_errors_ = 0;
+  std::uint64_t unresolved_errors_ = 0;
+};
+
+}  // namespace lisa::systems::zk

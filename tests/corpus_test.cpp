@@ -1,0 +1,150 @@
+// Tests for the incident corpus (§2.1 study shape) and the diff engine.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/diff.hpp"
+#include "corpus/ticket.hpp"
+#include "minilang/interp.hpp"
+#include "minilang/sema.hpp"
+
+namespace lisa::corpus {
+namespace {
+
+TEST(Corpus, StudyShapeMatchesPaper) {
+  // §2.1: 16 regression cases, 34 bugs total, 4 systems, each case has at
+  // least one regression.
+  const auto& cases = Corpus::all();
+  EXPECT_EQ(cases.size(), 16u);
+  int bugs = 0;
+  std::set<std::string> systems;
+  for (const FailureTicket& ticket : cases) {
+    bugs += ticket.bug_count();
+    systems.insert(ticket.system);
+    EXPECT_GE(ticket.regressions.size(), 1u) << ticket.case_id;
+  }
+  EXPECT_EQ(bugs, 34);
+  EXPECT_EQ(systems, (std::set<std::string>{"zookeeper", "hdfs", "hbase", "cassandra"}));
+}
+
+TEST(Corpus, LookupHelpers) {
+  EXPECT_NE(Corpus::find("zk-1208-ephemeral-create"), nullptr);
+  EXPECT_EQ(Corpus::find("nope"), nullptr);
+  EXPECT_EQ(Corpus::for_system("zookeeper").size(), 5u);
+  EXPECT_EQ(Corpus::for_system("hdfs").size(), 4u);
+  EXPECT_EQ(Corpus::for_system("hbase").size(), 4u);
+  EXPECT_EQ(Corpus::for_system("cassandra").size(), 3u);
+}
+
+TEST(Corpus, EveryProgramParsesAndChecksClean) {
+  for (const FailureTicket& ticket : Corpus::all()) {
+    EXPECT_NO_THROW(minilang::parse_checked(ticket.buggy_source)) << ticket.case_id;
+    EXPECT_NO_THROW(minilang::parse_checked(ticket.patched_source)) << ticket.case_id;
+    if (!ticket.latest_source.empty()) {
+      EXPECT_NO_THROW(minilang::parse_checked(ticket.latest_source)) << ticket.case_id;
+    }
+  }
+}
+
+TEST(Corpus, AllEmbeddedTestsPassOnTheirVersion) {
+  for (const FailureTicket& ticket : Corpus::all()) {
+    for (const std::string* source :
+         {&ticket.buggy_source, &ticket.patched_source, &ticket.latest_source}) {
+      if (source->empty()) continue;
+      const minilang::Program program = minilang::parse_checked(*source);
+      minilang::Interp interp(program);
+      const auto [passed, failed] = interp.run_all_tests();
+      EXPECT_GT(passed, 0) << ticket.case_id;
+      EXPECT_EQ(failed, 0) << ticket.case_id << ": " << interp.last_error();
+    }
+  }
+}
+
+TEST(Corpus, RegressionTestsExistOnlyInPatchedVersion) {
+  for (const FailureTicket& ticket : Corpus::all()) {
+    const minilang::Program buggy = minilang::parse_checked(ticket.buggy_source);
+    const minilang::Program patched = minilang::parse_checked(ticket.patched_source);
+    for (const std::string& test : ticket.regression_tests) {
+      EXPECT_EQ(buggy.find_function(test), nullptr) << ticket.case_id;
+      const minilang::FuncDecl* fn = patched.find_function(test);
+      ASSERT_NE(fn, nullptr) << ticket.case_id;
+      EXPECT_TRUE(fn->has_annotation("test"));
+    }
+  }
+}
+
+TEST(Corpus, GroundTruthFieldsPopulated) {
+  for (const FailureTicket& ticket : Corpus::all()) {
+    EXPECT_FALSE(ticket.expected_target.empty()) << ticket.case_id;
+    EXPECT_FALSE(ticket.expected_condition.empty()) << ticket.case_id;
+    EXPECT_FALSE(ticket.description.empty()) << ticket.case_id;
+    EXPECT_FALSE(ticket.original.id.empty()) << ticket.case_id;
+  }
+}
+
+TEST(Corpus, PreliminaryResultCasesHaveLatestSources) {
+  const FailureTicket* hbase = Corpus::find("hbase-27671-snapshot-ttl");
+  const FailureTicket* hdfs = Corpus::find("hdfs-13924-observer-locations");
+  ASSERT_NE(hbase, nullptr);
+  ASSERT_NE(hdfs, nullptr);
+  EXPECT_FALSE(hbase->latest_source.empty());
+  EXPECT_FALSE(hdfs->latest_source.empty());
+}
+
+TEST(Diff, DetectsAddedGuard) {
+  const FailureTicket* ticket = Corpus::find("zk-1208-ephemeral-create");
+  ASSERT_NE(ticket, nullptr);
+  const minilang::Program before = minilang::parse_checked(ticket->buggy_source);
+  const minilang::Program after = minilang::parse_checked(ticket->patched_source);
+  const ProgramDiff diff = diff_programs(before, after);
+  bool found_guard = false;
+  for (const DiffEntry& entry : diff.added)
+    if (entry.function == "p_request_create" &&
+        entry.text.find("is_closing") != std::string::npos)
+      found_guard = true;
+  EXPECT_TRUE(found_guard);
+  EXPECT_TRUE(diff.removed.empty());
+  // The regression test function is new in the patch.
+  ASSERT_EQ(diff.added_functions.size(), 1u);
+  EXPECT_EQ(diff.added_functions[0], "test_zk1208_no_create_on_closing_session");
+}
+
+TEST(Diff, IdenticalProgramsAreEmpty) {
+  const minilang::Program a = minilang::parse_checked("fn f() { print(1); }");
+  const minilang::Program b = minilang::parse_checked("fn f() { print(1); }");
+  EXPECT_TRUE(diff_programs(a, b).empty());
+}
+
+TEST(Diff, DetectsRemovedStatementsAndDeletedFunctions) {
+  const minilang::Program a =
+      minilang::parse_checked("fn f() { print(1); print(2); } fn g() { print(3); }");
+  const minilang::Program b = minilang::parse_checked("fn f() { print(1); }");
+  const ProgramDiff diff = diff_programs(a, b);
+  EXPECT_EQ(diff.removed.size(), 2u);  // print(2) from f, print(3) from g
+  ASSERT_EQ(diff.removed_functions.size(), 1u);
+  EXPECT_EQ(diff.removed_functions[0], "g");
+  EXPECT_FALSE(render_diff(diff).empty());
+}
+
+TEST(Diff, MultisetSemanticsCountDuplicates) {
+  const minilang::Program a = minilang::parse_checked("fn f() { print(1); }");
+  const minilang::Program b = minilang::parse_checked("fn f() { print(1); print(1); }");
+  const ProgramDiff diff = diff_programs(a, b);
+  EXPECT_EQ(diff.added.size(), 1u);
+  EXPECT_TRUE(diff.removed.empty());
+}
+
+TEST(Diff, MovedBlockingCallShowsInStructuralCases) {
+  const FailureTicket* ticket = Corpus::find("zk-2201-sync-serialize");
+  ASSERT_NE(ticket, nullptr);
+  const minilang::Program before = minilang::parse_checked(ticket->buggy_source);
+  const minilang::Program after = minilang::parse_checked(ticket->patched_source);
+  const ProgramDiff diff = diff_programs(before, after);
+  bool removed_blocking = false;
+  for (const DiffEntry& entry : diff.removed)
+    if (entry.text.find("write_record") != std::string::npos) removed_blocking = true;
+  EXPECT_TRUE(removed_blocking);
+}
+
+}  // namespace
+}  // namespace lisa::corpus

@@ -1,0 +1,129 @@
+// Tests for systematic path exploration (concolic driver synthesis loop).
+#include <gtest/gtest.h>
+
+#include "concolic/explorer.hpp"
+#include "corpus/ticket.hpp"
+#include "minilang/sema.hpp"
+#include "smt/minilang_bridge.hpp"
+
+namespace lisa::concolic {
+namespace {
+
+TEST(Explorer, ClassifiesGuardedUnguardedAndInfeasible) {
+  const minilang::Program program = minilang::parse_checked(R"(
+struct Account { frozen: bool; vip: bool; }
+fn debit(a: Account) { print(a); }
+@entry
+fn pay(a: Account?) {
+  if (a == null) { throw "missing"; }
+  if (a.frozen) { throw "frozen"; }
+  debit(a);
+}
+@entry
+fn refund(a: Account?) {
+  if (a == null) { throw "missing"; }
+  debit(a);
+}
+@entry
+fn dead_path(a: Account) {
+  if (a.vip) {
+    if (!(a.vip)) {
+      debit(a);
+    }
+  }
+}
+)");
+  const ExplorationReport report =
+      explore(program, "debit(", *smt::parse_condition("!(a == null) && !(a.frozen)"));
+  ASSERT_EQ(report.paths.size(), 3u);
+  EXPECT_EQ(report.verified, 1);    // pay: guard confirmed by replay
+  EXPECT_EQ(report.violated, 1);    // refund: missing check reproduced
+  EXPECT_EQ(report.infeasible, 1);  // dead_path: vip && !vip
+  EXPECT_EQ(report.human_needed, 0);
+
+  for (const ExploredPath& path : report.paths) {
+    if (path.call_chain.front() == "pay") {
+      EXPECT_EQ(path.verdict, ExploredVerdict::kVerifiedByReplay) << path.detail;
+    }
+    if (path.call_chain.front() == "refund") {
+      EXPECT_EQ(path.verdict, ExploredVerdict::kViolatedByReplay) << path.detail;
+      EXPECT_NE(path.test_source.find("synth_witness_"), std::string::npos);
+    }
+    if (path.call_chain.front() == "dead_path") {
+      EXPECT_EQ(path.verdict, ExploredVerdict::kInfeasible);
+    }
+  }
+}
+
+TEST(Explorer, ContainerMediatedStateNeedsHuman) {
+  const minilang::Program program = minilang::parse_checked(R"(
+struct Session { is_closing: bool; }
+struct Server { sessions: map<string, Session>; }
+fn act(s: Session) { print(s); }
+@entry
+fn handle(server: Server, id: int) {
+  let s = get(server.sessions, str(id));
+  if (s == null) { throw "expired"; }
+  act(s);
+}
+)");
+  const ExplorationReport report =
+      explore(program, "act(", *smt::parse_condition("!(s == null) && !(s.is_closing)"));
+  ASSERT_EQ(report.paths.size(), 1u);
+  EXPECT_EQ(report.human_needed, 1);
+  EXPECT_EQ(report.paths[0].verdict, ExploredVerdict::kNotSynthesizable);
+}
+
+TEST(Explorer, IntegerGuardsSolvedThroughPath) {
+  const minilang::Program program = minilang::parse_checked(R"(
+struct Blk { location_count: int; gen: int; }
+fn serve(b: Blk) { print(b); }
+@entry
+fn read_block(b: Blk) {
+  if (b.gen < 3) { throw "stale generation"; }
+  if (b.location_count <= 0) { throw "retry"; }
+  serve(b);
+}
+@entry
+fn read_fast(b: Blk) {
+  if (b.gen < 3) { throw "stale generation"; }
+  serve(b);
+}
+)");
+  const ExplorationReport report =
+      explore(program, "serve(", *smt::parse_condition("b.location_count > 0"));
+  ASSERT_EQ(report.paths.size(), 2u);
+  EXPECT_EQ(report.verified, 1);
+  EXPECT_EQ(report.violated, 1);
+  // The synthesized drivers must satisfy gen >= 3 to get past the first
+  // guard — the full-path constraint solving at work.
+  for (const ExploredPath& path : report.paths)
+    EXPECT_EQ(path.test_source.find("gen: 0"), std::string::npos) << path.test_source;
+}
+
+TEST(Explorer, VerdictNamesStable) {
+  EXPECT_STREQ(explored_verdict_name(ExploredVerdict::kVerifiedByReplay),
+               "verified-by-replay");
+  EXPECT_STREQ(explored_verdict_name(ExploredVerdict::kViolatedByReplay),
+               "violated-by-replay");
+  EXPECT_STREQ(explored_verdict_name(ExploredVerdict::kInfeasible), "infeasible");
+  EXPECT_STREQ(explored_verdict_name(ExploredVerdict::kNotSynthesizable), "needs-human");
+  EXPECT_STREQ(explored_verdict_name(ExploredVerdict::kReplayMismatch), "replay-mismatch");
+}
+
+TEST(Explorer, CorpusDirectParamCaseFullyResolved) {
+  // hbase-wal-roll: both entries take the region directly, so exploration
+  // needs no human at all — it verifies the fixed path and reproduces the
+  // latent one.
+  const corpus::FailureTicket* ticket = corpus::Corpus::find("hbase-wal-roll-during-flush");
+  ASSERT_NE(ticket, nullptr);
+  const minilang::Program program = minilang::parse_checked(ticket->patched_source);
+  const ExplorationReport report =
+      explore(program, "roll_wal_now(", *smt::parse_condition("!(region.flushing)"));
+  EXPECT_EQ(report.human_needed, 0);
+  EXPECT_EQ(report.verified, 1);
+  EXPECT_EQ(report.violated, 1);
+}
+
+}  // namespace
+}  // namespace lisa::concolic

@@ -1,0 +1,262 @@
+// Unit tests for the MiniLang interpreter: evaluation, control flow,
+// builtins, exceptions, the virtual clock, and the blocking observer.
+#include <gtest/gtest.h>
+
+#include "minilang/interp.hpp"
+#include "minilang/sema.hpp"
+
+namespace lisa::minilang {
+namespace {
+
+Value run(const std::string& body_program, const std::string& fn = "main",
+          std::vector<Value> args = {}) {
+  static std::vector<std::unique_ptr<Program>> keepalive;
+  keepalive.push_back(std::make_unique<Program>(parse_checked(body_program)));
+  Interp interp(*keepalive.back());
+  return interp.call(fn, std::move(args));
+}
+
+TEST(Interp, ArithmeticAndComparison) {
+  EXPECT_EQ(run("fn main() -> int { return (2 + 3) * 4 - 10 / 2; }").as_int(), 15);
+  EXPECT_TRUE(run("fn main() -> bool { return 7 % 3 == 1; }").as_bool());
+  EXPECT_TRUE(run("fn main() -> bool { return \"abc\" < \"abd\"; }").as_bool());
+  EXPECT_EQ(run("fn main() -> string { return \"n=\" + 4; }").as_string(), "n=4");
+}
+
+TEST(Interp, ShortCircuitEvaluation) {
+  // Division by zero on the right side must not evaluate when short-circuited.
+  EXPECT_FALSE(
+      run("fn main() -> bool { let x = 0; return x != 0 && 10 / x > 1; }").as_bool());
+  EXPECT_TRUE(
+      run("fn main() -> bool { let x = 0; return x == 0 || 10 / x > 1; }").as_bool());
+}
+
+TEST(Interp, WhileLoopAndBreakContinue) {
+  const std::string program = R"(
+fn main() -> int {
+  let total = 0;
+  let i = 0;
+  while (true) {
+    i = i + 1;
+    if (i > 10) { break; }
+    if (i % 2 == 0) { continue; }
+    total = total + i;
+  }
+  return total;
+}
+)";
+  EXPECT_EQ(run(program).as_int(), 25);  // 1+3+5+7+9
+}
+
+TEST(Interp, StructsAndFieldMutation) {
+  const std::string program = R"(
+struct Point { x: int; y: int; }
+fn bump(p: Point) { p.x = p.x + 1; }
+fn main() -> int {
+  let p = new Point { x: 1, y: 2 };
+  bump(p);
+  bump(p);
+  return p.x * 10 + p.y;
+}
+)";
+  EXPECT_EQ(run(program).as_int(), 32);  // reference semantics
+}
+
+TEST(Interp, DefaultFieldInitialization) {
+  const std::string program = R"(
+struct S { n: int; b: bool; s: string; xs: list<int>; m: map<string, int>; ref: S?; }
+fn main() -> bool {
+  let s = new S {};
+  return s.n == 0 && s.b == false && s.s == "" && len(s.xs) == 0 && len(s.m) == 0
+      && s.ref == null;
+}
+)";
+  EXPECT_TRUE(run(program).as_bool());
+}
+
+TEST(Interp, ListAndMapBuiltins) {
+  const std::string program = R"(
+fn main() -> int {
+  let xs = list_new();
+  push(xs, 10);
+  push(xs, 20);
+  xs[1] = 25;
+  let m = map_new();
+  put(m, "a", 1);
+  put(m, 7, 2);
+  let ks = keys(m);
+  let total = xs[0] + xs[1] + len(ks);
+  if (has(m, "a")) { total = total + get(m, "a"); }
+  del(m, "a");
+  if (get(m, "a") == null) { total = total + 100; }
+  if (contains(xs, 25)) { total = total + 1000; }
+  return total;
+}
+)";
+  EXPECT_EQ(run(program).as_int(), 1138);
+}
+
+TEST(Interp, NullPointerBecomesMiniThrow) {
+  const std::string program = R"(
+struct S { x: int; }
+fn main() -> int { let s: S? = null; return s.x; }
+)";
+  EXPECT_THROW(run(program), MiniThrow);
+}
+
+TEST(Interp, IndexOutOfBoundsThrows) {
+  EXPECT_THROW(run("fn main() -> int { let xs = list_new(); return xs[0]; }"), MiniThrow);
+}
+
+TEST(Interp, DivideByZeroThrows) {
+  EXPECT_THROW(run("fn main() -> int { let z = 0; return 1 / z; }"), MiniThrow);
+}
+
+TEST(Interp, TryCatchHandlesThrow) {
+  const std::string program = R"(
+fn risky(n: int) -> int {
+  if (n > 2) { throw "too big"; }
+  return n;
+}
+fn main() -> string {
+  try {
+    let v = risky(5);
+    return "no throw";
+  } catch (e) {
+    return "caught: " + e;
+  }
+}
+)";
+  EXPECT_EQ(run(program).as_string(), "caught: too big");
+}
+
+TEST(Interp, UncaughtThrowEscapesToHost) {
+  try {
+    run("fn main() { throw \"kaboom\"; }");
+    FAIL() << "expected MiniThrow";
+  } catch (const MiniThrow& thrown) {
+    EXPECT_EQ(thrown.value().as_string(), "kaboom");
+  }
+}
+
+TEST(Interp, RecursionWorksAndDepthIsBounded) {
+  const std::string fib = R"(
+fn fib(n: int) -> int {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+)";
+  Program program = parse_checked(fib);
+  Interp interp(program);
+  EXPECT_EQ(interp.call("fib", {Value::of_int(12)}).as_int(), 144);
+
+  Program runaway = parse_checked("fn loop_forever(n: int) -> int { return loop_forever(n); }");
+  Interp interp2(runaway);
+  EXPECT_THROW(interp2.call("loop_forever", {Value::of_int(0)}), InterpError);
+}
+
+TEST(Interp, FuelLimitStopsInfiniteLoops) {
+  Program program = parse_checked("fn main() { while (true) { advance_clock(1); } }");
+  Interp interp(program);
+  interp.set_fuel(10'000);
+  EXPECT_THROW(interp.call("main", {}), InterpError);
+}
+
+TEST(Interp, VirtualClockAdvances) {
+  Program program = parse_checked(R"(
+fn main() -> int {
+  let t0 = now();
+  advance_clock(250);
+  write_record(t0, "x");
+  return now() - t0;
+}
+)");
+  Interp interp(program);
+  interp.set_blocking_latency_ms(7);
+  EXPECT_EQ(interp.call("main", {}).as_int(), 257);
+}
+
+class BlockingObserver : public ExecObserver {
+ public:
+  void on_blocking(const std::string& name, int sync_depth) override {
+    events.emplace_back(name, sync_depth);
+  }
+  std::vector<std::pair<std::string, int>> events;
+};
+
+TEST(Interp, ObserverSeesBlockingInsideSync) {
+  Program program = parse_checked(R"(
+struct Lock { id: int; }
+fn main() {
+  let l = new Lock { id: 1 };
+  write_record(l, "outside");
+  sync (l) {
+    write_record(l, "inside");
+  }
+}
+)");
+  Interp interp(program);
+  BlockingObserver observer;
+  interp.set_observer(&observer);
+  interp.call("main", {});
+  ASSERT_EQ(observer.events.size(), 2u);
+  EXPECT_EQ(observer.events[0].second, 0);
+  EXPECT_EQ(observer.events[1].second, 1);
+}
+
+TEST(Interp, PrintAccumulatesOutput) {
+  Program program = parse_checked(R"(fn main() { print("a", 1); print("b"); })");
+  Interp interp(program);
+  interp.call("main", {});
+  EXPECT_EQ(interp.take_output(), "a 1\nb\n");
+  EXPECT_EQ(interp.take_output(), "");
+}
+
+TEST(Interp, RunAllTestsCountsPassAndFail) {
+  Program program = parse_checked(R"(
+@test
+fn test_ok() { assert(1 + 1 == 2, "math"); }
+@test
+fn test_fails() { assert(false, "expected failure"); }
+fn helper() {}
+)");
+  Interp interp(program);
+  const auto [passed, failed] = interp.run_all_tests();
+  EXPECT_EQ(passed, 1);
+  EXPECT_EQ(failed, 1);
+  EXPECT_NE(interp.last_error().find("expected failure"), std::string::npos);
+}
+
+TEST(Interp, CoverageTracksExecutedStatements) {
+  Program program = parse_checked(R"(
+fn main(flag: bool) -> int {
+  if (flag) {
+    return 1;
+  }
+  return 2;
+}
+)");
+  Interp interp(program);
+  interp.call("main", {Value::of_bool(true)});
+  const std::size_t after_true = interp.covered_stmts().size();
+  interp.call("main", {Value::of_bool(false)});
+  EXPECT_GT(interp.covered_stmts().size(), after_true);
+}
+
+TEST(Interp, MethodSugarDispatch) {
+  const std::string program = R"(
+struct Counter { n: int; }
+fn inc(c: Counter, by: int) -> int {
+  c.n = c.n + by;
+  return c.n;
+}
+fn main() -> int {
+  let c = new Counter { n: 5 };
+  return c.inc(3);
+}
+)";
+  EXPECT_EQ(run(program).as_int(), 8);
+}
+
+}  // namespace
+}  // namespace lisa::minilang

@@ -1,0 +1,185 @@
+// Property tests over randomly generated MiniLang programs:
+//   * print→parse→print is a fixpoint (printer/parser agreement),
+//   * generated programs pass the semantic checker,
+//   * the concolic engine and the plain interpreter are observationally
+//     equivalent (same results, same exceptions) — the differential oracle
+//     that keeps the two tree-walkers in sync.
+#include <gtest/gtest.h>
+
+#include "concolic/engine.hpp"
+#include "minilang/compiler.hpp"
+#include "minilang/interp.hpp"
+#include "minilang/parser.hpp"
+#include "minilang/printer.hpp"
+#include "minilang/sema.hpp"
+#include "minilang/vm.hpp"
+#include "smt/minilang_bridge.hpp"
+#include "support/rng.hpp"
+
+namespace lisa::minilang {
+namespace {
+
+/// Generates a random but well-formed MiniLang program with one @test driver
+/// that exercises arithmetic, branching, loops, struct state, and a guarded
+/// "operation" call.
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    std::string out;
+    out += "struct State { a: int; b: int; flag: bool; total: int; }\n\n";
+    out += "fn operate(s: State, amount: int) -> int {\n"
+           "  s.total = s.total + amount;\n"
+           "  return s.total;\n"
+           "}\n\n";
+    // A few worker functions with random straight-line bodies.
+    const int workers = 2 + static_cast<int>(rng_.next_below(3));
+    for (int i = 0; i < workers; ++i) out += worker(i);
+    // The test driver calls each worker with random arguments.
+    out += "@test\nfn test_driver() {\n";
+    out += "  let s = new State { a: " + std::to_string(rng_.next_in(-5, 5)) +
+           ", b: " + std::to_string(rng_.next_in(-5, 5)) +
+           ", flag: " + (rng_.next_bool() ? "true" : "false") + ", total: 0 };\n";
+    for (int i = 0; i < workers; ++i) {
+      out += "  let r" + std::to_string(i) + " = worker" + std::to_string(i) + "(s, " +
+             std::to_string(rng_.next_in(-8, 8)) + ");\n";
+      out += "  print(\"r" + std::to_string(i) + "=\", r" + std::to_string(i) + ");\n";
+    }
+    out += "  print(\"total=\", s.total);\n";
+    out += "}\n";
+    return out;
+  }
+
+ private:
+  std::string expr_over(const std::vector<std::string>& ints, int depth) {
+    if (depth == 0 || rng_.next_bool(0.4)) {
+      if (rng_.next_bool(0.5)) return ints[rng_.pick_index(ints.size())];
+      return std::to_string(rng_.next_in(-9, 9));
+    }
+    static const char* ops[] = {"+", "-", "*"};
+    return "(" + expr_over(ints, depth - 1) + " " + ops[rng_.next_below(3)] + " " +
+           expr_over(ints, depth - 1) + ")";
+  }
+
+  std::string cond_over(const std::vector<std::string>& ints) {
+    static const char* cmps[] = {"<", "<=", ">", ">=", "==", "!="};
+    std::string out = expr_over(ints, 1) + " " + cmps[rng_.next_below(6)] + " " +
+                      expr_over(ints, 1);
+    if (rng_.next_bool(0.3)) out += rng_.next_bool() ? " && s.flag" : " || s.flag";
+    return out;
+  }
+
+  std::string worker(int index) {
+    std::vector<std::string> ints = {"x", "s.a", "s.b"};
+    std::string body;
+    const int statements = 2 + static_cast<int>(rng_.next_below(4));
+    int locals = 0;
+    for (int i = 0; i < statements; ++i) {
+      switch (rng_.next_below(4)) {
+        case 0: {
+          const std::string name = "v" + std::to_string(index) + "_" + std::to_string(locals++);
+          body += "  let " + name + " = " + expr_over(ints, 2) + ";\n";
+          ints.push_back(name);
+          break;
+        }
+        case 1:
+          body += "  if (" + cond_over(ints) + ") {\n    s.a = " + expr_over(ints, 1) +
+                  ";\n  } else {\n    s.b = " + expr_over(ints, 1) + ";\n  }\n";
+          break;
+        case 2: {
+          // Bounded loop: a fresh counter guarantees termination.
+          const std::string counter = "i" + std::to_string(index) + "_" + std::to_string(locals++);
+          body += "  let " + counter + " = 0;\n  while (" + counter + " < " +
+                  std::to_string(1 + rng_.next_below(4)) + ") {\n    s.total = s.total + 1;\n    " +
+                  counter + " = " + counter + " + 1;\n  }\n";
+          break;
+        }
+        default:
+          body += "  if (" + cond_over(ints) + ") {\n    operate(s, " + expr_over(ints, 1) +
+                  ");\n  }\n";
+          break;
+      }
+    }
+    return "fn worker" + std::to_string(index) + "(s: State, x: int) -> int {\n" + body +
+           "  return " + expr_over(ints, 1) + ";\n}\n\n";
+  }
+
+  support::Rng rng_;
+};
+
+class RandomProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgram, PrintParsePrintIsFixpoint) {
+  const std::string source = ProgramGenerator(static_cast<std::uint64_t>(GetParam())).generate();
+  const Program once = parse(source);
+  const std::string printed = program_text(once);
+  const Program twice = parse(printed);
+  EXPECT_EQ(printed, program_text(twice)) << source;
+}
+
+TEST_P(RandomProgram, GeneratedProgramsAreSemanticallyClean) {
+  const std::string source = ProgramGenerator(static_cast<std::uint64_t>(GetParam())).generate();
+  const Program program = parse(source);
+  const auto diags = check(program);
+  EXPECT_TRUE(diags.empty()) << source << "\nfirst: "
+                             << (diags.empty() ? "" : diags[0].message);
+}
+
+TEST_P(RandomProgram, ConcolicEngineMatchesInterpreter) {
+  const std::string source = ProgramGenerator(static_cast<std::uint64_t>(GetParam())).generate();
+  const Program program = parse_checked(source);
+
+  Interp interp(program);
+  std::string interp_error;
+  bool interp_ok = interp.run_test("test_driver");
+  interp_error = interp.last_error();
+  const std::string interp_output = interp.take_output();
+
+  concolic::Engine engine(program);
+  concolic::CheckConfig config;
+  config.target_fragment = "operate(";
+  config.contract = *smt::parse_condition("s.flag");
+  const concolic::RunResult run = engine.run_test("test_driver", config);
+
+  EXPECT_EQ(interp_ok, run.test_passed) << source << "\ninterp error: " << interp_error
+                                        << "\nconcolic error: " << run.failure;
+  if (!interp_ok) {
+    EXPECT_EQ(interp_error, run.failure) << source;
+  }
+  // Target hits must agree with the interpreter's view of how often the
+  // operation ran: count "total=" change is equivalent; instead re-derive by
+  // concrete replay with a counting observer.
+  struct CountCalls : ExecObserver {
+    int operate_calls = 0;
+    void on_call(const FuncDecl& fn) override {
+      if (fn.name == "operate") ++operate_calls;
+    }
+  } counter;
+  Interp recount(program);
+  recount.set_observer(&counter);
+  recount.run_test("test_driver");
+  EXPECT_EQ(static_cast<int>(run.hits.size()), counter.operate_calls) << source;
+}
+
+TEST_P(RandomProgram, BytecodeVmMatchesInterpreter) {
+  const std::string source = ProgramGenerator(static_cast<std::uint64_t>(GetParam())).generate();
+  const Program program = parse_checked(source);
+  const Module module = compile(program);
+
+  Interp interp(program);
+  const bool interp_ok = interp.run_test("test_driver");
+  const std::string interp_error = interp.last_error();
+  const std::string interp_output = interp.take_output();
+
+  Vm vm(module);
+  const bool vm_ok = vm.run_test("test_driver");
+  EXPECT_EQ(interp_ok, vm_ok) << source << "\ninterp: " << interp_error
+                              << "\nvm: " << vm.last_error();
+  EXPECT_EQ(interp_output, vm.take_output()) << source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram, ::testing::Range(1, 41));
+
+}  // namespace
+}  // namespace lisa::minilang

@@ -1,0 +1,296 @@
+// Unit + property tests for the SMT backend: formulas, NNF, the DPLL(T)
+// solver, and the MiniLang bridge.
+#include <gtest/gtest.h>
+
+#include "minilang/parser.hpp"
+#include "smt/formula.hpp"
+#include "smt/minilang_bridge.hpp"
+#include "smt/solver.hpp"
+#include "support/rng.hpp"
+
+namespace lisa::smt {
+namespace {
+
+FormulaPtr bvar(const std::string& name) { return Formula::make_atom(Atom::bool_var(name)); }
+FormulaPtr cmp(const std::string& v, CmpOp op, std::int64_t c) {
+  return Formula::make_atom(Atom::cmp_const(v, op, c));
+}
+
+TEST(Formula, FactoriesSimplify) {
+  EXPECT_EQ(Formula::conj2(Formula::truth(true), bvar("a"))->to_string(), "a");
+  EXPECT_EQ(Formula::conj2(Formula::truth(false), bvar("a"))->kind, Formula::Kind::kFalse);
+  EXPECT_EQ(Formula::disj2(Formula::truth(true), bvar("a"))->kind, Formula::Kind::kTrue);
+  EXPECT_EQ(Formula::negate(Formula::negate(bvar("a")))->to_string(), "a");
+  // Flattening + dedup.
+  const FormulaPtr nested =
+      Formula::conj2(Formula::conj2(bvar("a"), bvar("b")), Formula::conj2(bvar("a"), bvar("c")));
+  EXPECT_EQ(nested->children.size(), 3u);
+}
+
+TEST(Formula, VariablesCollectsAllNames) {
+  const FormulaPtr f = Formula::conj2(
+      cmp("s.ttl", CmpOp::kGt, 0),
+      Formula::disj2(bvar("s#null"), Formula::make_atom(Atom::cmp_var("a", CmpOp::kLt, "b"))));
+  const auto vars = f->variables();
+  EXPECT_EQ(vars.size(), 4u);
+  EXPECT_TRUE(vars.count("s.ttl"));
+  EXPECT_TRUE(vars.count("b"));
+}
+
+TEST(Formula, NnfPushesNegationToAtoms) {
+  const FormulaPtr f =
+      Formula::negate(Formula::conj2(bvar("a"), cmp("x", CmpOp::kLt, 3)));
+  const FormulaPtr nnf = to_nnf(f);
+  EXPECT_EQ(nnf->to_string(), "(!(a) || x >= 3)");
+}
+
+TEST(Solver, BasicSatUnsat) {
+  Solver solver;
+  EXPECT_TRUE(solver.solve(bvar("a")).sat());
+  EXPECT_FALSE(solver.solve(Formula::conj2(bvar("a"), Formula::negate(bvar("a")))).sat());
+  EXPECT_TRUE(solver.solve(Formula::truth(true)).sat());
+  EXPECT_FALSE(solver.solve(Formula::truth(false)).sat());
+}
+
+TEST(Solver, ModelAssignsBooleans) {
+  Solver solver;
+  const SolveResult result =
+      solver.solve(Formula::conj2(bvar("a"), Formula::negate(bvar("b"))));
+  ASSERT_TRUE(result.sat());
+  EXPECT_TRUE(result.model.bools.at("a"));
+  EXPECT_FALSE(result.model.bools.at("b"));
+}
+
+TEST(Solver, IntervalReasoning) {
+  Solver solver;
+  // x > 5 && x < 3 is unsat.
+  EXPECT_FALSE(
+      solver.solve(Formula::conj2(cmp("x", CmpOp::kGt, 5), cmp("x", CmpOp::kLt, 3))).sat());
+  // x > 5 && x <= 6 forces x == 6.
+  const SolveResult result =
+      solver.solve(Formula::conj2(cmp("x", CmpOp::kGt, 5), cmp("x", CmpOp::kLe, 6)));
+  ASSERT_TRUE(result.sat());
+  EXPECT_EQ(result.model.ints.at("x"), 6);
+}
+
+TEST(Solver, EqualityAndDisequality) {
+  Solver solver;
+  EXPECT_FALSE(
+      solver.solve(Formula::conj2(cmp("x", CmpOp::kEq, 4), cmp("x", CmpOp::kNe, 4))).sat());
+  EXPECT_TRUE(
+      solver.solve(Formula::conj2(cmp("x", CmpOp::kEq, 4), cmp("x", CmpOp::kGe, 4))).sat());
+  // Integer gap: x > 3 && x < 4 has no integer solution.
+  EXPECT_FALSE(
+      solver.solve(Formula::conj2(cmp("x", CmpOp::kGt, 3), cmp("x", CmpOp::kLt, 4))).sat());
+}
+
+TEST(Solver, VarVarOrderCycles) {
+  Solver solver;
+  const FormulaPtr lt_ab = Formula::make_atom(Atom::cmp_var("a", CmpOp::kLt, "b"));
+  const FormulaPtr lt_bc = Formula::make_atom(Atom::cmp_var("b", CmpOp::kLt, "c"));
+  const FormulaPtr lt_ca = Formula::make_atom(Atom::cmp_var("c", CmpOp::kLt, "a"));
+  EXPECT_TRUE(solver.solve(Formula::conj2(lt_ab, lt_bc)).sat());
+  EXPECT_FALSE(solver.solve(Formula::conj({lt_ab, lt_bc, lt_ca})).sat());
+  // Equality chains propagate.
+  const FormulaPtr eq_ab = Formula::make_atom(Atom::cmp_var("a", CmpOp::kEq, "b"));
+  const FormulaPtr eq_bc = Formula::make_atom(Atom::cmp_var("b", CmpOp::kEq, "c"));
+  const FormulaPtr ne_ac = Formula::make_atom(Atom::cmp_var("a", CmpOp::kNe, "c"));
+  EXPECT_FALSE(solver.solve(Formula::conj({eq_ab, eq_bc, ne_ac})).sat());
+}
+
+TEST(Solver, DisjunctionExploresBothArms) {
+  Solver solver;
+  const FormulaPtr f = Formula::conj2(
+      Formula::disj2(cmp("x", CmpOp::kLt, 0), cmp("x", CmpOp::kGt, 10)),
+      cmp("x", CmpOp::kGe, 0));
+  const SolveResult result = solver.solve(f);
+  ASSERT_TRUE(result.sat());
+  EXPECT_GT(result.model.ints.at("x"), 10);
+}
+
+TEST(Solver, PaperExampleEphemeralChecker) {
+  // §3.2 worked example: checker = s!=null && !s.isClosing && s.ttl > 0.
+  Solver solver;
+  const FormulaPtr checker = Formula::conj(
+      {Formula::negate(bvar("s#null")), Formula::negate(bvar("s.isClosing")),
+       cmp("s.ttl", CmpOp::kGt, 0)});
+  // Trace 1: (s == null) — fulfills the complement → violation.
+  EXPECT_TRUE(solver.solve(Formula::conj2(bvar("s#null"), Formula::negate(checker))).sat());
+  // Trace 2: s != null && !s.isClosing (ttl unchecked) → violation.
+  const FormulaPtr trace2 =
+      Formula::conj2(Formula::negate(bvar("s#null")), Formula::negate(bvar("s.isClosing")));
+  EXPECT_TRUE(solver.solve(Formula::conj2(trace2, Formula::negate(checker))).sat());
+  // Trace 3: full condition → adheres to the semantic.
+  const FormulaPtr trace3 = Formula::conj2(trace2, cmp("s.ttl", CmpOp::kGt, 0));
+  EXPECT_FALSE(solver.solve(Formula::conj2(trace3, Formula::negate(checker))).sat());
+}
+
+TEST(Solver, ImpliesAndEquivalent) {
+  Solver solver;
+  EXPECT_TRUE(solver.implies(cmp("x", CmpOp::kGt, 5), cmp("x", CmpOp::kGt, 3)));
+  EXPECT_FALSE(solver.implies(cmp("x", CmpOp::kGt, 3), cmp("x", CmpOp::kGt, 5)));
+  EXPECT_TRUE(solver.equivalent(Formula::negate(cmp("x", CmpOp::kLt, 3)),
+                                cmp("x", CmpOp::kGe, 3)));
+}
+
+// Property test: for random formulas, solve() finding SAT must produce a
+// model that actually satisfies the formula under direct evaluation.
+class RandomFormulaTest : public ::testing::TestWithParam<int> {};
+
+FormulaPtr random_formula(support::Rng& rng, int depth) {
+  static const std::vector<std::string> ints = {"x", "y", "z"};
+  static const std::vector<std::string> bools = {"p", "q"};
+  if (depth == 0 || rng.next_bool(0.3)) {
+    if (rng.next_bool(0.4)) return bvar(bools[rng.pick_index(bools.size())]);
+    const CmpOp op = static_cast<CmpOp>(rng.next_below(6));
+    if (rng.next_bool(0.3)) {
+      return Formula::make_atom(Atom::cmp_var(ints[rng.pick_index(3)], op,
+                                              ints[rng.pick_index(3)]));
+    }
+    return cmp(ints[rng.pick_index(3)], op, rng.next_in(-4, 4));
+  }
+  switch (rng.next_below(3)) {
+    case 0: return Formula::negate(random_formula(rng, depth - 1));
+    case 1:
+      return Formula::conj2(random_formula(rng, depth - 1), random_formula(rng, depth - 1));
+    default:
+      return Formula::disj2(random_formula(rng, depth - 1), random_formula(rng, depth - 1));
+  }
+}
+
+bool eval_formula(const FormulaPtr& f, const Model& model) {
+  const auto int_of = [&](const std::string& name) {
+    const auto it = model.ints.find(name);
+    return it == model.ints.end() ? 0 : it->second;
+  };
+  switch (f->kind) {
+    case Formula::Kind::kTrue: return true;
+    case Formula::Kind::kFalse: return false;
+    case Formula::Kind::kNot: return !eval_formula(f->children[0], model);
+    case Formula::Kind::kAnd: {
+      for (const FormulaPtr& child : f->children)
+        if (!eval_formula(child, model)) return false;
+      return true;
+    }
+    case Formula::Kind::kOr: {
+      for (const FormulaPtr& child : f->children)
+        if (eval_formula(child, model)) return true;
+      return false;
+    }
+    case Formula::Kind::kAtom: {
+      const Atom& atom = f->atom;
+      if (atom.kind == Atom::Kind::kBoolVar) {
+        const auto it = model.bools.find(atom.lhs);
+        return it != model.bools.end() && it->second;
+      }
+      const std::int64_t lhs = int_of(atom.lhs);
+      const std::int64_t rhs =
+          atom.kind == Atom::Kind::kCmpConst ? atom.rhs_const : int_of(atom.rhs_var);
+      switch (atom.op) {
+        case CmpOp::kEq: return lhs == rhs;
+        case CmpOp::kNe: return lhs != rhs;
+        case CmpOp::kLt: return lhs < rhs;
+        case CmpOp::kLe: return lhs <= rhs;
+        case CmpOp::kGt: return lhs > rhs;
+        case CmpOp::kGe: return lhs >= rhs;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+TEST_P(RandomFormulaTest, SatModelsActuallySatisfy) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 17);
+  Solver solver;
+  const FormulaPtr f = random_formula(rng, 4);
+  const SolveResult result = solver.solve(f);
+  if (result.sat()) {
+    EXPECT_TRUE(eval_formula(f, result.model))
+        << "formula: " << f->to_string() << "\nmodel: " << result.model.to_string();
+  } else {
+    // UNSAT must be symmetric: the negation is then valid, so it must be SAT.
+    EXPECT_TRUE(solver.solve(Formula::negate(f)).sat()) << f->to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, RandomFormulaTest, ::testing::Range(0, 60));
+
+// Property: F and NNF(F) are equivalent for random formulas.
+TEST_P(RandomFormulaTest, NnfPreservesSemantics) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503ULL + 99);
+  Solver solver;
+  const FormulaPtr f = random_formula(rng, 4);
+  EXPECT_TRUE(solver.equivalent(f, to_nnf(f))) << f->to_string();
+}
+
+// ---------------------------------------------------------------------------
+// MiniLang bridge
+// ---------------------------------------------------------------------------
+
+TEST(Bridge, ParsesTypicalContractConditions) {
+  const auto f = parse_condition("!(s == null) && !(s.is_closing) && s.ttl > 0");
+  ASSERT_TRUE(f.has_value());
+  const auto vars = (*f)->variables();
+  EXPECT_TRUE(vars.count("s#null"));
+  EXPECT_TRUE(vars.count("s.is_closing"));
+  EXPECT_TRUE(vars.count("s.ttl"));
+}
+
+TEST(Bridge, NullComparisonsBothOrders) {
+  const auto a = parse_condition("s != null");
+  const auto b = parse_condition("null != s");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  Solver solver;
+  EXPECT_TRUE(solver.equivalent(*a, *b));
+}
+
+TEST(Bridge, BoolLiteralComparison) {
+  const auto a = parse_condition("w.connected == true");
+  const auto b = parse_condition("w.connected");
+  ASSERT_TRUE(a.has_value());
+  Solver solver;
+  EXPECT_TRUE(solver.equivalent(*a, *b));
+  const auto c = parse_condition("w.connected != true");
+  EXPECT_TRUE(solver.equivalent(*c, Formula::negate(*b)));
+}
+
+TEST(Bridge, IntLiteralOnLeftSwapsOperator) {
+  const auto a = parse_condition("0 < blk.location_count");
+  const auto b = parse_condition("blk.location_count > 0");
+  ASSERT_TRUE(a.has_value());
+  Solver solver;
+  EXPECT_TRUE(solver.equivalent(*a, *b));
+}
+
+TEST(Bridge, RejectPolicyFailsOnCalls) {
+  EXPECT_FALSE(parse_condition("len(xs) > 0").has_value());
+  EXPECT_FALSE(parse_condition("a + 1 > b").has_value());
+}
+
+TEST(Bridge, AbstractPolicyMakesOpaqueAtoms) {
+  const minilang::ExprPtr expr = minilang::parse_expression("len(xs) > 0 && s.ok");
+  const auto f = to_formula(*expr, OpaquePolicy::kAbstract);
+  ASSERT_TRUE(f.has_value());
+  bool has_opaque = false;
+  for (const std::string& var : (*f)->variables())
+    if (var.rfind("opaque:", 0) == 0) has_opaque = true;
+  EXPECT_TRUE(has_opaque);
+}
+
+TEST(Bridge, AccessPathRendering) {
+  const minilang::ExprPtr expr = minilang::parse_expression("a.b.c");
+  EXPECT_EQ(access_path(*expr), "a.b.c");
+  const minilang::ExprPtr call = minilang::parse_expression("f(x).y");
+  EXPECT_EQ(access_path(*call), "");
+}
+
+TEST(Bridge, ConstantFolding) {
+  const auto t = parse_condition("1 < 2");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ((*t)->kind, Formula::Kind::kTrue);
+}
+
+}  // namespace
+}  // namespace lisa::smt

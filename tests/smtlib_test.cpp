@@ -1,0 +1,62 @@
+// Tests for SMT-LIB 2 export.
+#include <gtest/gtest.h>
+
+#include "smt/minilang_bridge.hpp"
+#include "smt/smtlib.hpp"
+
+namespace lisa::smt {
+namespace {
+
+TEST(SmtLib, DeclaresSortsByUse) {
+  const auto f = parse_condition("!(s == null) && !(s.is_closing) && s.ttl > 0");
+  ASSERT_TRUE(f.has_value());
+  const std::string script = to_smtlib(*f);
+  EXPECT_NE(script.find("(set-logic QF_LIA)"), std::string::npos);
+  EXPECT_NE(script.find("(declare-const |s#null| Bool)"), std::string::npos);
+  EXPECT_NE(script.find("(declare-const |s.is_closing| Bool)"), std::string::npos);
+  EXPECT_NE(script.find("(declare-const |s.ttl| Int)"), std::string::npos);
+  EXPECT_NE(script.find("(check-sat)"), std::string::npos);
+}
+
+TEST(SmtLib, RendersBooleanStructure) {
+  const auto f = parse_condition("a.x > 0 || !(a.y <= 3)");
+  ASSERT_TRUE(f.has_value());
+  const std::string script = to_smtlib(*f);
+  EXPECT_NE(script.find("(or (> |a.x| 0) (not (<= |a.y| 3)))"), std::string::npos) << script;
+  // After NNF the negation folds into the comparison.
+  const std::string nnf_script = to_smtlib(to_nnf(*f));
+  EXPECT_NE(nnf_script.find("(or (> |a.x| 0) (> |a.y| 3))"), std::string::npos) << nnf_script;
+}
+
+TEST(SmtLib, NegativeConstantsParenthesized) {
+  const auto f = parse_condition("a.x >= 0 - 5");
+  // 0 - 5 is arithmetic (outside the fragment) — use an explicit atom.
+  const FormulaPtr atom = Formula::make_atom(Atom::cmp_const("a.x", CmpOp::kGe, -5));
+  const std::string script = to_smtlib(atom);
+  EXPECT_NE(script.find("(>= |a.x| (- 5))"), std::string::npos);
+  (void)f;
+}
+
+TEST(SmtLib, VarVarComparisonsAndDisequality) {
+  const auto f = parse_condition("t.node_count >= t.quota_limit && t.node_count != 7");
+  const std::string script = to_smtlib(*f);
+  EXPECT_NE(script.find("(>= |t.node_count| |t.quota_limit|)"), std::string::npos);
+  EXPECT_NE(script.find("(not (= |t.node_count| 7))"), std::string::npos);
+}
+
+TEST(SmtLib, ComplementQueryWrapsNegatedChecker) {
+  const auto trace = parse_condition("!(s == null)");
+  const auto checker = parse_condition("!(s == null) && s.ttl > 0");
+  const std::string script = complement_query_smtlib(*trace, *checker);
+  EXPECT_NE(script.find("; LISA complement check"), std::string::npos);
+  EXPECT_NE(script.find("(not "), std::string::npos);
+  EXPECT_NE(script.find("(get-model)"), std::string::npos);
+}
+
+TEST(SmtLib, TrueFalseLiterals) {
+  EXPECT_NE(to_smtlib(Formula::truth(true)).find("(assert true)"), std::string::npos);
+  EXPECT_NE(to_smtlib(Formula::truth(false)).find("(assert false)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lisa::smt

@@ -1,0 +1,179 @@
+// Unit tests for src/support: strings, JSON, RNG.
+#include <gtest/gtest.h>
+
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace lisa::support {
+namespace {
+
+// ---------------------------------------------------------------------------
+// strings
+// ---------------------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a||b|", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(contains("haystack", "sta"));
+  EXPECT_TRUE(contains_ci("HayStack", "hays"));
+  EXPECT_FALSE(contains_ci("HayStack", "xyz"));
+}
+
+TEST(Strings, JoinAndReplaceAll) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(replace_all("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(Strings, WordTokensLowercasesAndSplitsOnPunct) {
+  const auto tokens = word_tokens("Create_Ephemeral(server, Path)");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "create_ephemeral");
+  EXPECT_EQ(tokens[1], "server");
+  EXPECT_EQ(tokens[2], "path");
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(Json, RoundTripScalars) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ParseObjectAndAccess) {
+  const Json v = Json::parse(R"({"a": 1, "b": [true, null], "c": {"d": "x"}})");
+  EXPECT_EQ(v.get_int("a"), 1);
+  EXPECT_TRUE(v.at("b").as_array()[0].as_bool());
+  EXPECT_TRUE(v.at("b").as_array()[1].is_null());
+  EXPECT_EQ(v.at("c").get_string("d"), "x");
+  EXPECT_EQ(v.get_string("missing", "fallback"), "fallback");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  const Json v = Json(std::string("line\n\"quote\"\tta\\b"));
+  const Json back = Json::parse(v.dump());
+  EXPECT_EQ(back.as_string(), "line\n\"quote\"\tta\\b");
+}
+
+TEST(Json, ParseRejectsTrailingGarbage) {
+  EXPECT_THROW(Json::parse("{} x"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  const Json v = Json::parse(R"("Aé")");
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, NegativeAndDoubleNumbers) {
+  const Json v = Json::parse("[-5, 2.5, 1e3]");
+  EXPECT_EQ(v.as_array()[0].as_int(), -5);
+  EXPECT_DOUBLE_EQ(v.as_array()[1].as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(v.as_array()[2].as_double(), 1000.0);
+}
+
+TEST(Json, StableKeyOrderInDump) {
+  JsonObject o;
+  o["zebra"] = Json(1);
+  o["apple"] = Json(2);
+  EXPECT_EQ(Json(std::move(o)).dump(), R"({"apple":2,"zebra":1})");
+}
+
+TEST(Json, PrettyPrintsIndented) {
+  JsonObject o;
+  o["k"] = Json(JsonArray{Json(1)});
+  const std::string pretty = Json(std::move(o)).pretty();
+  EXPECT_NE(pretty.find("\n  \"k\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextInRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(11);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = items;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, items);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.next_bool(0.3)) ++heads;
+  EXPECT_GT(heads, 2600);
+  EXPECT_LT(heads, 3400);
+}
+
+}  // namespace
+}  // namespace lisa::support

@@ -1,0 +1,195 @@
+// Seeded chaos tests: random operation sequences against the mini systems,
+// asserting their safety invariants hold whenever the guarding checks are
+// enabled — and that the injected incident classes are the ONLY way the
+// invariants break when checks are disabled.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "systems/cassandra/hints.hpp"
+#include "systems/hbase/snapshots.hpp"
+#include "systems/hdfs/replication.hpp"
+#include "systems/sim/event_loop.hpp"
+#include "systems/zookeeper/server.hpp"
+
+namespace lisa::systems {
+namespace {
+
+class ChaosSeed : public ::testing::TestWithParam<int> {
+ protected:
+  support::Rng rng{static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ULL + 1};
+};
+
+TEST_P(ChaosSeed, EventLoopTimeIsMonotonic) {
+  EventLoop loop;
+  std::int64_t last_seen = -1;
+  bool monotonic = true;
+  std::function<void(int)> spawn = [&](int depth) {
+    if (loop.now() < last_seen) monotonic = false;
+    last_seen = loop.now();
+    if (depth <= 0) return;
+    const int children = 1 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < children; ++i)
+      loop.schedule_after(rng.next_in(0, 50), [&spawn, depth] { spawn(depth - 1); });
+  };
+  for (int i = 0; i < 5; ++i)
+    loop.schedule_at(rng.next_in(0, 100), [&spawn] { spawn(4); });
+  loop.run_all(100'000);
+  EXPECT_TRUE(monotonic);
+}
+
+TEST_P(ChaosSeed, FixedZooKeeperNeverLeaksEphemerals) {
+  EventLoop loop;
+  zk::ZkConfig config;
+  config.session_timeout_ms = 500;
+  zk::ZooKeeperServer server(loop, config);  // fix enabled
+  std::vector<std::int64_t> sessions;
+  for (int step = 0; step < 200; ++step) {
+    loop.run_until(loop.now() + rng.next_in(0, 40));
+    switch (rng.next_below(5)) {
+      case 0:
+        sessions.push_back(server.create_session("chaos"));
+        break;
+      case 1:
+        if (!sessions.empty())
+          server.create(sessions[rng.pick_index(sessions.size())],
+                        "/c/" + std::to_string(step), "d", /*ephemeral=*/true);
+        break;
+      case 2:
+        if (!sessions.empty())
+          server.touch_session(sessions[rng.pick_index(sessions.size())]);
+        break;
+      case 3:
+        if (!sessions.empty())
+          server.close_session(sessions[rng.pick_index(sessions.size())]);
+        break;
+      default:
+        server.take_snapshot();
+        break;
+    }
+  }
+  for (const std::int64_t session : sessions) server.close_session(session);
+  loop.run_until(loop.now() + 2000);
+  EXPECT_TRUE(server.find_stale_ephemerals().empty());
+  EXPECT_EQ(server.live_sessions(), 0u);
+}
+
+TEST_P(ChaosSeed, CheckedReplicationNeverTargetsDecommissioning) {
+  EventLoop loop;
+  hdfs::ReplicationManager manager(loop);  // both checks on
+  std::vector<std::string> names;
+  std::int64_t block = 1;
+  for (int step = 0; step < 150; ++step) {
+    loop.run_until(loop.now() + rng.next_in(0, 30));
+    switch (rng.next_below(5)) {
+      case 0: {
+        const std::string name = "dn" + std::to_string(names.size());
+        manager.add_datanode(name);
+        names.push_back(name);
+        break;
+      }
+      case 1:
+        if (!names.empty()) manager.heartbeat(names[rng.pick_index(names.size())]);
+        break;
+      case 2:
+        if (!names.empty())
+          manager.start_decommission(names[rng.pick_index(names.size())]);
+        break;
+      case 3:
+        manager.place_block(block++);
+        break;
+      default:
+        manager.expire_dead_nodes();
+        manager.replicate_under_replicated();
+        break;
+    }
+  }
+  EXPECT_EQ(manager.stats().placed_on_decommissioning, 0u);
+  // No block ever exceeds the replication factor on live nodes.
+  for (const auto& [id, count] : manager.replica_counts()) EXPECT_LE(count, 3) << id;
+}
+
+TEST_P(ChaosSeed, CoveredSnapshotStoreNeverServesExpired) {
+  EventLoop loop;
+  hbase::SnapshotStore store(loop);  // full check coverage
+  std::vector<std::string> names;
+  for (int step = 0; step < 150; ++step) {
+    loop.run_until(loop.now() + rng.next_in(0, 100));
+    switch (rng.next_below(4)) {
+      case 0: {
+        const std::string name = "snap" + std::to_string(names.size());
+        store.create_snapshot(name, rng.next_bool(0.3) ? 0 : rng.next_in(50, 500), {"row"});
+        names.push_back(name);
+        break;
+      }
+      case 1:
+        if (!names.empty()) store.restore(names[rng.pick_index(names.size())]);
+        break;
+      case 2:
+        if (!names.empty()) store.export_snapshot(names[rng.pick_index(names.size())]);
+        break;
+      default:
+        if (!names.empty()) store.scan(names[rng.pick_index(names.size())]);
+        break;
+    }
+  }
+  EXPECT_EQ(store.stats().expired_served, 0u);
+}
+
+TEST_P(ChaosSeed, CheckedHintReplayNeverResurrects) {
+  EventLoop loop;
+  cassandra::HintedHandoff handoff(loop);
+  std::vector<std::string> hosts;
+  for (int step = 0; step < 150; ++step) {
+    switch (rng.next_below(5)) {
+      case 0: {
+        const std::string host = "10.0.0." + std::to_string(hosts.size());
+        handoff.add_node(host);
+        hosts.push_back(host);
+        break;
+      }
+      case 1:
+        if (!hosts.empty())
+          handoff.queue_hint(hosts[rng.pick_index(hosts.size())], "m", rng.next_bool());
+        break;
+      case 2:
+        if (!hosts.empty()) handoff.decommission(hosts[rng.pick_index(hosts.size())]);
+        break;
+      case 3:
+        if (!hosts.empty())
+          handoff.replay_endpoint(hosts[rng.pick_index(hosts.size())], /*check_ring=*/true);
+        break;
+      default:
+        handoff.replay_all(/*check_ring=*/true);
+        break;
+    }
+  }
+  EXPECT_EQ(handoff.stats().rows_resurrected, 0u);
+  EXPECT_EQ(handoff.stats().hints_to_decommissioned, 0u);
+}
+
+TEST_P(ChaosSeed, BuggyZooKeeperLeaksExactlyTheRacedCreates) {
+  EventLoop loop;
+  zk::ZkConfig config;
+  config.fix_zk1208 = false;
+  config.session_timeout_ms = 100'000;  // no expiry noise
+  zk::ZooKeeperServer server(loop, config);
+  int raced = 0;
+  for (int i = 0; i < 30; ++i) {
+    const std::int64_t session = server.create_session("c");
+    server.create(session, "/pre/" + std::to_string(i), "d", true);
+    server.close_session(session);
+    if (rng.next_bool(0.5)) {
+      // The racing create lands in the CLOSING window and will leak.
+      if (server.create(session, "/raced/" + std::to_string(i), "d", true) ==
+          zk::ZkStatus::kOk)
+        ++raced;
+    }
+    loop.run_until(loop.now() + 100);
+  }
+  EXPECT_EQ(server.find_stale_ephemerals().size(), static_cast<std::size_t>(raced));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSeed, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace lisa::systems

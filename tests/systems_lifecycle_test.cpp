@@ -1,0 +1,242 @@
+// Tests for the expanded mini-system subsystems: HDFS replication, HBase
+// region lifecycle / WAL / meta cache, Cassandra read repair & counters,
+// ZooKeeper quotas & ACLs. Each mirrors one corpus case natively: the
+// guarded path is safe, the unguarded path reproduces the incident symptom.
+#include <gtest/gtest.h>
+
+#include "systems/cassandra/read_repair.hpp"
+#include "systems/hbase/regions.hpp"
+#include "systems/hdfs/replication.hpp"
+#include "systems/sim/event_loop.hpp"
+#include "systems/zookeeper/quota_acl.hpp"
+
+namespace lisa::systems {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HDFS replication (HDFS-D1/D2)
+// ---------------------------------------------------------------------------
+
+TEST(Replication, PlacesReplicationFactorReplicas) {
+  EventLoop loop;
+  hdfs::ReplicationManager manager(loop);
+  for (const char* name : {"dn1", "dn2", "dn3", "dn4"}) manager.add_datanode(name);
+  const auto chosen = manager.place_block(1);
+  EXPECT_EQ(chosen.size(), 3u);
+  EXPECT_EQ(manager.replica_counts().at(1), 3);
+}
+
+TEST(Replication, CheckedPlacementSkipsDecommissioning) {
+  EventLoop loop;
+  hdfs::ReplicationManager manager(loop);
+  for (const char* name : {"dn1", "dn2", "dn3", "dn4"}) manager.add_datanode(name);
+  manager.start_decommission("dn1");
+  manager.place_block(1);
+  EXPECT_EQ(manager.stats().placed_on_decommissioning, 0u);
+  EXPECT_EQ(manager.datanode("dn1")->blocks.size(), 0u);
+}
+
+TEST(Replication, UncheckedSweepRepeatsTheIncident) {
+  EventLoop loop;
+  hdfs::ReplicationConfig config;
+  config.check_on_sweep_path = false;  // the regression's coverage gap
+  config.replication_factor = 3;
+  hdfs::ReplicationManager manager(loop, config);
+  for (const char* name : {"dn1", "dn2", "dn3"}) manager.add_datanode(name);
+  manager.place_block(1);
+  // dn3 dies; dn2 starts decommissioning. The sweep must re-replicate but
+  // picks the decommissioning node because the check is missing.
+  manager.start_decommission("dn2");
+  loop.run_until(5000);
+  manager.expire_dead_nodes();  // nobody heartbeated: all expire
+  EXPECT_EQ(manager.stats().nodes_expired, 3u);
+  manager.add_datanode("dn4");
+  manager.start_decommission("dn4");
+  manager.add_datanode("dn5");
+  const std::size_t added = manager.replicate_under_replicated();
+  EXPECT_GT(added, 0u);
+  EXPECT_GT(manager.stats().placed_on_decommissioning, 0u);  // incident symptom
+}
+
+TEST(Replication, HeartbeatsKeepNodesAlive) {
+  EventLoop loop;
+  hdfs::ReplicationManager manager(loop);
+  manager.add_datanode("dn1");
+  loop.run_until(2000);
+  manager.heartbeat("dn1");
+  loop.run_until(4000);
+  manager.expire_dead_nodes();
+  EXPECT_EQ(manager.live_datanodes(), 1u);  // heartbeat at t=2000, timeout 3000
+  loop.run_until(6000);
+  manager.expire_dead_nodes();
+  EXPECT_EQ(manager.live_datanodes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// HBase region lifecycle (HBASE-SP1/SP2, W1/W2, M1/M2)
+// ---------------------------------------------------------------------------
+
+TEST(Regions, SplitProducesDaughters) {
+  EventLoop loop;
+  hbase::RegionServer server(loop);
+  server.add_region("r1");
+  EXPECT_TRUE(server.request_split("r1"));
+  EXPECT_EQ(server.region_count(), 2u);
+}
+
+TEST(Regions, GuardedSplitRejectedDuringCompaction) {
+  EventLoop loop;
+  hbase::RegionServer server(loop);
+  server.add_region("r1");
+  server.start_compaction("r1", 100);
+  EXPECT_FALSE(server.request_split("r1"));
+  EXPECT_EQ(server.stats().splits_rejected, 1u);
+  loop.run_until(200);  // compaction ends
+  EXPECT_TRUE(server.request_split("r1"));
+}
+
+TEST(Regions, UncheckedBalancerSplitLosesStoreFiles) {
+  EventLoop loop;
+  hbase::RegionGuards guards;
+  guards.balancer_checks_compaction = false;  // the regression path
+  hbase::RegionServer server(loop, guards);
+  server.add_region("r1");
+  server.start_compaction("r1", 100);
+  EXPECT_TRUE(server.balancer_split("r1"));
+  EXPECT_EQ(server.stats().splits_during_compaction, 1u);  // incident symptom
+}
+
+TEST(Regions, WalRollGuards) {
+  EventLoop loop;
+  hbase::RegionGuards guards;
+  guards.timer_roll_checks_flush = false;
+  hbase::RegionServer server(loop, guards);
+  server.add_region("r1");
+  server.start_flush("r1", 100);
+  EXPECT_FALSE(server.request_wal_roll("r1"));  // manual path guarded
+  EXPECT_TRUE(server.timer_wal_roll("r1"));     // timer path slips through
+  EXPECT_EQ(server.stats().rolls_during_flush, 1u);
+  loop.run_until(200);
+  EXPECT_TRUE(server.request_wal_roll("r1"));
+}
+
+TEST(Regions, MetaCacheStaleRouting) {
+  EventLoop loop;
+  hbase::RegionGuards guards;
+  guards.batch_routing_checks_stale = false;
+  hbase::RegionServer server(loop, guards);
+  server.add_region("r1");
+  server.cache_location("row1", "r1");
+  server.cache_location("row2", "r1");
+  EXPECT_TRUE(server.route_get("row1"));
+  server.invalidate("row1");
+  server.invalidate("row2");
+  // Guarded single-get refreshes instead of routing stale.
+  EXPECT_FALSE(server.route_get("row1"));
+  EXPECT_EQ(server.stats().refreshes, 1u);
+  EXPECT_TRUE(server.route_get("row1"));  // now fresh
+  // Unguarded batch routes through the stale entry.
+  EXPECT_EQ(server.route_batch({"row2"}), 1u);
+  EXPECT_EQ(server.stats().routed_stale, 1u);  // incident symptom
+}
+
+// ---------------------------------------------------------------------------
+// Cassandra read repair + counters (CASS-R1/R2, C1/C2)
+// ---------------------------------------------------------------------------
+
+TEST(ReadRepair, PurgeableTombstoneSkippedWhenGuarded) {
+  EventLoop loop;
+  cassandra::ReplicaSet replicas(loop, /*gc_grace_ms=*/1000);
+  replicas.write_row("k", "v");
+  replicas.delete_row("k");
+  EXPECT_FALSE(replicas.is_purgeable("k"));
+  EXPECT_TRUE(replicas.read_repair("k"));  // within gc_grace: repairable
+  loop.run_until(2000);
+  EXPECT_TRUE(replicas.is_purgeable("k"));
+  EXPECT_FALSE(replicas.read_repair("k"));
+  EXPECT_EQ(replicas.stats().purgeable_repaired, 0u);
+}
+
+TEST(ReadRepair, UncheckedBackgroundRepairResurrects) {
+  EventLoop loop;
+  cassandra::RepairGuards guards;
+  guards.background_checks_purgeable = false;
+  cassandra::ReplicaSet replicas(loop, 1000, guards);
+  replicas.write_row("k1", "v");
+  replicas.delete_row("k1");
+  replicas.write_row("k2", "live");
+  loop.run_until(2000);
+  EXPECT_EQ(replicas.background_repair(), 2u);
+  EXPECT_EQ(replicas.stats().purgeable_repaired, 1u);  // incident symptom
+}
+
+TEST(Counters, BootstrapDoubleCountReproduced) {
+  EventLoop loop;
+  cassandra::RepairGuards guards;
+  guards.batch_counter_checks_bootstrap = false;
+  cassandra::ReplicaSet replicas(loop, 1000, guards);
+  replicas.add_counter_node("n1", /*bootstrapping=*/true);
+  // Guarded single write rejected; unguarded batch applies.
+  EXPECT_FALSE(replicas.write_counter("n1", 5));
+  EXPECT_EQ(replicas.write_counter_batch("n1", {3, 4}), 2u);
+  EXPECT_EQ(replicas.stats().counters_on_bootstrap, 2u);
+  replicas.finish_bootstrap("n1");
+  // Streamed state merged on top: 7 became 14 — the double count.
+  EXPECT_EQ(replicas.counter_value("n1"), 14);
+}
+
+TEST(Counters, NormalNodeCountsOnce) {
+  EventLoop loop;
+  cassandra::ReplicaSet replicas(loop, 1000);
+  replicas.add_counter_node("n1", false);
+  EXPECT_TRUE(replicas.write_counter("n1", 5));
+  EXPECT_TRUE(replicas.write_counter("n1", 2));
+  replicas.finish_bootstrap("n1");  // no-op on a normal node
+  EXPECT_EQ(replicas.counter_value("n1"), 7);
+}
+
+// ---------------------------------------------------------------------------
+// ZooKeeper quotas + ACLs (ZK-Q1/Q2, A1/A2)
+// ---------------------------------------------------------------------------
+
+TEST(Quota, GuardedCreateStopsAtLimit) {
+  zk::QuotaTree tree(2);
+  EXPECT_TRUE(tree.create_node("/q/a"));
+  EXPECT_TRUE(tree.create_node("/q/b"));
+  EXPECT_FALSE(tree.create_node("/q/c"));
+  EXPECT_EQ(tree.node_count(), 2);
+  EXPECT_FALSE(tree.over_quota());
+}
+
+TEST(Quota, UncheckedSequentialPathBypasses) {
+  zk::QuotaGuards guards;
+  guards.sequential_checks_quota = false;
+  zk::QuotaTree tree(1, guards);
+  EXPECT_TRUE(tree.create_node("/q/a"));
+  EXPECT_FALSE(tree.create_node("/q/b"));
+  EXPECT_NE(tree.create_sequential("/q/seq-"), "");  // slips past the quota
+  EXPECT_TRUE(tree.over_quota());
+  EXPECT_EQ(tree.stats().creates_over_quota, 1u);  // incident symptom
+}
+
+TEST(Acl, GuardedSetRejectsMalformed) {
+  zk::AclManager manager;
+  EXPECT_TRUE(manager.set_acl({"1", "digest"}));
+  EXPECT_FALSE(manager.set_acl({"2", ""}));
+  EXPECT_EQ(manager.installed_count(), 1u);
+  EXPECT_FALSE(manager.is_exposed("1"));
+}
+
+TEST(Acl, UncheckedRestoreInstallsMalformed) {
+  zk::AclGuards guards;
+  guards.restore_path_validates = false;
+  zk::AclManager manager(guards);
+  const std::size_t installed =
+      manager.restore_from_snapshot({{"1", "world"}, {"2", ""}});
+  EXPECT_EQ(installed, 2u);
+  EXPECT_TRUE(manager.is_exposed("2"));  // incident symptom: open access
+  EXPECT_EQ(manager.stats().installed_unvalidated, 1u);
+}
+
+}  // namespace
+}  // namespace lisa::systems

@@ -1,0 +1,392 @@
+// Tests for the native mini cloud systems and the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include "systems/cassandra/hints.hpp"
+#include "systems/hbase/snapshots.hpp"
+#include "systems/hdfs/namenode.hpp"
+#include "systems/sim/event_loop.hpp"
+#include "systems/sim/network.hpp"
+#include "systems/zookeeper/registry.hpp"
+#include "systems/zookeeper/server.hpp"
+
+namespace lisa::systems {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Event loop + network
+// ---------------------------------------------------------------------------
+
+TEST(EventLoop, RunsEventsInTimeThenFifoOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(10, [&] { order.push_back(2); });
+  loop.schedule_at(5, [&] { order.push_back(1); });
+  loop.schedule_at(10, [&] { order.push_back(3); });  // same time: FIFO
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 10);
+}
+
+TEST(EventLoop, HandlersCanScheduleMoreEvents) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_after(1, [&] {
+    ++fired;
+    loop.schedule_after(1, [&] { ++fired; });
+  });
+  loop.run_until(100);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 100);  // run_until advances the clock
+}
+
+TEST(EventLoop, RunAllGuardsAgainstEventStorms) {
+  EventLoop loop;
+  std::function<void()> storm = [&] { loop.schedule_after(1, storm); };
+  loop.schedule_after(1, storm);
+  EXPECT_THROW(loop.run_all(1000), std::runtime_error);
+}
+
+TEST(Network, DeliversWithConfiguredDelay) {
+  EventLoop loop;
+  NetworkOptions options;
+  options.base_delay_ms = 7;
+  MessageBus bus(loop, options);
+  std::int64_t delivered_at = -1;
+  bus.register_endpoint("b", [&](const Message& m) {
+    delivered_at = loop.now();
+    EXPECT_EQ(m.payload, "hello");
+  });
+  bus.send("a", "b", "greet", "hello");
+  loop.run_all();
+  EXPECT_EQ(delivered_at, 7);
+  EXPECT_EQ(bus.delivered(), 1u);
+}
+
+TEST(Network, DropsAndDeadLetters) {
+  EventLoop loop;
+  NetworkOptions lossy;
+  lossy.drop_rate = 1.0;
+  MessageBus bus(loop, lossy);
+  EXPECT_FALSE(bus.send("a", "b", "t", "p"));
+  EXPECT_EQ(bus.dropped(), 1u);
+
+  MessageBus bus2(loop, NetworkOptions{});
+  bus2.send("a", "nowhere", "t", "p");
+  loop.run_all();
+  EXPECT_EQ(bus2.dead_lettered(), 1u);
+}
+
+TEST(Network, DeterministicUnderSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    EventLoop loop;
+    NetworkOptions options;
+    options.jitter_ms = 10;
+    options.drop_rate = 0.3;
+    options.seed = seed;
+    MessageBus bus(loop, options);
+    int got = 0;
+    bus.register_endpoint("sink", [&](const Message&) { ++got; });
+    for (int i = 0; i < 100; ++i) bus.send("src", "sink", "t", std::to_string(i));
+    loop.run_all();
+    return got;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+}
+
+// ---------------------------------------------------------------------------
+// Mini-ZooKeeper
+// ---------------------------------------------------------------------------
+
+TEST(ZooKeeper, EphemeralNodesVanishWithSession) {
+  EventLoop loop;
+  zk::ZooKeeperServer server(loop);
+  const std::int64_t session = server.create_session("c1");
+  EXPECT_EQ(server.create(session, "/e/1", "addr", true), zk::ZkStatus::kOk);
+  EXPECT_TRUE(server.exists("/e/1"));
+  server.close_session(session);
+  loop.run_until(loop.now() + 100);
+  EXPECT_FALSE(server.exists("/e/1"));
+  EXPECT_TRUE(server.find_stale_ephemerals().empty());
+}
+
+TEST(ZooKeeper, FixedServerRejectsCreateOnClosingSession) {
+  EventLoop loop;
+  zk::ZooKeeperServer server(loop);  // fix_zk1208 = true
+  const std::int64_t session = server.create_session("c1");
+  server.close_session(session);
+  EXPECT_EQ(server.create(session, "/e/x", "addr", true), zk::ZkStatus::kSessionClosing);
+  loop.run_until(loop.now() + 100);
+  EXPECT_FALSE(server.exists("/e/x"));
+}
+
+TEST(ZooKeeper, BuggyServerLeavesStaleEphemeral) {
+  EventLoop loop;
+  zk::ZkConfig config;
+  config.fix_zk1208 = false;
+  zk::ZooKeeperServer server(loop, config);
+  const std::int64_t session = server.create_session("c1");
+  server.close_session(session);
+  // The create lands in the CLOSING window (ZK-1208 race).
+  EXPECT_EQ(server.create(session, "/e/x", "addr", true), zk::ZkStatus::kOk);
+  loop.run_until(loop.now() + 1000);
+  EXPECT_TRUE(server.exists("/e/x"));
+  EXPECT_EQ(server.find_stale_ephemerals().size(), 1u);
+}
+
+TEST(ZooKeeper, SessionsExpireWithoutTouch) {
+  EventLoop loop;
+  zk::ZkConfig config;
+  config.session_timeout_ms = 100;
+  zk::ZooKeeperServer server(loop, config);
+  const std::int64_t session = server.create_session("c1");
+  server.create(session, "/e/1", "d", true);
+  loop.run_until(500);
+  EXPECT_EQ(server.live_sessions(), 0u);
+  EXPECT_FALSE(server.exists("/e/1"));
+  EXPECT_GE(server.stats().sessions_expired, 1u);
+}
+
+TEST(ZooKeeper, TouchKeepsSessionAlive) {
+  EventLoop loop;
+  zk::ZkConfig config;
+  config.session_timeout_ms = 100;
+  zk::ZooKeeperServer server(loop, config);
+  const std::int64_t session = server.create_session("c1");
+  for (int i = 1; i <= 20; ++i)
+    loop.schedule_at(i * 40, [&server, session] { server.touch_session(session); });
+  loop.run_until(800);
+  EXPECT_EQ(server.live_sessions(), 1u);
+}
+
+TEST(ZooKeeper, WatchesFireOnceOnDelete) {
+  EventLoop loop;
+  zk::ZooKeeperServer server(loop);
+  const std::int64_t session = server.create_session("c1");
+  server.create(session, "/n", "d", false);
+  int events = 0;
+  server.watch("/n", [&](const zk::WatchEvent& event) {
+    ++events;
+    EXPECT_EQ(event.type, "deleted");
+  });
+  server.delete_node("/n");
+  server.create(session, "/n", "d2", false);  // watch is one-shot
+  server.delete_node("/n");
+  EXPECT_EQ(events, 1);
+}
+
+TEST(ZooKeeper, GetChildrenFiltersByPrefix) {
+  EventLoop loop;
+  zk::ZooKeeperServer server(loop);
+  const std::int64_t session = server.create_session("c1");
+  server.create(session, "/a/1", "", false);
+  server.create(session, "/a/2", "", false);
+  server.create(session, "/ab/3", "", false);
+  EXPECT_EQ(server.get_children("/a").size(), 2u);
+}
+
+TEST(ZooKeeper, BuggySnapshotStallsWriters) {
+  EventLoop loop;
+  zk::ZkConfig config;
+  config.fix_sync_blocking = false;
+  zk::ZooKeeperServer server(loop, config);
+  const std::int64_t session = server.create_session("c1");
+  for (int i = 0; i < 10; ++i)
+    server.create(session, "/n/" + std::to_string(i), "d", false);
+  server.take_snapshot();
+  // A write arriving while the lock is held stalls.
+  loop.schedule_after(1, [&] { server.create(session, "/during", "d", false); });
+  loop.run_until(loop.now() + 200);
+  EXPECT_GT(server.stats().write_stall_ms, 0);
+
+  zk::ZooKeeperServer fixed(loop);  // fix enabled
+  const std::int64_t s2 = fixed.create_session("c2");
+  fixed.create(s2, "/m", "d", false);
+  fixed.take_snapshot();
+  fixed.create(s2, "/after", "d", false);
+  EXPECT_EQ(fixed.stats().write_stall_ms, 0);
+}
+
+TEST(Registry, ProducerSeesStaleAddressOnlyWithBuggyServer) {
+  EventLoop loop;
+  zk::ZkConfig buggy;
+  buggy.fix_zk1208 = false;
+  zk::ZooKeeperServer server(loop, buggy);
+  zk::ConsumerRegistry registry(server);
+  std::map<std::string, bool> live;
+
+  ASSERT_TRUE(registry.register_consumer("c1", "host-a:9092").has_value());
+  live["c1"] = true;
+  zk::Producer producer(registry, &live);
+  EXPECT_TRUE(producer.send("c1"));
+
+  // The consumer dies; its session close races with a re-registration.
+  live["c1"] = false;
+  registry.unregister_consumer("c1");
+  // Race: a new registration for the same consumer id lands in the close
+  // window on the SAME (still closing) session path — simulate by creating
+  // directly on the closing session.
+  loop.run_until(loop.now() + 1000);
+  // With the bug the old node may survive; with a clean close it is gone.
+  const bool resolved = registry.lookup("c1").has_value();
+  if (resolved) {
+    EXPECT_FALSE(producer.send("c1"));
+    EXPECT_GE(producer.stale_address_errors(), 1u);
+  } else {
+    EXPECT_FALSE(producer.send("c1"));
+    EXPECT_GE(producer.unresolved_errors(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mini-HDFS
+// ---------------------------------------------------------------------------
+
+TEST(Hdfs, ObserverServesAfterReportArrives) {
+  EventLoop loop;
+  MessageBus bus(loop);
+  hdfs::ActiveNameNode active;
+  hdfs::ObserverNameNode observer(loop, bus, "observer-1");
+  active.add_file("/f", 100, {"dn1", "dn2"});
+  observer.receive_report_later(active, "/f", 5);
+  loop.run_all();
+  const auto block = observer.read("/f", /*check_locations=*/true);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->locations.size(), 2u);
+  EXPECT_EQ(observer.stats().block_reports_applied, 1u);
+}
+
+TEST(Hdfs, DelayedReportWithCheckRedirects) {
+  EventLoop loop;
+  MessageBus bus(loop);
+  hdfs::ActiveNameNode active;
+  hdfs::ObserverNameNode observer(loop, bus, "observer-1");
+  active.add_file("/f", 100, {"dn1"});
+  observer.receive_report_later(active, "/f", 10'000);  // very delayed
+  loop.run_until(10);  // report not yet arrived
+  const auto block = observer.read("/f", /*check_locations=*/true);
+  EXPECT_FALSE(block.has_value());
+  EXPECT_EQ(observer.stats().reads_redirected, 1u);
+  EXPECT_EQ(observer.stats().empty_location_reads, 0u);
+}
+
+TEST(Hdfs, DelayedReportWithoutCheckServesEmptyLocations) {
+  EventLoop loop;
+  MessageBus bus(loop);
+  hdfs::ActiveNameNode active;
+  hdfs::ObserverNameNode observer(loop, bus, "observer-1");
+  active.add_file("/f", 100, {"dn1"});
+  observer.receive_report_later(active, "/f", 10'000);
+  loop.run_until(10);
+  const auto block = observer.read("/f", /*check_locations=*/false);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_TRUE(block->locations.empty());  // the incident symptom
+  EXPECT_EQ(observer.stats().empty_location_reads, 1u);
+}
+
+TEST(Hdfs, BatchedListingMirrorsCheckCoverage) {
+  EventLoop loop;
+  MessageBus bus(loop);
+  hdfs::ActiveNameNode active;
+  hdfs::ObserverNameNode observer(loop, bus, "observer-1");
+  active.add_file("/a", 1, {"dn1"});
+  active.add_file("/b", 2, {"dn2"});
+  observer.receive_report_later(active, "/a", 0);
+  observer.receive_report_later(active, "/b", 10'000);
+  loop.run_until(10);
+  const auto unchecked = observer.batched_listing({"/a", "/b"}, false);
+  EXPECT_EQ(unchecked.size(), 2u);
+  EXPECT_EQ(observer.stats().empty_location_reads, 1u);
+  const auto checked = observer.batched_listing({"/a", "/b"}, true);
+  EXPECT_EQ(checked.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Mini-HBase
+// ---------------------------------------------------------------------------
+
+TEST(Hbase, ExpirationByVirtualClock) {
+  EventLoop loop;
+  hbase::SnapshotStore store(loop);
+  store.create_snapshot("s1", 1000, {"r1", "r2"});
+  EXPECT_FALSE(store.is_expired("s1"));
+  loop.run_until(1500);
+  EXPECT_TRUE(store.is_expired("s1"));
+  store.create_snapshot("forever", 0, {});
+  loop.run_until(100'000);
+  EXPECT_FALSE(store.is_expired("forever"));
+}
+
+TEST(Hbase, CoveredPathsRejectExpired) {
+  EventLoop loop;
+  hbase::SnapshotStore store(loop);  // full coverage
+  store.create_snapshot("s1", 10, {"row"});
+  loop.run_until(100);
+  EXPECT_EQ(store.restore("s1"), hbase::SnapshotStatus::kExpired);
+  EXPECT_EQ(store.export_snapshot("s1"), hbase::SnapshotStatus::kExpired);
+  EXPECT_EQ(store.scan("s1").first, hbase::SnapshotStatus::kExpired);
+  EXPECT_EQ(store.stats().expired_served, 0u);
+  EXPECT_EQ(store.stats().expired_rejected, 3u);
+}
+
+TEST(Hbase, LatestCoverageServesExpiredViaScan) {
+  EventLoop loop;
+  hbase::CheckCoverage latest;
+  latest.scan = false;  // the HBASE-29296 gap
+  hbase::SnapshotStore store(loop, latest);
+  store.create_snapshot("s1", 10, {"stale-row"});
+  loop.run_until(100);
+  EXPECT_EQ(store.restore("s1"), hbase::SnapshotStatus::kExpired);
+  const auto [status, rows] = store.scan("s1");
+  EXPECT_EQ(status, hbase::SnapshotStatus::kOk);  // silently serves stale data
+  EXPECT_EQ(rows.size(), 1u);
+  EXPECT_EQ(store.stats().expired_served, 1u);
+}
+
+TEST(Hbase, MissingSnapshotIsNotFound) {
+  EventLoop loop;
+  hbase::SnapshotStore store(loop);
+  EXPECT_EQ(store.restore("ghost"), hbase::SnapshotStatus::kNotFound);
+  EXPECT_EQ(store.stats().not_found, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Mini-Cassandra
+// ---------------------------------------------------------------------------
+
+TEST(Cassandra, HintsReplayToLiveNode) {
+  EventLoop loop;
+  cassandra::HintedHandoff handoff(loop);
+  handoff.add_node("n1");
+  handoff.queue_hint("n1", "m1", false);
+  handoff.queue_hint("n1", "m2", false);
+  EXPECT_EQ(handoff.replay_endpoint("n1", true), 2u);
+  EXPECT_EQ(handoff.node("n1")->mutations_applied, 2u);
+  EXPECT_EQ(handoff.pending_hints(), 0u);
+}
+
+TEST(Cassandra, CheckedReplayRejectsDecommissioned) {
+  EventLoop loop;
+  cassandra::HintedHandoff handoff(loop);
+  handoff.add_node("n1");
+  handoff.queue_hint("n1", "m1", true);
+  handoff.decommission("n1");
+  EXPECT_EQ(handoff.replay_endpoint("n1", true), 0u);
+  EXPECT_EQ(handoff.stats().hints_rejected, 1u);
+  EXPECT_EQ(handoff.stats().rows_resurrected, 0u);
+}
+
+TEST(Cassandra, UncheckedReplayResurrectsRows) {
+  EventLoop loop;
+  cassandra::HintedHandoff handoff(loop);
+  handoff.add_node("n1");
+  handoff.add_node("n2");
+  handoff.queue_hint("n1", "m1", true);
+  handoff.queue_hint("n2", "m2", false);
+  handoff.decommission("n1");
+  EXPECT_EQ(handoff.replay_all(false), 2u);
+  EXPECT_EQ(handoff.stats().hints_to_decommissioned, 1u);
+  EXPECT_EQ(handoff.stats().rows_resurrected, 1u);
+}
+
+}  // namespace
+}  // namespace lisa::systems

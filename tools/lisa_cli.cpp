@@ -1,0 +1,234 @@
+// lisa — command-line front end to the LISA pipeline.
+//
+// Usage:
+//   lisa corpus                       list the incident corpus
+//   lisa prompt <case-id>             print the Listing-1 prompt for a ticket
+//   lisa infer <case-id>              run inference, print the proposal JSON
+//   lisa check <case-id> [--latest|--buggy] [--no-concolic] [--no-prune]
+//                                     full pipeline; markdown report to stdout
+//   lisa gate <case-id> <file.ml>     evaluate a commit file against the
+//                                     contracts mined from a case
+//   lisa hunt                         §4 bug hunt over the latest releases
+//   lisa synth <case-id>              synthesize witness tests for violated
+//                                     paths of the patched version
+//   lisa explore <case-id>            systematic path exploration: drive every
+//                                     synthesizable path with generated tests
+//
+// Exit code: 0 on success/pass, 1 on violations found/commit blocked,
+// 2 on usage or input errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/paths.hpp"
+#include "concolic/explorer.hpp"
+#include "concolic/testgen.hpp"
+#include "lisa/ci_gate.hpp"
+#include "lisa/pipeline.hpp"
+#include "lisa/report.hpp"
+#include "minilang/sema.hpp"
+
+namespace {
+
+using namespace lisa;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lisa <command> [args]\n"
+               "  corpus | prompt <case> | infer <case> | check <case> [flags] |\n"
+               "  gate <case> <file.ml> | hunt | synth <case>\n"
+               "flags for check: --latest --buggy --no-concolic --no-prune\n");
+  return 2;
+}
+
+const corpus::FailureTicket* require_case(const std::string& case_id) {
+  const corpus::FailureTicket* ticket = corpus::Corpus::find(case_id);
+  if (ticket == nullptr) {
+    std::fprintf(stderr, "unknown case '%s'; run `lisa corpus` for the list\n",
+                 case_id.c_str());
+  }
+  return ticket;
+}
+
+int cmd_corpus() {
+  std::printf("%-34s %-10s %6s %-14s %s\n", "case id", "system", "bugs", "original",
+              "title");
+  for (const corpus::FailureTicket& ticket : corpus::Corpus::all()) {
+    std::printf("%-34s %-10s %6d %-14s %s\n", ticket.case_id.c_str(),
+                ticket.system.c_str(), ticket.bug_count(), ticket.original.id.c_str(),
+                ticket.title.c_str());
+  }
+  return 0;
+}
+
+int cmd_prompt(const std::string& case_id) {
+  const corpus::FailureTicket* ticket = require_case(case_id);
+  if (ticket == nullptr) return 2;
+  std::printf("%s", inference::MockLlm::render_prompt(*ticket).c_str());
+  return 0;
+}
+
+int cmd_infer(const std::string& case_id) {
+  const corpus::FailureTicket* ticket = require_case(case_id);
+  if (ticket == nullptr) return 2;
+  const inference::SemanticsProposal proposal = inference::MockLlm().infer(*ticket);
+  std::printf("%s\n", proposal.to_json().pretty().c_str());
+  return 0;
+}
+
+int cmd_check(const std::string& case_id, int argc, char** argv) {
+  const corpus::FailureTicket* ticket = require_case(case_id);
+  if (ticket == nullptr) return 2;
+  std::string source = ticket->patched_source;
+  core::CheckOptions options;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--latest") == 0) {
+      if (ticket->latest_source.empty()) {
+        std::fprintf(stderr, "case %s has no latest version\n", case_id.c_str());
+        return 2;
+      }
+      source = ticket->latest_source;
+    } else if (std::strcmp(argv[i], "--buggy") == 0) {
+      source = ticket->buggy_source;
+    } else if (std::strcmp(argv[i], "--no-concolic") == 0) {
+      options.run_concolic = false;
+    } else if (std::strcmp(argv[i], "--no-prune") == 0) {
+      options.prune_irrelevant = false;
+    } else {
+      return usage();
+    }
+  }
+  const core::Pipeline pipeline(inference::MockLlmOptions{}, options);
+  const core::PipelineResult result = pipeline.run(*ticket, source);
+  std::printf("%s", core::render_markdown(result).c_str());
+  return result.all_passed() ? 0 : 1;
+}
+
+int cmd_gate(const std::string& case_id, const std::string& path) {
+  const corpus::FailureTicket* ticket = require_case(case_id);
+  if (ticket == nullptr) return 2;
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot read commit file %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  const inference::SemanticsProposal proposal = inference::MockLlm().infer(*ticket);
+  core::TranslationResult translation = core::translate(proposal, ticket->system);
+  core::ContractStore store;
+  store.add_all(std::move(translation.contracts));
+  core::CheckOptions options;
+  options.run_concolic = false;
+  const core::GateDecision decision = core::CiGate(options).evaluate(buffer.str(), store);
+  std::printf("%s", core::render_markdown(decision).c_str());
+  return decision.allowed ? 0 : 1;
+}
+
+int cmd_hunt() {
+  int found = 0;
+  for (const char* case_id :
+       {"hbase-27671-snapshot-ttl", "hdfs-13924-observer-locations"}) {
+    const corpus::FailureTicket* ticket = corpus::Corpus::find(case_id);
+    const core::Pipeline pipeline;
+    const core::PipelineResult result = pipeline.run(*ticket, ticket->latest_source);
+    std::printf("%s\n", core::render_markdown(result).c_str());
+    found += result.total_violations();
+  }
+  std::printf("total new findings: %d\n", found);
+  return found > 0 ? 1 : 0;
+}
+
+int cmd_synth(const std::string& case_id) {
+  const corpus::FailureTicket* ticket = require_case(case_id);
+  if (ticket == nullptr) return 2;
+  const inference::SemanticsProposal proposal = inference::MockLlm().infer(*ticket);
+  core::TranslationResult translation = core::translate(proposal, ticket->system);
+  if (translation.contracts.empty() || !translation.contracts[0].condition) {
+    std::fprintf(stderr, "case has no state-predicate contract to synthesize for\n");
+    return 2;
+  }
+  const core::SemanticContract& contract = translation.contracts[0];
+  const minilang::Program program = minilang::parse_checked(ticket->patched_source);
+  const analysis::CallGraph graph = analysis::CallGraph::build(program);
+  analysis::TreeOptions tree_options;
+  tree_options.contract_condition = contract.condition;
+  // Unpruned: synthesis must satisfy every guard on the way to the target,
+  // including those the contract does not mention.
+  tree_options.prune_irrelevant = false;
+  const analysis::ExecutionTree tree =
+      analysis::build_execution_tree(program, graph, contract.target_fragment, tree_options);
+  int produced = 0;
+  int sequence = 1;
+  for (const analysis::ExecutionPath& path : tree.paths) {
+    const auto witness =
+        concolic::synthesize_path_test(program, path, /*violating=*/true, sequence);
+    if (!witness.has_value()) continue;
+    ++sequence;
+    const bool confirmed =
+        concolic::validate_synthesized_test(program, *witness, contract.target_fragment);
+    std::printf("// witness for %s (model %s) — %s\n%s\n",
+                path.call_chain.front().c_str(), witness->model_text.c_str(),
+                confirmed ? "CONFIRMED by concolic replay" : "unconfirmed",
+                witness->source.c_str());
+    if (confirmed) ++produced;
+  }
+  if (produced == 0)
+    std::printf("// no synthesizable witness (state may be container-mediated; "
+                "a human-authored test is needed)\n");
+  return 0;
+}
+
+int cmd_explore(const std::string& case_id) {
+  const corpus::FailureTicket* ticket = require_case(case_id);
+  if (ticket == nullptr) return 2;
+  const inference::SemanticsProposal proposal = inference::MockLlm().infer(*ticket);
+  core::TranslationResult translation = core::translate(proposal, ticket->system);
+  if (translation.contracts.empty() || !translation.contracts[0].condition) {
+    std::fprintf(stderr, "case has no state-predicate contract to explore\n");
+    return 2;
+  }
+  const core::SemanticContract& contract = translation.contracts[0];
+  const minilang::Program program = minilang::parse_checked(ticket->patched_source);
+  const concolic::ExplorationReport report =
+      concolic::explore(program, contract.target_fragment, contract.condition);
+  std::printf("exploring <%s> %s... over %zu path(s)\n\n", contract.condition_text.c_str(),
+              contract.target_fragment.c_str(), report.paths.size());
+  for (const concolic::ExploredPath& path : report.paths) {
+    std::string chain;
+    for (const std::string& fn : path.call_chain) {
+      if (!chain.empty()) chain += " -> ";
+      chain += fn;
+    }
+    std::printf("[%-19s] %s\n    %s\n", concolic::explored_verdict_name(path.verdict),
+                chain.c_str(), path.detail.c_str());
+    if (!path.test_source.empty()) std::printf("%s\n", path.test_source.c_str());
+  }
+  std::printf("summary: %d verified, %d violated, %d infeasible, %d need a human\n",
+              report.verified, report.violated, report.infeasible, report.human_needed);
+  return report.violated > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "corpus") return cmd_corpus();
+    if (command == "prompt" && argc >= 3) return cmd_prompt(argv[2]);
+    if (command == "infer" && argc >= 3) return cmd_infer(argv[2]);
+    if (command == "check" && argc >= 3) return cmd_check(argv[2], argc - 3, argv + 3);
+    if (command == "gate" && argc >= 4) return cmd_gate(argv[2], argv[3]);
+    if (command == "hunt") return cmd_hunt();
+    if (command == "synth" && argc >= 3) return cmd_synth(argv[2]);
+    if (command == "explore" && argc >= 3) return cmd_explore(argv[2]);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  return usage();
+}
