@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ci_gate.dir/bench_ci_gate.cpp.o"
+  "CMakeFiles/bench_ci_gate.dir/bench_ci_gate.cpp.o.d"
+  "bench_ci_gate"
+  "bench_ci_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ci_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

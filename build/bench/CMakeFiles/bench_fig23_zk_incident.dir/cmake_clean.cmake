@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_zk_incident.dir/bench_fig23_zk_incident.cpp.o"
+  "CMakeFiles/bench_fig23_zk_incident.dir/bench_fig23_zk_incident.cpp.o.d"
+  "bench_fig23_zk_incident"
+  "bench_fig23_zk_incident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_zk_incident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gate_precision.dir/bench_gate_precision.cpp.o"
+  "CMakeFiles/bench_gate_precision.dir/bench_gate_precision.cpp.o.d"
+  "bench_gate_precision"
+  "bench_gate_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gate_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

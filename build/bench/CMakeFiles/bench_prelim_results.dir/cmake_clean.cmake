@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prelim_results.dir/bench_prelim_results.cpp.o"
+  "CMakeFiles/bench_prelim_results.dir/bench_prelim_results.cpp.o.d"
+  "bench_prelim_results"
+  "bench_prelim_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prelim_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smt_solver.dir/bench_smt_solver.cpp.o"
+  "CMakeFiles/bench_smt_solver.dir/bench_smt_solver.cpp.o.d"
+  "bench_smt_solver"
+  "bench_smt_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smt_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vm_throughput.dir/bench_vm_throughput.cpp.o"
+  "CMakeFiles/bench_vm_throughput.dir/bench_vm_throughput.cpp.o.d"
+  "bench_vm_throughput"
+  "bench_vm_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vm_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

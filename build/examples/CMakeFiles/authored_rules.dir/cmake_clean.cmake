@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authored_rules.dir/authored_rules.cpp.o"
+  "CMakeFiles/authored_rules.dir/authored_rules.cpp.o.d"
+  "authored_rules"
+  "authored_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authored_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdfs_observer_incident.dir/hdfs_observer_incident.cpp.o"
+  "CMakeFiles/hdfs_observer_incident.dir/hdfs_observer_incident.cpp.o.d"
+  "hdfs_observer_incident"
+  "hdfs_observer_incident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdfs_observer_incident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

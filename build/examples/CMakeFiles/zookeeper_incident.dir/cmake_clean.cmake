@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zookeeper_incident.dir/zookeeper_incident.cpp.o"
+  "CMakeFiles/zookeeper_incident.dir/zookeeper_incident.cpp.o.d"
+  "zookeeper_incident"
+  "zookeeper_incident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zookeeper_incident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/callgraph.cpp" "src/analysis/CMakeFiles/lisa_analysis.dir/callgraph.cpp.o" "gcc" "src/analysis/CMakeFiles/lisa_analysis.dir/callgraph.cpp.o.d"
+  "/root/repo/src/analysis/paths.cpp" "src/analysis/CMakeFiles/lisa_analysis.dir/paths.cpp.o" "gcc" "src/analysis/CMakeFiles/lisa_analysis.dir/paths.cpp.o.d"
+  "/root/repo/src/analysis/patterns.cpp" "src/analysis/CMakeFiles/lisa_analysis.dir/patterns.cpp.o" "gcc" "src/analysis/CMakeFiles/lisa_analysis.dir/patterns.cpp.o.d"
+  "/root/repo/src/analysis/rename.cpp" "src/analysis/CMakeFiles/lisa_analysis.dir/rename.cpp.o" "gcc" "src/analysis/CMakeFiles/lisa_analysis.dir/rename.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minilang/CMakeFiles/lisa_minilang.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/lisa_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lisa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

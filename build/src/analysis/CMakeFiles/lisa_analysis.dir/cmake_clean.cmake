@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa_analysis.dir/callgraph.cpp.o"
+  "CMakeFiles/lisa_analysis.dir/callgraph.cpp.o.d"
+  "CMakeFiles/lisa_analysis.dir/paths.cpp.o"
+  "CMakeFiles/lisa_analysis.dir/paths.cpp.o.d"
+  "CMakeFiles/lisa_analysis.dir/patterns.cpp.o"
+  "CMakeFiles/lisa_analysis.dir/patterns.cpp.o.d"
+  "CMakeFiles/lisa_analysis.dir/rename.cpp.o"
+  "CMakeFiles/lisa_analysis.dir/rename.cpp.o.d"
+  "liblisa_analysis.a"
+  "liblisa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa_concolic.dir/engine.cpp.o"
+  "CMakeFiles/lisa_concolic.dir/engine.cpp.o.d"
+  "CMakeFiles/lisa_concolic.dir/explorer.cpp.o"
+  "CMakeFiles/lisa_concolic.dir/explorer.cpp.o.d"
+  "CMakeFiles/lisa_concolic.dir/testgen.cpp.o"
+  "CMakeFiles/lisa_concolic.dir/testgen.cpp.o.d"
+  "liblisa_concolic.a"
+  "liblisa_concolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa_concolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

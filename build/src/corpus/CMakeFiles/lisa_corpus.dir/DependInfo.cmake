@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/cassandra_cases.cpp" "src/corpus/CMakeFiles/lisa_corpus.dir/cassandra_cases.cpp.o" "gcc" "src/corpus/CMakeFiles/lisa_corpus.dir/cassandra_cases.cpp.o.d"
+  "/root/repo/src/corpus/diff.cpp" "src/corpus/CMakeFiles/lisa_corpus.dir/diff.cpp.o" "gcc" "src/corpus/CMakeFiles/lisa_corpus.dir/diff.cpp.o.d"
+  "/root/repo/src/corpus/hbase_cases.cpp" "src/corpus/CMakeFiles/lisa_corpus.dir/hbase_cases.cpp.o" "gcc" "src/corpus/CMakeFiles/lisa_corpus.dir/hbase_cases.cpp.o.d"
+  "/root/repo/src/corpus/hdfs_cases.cpp" "src/corpus/CMakeFiles/lisa_corpus.dir/hdfs_cases.cpp.o" "gcc" "src/corpus/CMakeFiles/lisa_corpus.dir/hdfs_cases.cpp.o.d"
+  "/root/repo/src/corpus/ticket.cpp" "src/corpus/CMakeFiles/lisa_corpus.dir/ticket.cpp.o" "gcc" "src/corpus/CMakeFiles/lisa_corpus.dir/ticket.cpp.o.d"
+  "/root/repo/src/corpus/zookeeper_cases.cpp" "src/corpus/CMakeFiles/lisa_corpus.dir/zookeeper_cases.cpp.o" "gcc" "src/corpus/CMakeFiles/lisa_corpus.dir/zookeeper_cases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minilang/CMakeFiles/lisa_minilang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lisa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa_corpus.dir/cassandra_cases.cpp.o"
+  "CMakeFiles/lisa_corpus.dir/cassandra_cases.cpp.o.d"
+  "CMakeFiles/lisa_corpus.dir/diff.cpp.o"
+  "CMakeFiles/lisa_corpus.dir/diff.cpp.o.d"
+  "CMakeFiles/lisa_corpus.dir/hbase_cases.cpp.o"
+  "CMakeFiles/lisa_corpus.dir/hbase_cases.cpp.o.d"
+  "CMakeFiles/lisa_corpus.dir/hdfs_cases.cpp.o"
+  "CMakeFiles/lisa_corpus.dir/hdfs_cases.cpp.o.d"
+  "CMakeFiles/lisa_corpus.dir/ticket.cpp.o"
+  "CMakeFiles/lisa_corpus.dir/ticket.cpp.o.d"
+  "CMakeFiles/lisa_corpus.dir/zookeeper_cases.cpp.o"
+  "CMakeFiles/lisa_corpus.dir/zookeeper_cases.cpp.o.d"
+  "liblisa_corpus.a"
+  "liblisa_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

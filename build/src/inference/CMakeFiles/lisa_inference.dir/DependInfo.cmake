@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inference/embedding.cpp" "src/inference/CMakeFiles/lisa_inference.dir/embedding.cpp.o" "gcc" "src/inference/CMakeFiles/lisa_inference.dir/embedding.cpp.o.d"
+  "/root/repo/src/inference/mock_llm.cpp" "src/inference/CMakeFiles/lisa_inference.dir/mock_llm.cpp.o" "gcc" "src/inference/CMakeFiles/lisa_inference.dir/mock_llm.cpp.o.d"
+  "/root/repo/src/inference/proposal.cpp" "src/inference/CMakeFiles/lisa_inference.dir/proposal.cpp.o" "gcc" "src/inference/CMakeFiles/lisa_inference.dir/proposal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/lisa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lisa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/lisa_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lisa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/minilang/CMakeFiles/lisa_minilang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

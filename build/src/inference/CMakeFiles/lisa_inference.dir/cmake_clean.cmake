@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa_inference.dir/embedding.cpp.o"
+  "CMakeFiles/lisa_inference.dir/embedding.cpp.o.d"
+  "CMakeFiles/lisa_inference.dir/mock_llm.cpp.o"
+  "CMakeFiles/lisa_inference.dir/mock_llm.cpp.o.d"
+  "CMakeFiles/lisa_inference.dir/proposal.cpp.o"
+  "CMakeFiles/lisa_inference.dir/proposal.cpp.o.d"
+  "liblisa_inference.a"
+  "liblisa_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lisa/authoring.cpp" "src/lisa/CMakeFiles/lisa_core.dir/authoring.cpp.o" "gcc" "src/lisa/CMakeFiles/lisa_core.dir/authoring.cpp.o.d"
+  "/root/repo/src/lisa/checker.cpp" "src/lisa/CMakeFiles/lisa_core.dir/checker.cpp.o" "gcc" "src/lisa/CMakeFiles/lisa_core.dir/checker.cpp.o.d"
+  "/root/repo/src/lisa/ci_gate.cpp" "src/lisa/CMakeFiles/lisa_core.dir/ci_gate.cpp.o" "gcc" "src/lisa/CMakeFiles/lisa_core.dir/ci_gate.cpp.o.d"
+  "/root/repo/src/lisa/composition.cpp" "src/lisa/CMakeFiles/lisa_core.dir/composition.cpp.o" "gcc" "src/lisa/CMakeFiles/lisa_core.dir/composition.cpp.o.d"
+  "/root/repo/src/lisa/contract.cpp" "src/lisa/CMakeFiles/lisa_core.dir/contract.cpp.o" "gcc" "src/lisa/CMakeFiles/lisa_core.dir/contract.cpp.o.d"
+  "/root/repo/src/lisa/pipeline.cpp" "src/lisa/CMakeFiles/lisa_core.dir/pipeline.cpp.o" "gcc" "src/lisa/CMakeFiles/lisa_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/lisa/report.cpp" "src/lisa/CMakeFiles/lisa_core.dir/report.cpp.o" "gcc" "src/lisa/CMakeFiles/lisa_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inference/CMakeFiles/lisa_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/concolic/CMakeFiles/lisa_concolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lisa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/lisa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/lisa_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/minilang/CMakeFiles/lisa_minilang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lisa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa_core.dir/authoring.cpp.o"
+  "CMakeFiles/lisa_core.dir/authoring.cpp.o.d"
+  "CMakeFiles/lisa_core.dir/checker.cpp.o"
+  "CMakeFiles/lisa_core.dir/checker.cpp.o.d"
+  "CMakeFiles/lisa_core.dir/ci_gate.cpp.o"
+  "CMakeFiles/lisa_core.dir/ci_gate.cpp.o.d"
+  "CMakeFiles/lisa_core.dir/composition.cpp.o"
+  "CMakeFiles/lisa_core.dir/composition.cpp.o.d"
+  "CMakeFiles/lisa_core.dir/contract.cpp.o"
+  "CMakeFiles/lisa_core.dir/contract.cpp.o.d"
+  "CMakeFiles/lisa_core.dir/pipeline.cpp.o"
+  "CMakeFiles/lisa_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/lisa_core.dir/report.cpp.o"
+  "CMakeFiles/lisa_core.dir/report.cpp.o.d"
+  "liblisa_core.a"
+  "liblisa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minilang/ast.cpp" "src/minilang/CMakeFiles/lisa_minilang.dir/ast.cpp.o" "gcc" "src/minilang/CMakeFiles/lisa_minilang.dir/ast.cpp.o.d"
+  "/root/repo/src/minilang/builtins.cpp" "src/minilang/CMakeFiles/lisa_minilang.dir/builtins.cpp.o" "gcc" "src/minilang/CMakeFiles/lisa_minilang.dir/builtins.cpp.o.d"
+  "/root/repo/src/minilang/compiler.cpp" "src/minilang/CMakeFiles/lisa_minilang.dir/compiler.cpp.o" "gcc" "src/minilang/CMakeFiles/lisa_minilang.dir/compiler.cpp.o.d"
+  "/root/repo/src/minilang/interp.cpp" "src/minilang/CMakeFiles/lisa_minilang.dir/interp.cpp.o" "gcc" "src/minilang/CMakeFiles/lisa_minilang.dir/interp.cpp.o.d"
+  "/root/repo/src/minilang/lexer.cpp" "src/minilang/CMakeFiles/lisa_minilang.dir/lexer.cpp.o" "gcc" "src/minilang/CMakeFiles/lisa_minilang.dir/lexer.cpp.o.d"
+  "/root/repo/src/minilang/parser.cpp" "src/minilang/CMakeFiles/lisa_minilang.dir/parser.cpp.o" "gcc" "src/minilang/CMakeFiles/lisa_minilang.dir/parser.cpp.o.d"
+  "/root/repo/src/minilang/printer.cpp" "src/minilang/CMakeFiles/lisa_minilang.dir/printer.cpp.o" "gcc" "src/minilang/CMakeFiles/lisa_minilang.dir/printer.cpp.o.d"
+  "/root/repo/src/minilang/sema.cpp" "src/minilang/CMakeFiles/lisa_minilang.dir/sema.cpp.o" "gcc" "src/minilang/CMakeFiles/lisa_minilang.dir/sema.cpp.o.d"
+  "/root/repo/src/minilang/value.cpp" "src/minilang/CMakeFiles/lisa_minilang.dir/value.cpp.o" "gcc" "src/minilang/CMakeFiles/lisa_minilang.dir/value.cpp.o.d"
+  "/root/repo/src/minilang/vm.cpp" "src/minilang/CMakeFiles/lisa_minilang.dir/vm.cpp.o" "gcc" "src/minilang/CMakeFiles/lisa_minilang.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lisa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

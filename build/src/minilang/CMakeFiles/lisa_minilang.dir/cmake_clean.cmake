@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa_minilang.dir/ast.cpp.o"
+  "CMakeFiles/lisa_minilang.dir/ast.cpp.o.d"
+  "CMakeFiles/lisa_minilang.dir/builtins.cpp.o"
+  "CMakeFiles/lisa_minilang.dir/builtins.cpp.o.d"
+  "CMakeFiles/lisa_minilang.dir/compiler.cpp.o"
+  "CMakeFiles/lisa_minilang.dir/compiler.cpp.o.d"
+  "CMakeFiles/lisa_minilang.dir/interp.cpp.o"
+  "CMakeFiles/lisa_minilang.dir/interp.cpp.o.d"
+  "CMakeFiles/lisa_minilang.dir/lexer.cpp.o"
+  "CMakeFiles/lisa_minilang.dir/lexer.cpp.o.d"
+  "CMakeFiles/lisa_minilang.dir/parser.cpp.o"
+  "CMakeFiles/lisa_minilang.dir/parser.cpp.o.d"
+  "CMakeFiles/lisa_minilang.dir/printer.cpp.o"
+  "CMakeFiles/lisa_minilang.dir/printer.cpp.o.d"
+  "CMakeFiles/lisa_minilang.dir/sema.cpp.o"
+  "CMakeFiles/lisa_minilang.dir/sema.cpp.o.d"
+  "CMakeFiles/lisa_minilang.dir/value.cpp.o"
+  "CMakeFiles/lisa_minilang.dir/value.cpp.o.d"
+  "CMakeFiles/lisa_minilang.dir/vm.cpp.o"
+  "CMakeFiles/lisa_minilang.dir/vm.cpp.o.d"
+  "liblisa_minilang.a"
+  "liblisa_minilang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa_minilang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lisa_minilang.
+# This may be replaced when dependencies are built.

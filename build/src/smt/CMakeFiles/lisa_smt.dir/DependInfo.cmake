@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/formula.cpp" "src/smt/CMakeFiles/lisa_smt.dir/formula.cpp.o" "gcc" "src/smt/CMakeFiles/lisa_smt.dir/formula.cpp.o.d"
+  "/root/repo/src/smt/minilang_bridge.cpp" "src/smt/CMakeFiles/lisa_smt.dir/minilang_bridge.cpp.o" "gcc" "src/smt/CMakeFiles/lisa_smt.dir/minilang_bridge.cpp.o.d"
+  "/root/repo/src/smt/smtlib.cpp" "src/smt/CMakeFiles/lisa_smt.dir/smtlib.cpp.o" "gcc" "src/smt/CMakeFiles/lisa_smt.dir/smtlib.cpp.o.d"
+  "/root/repo/src/smt/solver.cpp" "src/smt/CMakeFiles/lisa_smt.dir/solver.cpp.o" "gcc" "src/smt/CMakeFiles/lisa_smt.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lisa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/minilang/CMakeFiles/lisa_minilang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

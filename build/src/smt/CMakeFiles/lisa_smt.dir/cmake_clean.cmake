@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa_smt.dir/formula.cpp.o"
+  "CMakeFiles/lisa_smt.dir/formula.cpp.o.d"
+  "CMakeFiles/lisa_smt.dir/minilang_bridge.cpp.o"
+  "CMakeFiles/lisa_smt.dir/minilang_bridge.cpp.o.d"
+  "CMakeFiles/lisa_smt.dir/smtlib.cpp.o"
+  "CMakeFiles/lisa_smt.dir/smtlib.cpp.o.d"
+  "CMakeFiles/lisa_smt.dir/solver.cpp.o"
+  "CMakeFiles/lisa_smt.dir/solver.cpp.o.d"
+  "liblisa_smt.a"
+  "liblisa_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa_support.dir/json.cpp.o"
+  "CMakeFiles/lisa_support.dir/json.cpp.o.d"
+  "CMakeFiles/lisa_support.dir/log.cpp.o"
+  "CMakeFiles/lisa_support.dir/log.cpp.o.d"
+  "CMakeFiles/lisa_support.dir/strings.cpp.o"
+  "CMakeFiles/lisa_support.dir/strings.cpp.o.d"
+  "liblisa_support.a"
+  "liblisa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

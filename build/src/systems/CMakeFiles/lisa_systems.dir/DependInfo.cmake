@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/cassandra/hints.cpp" "src/systems/CMakeFiles/lisa_systems.dir/cassandra/hints.cpp.o" "gcc" "src/systems/CMakeFiles/lisa_systems.dir/cassandra/hints.cpp.o.d"
+  "/root/repo/src/systems/cassandra/read_repair.cpp" "src/systems/CMakeFiles/lisa_systems.dir/cassandra/read_repair.cpp.o" "gcc" "src/systems/CMakeFiles/lisa_systems.dir/cassandra/read_repair.cpp.o.d"
+  "/root/repo/src/systems/hbase/regions.cpp" "src/systems/CMakeFiles/lisa_systems.dir/hbase/regions.cpp.o" "gcc" "src/systems/CMakeFiles/lisa_systems.dir/hbase/regions.cpp.o.d"
+  "/root/repo/src/systems/hbase/snapshots.cpp" "src/systems/CMakeFiles/lisa_systems.dir/hbase/snapshots.cpp.o" "gcc" "src/systems/CMakeFiles/lisa_systems.dir/hbase/snapshots.cpp.o.d"
+  "/root/repo/src/systems/hdfs/namenode.cpp" "src/systems/CMakeFiles/lisa_systems.dir/hdfs/namenode.cpp.o" "gcc" "src/systems/CMakeFiles/lisa_systems.dir/hdfs/namenode.cpp.o.d"
+  "/root/repo/src/systems/hdfs/replication.cpp" "src/systems/CMakeFiles/lisa_systems.dir/hdfs/replication.cpp.o" "gcc" "src/systems/CMakeFiles/lisa_systems.dir/hdfs/replication.cpp.o.d"
+  "/root/repo/src/systems/sim/event_loop.cpp" "src/systems/CMakeFiles/lisa_systems.dir/sim/event_loop.cpp.o" "gcc" "src/systems/CMakeFiles/lisa_systems.dir/sim/event_loop.cpp.o.d"
+  "/root/repo/src/systems/sim/network.cpp" "src/systems/CMakeFiles/lisa_systems.dir/sim/network.cpp.o" "gcc" "src/systems/CMakeFiles/lisa_systems.dir/sim/network.cpp.o.d"
+  "/root/repo/src/systems/zookeeper/quota_acl.cpp" "src/systems/CMakeFiles/lisa_systems.dir/zookeeper/quota_acl.cpp.o" "gcc" "src/systems/CMakeFiles/lisa_systems.dir/zookeeper/quota_acl.cpp.o.d"
+  "/root/repo/src/systems/zookeeper/registry.cpp" "src/systems/CMakeFiles/lisa_systems.dir/zookeeper/registry.cpp.o" "gcc" "src/systems/CMakeFiles/lisa_systems.dir/zookeeper/registry.cpp.o.d"
+  "/root/repo/src/systems/zookeeper/server.cpp" "src/systems/CMakeFiles/lisa_systems.dir/zookeeper/server.cpp.o" "gcc" "src/systems/CMakeFiles/lisa_systems.dir/zookeeper/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lisa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa_systems.dir/cassandra/hints.cpp.o"
+  "CMakeFiles/lisa_systems.dir/cassandra/hints.cpp.o.d"
+  "CMakeFiles/lisa_systems.dir/cassandra/read_repair.cpp.o"
+  "CMakeFiles/lisa_systems.dir/cassandra/read_repair.cpp.o.d"
+  "CMakeFiles/lisa_systems.dir/hbase/regions.cpp.o"
+  "CMakeFiles/lisa_systems.dir/hbase/regions.cpp.o.d"
+  "CMakeFiles/lisa_systems.dir/hbase/snapshots.cpp.o"
+  "CMakeFiles/lisa_systems.dir/hbase/snapshots.cpp.o.d"
+  "CMakeFiles/lisa_systems.dir/hdfs/namenode.cpp.o"
+  "CMakeFiles/lisa_systems.dir/hdfs/namenode.cpp.o.d"
+  "CMakeFiles/lisa_systems.dir/hdfs/replication.cpp.o"
+  "CMakeFiles/lisa_systems.dir/hdfs/replication.cpp.o.d"
+  "CMakeFiles/lisa_systems.dir/sim/event_loop.cpp.o"
+  "CMakeFiles/lisa_systems.dir/sim/event_loop.cpp.o.d"
+  "CMakeFiles/lisa_systems.dir/sim/network.cpp.o"
+  "CMakeFiles/lisa_systems.dir/sim/network.cpp.o.d"
+  "CMakeFiles/lisa_systems.dir/zookeeper/quota_acl.cpp.o"
+  "CMakeFiles/lisa_systems.dir/zookeeper/quota_acl.cpp.o.d"
+  "CMakeFiles/lisa_systems.dir/zookeeper/registry.cpp.o"
+  "CMakeFiles/lisa_systems.dir/zookeeper/registry.cpp.o.d"
+  "CMakeFiles/lisa_systems.dir/zookeeper/server.cpp.o"
+  "CMakeFiles/lisa_systems.dir/zookeeper/server.cpp.o.d"
+  "liblisa_systems.a"
+  "liblisa_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/inference_test.cpp" "tests/CMakeFiles/inference_test.dir/inference_test.cpp.o" "gcc" "tests/CMakeFiles/inference_test.dir/inference_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lisa/CMakeFiles/lisa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/lisa_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/lisa_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/concolic/CMakeFiles/lisa_concolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lisa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/lisa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/lisa_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/minilang/CMakeFiles/lisa_minilang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lisa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

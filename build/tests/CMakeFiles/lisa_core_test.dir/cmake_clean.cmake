@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa_core_test.dir/lisa_core_test.cpp.o"
+  "CMakeFiles/lisa_core_test.dir/lisa_core_test.cpp.o.d"
+  "lisa_core_test"
+  "lisa_core_test.pdb"
+  "lisa_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa_extensions_test.dir/lisa_extensions_test.cpp.o"
+  "CMakeFiles/lisa_extensions_test.dir/lisa_extensions_test.cpp.o.d"
+  "lisa_extensions_test"
+  "lisa_extensions_test.pdb"
+  "lisa_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minilang_interp_test.dir/minilang_interp_test.cpp.o"
+  "CMakeFiles/minilang_interp_test.dir/minilang_interp_test.cpp.o.d"
+  "minilang_interp_test"
+  "minilang_interp_test.pdb"
+  "minilang_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minilang_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minilang_lexer_parser_test.dir/minilang_lexer_parser_test.cpp.o"
+  "CMakeFiles/minilang_lexer_parser_test.dir/minilang_lexer_parser_test.cpp.o.d"
+  "minilang_lexer_parser_test"
+  "minilang_lexer_parser_test.pdb"
+  "minilang_lexer_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minilang_lexer_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

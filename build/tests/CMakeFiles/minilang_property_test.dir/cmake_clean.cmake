@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minilang_property_test.dir/minilang_property_test.cpp.o"
+  "CMakeFiles/minilang_property_test.dir/minilang_property_test.cpp.o.d"
+  "minilang_property_test"
+  "minilang_property_test.pdb"
+  "minilang_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minilang_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minilang_vm_test.dir/minilang_vm_test.cpp.o"
+  "CMakeFiles/minilang_vm_test.dir/minilang_vm_test.cpp.o.d"
+  "minilang_vm_test"
+  "minilang_vm_test.pdb"
+  "minilang_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minilang_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtlib_test.dir/smtlib_test.cpp.o"
+  "CMakeFiles/smtlib_test.dir/smtlib_test.cpp.o.d"
+  "smtlib_test"
+  "smtlib_test.pdb"
+  "smtlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

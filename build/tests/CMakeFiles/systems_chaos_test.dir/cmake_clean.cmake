@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systems_chaos_test.dir/systems_chaos_test.cpp.o"
+  "CMakeFiles/systems_chaos_test.dir/systems_chaos_test.cpp.o.d"
+  "systems_chaos_test"
+  "systems_chaos_test.pdb"
+  "systems_chaos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systems_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

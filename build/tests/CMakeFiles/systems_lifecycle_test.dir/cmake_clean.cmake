@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systems_lifecycle_test.dir/systems_lifecycle_test.cpp.o"
+  "CMakeFiles/systems_lifecycle_test.dir/systems_lifecycle_test.cpp.o.d"
+  "systems_lifecycle_test"
+  "systems_lifecycle_test.pdb"
+  "systems_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systems_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/minilang_lexer_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/minilang_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/minilang_property_test[1]_include.cmake")
+include("/root/repo/build/tests/minilang_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/smt_test[1]_include.cmake")
+include("/root/repo/build/tests/smtlib_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/concolic_test[1]_include.cmake")
+include("/root/repo/build/tests/testgen_test[1]_include.cmake")
+include("/root/repo/build/tests/explorer_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/inference_test[1]_include.cmake")
+include("/root/repo/build/tests/lisa_core_test[1]_include.cmake")
+include("/root/repo/build/tests/lisa_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/systems_test[1]_include.cmake")
+include("/root/repo/build/tests/systems_lifecycle_test[1]_include.cmake")
+include("/root/repo/build/tests/systems_chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

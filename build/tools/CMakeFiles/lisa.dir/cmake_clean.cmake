@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisa.dir/lisa_cli.cpp.o"
+  "CMakeFiles/lisa.dir/lisa_cli.cpp.o.d"
+  "lisa"
+  "lisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
