@@ -1,0 +1,211 @@
+// Static contract screening: precision and pipeline speedup.
+//
+// The staticcheck screener (src/staticcheck) runs before the concolic
+// replay — the pipeline's dominant cost — and settles contracts whose
+// verdict is decidable from the guard-only execution tree plus dataflow
+// facts. This bench measures, across every corpus contract × program
+// version:
+//   * the settled fraction (ProvedSafe + ProvedViolated; target ≥ 30%),
+//   * agreement with the full static + concolic checker (must be exact:
+//     screening is an accelerator, never an oracle), and
+//   * the end-to-end wall-clock reduction with screening + trusted
+//     verdicts against the unscreened checker.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lisa/checker.hpp"
+#include "lisa/pipeline.hpp"
+#include "minilang/sema.hpp"
+#include "staticcheck/screener.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace lisa;
+
+struct Workload {
+  struct Item {
+    std::string label;  // "<case>/<version>"
+    const minilang::Program* program = nullptr;
+    const core::SemanticContract* contract = nullptr;
+  };
+  // Owned storage backing the Item pointers.
+  std::vector<minilang::Program> programs;
+  std::vector<core::TranslationResult> translations;
+  std::vector<Item> items;
+};
+
+/// Parses every corpus program version once and pairs it with the contracts
+/// mined from its ticket, so timing loops measure checking, not parsing.
+const Workload& workload() {
+  static const Workload loaded = [] {
+    Workload w;
+    // Reserve to keep pointers stable while filling.
+    const auto& tickets = corpus::Corpus::all();
+    w.programs.reserve(tickets.size() * 3);
+    w.translations.reserve(tickets.size());
+    for (const corpus::FailureTicket& ticket : tickets) {
+      w.translations.push_back(
+          core::translate(inference::MockLlm().infer(ticket), ticket.system));
+      const core::TranslationResult& translation = w.translations.back();
+      const std::pair<const char*, const std::string*> versions[] = {
+          {"buggy", &ticket.buggy_source},
+          {"patched", &ticket.patched_source},
+          {"latest", &ticket.latest_source},
+      };
+      for (const auto& [name, source] : versions) {
+        if (source->empty()) continue;
+        w.programs.push_back(minilang::parse_checked(*source));
+        for (const core::SemanticContract& contract : translation.contracts)
+          w.items.push_back({ticket.case_id + "/" + name, &w.programs.back(), &contract});
+      }
+    }
+    return w;
+  }();
+  return loaded;
+}
+
+struct ScreenStats {
+  int contracts = 0;
+  int proved_safe = 0;
+  int proved_violated = 0;
+  int unknown = 0;
+  int disagreements = 0;
+  double screened_ms = 0.0;  // wall clock, screening + trusted verdicts
+  double full_ms = 0.0;      // wall clock, screening disabled
+
+  [[nodiscard]] int settled() const { return proved_safe + proved_violated; }
+  [[nodiscard]] double settled_fraction() const {
+    return contracts == 0 ? 0.0 : static_cast<double>(settled()) / contracts;
+  }
+};
+
+ScreenStats run_comparison(std::vector<std::string>* disagreement_lines) {
+  ScreenStats stats;
+  const core::Checker checker;
+  core::CheckOptions screened_options;
+  screened_options.trust_screen_verdicts = true;  // CI-style: outcome only
+  core::CheckOptions full_options;
+  full_options.static_screen = false;
+
+  for (const Workload::Item& item : workload().items) {
+    ++stats.contracts;
+    const support::Stopwatch full_timer;
+    const core::ContractCheckReport truth =
+        checker.check(*item.program, *item.contract, full_options);
+    stats.full_ms += full_timer.elapsed_ms();
+
+    const support::Stopwatch screened_timer;
+    const core::ContractCheckReport screened =
+        checker.check(*item.program, *item.contract, screened_options);
+    stats.screened_ms += screened_timer.elapsed_ms();
+
+    if (screened.screen_verdict == "proved-safe") {
+      ++stats.proved_safe;
+      if (!truth.passed()) {
+        ++stats.disagreements;
+        if (disagreement_lines != nullptr)
+          disagreement_lines->push_back(item.label + " " + item.contract->id +
+                                        ": screener safe, checker violated");
+      }
+    } else if (screened.screen_verdict == "proved-violated") {
+      ++stats.proved_violated;
+      if (truth.passed()) {
+        ++stats.disagreements;
+        if (disagreement_lines != nullptr)
+          disagreement_lines->push_back(item.label + " " + item.contract->id +
+                                        ": screener violated, checker passed");
+      }
+    } else {
+      ++stats.unknown;
+      // Unknown must fall through to the identical full-check outcome.
+      if (screened.passed() != truth.passed()) {
+        ++stats.disagreements;
+        if (disagreement_lines != nullptr)
+          disagreement_lines->push_back(item.label + " " + item.contract->id +
+                                        ": unknown-path outcome diverged");
+      }
+    }
+  }
+  return stats;
+}
+
+int print_screening_table() {
+  std::vector<std::string> disagreements;
+  const ScreenStats stats = run_comparison(&disagreements);
+
+  std::printf("=== Static contract screening vs concolic ground truth ===\n\n");
+  std::printf("contracts x versions checked: %d\n", stats.contracts);
+  std::printf("  proved safe:      %d\n", stats.proved_safe);
+  std::printf("  proved violated:  %d\n", stats.proved_violated);
+  std::printf("  unknown:          %d (fall through to the full check)\n", stats.unknown);
+  std::printf("  settled fraction: %.1f%% (target >= 30%%)\n",
+              100.0 * stats.settled_fraction());
+  std::printf("  disagreements:    %d (must be 0)\n", stats.disagreements);
+  for (const std::string& line : disagreements) std::printf("    !! %s\n", line.c_str());
+  const double reduction =
+      stats.full_ms <= 0.0 ? 0.0 : 100.0 * (1.0 - stats.screened_ms / stats.full_ms);
+  std::printf("\nwall clock: full %.1f ms, screened %.1f ms (%.1f%% reduction)\n\n",
+              stats.full_ms, stats.screened_ms, reduction);
+
+  const bool ok = stats.disagreements == 0 && stats.settled_fraction() >= 0.30 &&
+                  stats.screened_ms < stats.full_ms;
+  std::printf("shape check: %s — screening settles a third or more of the corpus\n"
+              "statically, never contradicts the concolic verdict, and cuts the\n"
+              "end-to-end checking time.\n\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+void BM_FullCheck(benchmark::State& state) {
+  const core::Checker checker;
+  core::CheckOptions options;
+  options.static_screen = false;
+  for (auto _ : state) {
+    int violated = 0;
+    for (const Workload::Item& item : workload().items)
+      violated += checker.check(*item.program, *item.contract, options).violated;
+    benchmark::DoNotOptimize(violated);
+  }
+}
+BENCHMARK(BM_FullCheck)->Unit(benchmark::kMillisecond);
+
+void BM_ScreenedCheck(benchmark::State& state) {
+  const core::Checker checker;
+  core::CheckOptions options;
+  options.trust_screen_verdicts = true;
+  for (auto _ : state) {
+    int violated = 0;
+    for (const Workload::Item& item : workload().items)
+      violated += checker.check(*item.program, *item.contract, options).violated;
+    benchmark::DoNotOptimize(violated);
+  }
+}
+BENCHMARK(BM_ScreenedCheck)->Unit(benchmark::kMillisecond);
+
+void BM_ScreenerOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    int settled = 0;
+    for (const Workload::Item& item : workload().items) {
+      if (item.contract->condition == nullptr) continue;
+      const staticcheck::Screener screener(*item.program);
+      const staticcheck::ScreenResult result = screener.screen_state_predicate(
+          item.contract->target_fragment, item.contract->condition);
+      settled += result.verdict != staticcheck::ScreenVerdict::kUnknown ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(settled);
+  }
+}
+BENCHMARK(BM_ScreenerOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int status = print_screening_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return status;
+}

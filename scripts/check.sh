@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+# Usage: scripts/check.sh [--sanitize]
+#   --sanitize   build with -fsanitize=address,undefined (LISA_SANITIZE=ON)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+SANITIZE=OFF
+if [[ "${1:-}" == "--sanitize" ]]; then
+  SANITIZE=ON
+  BUILD_DIR=build-asan
+fi
+
+cmake -B "$BUILD_DIR" -S . -DLISA_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -13,24 +13,36 @@ using minilang::Program;
 
 namespace {
 
-/// DFS from `name` to a blocking leaf, returning one witness chain.
-std::vector<std::string> blocking_chain(const Program& program, const CallGraph& graph,
-                                        const std::string& name) {
-  std::vector<std::string> chain;
-  std::set<std::string> visited;
-  const std::function<bool(const std::string&)> dfs = [&](const std::string& current) -> bool {
-    if (!visited.insert(current).second) return false;
-    chain.push_back(current);
-    if (minilang::blocking_builtins().count(current) > 0) return true;
+/// DFS from `name` collecting every acyclic call chain ending at a blocking
+/// leaf (builtin or @blocking function). A callee that reaches several
+/// distinct leaves produces several chains.
+std::vector<std::vector<std::string>> blocking_chains(const Program& program,
+                                                      const CallGraph& graph,
+                                                      const std::string& name) {
+  std::vector<std::vector<std::string>> chains;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  const std::function<void(const std::string&)> dfs = [&](const std::string& current) {
+    if (!on_stack.insert(current).second) return;
+    stack.push_back(current);
     const FuncDecl* fn = program.find_function(current);
-    if (fn != nullptr && fn->has_annotation("blocking")) return true;
-    for (const std::string& callee : graph.callees_of(current))
-      if (graph.reaches_blocking(callee) && dfs(callee)) return true;
-    chain.pop_back();
-    return false;
+    if (minilang::blocking_builtins().count(current) > 0 ||
+        (fn != nullptr && fn->has_annotation("blocking"))) {
+      chains.push_back(stack);
+    } else {
+      for (const std::string& callee : graph.callees_of(current))
+        if (graph.reaches_blocking(callee)) dfs(callee);
+    }
+    stack.pop_back();
+    on_stack.erase(current);
   };
   dfs(name);
-  return chain;
+  return chains;
+}
+
+std::string sync_loc_text(const minilang::Stmt* sync_stmt) {
+  if (sync_stmt == nullptr) return "";
+  return " (sync at line " + std::to_string(sync_stmt->loc.line) + ")";
 }
 
 }  // namespace
@@ -42,16 +54,20 @@ std::vector<PatternViolation> check_no_blocking_in_sync(const Program& program,
     if (!site.inside_sync) continue;
     if (site.caller->has_annotation("test")) continue;
     if (!graph.reaches_blocking(site.callee())) continue;
-    PatternViolation violation;
-    violation.function = site.caller->name;
-    violation.stmt = site.stmt;
-    violation.call_path = blocking_chain(program, graph, site.callee());
-    violation.blocking_call =
-        violation.call_path.empty() ? site.callee() : violation.call_path.back();
-    violation.description = "blocking call " + violation.blocking_call +
-                            " reachable inside sync block of " + site.caller->name + " via " +
-                            minilang::stmt_header_text(*site.stmt);
-    out.push_back(std::move(violation));
+    for (std::vector<std::string>& chain : blocking_chains(program, graph, site.callee())) {
+      PatternViolation violation;
+      violation.function = site.caller->name;
+      violation.stmt = site.stmt;
+      violation.sync_stmt = site.sync_stmt;
+      violation.call_path = std::move(chain);
+      violation.blocking_call =
+          violation.call_path.empty() ? site.callee() : violation.call_path.back();
+      violation.description = "blocking call " + violation.blocking_call +
+                              " reachable inside sync block of " + site.caller->name +
+                              sync_loc_text(site.sync_stmt) + " via " +
+                              minilang::stmt_header_text(*site.stmt);
+      out.push_back(std::move(violation));
+    }
   }
   return out;
 }
@@ -67,10 +83,11 @@ std::vector<PatternViolation> check_specific_call_in_sync(const Program& program
     PatternViolation violation;
     violation.function = site.caller->name;
     violation.stmt = site.stmt;
+    violation.sync_stmt = site.sync_stmt;
     violation.blocking_call = specific_callee;
     violation.call_path = {specific_callee};
     violation.description = "direct call to " + specific_callee + " inside sync block of " +
-                            site.caller->name;
+                            site.caller->name + sync_loc_text(site.sync_stmt);
     out.push_back(std::move(violation));
   }
   return out;

@@ -17,6 +17,8 @@ namespace lisa::analysis {
 struct PatternViolation {
   std::string function;             // function whose sync block is affected
   const minilang::Stmt* stmt = nullptr;  // the offending statement
+  /// The enclosing `sync` statement whose monitor is held at the site.
+  const minilang::Stmt* sync_stmt = nullptr;
   std::string blocking_call;        // the blocking leaf reached
   std::vector<std::string> call_path;  // call chain from the sync site to the leaf
   std::string description;
@@ -24,7 +26,9 @@ struct PatternViolation {
 
 /// Checks the generalized rule "no blocking call may execute while holding a
 /// monitor": flags every call site lexically inside a `sync` block whose
-/// callee transitively reaches a blocking builtin or @blocking function.
+/// callee transitively reaches a blocking builtin or @blocking function,
+/// with one violation per distinct call chain to a blocking leaf (a callee
+/// reaching several leaves yields several violations, not one witness).
 [[nodiscard]] std::vector<PatternViolation> check_no_blocking_in_sync(
     const minilang::Program& program, const CallGraph& graph);
 

@@ -10,6 +10,7 @@
 #include "inference/embedding.hpp"
 #include "minilang/printer.hpp"
 #include "smt/solver.hpp"
+#include "staticcheck/screener.hpp"
 
 namespace lisa::core {
 
@@ -53,7 +54,7 @@ Json ContractCheckReport::to_json() const {
     entry["verdict"] = path_verdict_name(path.verdict);
     if (!path.counterexample.empty()) entry["counterexample"] = path.counterexample;
     entry["covered_by_test"] = path.covered_by_test;
-    path_entries.push_back(Json(std::move(entry)));
+    path_entries.emplace_back(std::move(entry));
   }
   root["paths"] = Json(std::move(path_entries));
   JsonObject dyn;
@@ -70,6 +71,15 @@ Json ContractCheckReport::to_json() const {
   for (const std::string& violation : structural_violations)
     structural.push_back(Json(violation));
   root["structural_violations"] = Json(std::move(structural));
+  if (!screen_verdict.empty()) {
+    JsonObject screen;
+    screen["verdict"] = screen_verdict;
+    if (!screen_witness.empty()) screen["witness"] = screen_witness;
+    screen["reason"] = screen_reason;
+    screen["elapsed_ms"] = screen_ms;
+    screen["skipped_concolic"] = screen_skipped_concolic;
+    root["screen"] = Json(std::move(screen));
+  }
   return Json(std::move(root));
 }
 
@@ -94,14 +104,45 @@ ContractCheckReport Checker::check(const minilang::Program& program,
   const analysis::CallGraph graph = analysis::CallGraph::build(program);
 
   if (contract.kind == corpus::SemanticsKind::kStructuralPattern) {
-    const std::vector<analysis::PatternViolation> violations =
-        analysis::check_no_blocking_in_sync(program, graph);
-    for (const analysis::PatternViolation& violation : violations)
-      report.structural_violations.push_back(violation.description);
+    // The path-sensitive lock-state dataflow subsumes the older structural
+    // walk (analysis/patterns.cpp): same monitor rule, but exception edges
+    // release monitors and nested sync depth is tracked per path.
+    const staticcheck::Screener screener(program);
+    const staticcheck::ScreenResult screen = screener.screen_structural();
+    for (const staticcheck::Diagnostic& diagnostic : screen.diagnostics)
+      report.structural_violations.push_back(diagnostic.render());
+    report.screen_verdict = staticcheck::screen_verdict_name(screen.verdict);
+    report.screen_witness = screen.witness;
+    report.screen_reason = screen.reason;
+    report.screen_ms = screen.elapsed_ms;
     report.target_statements =
         analysis::find_target_statements(program, contract.target_fragment).size();
     report.sanity_ok = true;  // structural rules need no fixed-path witness
     return report;
+  }
+
+  // ---- Static screening (src/staticcheck) ---------------------------------
+  bool skip_concolic = false;
+  if (options.static_screen) {
+    const staticcheck::Screener screener(program);
+    staticcheck::ScreenOptions screen_options;
+    screen_options.max_paths = options.max_paths;
+    screen_options.prune_irrelevant = options.prune_irrelevant;
+    const staticcheck::ScreenResult screen = screener.screen_state_predicate(
+        contract.target_fragment, contract.condition, screen_options);
+    report.screen_verdict = staticcheck::screen_verdict_name(screen.verdict);
+    report.screen_witness = screen.witness;
+    report.screen_reason = screen.reason;
+    report.screen_ms = screen.elapsed_ms;
+    // Forced tests are always honoured: ablations that request specific
+    // replays expect them to run regardless of the screening verdict.
+    if (options.forced_tests.empty()) {
+      skip_concolic =
+          screen.verdict == staticcheck::ScreenVerdict::kProvedSafe ||
+          (screen.verdict == staticcheck::ScreenVerdict::kProvedViolated &&
+           options.trust_screen_verdicts);
+    }
+    report.screen_skipped_concolic = skip_concolic && options.run_concolic;
   }
 
   // ---- Static assertion over the execution tree ---------------------------
@@ -144,7 +185,7 @@ ContractCheckReport Checker::check(const minilang::Program& program,
   report.sanity_ok = report.verified > 0;
 
   // ---- Dynamic confirmation via concolic replay of selected tests ---------
-  if (options.run_concolic) {
+  if (options.run_concolic && !skip_concolic) {
     std::vector<std::string> tests = options.forced_tests;
     if (tests.empty()) {
       // Per-path selection (§3.2: "selects relevant tests for each path"):

@@ -71,6 +71,15 @@ struct ContractCheckReport {
   DynamicReport dynamic;
   std::vector<std::string> structural_violations;  // structural contracts
 
+  // Static screening (src/staticcheck): three-valued verdict computed before
+  // the expensive phases. Empty string when screening was disabled.
+  std::string screen_verdict;   // "proved-safe" | "proved-violated" | "unknown"
+  std::string screen_witness;   // entry->target chain + model for refutations
+  std::string screen_reason;
+  double screen_ms = 0.0;
+  /// True when the screener verdict made the concolic replay unnecessary.
+  bool screen_skipped_concolic = false;
+
   /// True when the checked program satisfies the contract everywhere.
   [[nodiscard]] bool passed() const {
     return violated == 0 && structural_violations.empty() &&
@@ -89,6 +98,14 @@ struct CheckOptions {
   /// Override test selection: run exactly these tests (empty = use RAG
   /// selection). Used by the test-selection ablation.
   std::vector<std::string> forced_tests;
+  /// Run the staticcheck screener before the expensive phases. A ProvedSafe
+  /// verdict skips the concolic replay (the static tree still runs, and
+  /// forced tests are always honoured); Unknown contracts proceed unchanged.
+  bool static_screen = true;
+  /// Additionally skip concolic replay on ProvedViolated verdicts — the
+  /// static witness already fails the contract. Used by the CI gate and the
+  /// screening benchmark, where only the pass/fail outcome matters.
+  bool trust_screen_verdicts = false;
 };
 
 class Checker {

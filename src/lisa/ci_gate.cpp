@@ -44,6 +44,9 @@ Json GateDecision::to_json() const {
   for (const ContractCheckReport& report : reports) report_entries.push_back(report.to_json());
   root["reports"] = Json(std::move(report_entries));
   root["evaluation_ms"] = evaluation_ms;
+  root["screened_settled"] = screened_settled;
+  root["screened_unknown"] = screened_unknown;
+  root["concolic_skipped"] = concolic_skipped;
   return Json(std::move(root));
 }
 
@@ -67,6 +70,11 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
         contract.kind == corpus::SemanticsKind::kStatePredicate)
       continue;
     ContractCheckReport report = checker.check(program, contract, options_);
+    if (report.screen_verdict == "proved-safe" || report.screen_verdict == "proved-violated")
+      ++decision.screened_settled;
+    else if (!report.screen_verdict.empty())
+      ++decision.screened_unknown;
+    if (report.screen_skipped_concolic) ++decision.concolic_skipped;
     if (!report.passed()) {
       decision.allowed = false;
       std::string reason = contract.id + " [" + contract.target_fragment + "]: ";

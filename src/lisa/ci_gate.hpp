@@ -37,6 +37,10 @@ struct GateDecision {
   std::vector<std::string> violations;        // human-readable block reasons
   std::vector<ContractCheckReport> reports;   // one per contract evaluated
   double evaluation_ms = 0.0;
+  // Screened-vs-explored accounting (see CheckOptions::static_screen):
+  int screened_settled = 0;   // contracts decided without concolic ambiguity
+  int screened_unknown = 0;   // contracts that needed the full check
+  int concolic_skipped = 0;   // replays the screener made unnecessary
 
   [[nodiscard]] support::Json to_json() const;
 };

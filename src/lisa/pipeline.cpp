@@ -15,6 +15,17 @@ bool PipelineResult::all_passed() const {
   return true;
 }
 
+ScreeningSummary PipelineResult::screening() const {
+  ScreeningSummary summary;
+  for (const ContractCheckReport& report : reports) {
+    if (report.screen_verdict == "proved-safe") ++summary.proved_safe;
+    else if (report.screen_verdict == "proved-violated") ++summary.proved_violated;
+    else if (report.screen_verdict == "unknown") ++summary.unknown;
+    if (report.screen_skipped_concolic) ++summary.concolic_skipped;
+  }
+  return summary;
+}
+
 int PipelineResult::total_violations() const {
   int total = 0;
   for (const ContractCheckReport& report : reports) {
@@ -43,8 +54,17 @@ Json PipelineResult::to_json() const {
   timing["infer_ms"] = timings.infer_ms;
   timing["translate_ms"] = timings.translate_ms;
   timing["check_ms"] = timings.check_ms;
+  timing["screen_ms"] = timings.screen_ms;
   timing["total_ms"] = timings.total_ms;
   root["timings"] = Json(std::move(timing));
+  const ScreeningSummary summary = screening();
+  JsonObject screen;
+  screen["proved_safe"] = summary.proved_safe;
+  screen["proved_violated"] = summary.proved_violated;
+  screen["unknown"] = summary.unknown;
+  screen["settled"] = summary.settled();
+  screen["concolic_skipped"] = summary.concolic_skipped;
+  root["screening"] = Json(std::move(screen));
   root["all_passed"] = all_passed();
   return Json(std::move(root));
 }
@@ -70,6 +90,8 @@ PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
   for (const SemanticContract& contract : result.contracts)
     result.reports.push_back(checker.check(program, contract, check_options_));
   result.timings.check_ms = stage.elapsed_ms();
+  for (const ContractCheckReport& report : result.reports)
+    result.timings.screen_ms += report.screen_ms;
   result.timings.total_ms = total.elapsed_ms();
   return result;
 }

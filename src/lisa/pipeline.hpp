@@ -18,7 +18,18 @@ struct StageTimings {
   double infer_ms = 0.0;
   double translate_ms = 0.0;
   double check_ms = 0.0;  // execution tree + SMT + test selection + concolic
+  double screen_ms = 0.0;  // staticcheck screening share of check_ms
   double total_ms = 0.0;
+};
+
+/// Screened-vs-explored accounting across a run's contracts.
+struct ScreeningSummary {
+  int proved_safe = 0;
+  int proved_violated = 0;
+  int unknown = 0;           // fell through to the full check
+  int concolic_skipped = 0;  // contracts whose replay the screener avoided
+
+  [[nodiscard]] int settled() const { return proved_safe + proved_violated; }
 };
 
 struct PipelineResult {
@@ -32,6 +43,8 @@ struct PipelineResult {
   [[nodiscard]] bool all_passed() const;
   /// Total violated paths + structural + dynamic violations across contracts.
   [[nodiscard]] int total_violations() const;
+  /// Screening verdict counts aggregated over `reports`.
+  [[nodiscard]] ScreeningSummary screening() const;
 
   [[nodiscard]] support::Json to_json() const;
 };

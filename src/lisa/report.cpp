@@ -40,6 +40,11 @@ std::string render_markdown(const ContractCheckReport& report,
          std::to_string(report.uncovered) + ")\n";
   out += std::string("- sanity (fixed path verifies): ") + (report.sanity_ok ? "yes" : "NO") +
          "\n";
+  if (!report.screen_verdict.empty()) {
+    out += "- screening: " + report.screen_verdict + " (" + report.screen_reason + ")";
+    if (report.screen_skipped_concolic) out += " — concolic replay skipped";
+    out += "\n";
+  }
   out += std::string("- overall: **") + (report.passed() ? "PASS" : "FAIL") + "**\n\n";
   if (!report.paths.empty()) {
     out += "| path | verdict | detail |\n|---|---|---|\n";
@@ -85,12 +90,20 @@ std::string render_markdown(const PipelineResult& result) {
     out += render_markdown(result.reports[i], contract);
     out += "\n";
   }
-  char timing[160];
+  const ScreeningSummary screening = result.screening();
+  if (screening.settled() + screening.unknown > 0) {
+    out += "_Screening: " + std::to_string(screening.settled()) + " settled statically (" +
+           std::to_string(screening.proved_safe) + " safe, " +
+           std::to_string(screening.proved_violated) + " violated), " +
+           std::to_string(screening.unknown) + " explored by the full check, " +
+           std::to_string(screening.concolic_skipped) + " concolic replay(s) skipped._\n\n";
+  }
+  char timing[176];
   std::snprintf(timing, sizeof(timing),
-                "_Timings: infer %.2f ms, translate %.2f ms, assert %.2f ms, total %.2f "
-                "ms._\n",
+                "_Timings: infer %.2f ms, translate %.2f ms, assert %.2f ms (screen %.2f "
+                "ms), total %.2f ms._\n",
                 result.timings.infer_ms, result.timings.translate_ms,
-                result.timings.check_ms, result.timings.total_ms);
+                result.timings.check_ms, result.timings.screen_ms, result.timings.total_ms);
   out += timing;
   return out;
 }

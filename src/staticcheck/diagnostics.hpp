@@ -1,0 +1,36 @@
+// Shared diagnostic record for the staticcheck analyses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minilang/token.hpp"
+
+namespace lisa::staticcheck {
+
+enum class Severity { kNote, kWarning, kError };
+
+[[nodiscard]] inline const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+struct Diagnostic {
+  std::string analysis;  // "nullness" | "definite-assignment" | "lock-state" | "intervals"
+  Severity severity = Severity::kWarning;
+  std::string function;
+  minilang::SourceLoc loc;
+  std::string message;
+
+  /// "fn:12:3: warning: message [analysis]" — the lint line format.
+  [[nodiscard]] std::string render() const {
+    return function + ":" + std::to_string(loc.line) + ":" + std::to_string(loc.column) +
+           ": " + severity_name(severity) + ": " + message + " [" + analysis + "]";
+  }
+};
+
+}  // namespace lisa::staticcheck

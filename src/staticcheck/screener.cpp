@@ -1,0 +1,187 @@
+#include "staticcheck/screener.hpp"
+
+#include <utility>
+
+#include "analysis/paths.hpp"
+#include "smt/solver.hpp"
+#include "staticcheck/dataflow.hpp"
+#include "support/stopwatch.hpp"
+
+namespace lisa::staticcheck {
+
+using minilang::FuncDecl;
+using minilang::Program;
+using minilang::Stmt;
+using smt::Atom;
+using smt::CmpOp;
+using smt::Formula;
+using smt::FormulaPtr;
+
+const char* screen_verdict_name(ScreenVerdict verdict) {
+  switch (verdict) {
+    case ScreenVerdict::kProvedSafe: return "proved-safe";
+    case ScreenVerdict::kProvedViolated: return "proved-violated";
+    case ScreenVerdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+Screener::Screener(const Program& program)
+    : program_(&program), graph_(analysis::CallGraph::build(program)) {}
+
+const Cfg& Screener::cfg_for(const FuncDecl& fn) const {
+  const auto it = cfgs_.find(&fn);
+  if (it != cfgs_.end()) return it->second;
+  return cfgs_.emplace(&fn, Cfg::build(fn)).first->second;
+}
+
+FormulaPtr Screener::facts_at(const FuncDecl& fn, const Stmt* stmt) const {
+  const Cfg& cfg = cfg_for(fn);
+  const int node = cfg.node_of(stmt);
+  if (node < 0) return Formula::truth(true);
+
+  std::vector<FormulaPtr> facts;
+
+  NullnessAnalysis nullness(*program_);
+  const auto null_result = run_forward(cfg, nullness);
+  if (null_result.reached[static_cast<std::size_t>(node)]) {
+    for (const auto& [path, fact] : null_result.in[static_cast<std::size_t>(node)]) {
+      FormulaPtr is_null = Formula::make_atom(Atom::bool_var(path + "#null"));
+      facts.push_back(fact == NullFact::kNull ? std::move(is_null)
+                                              : Formula::negate(std::move(is_null)));
+    }
+  }
+
+  IntervalAnalysis intervals(*program_);
+  const auto interval_result = run_forward(cfg, intervals);
+  if (interval_result.reached[static_cast<std::size_t>(node)]) {
+    for (const auto& [path, range] : interval_result.in[static_cast<std::size_t>(node)]) {
+      if (range.lo != Interval::kMin)
+        facts.push_back(Formula::make_atom(Atom::cmp_const(path, CmpOp::kGe, range.lo)));
+      if (range.hi != Interval::kMax)
+        facts.push_back(Formula::make_atom(Atom::cmp_const(path, CmpOp::kLe, range.hi)));
+    }
+  }
+
+  return facts.empty() ? Formula::truth(true) : Formula::conj(std::move(facts));
+}
+
+ScreenResult Screener::screen_state_predicate(const std::string& target_fragment,
+                                              const FormulaPtr& condition,
+                                              const ScreenOptions& options) const {
+  const support::Stopwatch timer;
+  ScreenResult result;
+  if (condition == nullptr) {
+    result.reason = "contract has no decidable condition";
+    result.elapsed_ms = timer.elapsed_ms();
+    return result;
+  }
+
+  const auto targets = analysis::find_target_statements(*program_, target_fragment);
+  result.targets = targets.size();
+  if (targets.empty()) {
+    result.reason = "no statement matches the target fragment";
+    result.elapsed_ms = timer.elapsed_ms();
+    return result;
+  }
+
+  // Dataflow facts per target statement, in target-local names (the same
+  // vocabulary `condition` is written in).
+  std::map<const Stmt*, FormulaPtr> target_facts;
+  for (const auto& [fn, stmt] : targets) target_facts[stmt] = facts_at(*fn, stmt);
+
+  // The guard-only execution tree — deliberately the exact abstraction the
+  // path checker decides, so "all paths verify" here implies the checker
+  // reports zero violations.
+  analysis::TreeOptions tree_options;
+  tree_options.max_paths = options.max_paths;
+  tree_options.prune_irrelevant = options.prune_irrelevant;
+  tree_options.contract_condition = condition;
+  const analysis::ExecutionTree tree =
+      analysis::build_execution_tree(*program_, graph_, target_fragment, tree_options);
+  result.paths_checked = tree.paths.size();
+
+  if (tree.truncated) {
+    result.reason = "path enumeration truncated at " + std::to_string(options.max_paths);
+    result.elapsed_ms = timer.elapsed_ms();
+    return result;
+  }
+  if (tree.paths.empty()) {
+    result.reason = "no entry->target path to screen";
+    result.elapsed_ms = timer.elapsed_ms();
+    return result;
+  }
+
+  smt::Solver solver;
+  const FormulaPtr not_condition = Formula::negate(condition);
+  bool any_unmappable = false;
+  bool any_facts_refuted = false;
+  for (const analysis::ExecutionPath& path : tree.paths) {
+    if (!path.mappable) {
+      any_unmappable = true;
+      continue;
+    }
+    const smt::SolveResult sat = solver.solve(
+        Formula::conj2(path.condition, Formula::negate(path.renamed_contract)));
+    if (!sat.sat()) continue;  // path verifies
+
+    // The guard-only condition misses assignment effects; require the
+    // dataflow facts at the target to be consistent with ¬P before trusting
+    // the violation. Refuted witnesses fall back to Unknown (full check).
+    const auto facts = target_facts.find(path.target);
+    const FormulaPtr fact_formula =
+        facts == target_facts.end() ? Formula::truth(true) : facts->second;
+    const smt::SolveResult confirmed =
+        solver.solve(Formula::conj2(fact_formula, not_condition));
+    if (!confirmed.sat()) {
+      any_facts_refuted = true;
+      continue;
+    }
+
+    result.verdict = ScreenVerdict::kProvedViolated;
+    std::string chain;
+    for (const std::string& fn : path.call_chain) {
+      if (!chain.empty()) chain += " -> ";
+      chain += fn;
+    }
+    result.witness = chain + " | " + sat.model.to_string();
+    result.reason = "path condition admits the contract's complement";
+    result.elapsed_ms = timer.elapsed_ms();
+    return result;
+  }
+
+  if (any_unmappable) {
+    result.reason = "contract variables unmappable on some path";
+  } else if (any_facts_refuted) {
+    result.reason = "violating paths refuted by dataflow facts";
+  } else {
+    result.verdict = ScreenVerdict::kProvedSafe;
+    result.reason = "every entry->target path verifies";
+  }
+  result.elapsed_ms = timer.elapsed_ms();
+  return result;
+}
+
+ScreenResult Screener::screen_structural() const {
+  const support::Stopwatch timer;
+  ScreenResult result;
+  for (const FuncDecl& fn : program_->functions) {
+    const Cfg& cfg = cfg_for(fn);
+    LockStateAnalysis locks(*program_, graph_);
+    const auto fixpoint = run_forward(cfg, locks);
+    locks.report(cfg, fixpoint.in, fixpoint.reached, result.diagnostics);
+  }
+  if (result.diagnostics.empty()) {
+    result.verdict = ScreenVerdict::kProvedSafe;
+    result.reason = "no blocking call reachable while a monitor is held";
+  } else {
+    result.verdict = ScreenVerdict::kProvedViolated;
+    result.witness = result.diagnostics.front().render();
+    result.reason = std::to_string(result.diagnostics.size()) +
+                    " blocking call(s) reachable while a monitor is held";
+  }
+  result.elapsed_ms = timer.elapsed_ms();
+  return result;
+}
+
+}  // namespace lisa::staticcheck

@@ -1,0 +1,96 @@
+// Static contract screening: prove or refute contracts before concolic
+// execution (the pipeline's dominant cost).
+//
+// The screener combines two static sources:
+//   * dataflow facts (nullness + intervals, analyses.hpp) at each target
+//     statement, converted into the SMT fragment with the same variable
+//     naming as smt/minilang_bridge.cpp;
+//   * the guard-only execution tree (analysis/paths.cpp) — the same
+//     abstraction the path checker uses, so screener verdicts never
+//     contradict the checker's.
+//
+// Three-valued verdicts:
+//   * ProvedSafe     — every enumerated entry→target path verifies
+//     (π ∧ ¬P unsat) and none is unmappable. The checker's static phase
+//     would report zero violations, and the concolic replay cannot fire a
+//     symbolic violation, so the contract can skip concolic entirely.
+//   * ProvedViolated — some path has π ∧ ¬P satisfiable AND the dataflow
+//     facts at the target are consistent with ¬P (the witness is not ruled
+//     out by assignments the guard-only path condition cannot see). The
+//     witness records the call chain and a satisfying model.
+//   * Unknown        — anything else (no targets, truncation, unmappable
+//     paths, or facts-refuted violations). Unknown contracts proceed to the
+//     full static + concolic check; screening is purely an accelerator and
+//     never changes which contracts ultimately fail.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "smt/formula.hpp"
+#include "staticcheck/analyses.hpp"
+#include "staticcheck/cfg.hpp"
+#include "staticcheck/diagnostics.hpp"
+
+namespace lisa::staticcheck {
+
+enum class ScreenVerdict { kProvedSafe, kProvedViolated, kUnknown };
+
+[[nodiscard]] const char* screen_verdict_name(ScreenVerdict verdict);
+
+struct ScreenOptions {
+  std::size_t max_paths = 4096;
+  bool prune_irrelevant = true;  // mirror the checker's path pruning
+};
+
+struct ScreenResult {
+  ScreenVerdict verdict = ScreenVerdict::kUnknown;
+  std::size_t targets = 0;        // matched target statements
+  std::size_t paths_checked = 0;  // enumerated entry→target paths
+  /// For ProvedViolated: "entry -> ... -> target | model" witness line.
+  std::string witness;
+  /// Why the verdict was reached (diagnostic for reports and the CLI).
+  std::string reason;
+  /// Structural screening: lock-state diagnostics (one per blocking call
+  /// reachable under a held monitor).
+  std::vector<Diagnostic> diagnostics;
+  double elapsed_ms = 0.0;
+};
+
+/// Screens contracts against one program. Builds the call graph once and
+/// caches per-function CFGs + dataflow facts; the program must outlive it.
+class Screener {
+ public:
+  explicit Screener(const minilang::Program& program);
+
+  /// Screens a state-predicate contract <condition> at `target_fragment`.
+  /// `condition` uses target-function-local variable names (as produced by
+  /// contract translation); null conditions return Unknown.
+  [[nodiscard]] ScreenResult screen_state_predicate(const std::string& target_fragment,
+                                                    const smt::FormulaPtr& condition,
+                                                    const ScreenOptions& options = {}) const;
+
+  /// Screens the no-blocking-in-sync structural rule via the path-sensitive
+  /// lock-state analysis. Structural rules are fully decidable statically:
+  /// the verdict is never Unknown.
+  [[nodiscard]] ScreenResult screen_structural() const;
+
+  /// Dataflow facts at `stmt` of `fn` as a formula over local names
+  /// (nullness indicator variables and interval bounds). Returns kTrue when
+  /// nothing is known. Exposed for tests.
+  [[nodiscard]] smt::FormulaPtr facts_at(const minilang::FuncDecl& fn,
+                                         const minilang::Stmt* stmt) const;
+
+  [[nodiscard]] const analysis::CallGraph& graph() const { return graph_; }
+
+ private:
+  const Cfg& cfg_for(const minilang::FuncDecl& fn) const;
+
+  const minilang::Program* program_;
+  analysis::CallGraph graph_;
+  mutable std::map<const minilang::FuncDecl*, Cfg> cfgs_;
+};
+
+}  // namespace lisa::staticcheck

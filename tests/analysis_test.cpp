@@ -2,6 +2,8 @@
 // structural pattern checks.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "analysis/callgraph.hpp"
 #include "analysis/paths.hpp"
 #include "analysis/patterns.hpp"
@@ -294,6 +296,37 @@ fn safe(n: Node) {
   EXPECT_EQ(violations[0].blocking_call, "write_record");
   ASSERT_GE(violations[0].call_path.size(), 2u);
   EXPECT_EQ(violations[0].call_path.front(), "persist");
+}
+
+TEST(Patterns, ReportsEveryBlockingChainWithSyncLocation) {
+  // `flush` reaches two distinct blocking leaves; the checker must report
+  // one violation per chain, each carrying the enclosing sync statement.
+  const Program program = minilang::parse_checked(R"(
+struct Node { data: string; }
+fn flush(n: Node) {
+  write_record(n, n.data);
+  fsync_log(n);
+}
+@entry
+fn serialize(n: Node) {
+  sync (n) {
+    flush(n);
+  }
+}
+)");
+  const CallGraph graph = CallGraph::build(program);
+  const auto violations = check_no_blocking_in_sync(program, graph);
+  ASSERT_EQ(violations.size(), 2u);
+  std::set<std::string> leaves;
+  for (const PatternViolation& violation : violations) {
+    leaves.insert(violation.blocking_call);
+    ASSERT_NE(violation.sync_stmt, nullptr);
+    EXPECT_EQ(violation.sync_stmt->kind, minilang::Stmt::Kind::kSync);
+    EXPECT_NE(violation.description.find("sync at line"), std::string::npos);
+    ASSERT_FALSE(violation.call_path.empty());
+    EXPECT_EQ(violation.call_path.front(), "flush");
+  }
+  EXPECT_EQ(leaves, (std::set<std::string>{"fsync_log", "write_record"}));
 }
 
 TEST(Patterns, SpecificRuleMissesOtherFunctions) {

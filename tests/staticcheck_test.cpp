@@ -1,0 +1,663 @@
+// Unit tests for src/staticcheck: CFG construction, the dataflow lattices,
+// the lint driver, and the contract screener — including the regression
+// property that screener verdicts always agree with the full checker.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/ticket.hpp"
+#include "inference/mock_llm.hpp"
+#include "lisa/checker.hpp"
+#include "lisa/contract.hpp"
+#include "minilang/sema.hpp"
+#include "smt/minilang_bridge.hpp"
+#include "smt/solver.hpp"
+#include "staticcheck/analyses.hpp"
+#include "staticcheck/cfg.hpp"
+#include "staticcheck/dataflow.hpp"
+#include "staticcheck/screener.hpp"
+
+namespace lisa::staticcheck {
+namespace {
+
+using minilang::Program;
+using minilang::Stmt;
+
+int count_kind(const Cfg& cfg, CfgNode::Kind kind) {
+  int n = 0;
+  for (const CfgNode& node : cfg.nodes())
+    if (node.kind == kind) ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// CFG construction
+// ---------------------------------------------------------------------------
+
+TEST(Cfg, LinearFunctionChainsEntryToExit) {
+  const Program program = minilang::parse_checked(R"(
+@entry
+fn f(n: int) {
+  let x = n;
+  print(x);
+}
+)");
+  const Cfg cfg = Cfg::build(program.functions[0]);
+  EXPECT_EQ(count_kind(cfg, CfgNode::Kind::kEntry), 1);
+  EXPECT_EQ(count_kind(cfg, CfgNode::Kind::kExit), 1);
+  EXPECT_EQ(count_kind(cfg, CfgNode::Kind::kStmt), 2);
+  // entry is first in RPO; every statement node is reachable.
+  const std::vector<int> rpo = cfg.reverse_post_order();
+  ASSERT_FALSE(rpo.empty());
+  EXPECT_EQ(rpo.front(), cfg.entry());
+  // node_of resolves each top-level statement.
+  for (const minilang::StmtPtr& stmt : program.functions[0].body)
+    EXPECT_GE(cfg.node_of(stmt.get()), 0);
+}
+
+TEST(Cfg, IfProducesGuardedEdgesAndJoin) {
+  const Program program = minilang::parse_checked(R"(
+@entry
+fn f(n: int) {
+  if (n > 0) {
+    print(1);
+  } else {
+    print(2);
+  }
+  print(3);
+}
+)");
+  const Cfg cfg = Cfg::build(program.functions[0]);
+  const int cond = cfg.node_of(program.functions[0].body[0].get());
+  ASSERT_GE(cond, 0);
+  const CfgNode& branch = cfg.node(cond);
+  EXPECT_EQ(branch.kind, CfgNode::Kind::kBranch);
+  EXPECT_FALSE(branch.loop_head);
+  // One taken and one not-taken edge, both guarded by the condition.
+  std::set<bool> polarities;
+  for (const CfgEdge& edge : branch.succs) {
+    ASSERT_NE(edge.guard, nullptr);
+    EXPECT_FALSE(edge.suppress_refine);
+    polarities.insert(edge.taken);
+  }
+  EXPECT_EQ(polarities, (std::set<bool>{false, true}));
+}
+
+TEST(Cfg, WhileLoopHeadAndSuppressedExitGuard) {
+  const Program program = minilang::parse_checked(R"(
+@entry
+fn f(n: int) {
+  let i = 0;
+  while (i < n) {
+    i = i + 1;
+  }
+  print(i);
+}
+)");
+  const Cfg cfg = Cfg::build(program.functions[0]);
+  const int head = cfg.node_of(program.functions[0].body[1].get());
+  ASSERT_GE(head, 0);
+  const CfgNode& loop = cfg.node(head);
+  EXPECT_TRUE(loop.loop_head);
+  bool saw_taken = false;
+  bool saw_exit = false;
+  for (const CfgEdge& edge : loop.succs) {
+    if (edge.taken) {
+      saw_taken = true;
+      EXPECT_FALSE(edge.suppress_refine);
+    } else {
+      saw_exit = true;
+      // Falling past a loop records no exit guard (mirrors analysis/paths).
+      EXPECT_TRUE(edge.suppress_refine);
+    }
+  }
+  EXPECT_TRUE(saw_taken);
+  EXPECT_TRUE(saw_exit);
+  // The back edge makes the loop head one of its own transitive predecessors.
+  EXPECT_GE(loop.preds.size(), 2u);
+}
+
+TEST(Cfg, BreakExitsLoopAndContinueReturnsToHead) {
+  const Program program = minilang::parse_checked(R"(
+@entry
+fn f(n: int) {
+  let i = 0;
+  while (i < n) {
+    i = i + 1;
+    if (i > 3) {
+      break;
+    }
+    if (i > 1) {
+      continue;
+    }
+    print(i);
+  }
+  print(i);
+}
+)");
+  const Cfg cfg = Cfg::build(program.functions[0]);
+  // Every node is wired somewhere sane: the graph has exactly one exit and
+  // the final print is reachable (break edges land past the loop).
+  const std::vector<int> rpo = cfg.reverse_post_order();
+  std::set<int> reachable;
+  // Depth-first from entry using succ edges only.
+  std::vector<int> stack{cfg.entry()};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (!reachable.insert(id).second) continue;
+    for (const CfgEdge& edge : cfg.node(id).succs) stack.push_back(edge.to);
+  }
+  const int last_print = cfg.node_of(program.functions[0].body.back().get());
+  ASSERT_GE(last_print, 0);
+  EXPECT_TRUE(reachable.count(last_print) > 0);
+  EXPECT_TRUE(reachable.count(cfg.exit()) > 0);
+}
+
+TEST(Cfg, SyncBlocksGetEnterAndExitNodes) {
+  const Program program = minilang::parse_checked(R"(
+struct Node { data: string; }
+@entry
+fn f(n: Node) {
+  sync (n) {
+    print(1);
+  }
+  print(2);
+}
+)");
+  const Cfg cfg = Cfg::build(program.functions[0]);
+  EXPECT_EQ(count_kind(cfg, CfgNode::Kind::kSyncEnter), 1);
+  EXPECT_EQ(count_kind(cfg, CfgNode::Kind::kSyncExit), 1);
+}
+
+TEST(Cfg, ExceptionEdgeOutOfSyncRecordsUnwindCount) {
+  const Program program = minilang::parse_checked(R"(
+struct Node { data: string; }
+@entry
+fn f(n: Node) {
+  try {
+    sync (n) {
+      print(1);
+    }
+  } catch (e) {
+    print(2);
+  }
+}
+)");
+  const Cfg cfg = Cfg::build(program.functions[0]);
+  // The statement inside the sync body may throw; its exception edge must
+  // release exactly the one monitor acquired since the try was entered.
+  bool saw_unwind = false;
+  for (const CfgNode& node : cfg.nodes())
+    for (const CfgEdge& edge : node.succs)
+      if (edge.sync_unwind > 0) {
+        saw_unwind = true;
+        EXPECT_EQ(edge.sync_unwind, 1);
+      }
+  EXPECT_TRUE(saw_unwind);
+}
+
+TEST(Cfg, TopLevelThrowUnwindsAllMonitorsToExit) {
+  const Program program = minilang::parse_checked(R"(
+struct Node { data: string; }
+@entry
+fn f(n: Node) {
+  sync (n) {
+    throw "boom";
+  }
+}
+)");
+  const Cfg cfg = Cfg::build(program.functions[0]);
+  bool saw = false;
+  for (const CfgNode& node : cfg.nodes())
+    for (const CfgEdge& edge : node.succs)
+      if (edge.to == cfg.exit() && edge.sync_unwind == 1) saw = true;
+  EXPECT_TRUE(saw);
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow engine + lattices
+// ---------------------------------------------------------------------------
+
+TEST(Dataflow, NullnessRefinesGuardsPerBranchArm) {
+  const Program program = minilang::parse_checked(R"(
+struct Session { ok: bool; }
+@entry
+fn f(s: Session?) {
+  if (s == null) {
+    print(1);
+  } else {
+    print(2);
+  }
+}
+)");
+  const minilang::FuncDecl& fn = program.functions[0];
+  const Cfg cfg = Cfg::build(fn);
+  NullnessAnalysis analysis(program);
+  const DataflowResult<NullnessAnalysis> result = run_forward(cfg, analysis);
+  const Stmt* then_stmt = fn.body[0]->body[0].get();
+  const Stmt* else_stmt = fn.body[0]->else_body[0].get();
+  const int then_node = cfg.node_of(then_stmt);
+  const int else_node = cfg.node_of(else_stmt);
+  ASSERT_GE(then_node, 0);
+  ASSERT_GE(else_node, 0);
+  const auto& then_state = result.in[static_cast<std::size_t>(then_node)];
+  const auto& else_state = result.in[static_cast<std::size_t>(else_node)];
+  ASSERT_TRUE(then_state.count("s") > 0);
+  EXPECT_EQ(then_state.at("s"), NullFact::kNull);
+  ASSERT_TRUE(else_state.count("s") > 0);
+  EXPECT_EQ(else_state.at("s"), NullFact::kNonNull);
+}
+
+TEST(Dataflow, NullnessJoinKeepsOnlyAgreeingFacts) {
+  NullnessAnalysis analysis(Program{});
+  NullnessAnalysis::State a{{"p", NullFact::kNull}, {"q", NullFact::kNonNull}};
+  const NullnessAnalysis::State b{{"p", NullFact::kNonNull}, {"q", NullFact::kNonNull}};
+  EXPECT_TRUE(analysis.join(a, b));  // p dropped -> state changed
+  EXPECT_EQ(a.count("p"), 0u);      // disagreement -> unknown
+  ASSERT_EQ(a.count("q"), 1u);      // agreement survives
+  EXPECT_EQ(a.at("q"), NullFact::kNonNull);
+  EXPECT_FALSE(analysis.join(a, a));  // join is idempotent
+}
+
+TEST(Dataflow, DefiniteAssignmentWarnsOnUnassignedFieldRead) {
+  const Program program = minilang::parse_checked(R"(
+struct Pair { a: int; b: int; }
+@entry
+fn f() {
+  let p = new Pair { a: 1 };
+  print(p.b);
+}
+)");
+  const std::vector<Diagnostic> diagnostics = lint_program(program);
+  bool saw = false;
+  for (const Diagnostic& diagnostic : diagnostics)
+    if (diagnostic.analysis == "definite-assignment" &&
+        diagnostic.message.find("'b'") != std::string::npos)
+      saw = true;
+  EXPECT_TRUE(saw);
+}
+
+TEST(Dataflow, DefiniteAssignmentCleanWhenAssignedOnAllPaths) {
+  const Program program = minilang::parse_checked(R"(
+struct Pair { a: int; b: int; }
+@entry
+fn f(n: int) {
+  let p = new Pair { a: 1 };
+  if (n > 0) {
+    p.b = 2;
+  } else {
+    p.b = 3;
+  }
+  print(p.b);
+}
+)");
+  for (const Diagnostic& diagnostic : lint_program(program))
+    EXPECT_NE(diagnostic.analysis, "definite-assignment") << diagnostic.render();
+}
+
+TEST(Dataflow, LockStateFlagsBlockingCallUnderMonitor) {
+  const Program program = minilang::parse_checked(R"(
+struct Node { data: string; }
+@entry
+fn f(n: Node) {
+  sync (n) {
+    write_record(n, n.data);
+  }
+}
+)");
+  const std::vector<Diagnostic> diagnostics = lint_program(program);
+  bool saw = false;
+  for (const Diagnostic& diagnostic : diagnostics)
+    if (diagnostic.analysis == "lock-state" && diagnostic.severity == Severity::kError)
+      saw = true;
+  EXPECT_TRUE(saw);
+}
+
+TEST(Dataflow, LockStateReleasesMonitorOnExceptionUnwind) {
+  // The blocking call sits in the catch handler: the monitor acquired in
+  // the try body was released during unwinding, so there is no violation.
+  // The structural walk (analysis/patterns.cpp) cannot see this; the
+  // path-sensitive lattice can.
+  const Program program = minilang::parse_checked(R"(
+struct Node { data: string; }
+@entry
+fn f(n: Node) {
+  try {
+    sync (n) {
+      throw "boom";
+    }
+  } catch (e) {
+    write_record(n, "recovered");
+  }
+}
+)");
+  for (const Diagnostic& diagnostic : lint_program(program))
+    EXPECT_NE(diagnostic.analysis, "lock-state") << diagnostic.render();
+}
+
+TEST(Dataflow, IntervalConstantConditionIsReported) {
+  const Program program = minilang::parse_checked(R"(
+@entry
+fn f(n: int) {
+  let x = 1;
+  if (x < 2) {
+    print(1);
+  }
+}
+)");
+  const std::vector<Diagnostic> diagnostics = lint_program(program);
+  bool saw = false;
+  for (const Diagnostic& diagnostic : diagnostics)
+    if (diagnostic.analysis == "intervals" &&
+        diagnostic.message.find("always true") != std::string::npos)
+      saw = true;
+  EXPECT_TRUE(saw);
+}
+
+TEST(Dataflow, IntervalFixpointTerminatesOnLoops) {
+  // An incrementing loop has an infinite ascending chain without widening;
+  // the engine must still reach a fixpoint well under the visit cap.
+  const Program program = minilang::parse_checked(R"(
+@entry
+fn f(n: int) {
+  let i = 0;
+  while (i < n) {
+    i = i + 1;
+  }
+  print(i);
+}
+)");
+  const Cfg cfg = Cfg::build(program.functions[0]);
+  IntervalAnalysis analysis(program);
+  const DataflowResult<IntervalAnalysis> result = run_forward(cfg, analysis);
+  EXPECT_LT(result.iterations,
+            static_cast<int>(cfg.nodes().size()) * kMaxVisitsPerNode);
+  // No dead-branch diagnostic: the loop guard is genuinely two-sided.
+  for (const Diagnostic& diagnostic : lint_program(program))
+    EXPECT_NE(diagnostic.analysis, "intervals") << diagnostic.render();
+}
+
+TEST(Dataflow, IntervalRefinementClampsGuardedRanges) {
+  const Program program = minilang::parse_checked(R"(
+@entry
+fn f(n: int) {
+  if (n > 10) {
+    if (n > 5) {
+      print(1);
+    }
+  }
+}
+)");
+  // Inside `n > 10`, the nested `n > 5` is decided: always true.
+  bool saw = false;
+  for (const Diagnostic& diagnostic : lint_program(program))
+    if (diagnostic.analysis == "intervals" &&
+        diagnostic.message.find("always true") != std::string::npos)
+      saw = true;
+  EXPECT_TRUE(saw);
+}
+
+// ---------------------------------------------------------------------------
+// Screener
+// ---------------------------------------------------------------------------
+
+TEST(Screener, FactsAtExposeConstantsAsFormulas) {
+  const Program program = minilang::parse_checked(R"(
+@entry
+fn f() {
+  let x = 5;
+  print(x);
+}
+)");
+  const minilang::FuncDecl& fn = program.functions[0];
+  const Screener screener(program);
+  const smt::FormulaPtr facts = screener.facts_at(fn, fn.body[1].get());
+  ASSERT_NE(facts, nullptr);
+  smt::Solver solver;
+  // x is exactly 5 at the print: facts ∧ (x < 5) is unsatisfiable...
+  const auto lt = smt::parse_condition("x < 5");
+  ASSERT_TRUE(lt.has_value());
+  EXPECT_FALSE(solver.solve(smt::Formula::conj2(facts, *lt)).sat());
+  // ...while facts ∧ (x > 4) is satisfiable.
+  const auto gt = smt::parse_condition("x > 4");
+  ASSERT_TRUE(gt.has_value());
+  EXPECT_TRUE(solver.solve(smt::Formula::conj2(facts, *gt)).sat());
+}
+
+TEST(Screener, ProvesGuardedContractSafe) {
+  const Program program = minilang::parse_checked(R"(
+struct Session { ok: bool; }
+fn do_commit(s: Session) {
+  if (s.ok) {
+    print(1);
+  }
+}
+fn act(s: Session) {
+  do_commit(s);
+}
+@entry
+fn handler(s: Session) {
+  if (s.ok) {
+    act(s);
+  }
+}
+)");
+  const Screener screener(program);
+  const auto condition = smt::parse_condition("s.ok");
+  ASSERT_TRUE(condition.has_value());
+  const ScreenResult result = screener.screen_state_predicate("do_commit(", *condition);
+  EXPECT_EQ(result.verdict, ScreenVerdict::kProvedSafe);
+  EXPECT_GT(result.paths_checked, 0u);
+}
+
+TEST(Screener, RefutesUnguardedContractWithWitness) {
+  const Program program = minilang::parse_checked(R"(
+struct Session { ok: bool; }
+fn do_commit(s: Session) {
+  if (s.ok) {
+    print(1);
+  }
+}
+fn act(s: Session) {
+  do_commit(s);
+}
+@entry
+fn handler(s: Session) {
+  act(s);
+}
+)");
+  const Screener screener(program);
+  const auto condition = smt::parse_condition("s.ok");
+  ASSERT_TRUE(condition.has_value());
+  const ScreenResult result = screener.screen_state_predicate("do_commit(", *condition);
+  EXPECT_EQ(result.verdict, ScreenVerdict::kProvedViolated);
+  EXPECT_FALSE(result.witness.empty());
+}
+
+TEST(Screener, MissingTargetIsUnknown) {
+  const Program program = minilang::parse_checked(R"(
+@entry
+fn f(n: int) {
+  print(n);
+}
+)");
+  const Screener screener(program);
+  const auto condition = smt::parse_condition("n > 0");
+  ASSERT_TRUE(condition.has_value());
+  const ScreenResult result =
+      screener.screen_state_predicate("no_such_call(", *condition);
+  EXPECT_EQ(result.verdict, ScreenVerdict::kUnknown);
+}
+
+TEST(Screener, StructuralVerdictMatchesLockState) {
+  const Program clean = minilang::parse_checked(R"(
+struct Node { data: string; }
+@entry
+fn f(n: Node) {
+  let d = "";
+  sync (n) {
+    d = n.data;
+  }
+  write_record(n, d);
+}
+)");
+  EXPECT_EQ(Screener(clean).screen_structural().verdict, ScreenVerdict::kProvedSafe);
+
+  const Program dirty = minilang::parse_checked(R"(
+struct Node { data: string; }
+@entry
+fn f(n: Node) {
+  sync (n) {
+    write_record(n, n.data);
+  }
+}
+)");
+  const ScreenResult result = Screener(dirty).screen_structural();
+  EXPECT_EQ(result.verdict, ScreenVerdict::kProvedViolated);
+  ASSERT_FALSE(result.diagnostics.empty());
+  EXPECT_FALSE(result.witness.empty());
+}
+
+TEST(Screener, ProvedSafeSkipsConcolicInChecker) {
+  const Program program = minilang::parse_checked(R"(
+struct Session { ok: bool; }
+fn do_commit(s: Session) {
+  if (s.ok) {
+    print(1);
+  }
+}
+fn act(s: Session) {
+  do_commit(s);
+}
+@entry
+fn handler(s: Session) {
+  if (s.ok) {
+    act(s);
+  }
+}
+@test
+fn test_handler() {
+  let s = new Session { ok: true };
+  handler(s);
+}
+)");
+  core::SemanticContract contract;
+  contract.id = "synthetic#0";
+  contract.kind = corpus::SemanticsKind::kStatePredicate;
+  contract.target_fragment = "do_commit(";
+  contract.condition_text = "s.ok";
+  contract.condition = *smt::parse_condition("s.ok");
+  const core::Checker checker;
+  core::CheckOptions options;  // static_screen defaults on
+  const core::ContractCheckReport report = checker.check(program, contract, options);
+  EXPECT_EQ(report.screen_verdict, "proved-safe");
+  EXPECT_TRUE(report.screen_skipped_concolic);
+  EXPECT_EQ(report.dynamic.tests_run, 0);
+  EXPECT_TRUE(report.passed());
+
+  // Screening off: the concolic replay runs and reaches the same verdict.
+  core::CheckOptions no_screen = options;
+  no_screen.static_screen = false;
+  const core::ContractCheckReport full = checker.check(program, contract, no_screen);
+  EXPECT_GT(full.dynamic.tests_run, 0);
+  EXPECT_TRUE(full.passed());
+  EXPECT_TRUE(full.screen_verdict.empty());
+}
+
+TEST(Screener, ForcedTestsAlwaysRunDespiteVerdict) {
+  const Program program = minilang::parse_checked(R"(
+struct Session { ok: bool; }
+fn do_commit(s: Session) {
+  if (s.ok) {
+    print(1);
+  }
+}
+fn act(s: Session) {
+  do_commit(s);
+}
+@entry
+fn handler(s: Session) {
+  if (s.ok) {
+    act(s);
+  }
+}
+@test
+fn test_handler() {
+  let s = new Session { ok: true };
+  handler(s);
+}
+)");
+  core::SemanticContract contract;
+  contract.id = "synthetic#0";
+  contract.kind = corpus::SemanticsKind::kStatePredicate;
+  contract.target_fragment = "do_commit(";
+  contract.condition_text = "s.ok";
+  contract.condition = *smt::parse_condition("s.ok");
+  core::CheckOptions options;
+  options.forced_tests = {"test_handler"};
+  const core::ContractCheckReport report =
+      core::Checker().check(program, contract, options);
+  EXPECT_EQ(report.screen_verdict, "proved-safe");
+  EXPECT_FALSE(report.screen_skipped_concolic);
+  EXPECT_EQ(report.dynamic.tests_run, 1);
+}
+
+// The acceptance property for the whole subsystem: on every corpus program
+// and contract, a settled screening verdict must agree with the full
+// static + concolic checker. Screening may say Unknown, never the wrong
+// thing.
+TEST(Screener, VerdictsAgreeWithFullCheckerAcrossCorpus) {
+  int settled = 0;
+  for (const corpus::FailureTicket& ticket : corpus::Corpus::all()) {
+    const inference::SemanticsProposal proposal = inference::MockLlm().infer(ticket);
+    const core::TranslationResult translation =
+        core::translate(proposal, ticket.system);
+    for (const std::string* source :
+         {&ticket.buggy_source, &ticket.patched_source, &ticket.latest_source}) {
+      if (source->empty()) continue;
+      const Program program = minilang::parse_checked(*source);
+      for (const core::SemanticContract& contract : translation.contracts) {
+        core::CheckOptions truth_options;
+        truth_options.static_screen = false;
+        const core::ContractCheckReport truth =
+            core::Checker().check(program, contract, truth_options);
+        core::CheckOptions screen_options;  // defaults: screening on
+        const core::ContractCheckReport screened =
+            core::Checker().check(program, contract, screen_options);
+        if (screened.screen_verdict == "proved-safe") {
+          ++settled;
+          EXPECT_TRUE(truth.passed())
+              << ticket.case_id << " " << contract.id << ": screener said safe, "
+              << "checker found violations";
+        } else if (screened.screen_verdict == "proved-violated") {
+          ++settled;
+          EXPECT_FALSE(truth.passed())
+              << ticket.case_id << " " << contract.id << ": screener said violated, "
+              << "checker found none";
+        }
+      }
+    }
+  }
+  // The subsystem must actually settle a useful share of the corpus
+  // (the bench measures the exact fraction; this is the smoke floor).
+  EXPECT_GT(settled, 0);
+}
+
+TEST(Lint, CorpusAggregateMatchesCli) {
+  // The patched corpus keeps exactly one lock-state error by design:
+  // zk-2201's serialize_acls retains blocking I/O under sync.
+  int lock_errors = 0;
+  for (const corpus::FailureTicket& ticket : corpus::Corpus::all()) {
+    const Program program = minilang::parse_checked(ticket.patched_source);
+    for (const Diagnostic& diagnostic : lint_program(program))
+      if (diagnostic.analysis == "lock-state" && diagnostic.severity == Severity::kError)
+        ++lock_errors;
+  }
+  EXPECT_EQ(lock_errors, 1);
+}
+
+}  // namespace
+}  // namespace lisa::staticcheck

@@ -13,6 +13,10 @@
 //                                     paths of the patched version
 //   lisa explore <case-id>            systematic path exploration: drive every
 //                                     synthesizable path with generated tests
+//   lisa lint [case-id] [--buggy|--latest]
+//                                     run the staticcheck dataflow analyses
+//                                     (nullness, definite assignment, lock
+//                                     state, intervals) over corpus programs
 //
 // Exit code: 0 on success/pass, 1 on violations found/commit blocked,
 // 2 on usage or input errors.
@@ -29,6 +33,7 @@
 #include "lisa/pipeline.hpp"
 #include "lisa/report.hpp"
 #include "minilang/sema.hpp"
+#include "staticcheck/analyses.hpp"
 
 namespace {
 
@@ -38,8 +43,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: lisa <command> [args]\n"
                "  corpus | prompt <case> | infer <case> | check <case> [flags] |\n"
-               "  gate <case> <file.ml> | hunt | synth <case>\n"
-               "flags for check: --latest --buggy --no-concolic --no-prune\n");
+               "  gate <case> <file.ml> | hunt | synth <case> | explore <case> |\n"
+               "  lint [case] [--buggy|--latest]\n"
+               "flags for check: --latest --buggy --no-concolic --no-prune\n"
+               "lint with no case runs over every patched corpus program\n");
   return 2;
 }
 
@@ -212,6 +219,67 @@ int cmd_explore(const std::string& case_id) {
   return report.violated > 0 ? 1 : 0;
 }
 
+/// Lints one program version; prints diagnostics and returns the error count.
+int lint_source(const std::string& label, const std::string& source) {
+  minilang::Program program;
+  try {
+    program = minilang::parse_checked(source);
+  } catch (const std::exception& error) {
+    std::printf("%s: does not build: %s\n", label.c_str(), error.what());
+    return 1;
+  }
+  const std::vector<staticcheck::Diagnostic> diagnostics =
+      staticcheck::lint_program(program);
+  int errors = 0;
+  for (const staticcheck::Diagnostic& diagnostic : diagnostics) {
+    std::printf("%s/%s\n", label.c_str(), diagnostic.render().c_str());
+    if (diagnostic.severity == staticcheck::Severity::kError) ++errors;
+  }
+  if (diagnostics.empty()) std::printf("%s: clean\n", label.c_str());
+  return errors;
+}
+
+int cmd_lint(int argc, char** argv) {
+  std::string case_id;
+  bool use_buggy = false;
+  bool use_latest = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--buggy") == 0)
+      use_buggy = true;
+    else if (std::strcmp(argv[i], "--latest") == 0)
+      use_latest = true;
+    else if (argv[i][0] != '-' && case_id.empty())
+      case_id = argv[i];
+    else
+      return usage();
+  }
+  if (use_buggy && use_latest) return usage();
+
+  std::vector<const corpus::FailureTicket*> tickets;
+  if (!case_id.empty()) {
+    const corpus::FailureTicket* ticket = require_case(case_id);
+    if (ticket == nullptr) return 2;
+    tickets.push_back(ticket);
+  } else {
+    for (const corpus::FailureTicket& ticket : corpus::Corpus::all())
+      tickets.push_back(&ticket);
+  }
+
+  int errors = 0;
+  for (const corpus::FailureTicket* ticket : tickets) {
+    const std::string& source = use_buggy    ? ticket->buggy_source
+                                : use_latest ? ticket->latest_source
+                                             : ticket->patched_source;
+    if (source.empty()) {
+      std::fprintf(stderr, "case %s has no such version\n", ticket->case_id.c_str());
+      if (!case_id.empty()) return 2;
+      continue;
+    }
+    errors += lint_source(ticket->case_id, source);
+  }
+  return errors > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,6 +294,7 @@ int main(int argc, char** argv) {
     if (command == "hunt") return cmd_hunt();
     if (command == "synth" && argc >= 3) return cmd_synth(argv[2]);
     if (command == "explore" && argc >= 3) return cmd_explore(argv[2]);
+    if (command == "lint") return cmd_lint(argc - 2, argv + 2);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
