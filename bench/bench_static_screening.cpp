@@ -1,4 +1,5 @@
-// Static contract screening: precision and pipeline speedup.
+// Static contract screening: precision, pipeline speedup, and the
+// interprocedural-summary ablation.
 //
 // The staticcheck screener (src/staticcheck) runs before the concolic
 // replay — the pipeline's dominant cost — and settles contracts whose
@@ -6,8 +7,11 @@
 // facts. This bench measures, across every corpus contract × program
 // version:
 //   * the settled fraction (ProvedSafe + ProvedViolated; target ≥ 30%),
-//   * agreement with the full static + concolic checker (must be exact:
-//     screening is an accelerator, never an oracle), and
+//     with interprocedural summaries ON and OFF — ON must settle strictly
+//     more (the summary-strengthened facts close contracts whose execution
+//     tree alone is inconclusive),
+//   * agreement with the full static + concolic checker in both modes
+//     (must be exact: screening is an accelerator, never an oracle), and
 //   * the end-to-end wall-clock reduction with screening + trusted
 //     verdicts against the unscreened checker.
 #include <benchmark/benchmark.h>
@@ -68,6 +72,29 @@ const Workload& workload() {
   return loaded;
 }
 
+/// Ground truth per workload item: the unscreened full static + concolic
+/// checker. Mode-independent (the checker never consults summaries for path
+/// verdicts), so both ablation arms compare against the same outcomes.
+struct GroundTruth {
+  std::vector<bool> passed;
+  double full_ms = 0.0;  // wall clock of the unscreened checker
+};
+
+const GroundTruth& ground_truth() {
+  static const GroundTruth truth = [] {
+    GroundTruth t;
+    const core::Checker checker;
+    core::CheckOptions full_options;
+    full_options.static_screen = false;
+    const support::Stopwatch timer;
+    for (const Workload::Item& item : workload().items)
+      t.passed.push_back(checker.check(*item.program, *item.contract, full_options).passed());
+    t.full_ms = timer.elapsed_ms();
+    return t;
+  }();
+  return truth;
+}
+
 struct ScreenStats {
   int contracts = 0;
   int proved_safe = 0;
@@ -75,7 +102,7 @@ struct ScreenStats {
   int unknown = 0;
   int disagreements = 0;
   double screened_ms = 0.0;  // wall clock, screening + trusted verdicts
-  double full_ms = 0.0;      // wall clock, screening disabled
+  double summary_ms = 0.0;   // share spent computing interprocedural summaries
 
   [[nodiscard]] int settled() const { return proved_safe + proved_violated; }
   [[nodiscard]] double settled_fraction() const {
@@ -83,29 +110,28 @@ struct ScreenStats {
   }
 };
 
-ScreenStats run_comparison(std::vector<std::string>* disagreement_lines) {
+ScreenStats run_comparison(bool use_summaries, std::vector<std::string>* disagreement_lines) {
   ScreenStats stats;
   const core::Checker checker;
   core::CheckOptions screened_options;
   screened_options.trust_screen_verdicts = true;  // CI-style: outcome only
-  core::CheckOptions full_options;
-  full_options.static_screen = false;
+  screened_options.use_summaries = use_summaries;
+  const GroundTruth& truth = ground_truth();
 
-  for (const Workload::Item& item : workload().items) {
+  for (std::size_t i = 0; i < workload().items.size(); ++i) {
+    const Workload::Item& item = workload().items[i];
+    const bool truth_passed = truth.passed[i];
     ++stats.contracts;
-    const support::Stopwatch full_timer;
-    const core::ContractCheckReport truth =
-        checker.check(*item.program, *item.contract, full_options);
-    stats.full_ms += full_timer.elapsed_ms();
 
     const support::Stopwatch screened_timer;
     const core::ContractCheckReport screened =
         checker.check(*item.program, *item.contract, screened_options);
     stats.screened_ms += screened_timer.elapsed_ms();
+    stats.summary_ms += screened.summary_ms;
 
     if (screened.screen_verdict == "proved-safe") {
       ++stats.proved_safe;
-      if (!truth.passed()) {
+      if (!truth_passed) {
         ++stats.disagreements;
         if (disagreement_lines != nullptr)
           disagreement_lines->push_back(item.label + " " + item.contract->id +
@@ -113,7 +139,7 @@ ScreenStats run_comparison(std::vector<std::string>* disagreement_lines) {
       }
     } else if (screened.screen_verdict == "proved-violated") {
       ++stats.proved_violated;
-      if (truth.passed()) {
+      if (truth_passed) {
         ++stats.disagreements;
         if (disagreement_lines != nullptr)
           disagreement_lines->push_back(item.label + " " + item.contract->id +
@@ -122,7 +148,7 @@ ScreenStats run_comparison(std::vector<std::string>* disagreement_lines) {
     } else {
       ++stats.unknown;
       // Unknown must fall through to the identical full-check outcome.
-      if (screened.passed() != truth.passed()) {
+      if (screened.passed() != truth_passed) {
         ++stats.disagreements;
         if (disagreement_lines != nullptr)
           disagreement_lines->push_back(item.label + " " + item.contract->id +
@@ -133,29 +159,46 @@ ScreenStats run_comparison(std::vector<std::string>* disagreement_lines) {
   return stats;
 }
 
-int print_screening_table() {
-  std::vector<std::string> disagreements;
-  const ScreenStats stats = run_comparison(&disagreements);
-
-  std::printf("=== Static contract screening vs concolic ground truth ===\n\n");
-  std::printf("contracts x versions checked: %d\n", stats.contracts);
+void print_mode_block(const char* title, const ScreenStats& stats,
+                      const std::vector<std::string>& disagreements) {
+  std::printf("%s\n", title);
   std::printf("  proved safe:      %d\n", stats.proved_safe);
   std::printf("  proved violated:  %d\n", stats.proved_violated);
   std::printf("  unknown:          %d (fall through to the full check)\n", stats.unknown);
-  std::printf("  settled fraction: %.1f%% (target >= 30%%)\n",
-              100.0 * stats.settled_fraction());
+  std::printf("  settled fraction: %.1f%%\n", 100.0 * stats.settled_fraction());
   std::printf("  disagreements:    %d (must be 0)\n", stats.disagreements);
   for (const std::string& line : disagreements) std::printf("    !! %s\n", line.c_str());
-  const double reduction =
-      stats.full_ms <= 0.0 ? 0.0 : 100.0 * (1.0 - stats.screened_ms / stats.full_ms);
-  std::printf("\nwall clock: full %.1f ms, screened %.1f ms (%.1f%% reduction)\n\n",
-              stats.full_ms, stats.screened_ms, reduction);
+}
 
-  const bool ok = stats.disagreements == 0 && stats.settled_fraction() >= 0.30 &&
-                  stats.screened_ms < stats.full_ms;
+int print_screening_table() {
+  std::vector<std::string> off_lines;
+  const ScreenStats off = run_comparison(/*use_summaries=*/false, &off_lines);
+  std::vector<std::string> on_lines;
+  const ScreenStats on = run_comparison(/*use_summaries=*/true, &on_lines);
+  const GroundTruth& truth = ground_truth();
+
+  std::printf("=== Static contract screening vs concolic ground truth ===\n\n");
+  std::printf("contracts x versions checked: %d\n\n", on.contracts);
+  print_mode_block("summaries OFF (PR 2 call-site havoc):", off, off_lines);
+  std::printf("\n");
+  print_mode_block("summaries ON (interprocedural effect inference):", on, on_lines);
+  std::printf("\nsummary ablation: +%d contract(s) settled (%.1f%% -> %.1f%%), "
+              "summary computation %.1f ms\n",
+              on.settled() - off.settled(), 100.0 * off.settled_fraction(),
+              100.0 * on.settled_fraction(), on.summary_ms);
+  const double reduction =
+      truth.full_ms <= 0.0 ? 0.0 : 100.0 * (1.0 - on.screened_ms / truth.full_ms);
+  std::printf("wall clock: full %.1f ms, screened (summaries on) %.1f ms "
+              "(%.1f%% reduction)\n\n",
+              truth.full_ms, on.screened_ms, reduction);
+
+  const bool ok = off.disagreements == 0 && on.disagreements == 0 &&
+                  on.settled() > off.settled() && on.settled_fraction() >= 0.30 &&
+                  on.screened_ms < truth.full_ms;
   std::printf("shape check: %s — screening settles a third or more of the corpus\n"
-              "statically, never contradicts the concolic verdict, and cuts the\n"
-              "end-to-end checking time.\n\n",
+              "statically, never contradicts the concolic verdict in either mode,\n"
+              "settles strictly more with summaries on, and cuts the end-to-end\n"
+              "checking time.\n\n",
               ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }
@@ -186,12 +229,12 @@ void BM_ScreenedCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_ScreenedCheck)->Unit(benchmark::kMillisecond);
 
-void BM_ScreenerOnly(benchmark::State& state) {
+void screener_only_loop(benchmark::State& state, bool use_summaries) {
   for (auto _ : state) {
     int settled = 0;
     for (const Workload::Item& item : workload().items) {
       if (item.contract->condition == nullptr) continue;
-      const staticcheck::Screener screener(*item.program);
+      const staticcheck::Screener screener(*item.program, use_summaries);
       const staticcheck::ScreenResult result = screener.screen_state_predicate(
           item.contract->target_fragment, item.contract->condition);
       settled += result.verdict != staticcheck::ScreenVerdict::kUnknown ? 1 : 0;
@@ -199,7 +242,16 @@ void BM_ScreenerOnly(benchmark::State& state) {
     benchmark::DoNotOptimize(settled);
   }
 }
-BENCHMARK(BM_ScreenerOnly)->Unit(benchmark::kMillisecond);
+
+void BM_ScreenerOnly_Summaries(benchmark::State& state) {
+  screener_only_loop(state, /*use_summaries=*/true);
+}
+BENCHMARK(BM_ScreenerOnly_Summaries)->Unit(benchmark::kMillisecond);
+
+void BM_ScreenerOnly_Havoc(benchmark::State& state) {
+  screener_only_loop(state, /*use_summaries=*/false);
+}
+BENCHMARK(BM_ScreenerOnly_Havoc)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -17,3 +17,14 @@ fi
 cmake -B "$BUILD_DIR" -S . -DLISA_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Corpus-wide lint smoke: --json must emit a parseable report and exit 0
+# (clean) or 1 (diagnosed errors — the corpus keeps one by design).
+# Anything else (crash, bad flag handling) fails the check.
+lint_status=0
+"$BUILD_DIR"/tools/lisa lint --json > /dev/null || lint_status=$?
+if [[ "$lint_status" -gt 1 ]]; then
+  echo "check.sh: lisa lint --json exited $lint_status (expected 0 or 1)" >&2
+  exit 1
+fi
+echo "lint --json smoke: OK (exit $lint_status)"

@@ -1,5 +1,6 @@
 #include "analysis/callgraph.hpp"
 
+#include <algorithm>
 #include <functional>
 
 #include "minilang/interp.hpp"
@@ -127,6 +128,58 @@ std::vector<std::vector<std::string>> CallGraph::chains_to(const std::string& ta
   };
   dfs();
   return chains;
+}
+
+Condensation CallGraph::condensation() const {
+  // Iterative Tarjan over user functions in declaration order. Tarjan pops
+  // each SCC only after all components reachable from it are popped, so the
+  // emission order is already reverse topological (callees before callers).
+  struct NodeState {
+    int index = -1;
+    int lowlink = -1;
+    bool on_stack = false;
+  };
+  Condensation result;
+  std::map<std::string, NodeState> state;
+  std::vector<std::string> stack;
+  int next_index = 0;
+
+  const std::function<void(const std::string&)> strongconnect = [&](const std::string& v) {
+    NodeState& vs = state[v];
+    vs.index = vs.lowlink = next_index++;
+    vs.on_stack = true;
+    stack.push_back(v);
+
+    for (const std::string& callee : callees_of(v)) {
+      if (program_->find_function(callee) == nullptr) continue;  // builtin leaf
+      NodeState& ws = state[callee];
+      if (ws.index < 0) {
+        strongconnect(callee);
+        vs.lowlink = std::min(vs.lowlink, state[callee].lowlink);
+      } else if (ws.on_stack) {
+        vs.lowlink = std::min(vs.lowlink, ws.index);
+      }
+    }
+
+    if (vs.lowlink == vs.index) {
+      Condensation::Component component;
+      while (true) {
+        const std::string w = stack.back();
+        stack.pop_back();
+        state[w].on_stack = false;
+        result.component_of[w] = static_cast<int>(result.components.size());
+        component.members.push_back(w);
+        if (w == v) break;
+      }
+      component.recursive = component.members.size() > 1 ||
+                            callees_of(component.members.front()).count(component.members.front()) > 0;
+      result.components.push_back(std::move(component));
+    }
+  };
+
+  for (const FuncDecl& fn : program_->functions)
+    if (state[fn.name].index < 0) strongconnect(fn.name);
+  return result;
 }
 
 bool CallGraph::reaches_blocking(const std::string& name) const {

@@ -29,6 +29,31 @@ struct CallSite {
   [[nodiscard]] const std::string& callee() const { return call->text; }
 };
 
+/// The strongly-connected-component condensation of the call graph,
+/// restricted to user-defined functions (builtins are effect leaves, not
+/// nodes). Components are emitted in *reverse topological* order: every
+/// callee's component precedes its callers', so a bottom-up summary pass
+/// can simply iterate `components` front to back.
+struct Condensation {
+  struct Component {
+    std::vector<std::string> members;  // function names, discovery order
+    /// True when the component is a cycle: more than one member, or a
+    /// single member that calls itself. Summary inference must iterate
+    /// such components to a (widened) fixpoint instead of a single pass.
+    bool recursive = false;
+  };
+
+  std::vector<Component> components;        // reverse topological order
+  std::map<std::string, int> component_of;  // function name → index
+
+  [[nodiscard]] std::size_t size() const { return components.size(); }
+  /// Component index of `name`, or -1 for unknown (builtin) names.
+  [[nodiscard]] int component_index(const std::string& name) const {
+    const auto it = component_of.find(name);
+    return it == component_of.end() ? -1 : it->second;
+  }
+};
+
 class CallGraph {
  public:
   /// Builds the graph; `program` must outlive the result.
@@ -58,6 +83,11 @@ class CallGraph {
   /// True if `name` (transitively) performs a blocking call — reaches a
   /// blocking builtin or an @blocking function.
   [[nodiscard]] bool reaches_blocking(const std::string& name) const;
+
+  /// Tarjan SCC condensation over user-defined functions, components in
+  /// reverse topological (callees-first) order. Edges to builtins are
+  /// dropped; they have no bodies to summarize.
+  [[nodiscard]] Condensation condensation() const;
 
  private:
   const minilang::Program* program_ = nullptr;

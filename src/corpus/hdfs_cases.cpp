@@ -362,7 +362,9 @@ fn test_hdfslease_no_recovery_while_writing() {
 // ---------------------------------------------------------------------------
 
 constexpr const char* kHdfsSafemodeCommon = R"ml(
-struct NameNodeState { safe_mode: bool; blocks_allocated: int; }
+struct BlockEntry { id: string; refcount: int; }
+struct NameNodeState { safe_mode: bool; blocks_allocated: int;
+                       block_map: map<string, BlockEntry>; }
 
 fn new_namenode(safe: bool) -> NameNodeState {
   return new NameNodeState { safe_mode: safe, blocks_allocated: 0 };
@@ -377,6 +379,58 @@ fn allocate_block(nn: NameNodeState, path: string) -> int {
 @entry
 fn append_file(nn: NameNodeState, path: string) -> int {
   return allocate_block(nn, path);
+}
+
+// Replay bookkeeping: looks up a block-map entry, raising on absence, so
+// every caller receives a usable entry.
+fn checked_entry(nn: NameNodeState, id: string) -> BlockEntry {
+  let e = get(nn.block_map, id);
+  if (e == null) {
+    throw "MissingBlockEntry";
+  }
+  return e;
+}
+
+fn record_allocation(nn: NameNodeState, entry: BlockEntry) {
+  entry.refcount = entry.refcount + 1;
+  nn.blocks_allocated = nn.blocks_allocated + 1;
+}
+
+@entry
+fn sync_block_count(nn: NameNodeState, id: string) {
+  touch_block(nn, checked_entry(nn, id));
+}
+
+// Cache-hit path: the caller already holds an entry (possibly absent).
+@entry
+fn touch_if_cached(nn: NameNodeState, entry: BlockEntry?) {
+  if (entry == null) {
+    return;
+  }
+  touch_block(nn, entry);
+}
+
+// Edit-log replay depth gauge (self-recursive).
+fn replay_depth(nn: NameNodeState, n: int) -> int {
+  if (n <= 0) {
+    return 0;
+  }
+  return replay_depth(nn, n - 1) + 1;
+}
+
+// Checkpoint parity probe (mutually recursive pair).
+fn verify_even(n: int) -> bool {
+  if (n == 0) {
+    return true;
+  }
+  return verify_odd(n - 1);
+}
+
+fn verify_odd(n: int) -> bool {
+  if (n == 0) {
+    return false;
+  }
+  return verify_even(n - 1);
 }
 )ml";
 
@@ -395,6 +449,37 @@ fn test_append_allocates_block() {
   let id = append_file(nn, "/a");
   assert(id == 2, "append allocated next block");
 }
+
+@test
+fn test_touch_block_counts_refcount() {
+  let nn = new_namenode(false);
+  put(nn.block_map, "b1", new BlockEntry { id: "b1", refcount: 0 });
+  sync_block_count(nn, "b1");
+  let e = get(nn.block_map, "b1");
+  assert(e.refcount == 1, "refcount bumped");
+  assert(nn.blocks_allocated == 1, "allocation recorded");
+}
+
+@test
+fn test_touch_block_missing_entry_rejected() {
+  let nn = new_namenode(false);
+  let rejected = false;
+  try {
+    sync_block_count(nn, "missing");
+  } catch (e) {
+    rejected = true;
+  }
+  assert(rejected, "missing entry rejected");
+  assert(nn.blocks_allocated == 0, "nothing recorded");
+}
+
+@test
+fn test_replay_depth_and_parity() {
+  let nn = new_namenode(false);
+  assert(replay_depth(nn, 3) == 3, "replay depth counts");
+  assert(verify_even(4), "four is even");
+  assert(verify_odd(3), "three is odd");
+}
 )ml";
 
 FailureTicket hdfs_safemode_case() {
@@ -408,12 +493,18 @@ FailureTicket hdfs_safemode_case() {
       "create path allocated new blocks anyway; after the edit-log replay the "
       "block map disagreed with the namespace and the namenode crashed on "
       "the next checkpoint. Developer discussion: no block may be allocated "
-      "while safe_mode is set. Fix rejects create during safe mode.";
+      "while safe_mode is set. Fix rejects create during safe mode. A "
+      "follow-up hardening pass also null-checks the block-map entry before "
+      "the replay bookkeeping records an allocation.";
 
   const std::string buggy_create = R"ml(
 @entry
 fn create_file(nn: NameNodeState, path: string) -> int {
   return allocate_block(nn, path);
+}
+
+fn touch_block(nn: NameNodeState, entry: BlockEntry?) {
+  record_allocation(nn, entry);
 }
 )ml";
 
@@ -424,6 +515,13 @@ fn create_file(nn: NameNodeState, path: string) -> int {
     throw "SafeModeException";
   }
   return allocate_block(nn, path);
+}
+
+fn touch_block(nn: NameNodeState, entry: BlockEntry?) {
+  if (entry == null) {
+    throw "MissingBlockEntry";
+  }
+  record_allocation(nn, entry);
 }
 )ml";
 

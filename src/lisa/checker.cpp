@@ -77,6 +77,7 @@ Json ContractCheckReport::to_json() const {
     if (!screen_witness.empty()) screen["witness"] = screen_witness;
     screen["reason"] = screen_reason;
     screen["elapsed_ms"] = screen_ms;
+    screen["summary_ms"] = summary_ms;
     screen["skipped_concolic"] = screen_skipped_concolic;
     root["screen"] = Json(std::move(screen));
   }
@@ -107,8 +108,10 @@ ContractCheckReport Checker::check(const minilang::Program& program,
     // The path-sensitive lock-state dataflow subsumes the older structural
     // walk (analysis/patterns.cpp): same monitor rule, but exception edges
     // release monitors and nested sync depth is tracked per path.
-    const staticcheck::Screener screener(program);
+    const staticcheck::Screener screener(program, options.use_summaries);
     const staticcheck::ScreenResult screen = screener.screen_structural();
+    if (screener.summaries() != nullptr)
+      report.summary_ms = screener.summaries()->stats().elapsed_ms;
     for (const staticcheck::Diagnostic& diagnostic : screen.diagnostics)
       report.structural_violations.push_back(diagnostic.render());
     report.screen_verdict = staticcheck::screen_verdict_name(screen.verdict);
@@ -124,7 +127,9 @@ ContractCheckReport Checker::check(const minilang::Program& program,
   // ---- Static screening (src/staticcheck) ---------------------------------
   bool skip_concolic = false;
   if (options.static_screen) {
-    const staticcheck::Screener screener(program);
+    const staticcheck::Screener screener(program, options.use_summaries);
+    if (screener.summaries() != nullptr)
+      report.summary_ms = screener.summaries()->stats().elapsed_ms;
     staticcheck::ScreenOptions screen_options;
     screen_options.max_paths = options.max_paths;
     screen_options.prune_irrelevant = options.prune_irrelevant;

@@ -77,6 +77,9 @@ struct ContractCheckReport {
   std::string screen_witness;   // entry->target chain + model for refutations
   std::string screen_reason;
   double screen_ms = 0.0;
+  /// Time spent computing interprocedural summaries (Screener construction,
+  /// not counted in screen_ms; 0 when summaries are disabled).
+  double summary_ms = 0.0;
   /// True when the screener verdict made the concolic replay unnecessary.
   bool screen_skipped_concolic = false;
 
@@ -106,6 +109,11 @@ struct CheckOptions {
   /// static witness already fails the contract. Used by the CI gate and the
   /// screening benchmark, where only the pass/fail outcome matters.
   bool trust_screen_verdicts = false;
+  /// Compute interprocedural function summaries for the screener's dataflow
+  /// facts (staticcheck/summaries.hpp). Off = PR 2 call-site-havoc facts;
+  /// the ablation axis of bench_static_screening. Never affects the static
+  /// tree or concolic phases, only which contracts the screener can settle.
+  bool use_summaries = true;
 };
 
 class Checker {

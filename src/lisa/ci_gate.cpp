@@ -46,7 +46,9 @@ Json GateDecision::to_json() const {
   root["evaluation_ms"] = evaluation_ms;
   root["screened_settled"] = screened_settled;
   root["screened_unknown"] = screened_unknown;
+  root["settled_fraction"] = settled_fraction();
   root["concolic_skipped"] = concolic_skipped;
+  root["summary_ms"] = summary_ms;
   return Json(std::move(root));
 }
 
@@ -75,6 +77,7 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
     else if (!report.screen_verdict.empty())
       ++decision.screened_unknown;
     if (report.screen_skipped_concolic) ++decision.concolic_skipped;
+    decision.summary_ms += report.summary_ms;
     if (!report.passed()) {
       decision.allowed = false;
       std::string reason = contract.id + " [" + contract.target_fragment + "]: ";

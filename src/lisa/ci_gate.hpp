@@ -41,6 +41,14 @@ struct GateDecision {
   int screened_settled = 0;   // contracts decided without concolic ambiguity
   int screened_unknown = 0;   // contracts that needed the full check
   int concolic_skipped = 0;   // replays the screener made unnecessary
+  double summary_ms = 0.0;    // interprocedural summary computation time
+
+  /// Fraction of screened contracts the screener settled (1.0 when no
+  /// contract was screened).
+  [[nodiscard]] double settled_fraction() const {
+    const int total = screened_settled + screened_unknown;
+    return total == 0 ? 1.0 : static_cast<double>(screened_settled) / total;
+  }
 
   [[nodiscard]] support::Json to_json() const;
 };

@@ -55,6 +55,7 @@ Json PipelineResult::to_json() const {
   timing["translate_ms"] = timings.translate_ms;
   timing["check_ms"] = timings.check_ms;
   timing["screen_ms"] = timings.screen_ms;
+  timing["summary_ms"] = timings.summary_ms;
   timing["total_ms"] = timings.total_ms;
   root["timings"] = Json(std::move(timing));
   const ScreeningSummary summary = screening();
@@ -63,6 +64,7 @@ Json PipelineResult::to_json() const {
   screen["proved_violated"] = summary.proved_violated;
   screen["unknown"] = summary.unknown;
   screen["settled"] = summary.settled();
+  screen["settled_fraction"] = summary.settled_fraction();
   screen["concolic_skipped"] = summary.concolic_skipped;
   root["screening"] = Json(std::move(screen));
   root["all_passed"] = all_passed();
@@ -90,8 +92,10 @@ PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
   for (const SemanticContract& contract : result.contracts)
     result.reports.push_back(checker.check(program, contract, check_options_));
   result.timings.check_ms = stage.elapsed_ms();
-  for (const ContractCheckReport& report : result.reports)
+  for (const ContractCheckReport& report : result.reports) {
     result.timings.screen_ms += report.screen_ms;
+    result.timings.summary_ms += report.summary_ms;
+  }
   result.timings.total_ms = total.elapsed_ms();
   return result;
 }

@@ -19,6 +19,7 @@ struct StageTimings {
   double translate_ms = 0.0;
   double check_ms = 0.0;  // execution tree + SMT + test selection + concolic
   double screen_ms = 0.0;  // staticcheck screening share of check_ms
+  double summary_ms = 0.0;  // interprocedural summary share of check_ms
   double total_ms = 0.0;
 };
 
@@ -30,6 +31,12 @@ struct ScreeningSummary {
   int concolic_skipped = 0;  // contracts whose replay the screener avoided
 
   [[nodiscard]] int settled() const { return proved_safe + proved_violated; }
+  /// Fraction of screened contracts the screener settled (1.0 when no
+  /// contract was screened — nothing fell through).
+  [[nodiscard]] double settled_fraction() const {
+    const int total = settled() + unknown;
+    return total == 0 ? 1.0 : static_cast<double>(settled()) / total;
+  }
 };
 
 struct PipelineResult {

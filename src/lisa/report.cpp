@@ -92,18 +92,22 @@ std::string render_markdown(const PipelineResult& result) {
   }
   const ScreeningSummary screening = result.screening();
   if (screening.settled() + screening.unknown > 0) {
+    char fraction[32];
+    std::snprintf(fraction, sizeof(fraction), "%.0f%%", screening.settled_fraction() * 100.0);
     out += "_Screening: " + std::to_string(screening.settled()) + " settled statically (" +
            std::to_string(screening.proved_safe) + " safe, " +
-           std::to_string(screening.proved_violated) + " violated), " +
-           std::to_string(screening.unknown) + " explored by the full check, " +
-           std::to_string(screening.concolic_skipped) + " concolic replay(s) skipped._\n\n";
+           std::to_string(screening.proved_violated) + " violated, " + fraction +
+           " settled), " + std::to_string(screening.unknown) +
+           " explored by the full check, " + std::to_string(screening.concolic_skipped) +
+           " concolic replay(s) skipped._\n\n";
   }
-  char timing[176];
+  char timing[224];
   std::snprintf(timing, sizeof(timing),
                 "_Timings: infer %.2f ms, translate %.2f ms, assert %.2f ms (screen %.2f "
-                "ms), total %.2f ms._\n",
+                "ms, summaries %.2f ms), total %.2f ms._\n",
                 result.timings.infer_ms, result.timings.translate_ms,
-                result.timings.check_ms, result.timings.screen_ms, result.timings.total_ms);
+                result.timings.check_ms, result.timings.screen_ms,
+                result.timings.summary_ms, result.timings.total_ms);
   out += timing;
   return out;
 }
@@ -120,9 +124,18 @@ std::string render_markdown(const GateDecision& decision) {
     out += render_markdown(report);
     out += "\n";
   }
-  char timing[64];
-  std::snprintf(timing, sizeof(timing), "_Gate evaluation: %.1f ms._\n",
-                decision.evaluation_ms);
+  char timing[160];
+  if (decision.screened_settled + decision.screened_unknown > 0) {
+    std::snprintf(timing, sizeof(timing),
+                  "_Gate evaluation: %.1f ms (%d/%d contracts settled statically, "
+                  "summaries %.2f ms)._\n",
+                  decision.evaluation_ms, decision.screened_settled,
+                  decision.screened_settled + decision.screened_unknown,
+                  decision.summary_ms);
+  } else {
+    std::snprintf(timing, sizeof(timing), "_Gate evaluation: %.1f ms._\n",
+                  decision.evaluation_ms);
+  }
   out += timing;
   return out;
 }

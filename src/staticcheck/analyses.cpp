@@ -1,10 +1,12 @@
 #include "staticcheck/analyses.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "minilang/interp.hpp"
 #include "minilang/printer.hpp"
 #include "staticcheck/dataflow.hpp"
+#include "staticcheck/summaries.hpp"
 
 namespace lisa::staticcheck {
 
@@ -80,6 +82,47 @@ bool node_has_call(const CfgNode& node) {
   return found;
 }
 
+/// Every call expression (recursively) inside the node's statement exprs.
+std::vector<const Expr*> node_calls(const CfgNode& node) {
+  std::vector<const Expr*> calls;
+  node_exprs(node, [&](const Expr& top) {
+    walk_expr(top, [&](const Expr& e) {
+      if (e.kind == Expr::Kind::kCall) calls.push_back(&e);
+    });
+  });
+  return calls;
+}
+
+/// Legacy conservative call rule: drop every dotted (heap) fact.
+template <typename State>
+void kill_all_heap_facts(State& state) {
+  for (auto it = state.begin(); it != state.end();)
+    it = (it->first.find('.') != std::string::npos) ? state.erase(it) : std::next(it);
+}
+
+/// MOD-set call rule: drop dotted facts mentioning a field some callee in
+/// `node` may write; unknown callees degrade to the legacy rule.
+template <typename State>
+void kill_mod_facts(const SummaryMap& summaries, const CfgNode& node, State& state) {
+  for (const Expr* call : node_calls(node)) {
+    const CallEffect effect = summaries.effect_of(call->text);
+    if (effect.havoc_all) {
+      kill_all_heap_facts(state);
+      return;
+    }
+    if (effect.mod_fields == nullptr || effect.mod_fields->empty()) continue;
+    for (auto it = state.begin(); it != state.end();) {
+      bool killed = false;
+      for (const std::string& field : *effect.mod_fields)
+        if (mentions_field(it->first, field)) {
+          killed = true;
+          break;
+        }
+      it = killed ? state.erase(it) : std::next(it);
+    }
+  }
+}
+
 /// Nullable-pointer-ish types: struct references and `any` can be null.
 bool null_trackable(const Type* type) {
   if (type == nullptr) return false;
@@ -87,6 +130,8 @@ bool null_trackable(const Type* type) {
 }
 
 }  // namespace
+
+std::string expr_access_path(const Expr& expr) { return access_path(expr); }
 
 bool write_kills(const std::string& written, const std::string& fact_path) {
   if (fact_path == written) return true;
@@ -116,6 +161,12 @@ NullnessAnalysis::State NullnessAnalysis::boundary(const Cfg& cfg) const {
   for (const auto& param : cfg.function().params)
     if (null_trackable(param.type.get()) && !param.type->nullable)
       state[param.name] = NullFact::kNonNull;
+  // Interprocedural boundary facts: what every call site actually passes.
+  if (summaries_ != nullptr) {
+    const FunctionSummary* summary = summaries_->find(cfg.function().name);
+    if (summary != nullptr)
+      for (const auto& [path, fact] : summary->boundary_nullness) state.emplace(path, fact);
+  }
   return state;
 }
 
@@ -162,6 +213,16 @@ void NullnessAnalysis::assign(const std::string& written, const Expr* rhs, State
       }
       break;
     }
+    case Expr::Kind::kCall: {
+      if (summaries_ == nullptr) break;
+      const FunctionSummary* callee = summaries_->find(rhs->text);
+      if (callee == nullptr) break;
+      if (callee->return_nullness == FunctionSummary::Nullability::kNonNull)
+        state[written] = NullFact::kNonNull;
+      else if (callee->return_nullness == FunctionSummary::Nullability::kNull)
+        state[written] = NullFact::kNull;
+      break;
+    }
     default: {
       const std::string source = access_path(*rhs);
       if (source.empty()) break;
@@ -172,12 +233,57 @@ void NullnessAnalysis::assign(const std::string& written, const Expr* rhs, State
   }
 }
 
+void NullnessAnalysis::apply_call_effects(const CfgNode& node, State& state) const {
+  // Reversed pre-order approximates evaluation order (inner calls first):
+  // each call kills its MOD facts, then contributes its return-time facts.
+  std::vector<const Expr*> calls = node_calls(node);
+  for (auto it = calls.rbegin(); it != calls.rend(); ++it) {
+    const Expr* call = *it;
+    const CallEffect effect = summaries_->effect_of(call->text);
+    if (effect.havoc_all) {
+      kill_all_heap_facts(state);
+    } else if (effect.mod_fields != nullptr && !effect.mod_fields->empty()) {
+      for (auto fact = state.begin(); fact != state.end();) {
+        bool killed = false;
+        for (const std::string& field : *effect.mod_fields)
+          if (mentions_field(fact->first, field)) {
+            killed = true;
+            break;
+          }
+        fact = killed ? state.erase(fact) : std::next(fact);
+      }
+    }
+    // Facts the callee establishes about its parameters on every normal
+    // return transfer to the matching argument paths (callees cannot rebind
+    // caller locals; the summary already drops params the callee rebinds).
+    const FunctionSummary* callee = summaries_->find(call->text);
+    if (callee == nullptr || callee->nullness_on_return.empty()) continue;
+    const FuncDecl* decl = program_->find_function(call->text);
+    if (decl == nullptr || decl->params.size() != call->args.size()) continue;
+    for (const auto& [path, fact] : callee->nullness_on_return) {
+      const std::size_t dot = path.find('.');
+      const std::string root = dot == std::string::npos ? path : path.substr(0, dot);
+      for (std::size_t i = 0; i < decl->params.size(); ++i) {
+        if (decl->params[i].name != root) continue;
+        const std::string arg_path = access_path(*call->args[i]);
+        if (arg_path.empty()) break;
+        state[dot == std::string::npos ? arg_path : arg_path + path.substr(dot)] = fact;
+        break;
+      }
+    }
+  }
+}
+
 void NullnessAnalysis::transfer(const CfgNode& node, State& state) const {
   if (node.stmt == nullptr) return;
-  // A call may mutate any heap object: drop facts about dotted paths first.
-  if (node_has_call(node))
-    for (auto it = state.begin(); it != state.end();)
-      it = (it->first.find('.') != std::string::npos) ? state.erase(it) : std::next(it);
+  // A call may mutate heap objects: drop facts the callees' MOD sets cover
+  // (all dotted paths when no summaries are available).
+  if (node_has_call(node)) {
+    if (summaries_ != nullptr)
+      apply_call_effects(node, state);
+    else
+      kill_all_heap_facts(state);
+  }
   switch (node.stmt->kind) {
     case Stmt::Kind::kLet:
       assign(node.stmt->name, node.stmt->expr.get(), state);
@@ -290,12 +396,19 @@ bool DefiniteAssignmentAnalysis::join(State& into, const State& from) const {
 
 void DefiniteAssignmentAnalysis::transfer(const CfgNode& node, State& state) const {
   if (node.stmt == nullptr) return;
-  // A tracked object passed to any call escapes: the callee may assign.
+  // A tracked object passed to a call escapes when the callee may write
+  // through (or store) that parameter; without summaries, any call escapes.
   node_exprs(node, [&](const Expr& top) {
     walk_expr(top, [&](const Expr& e) {
       if (e.kind != Expr::Kind::kCall) return;
-      for (const auto& arg : e.args)
-        if (arg && arg->kind == Expr::Kind::kVar) state.erase(arg->text);
+      const CallEffect effect = summaries_ != nullptr
+                                    ? summaries_->effect_of(e.text)
+                                    : CallEffect{.havoc_all = true};
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        const auto& arg = e.args[i];
+        if (arg && arg->kind == Expr::Kind::kVar && effect.writes_param(i))
+          state.erase(arg->text);
+      }
     });
   });
   switch (node.stmt->kind) {
@@ -390,6 +503,32 @@ void LockStateAnalysis::transfer(const CfgNode& node, State& state) const {
     if (state.depth > 0) --state.depth;
     if (!state.monitors.empty()) state.monitors.pop_back();
   }
+  // Callees with a non-zero net monitor effect adjust the held count.
+  // Block-structured `sync` makes the effect zero for every MiniLang
+  // function today; the summary proves it instead of assuming it.
+  if (summaries_ != nullptr && node.stmt != nullptr && node_has_call(node)) {
+    for (const Expr* call : node_calls(node)) {
+      const FunctionSummary* callee = summaries_->find(call->text);
+      if (callee == nullptr || callee->net_monitor_normal == 0) continue;
+      for (int i = callee->net_monitor_normal; i > 0; --i) {
+        ++state.depth;
+        state.monitors.push_back("monitor acquired inside " + call->text + "()");
+      }
+      for (int i = callee->net_monitor_normal; i < 0 && state.depth > 0; ++i) {
+        --state.depth;
+        if (!state.monitors.empty()) state.monitors.pop_back();
+      }
+    }
+  }
+}
+
+bool LockStateAnalysis::call_may_block(const std::string& callee) const {
+  if (summaries_ != nullptr) {
+    const FunctionSummary* summary = summaries_->find(callee);
+    if (summary != nullptr) return summary->may_block;
+    return minilang::blocking_builtins().count(callee) > 0;
+  }
+  return graph_->reaches_blocking(callee);
 }
 
 void LockStateAnalysis::report(const Cfg& cfg, const std::vector<State>& in,
@@ -403,7 +542,7 @@ void LockStateAnalysis::report(const Cfg& cfg, const std::vector<State>& in,
     if (node.kind == CfgNode::Kind::kSyncEnter) continue;  // monitor expr runs unlocked
     node_exprs(node, [&](const Expr& top) {
       walk_expr(top, [&](const Expr& e) {
-        if (e.kind != Expr::Kind::kCall || !graph_->reaches_blocking(e.text)) return;
+        if (e.kind != Expr::Kind::kCall || !call_may_block(e.text)) return;
         Diagnostic diag;
         diag.analysis = "lock-state";
         diag.severity = Severity::kError;
@@ -440,8 +579,14 @@ Interval top() { return {}; }
 }  // namespace
 
 IntervalAnalysis::State IntervalAnalysis::boundary(const Cfg& cfg) const {
-  (void)cfg;
-  return {};
+  State state;
+  if (summaries_ != nullptr) {
+    const FunctionSummary* summary = summaries_->find(cfg.function().name);
+    if (summary != nullptr)
+      for (const auto& [path, interval] : summary->boundary_intervals)
+        if (!interval.unbounded() && !interval.empty()) state.emplace(path, interval);
+  }
+  return state;
 }
 
 bool IntervalAnalysis::join(State& into, const State& from) const {
@@ -472,6 +617,15 @@ Interval IntervalAnalysis::eval(const Expr& expr, const State& state) const {
   switch (expr.kind) {
     case Expr::Kind::kIntLit:
       return Interval::constant(expr.int_value);
+    case Expr::Kind::kCall: {
+      // Clamp by the callee's summarized return interval. An *empty*
+      // interval (recursive fixpoint still climbing) acts as the hull
+      // identity through joins; outside summary computation it never
+      // survives to a stored fact.
+      if (summaries_ == nullptr) return top();
+      const FunctionSummary* callee = summaries_->find(expr.text);
+      return callee == nullptr ? top() : callee->return_interval;
+    }
     case Expr::Kind::kVar:
     case Expr::Kind::kField: {
       const std::string path = access_path(expr);
@@ -579,11 +733,18 @@ int IntervalAnalysis::decide(const Expr& guard, const State& state) const {
   }
 }
 
+void IntervalAnalysis::apply_call_effects(const CfgNode& node, State& state) const {
+  kill_mod_facts(*summaries_, node, state);
+}
+
 void IntervalAnalysis::transfer(const CfgNode& node, State& state) const {
   if (node.stmt == nullptr) return;
-  if (node_has_call(node))
-    for (auto it = state.begin(); it != state.end();)
-      it = (it->first.find('.') != std::string::npos) ? state.erase(it) : std::next(it);
+  if (node_has_call(node)) {
+    if (summaries_ != nullptr)
+      apply_call_effects(node, state);
+    else
+      kill_all_heap_facts(state);
+  }
   std::string written;
   const Expr* rhs = nullptr;
   switch (node.stmt->kind) {
@@ -716,38 +877,46 @@ void IntervalAnalysis::report(const Cfg& cfg, const std::vector<State>& in,
 // Whole-program lint
 // ---------------------------------------------------------------------------
 
-std::vector<Diagnostic> lint_program(const Program& program, bool include_tests) {
+std::vector<Diagnostic> lint_program(const Program& program, bool include_tests,
+                                     bool use_summaries) {
   const analysis::CallGraph graph = analysis::CallGraph::build(program);
+  const SummaryMap summary_map =
+      use_summaries ? SummaryMap::compute(program, graph) : SummaryMap();
+  const SummaryMap* summaries = use_summaries ? &summary_map : nullptr;
   std::vector<Diagnostic> out;
   for (const FuncDecl& fn : program.functions) {
     if (!include_tests && fn.has_annotation("test")) continue;
     const Cfg cfg = Cfg::build(fn);
-    std::vector<Diagnostic> fn_diags;
 
-    NullnessAnalysis nullness(program);
+    NullnessAnalysis nullness(program, summaries);
     const auto null_result = run_forward(cfg, nullness);
-    nullness.report(cfg, null_result.in, null_result.reached, fn_diags);
+    nullness.report(cfg, null_result.in, null_result.reached, out);
 
-    DefiniteAssignmentAnalysis assignment(program);
+    DefiniteAssignmentAnalysis assignment(program, summaries);
     const auto assign_result = run_forward(cfg, assignment);
-    assignment.report(cfg, assign_result.in, assign_result.reached, fn_diags);
+    assignment.report(cfg, assign_result.in, assign_result.reached, out);
 
-    LockStateAnalysis locks(program, graph);
+    LockStateAnalysis locks(program, graph, summaries);
     const auto lock_result = run_forward(cfg, locks);
-    locks.report(cfg, lock_result.in, lock_result.reached, fn_diags);
+    locks.report(cfg, lock_result.in, lock_result.reached, out);
 
-    IntervalAnalysis intervals(program);
+    IntervalAnalysis intervals(program, summaries);
     const auto interval_result = run_forward(cfg, intervals);
-    intervals.report(cfg, interval_result.in, interval_result.reached, fn_diags);
-
-    std::stable_sort(fn_diags.begin(), fn_diags.end(),
-                     [](const Diagnostic& a, const Diagnostic& b) {
-                       if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
-                       return a.loc.column < b.loc.column;
-                     });
-    out.insert(out.end(), std::make_move_iterator(fn_diags.begin()),
-               std::make_move_iterator(fn_diags.end()));
+    intervals.report(cfg, interval_result.in, interval_result.reached, out);
   }
+  // Deterministic output: one program is one file, so (line, column) is a
+  // global position; break ties by function, analysis, then message, and
+  // drop diagnostics that are identical in every field.
+  const auto key = [](const Diagnostic& d) {
+    return std::tie(d.loc.line, d.loc.column, d.function, d.analysis, d.message);
+  };
+  std::sort(out.begin(), out.end(),
+            [&](const Diagnostic& a, const Diagnostic& b) { return key(a) < key(b); });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [&](const Diagnostic& a, const Diagnostic& b) {
+                          return key(a) == key(b) && a.severity == b.severity;
+                        }),
+            out.end());
   return out;
 }
 

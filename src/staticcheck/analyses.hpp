@@ -36,12 +36,18 @@
 
 namespace lisa::staticcheck {
 
+class SummaryMap;  // summaries.hpp; analyses only need the pointer
+
 // ---------------------------------------------------------------------------
 // Shared helpers
 // ---------------------------------------------------------------------------
 
 /// True if any expression reachable from `expr` is a call.
 [[nodiscard]] bool contains_call(const minilang::Expr& expr);
+
+/// Dotted rendering of a var/field chain ("s", "req.session.owner"), or ""
+/// when the expression is not a simple access path.
+[[nodiscard]] std::string expr_access_path(const minilang::Expr& expr);
 
 /// Access paths whose facts must die when `written` is assigned: the path
 /// itself, any extension of it, and (for field writes) any path mentioning
@@ -64,7 +70,11 @@ class NullnessAnalysis {
   /// Facts per access path; absence means "unknown".
   using State = std::map<std::string, NullFact>;
 
-  explicit NullnessAnalysis(const minilang::Program& program) : program_(&program) {}
+  /// `summaries` refines call handling (MOD-set havoc, return nullability,
+  /// param transfer facts); nullptr keeps the legacy havoc-everything rule.
+  explicit NullnessAnalysis(const minilang::Program& program,
+                            const SummaryMap* summaries = nullptr)
+      : program_(&program), summaries_(summaries) {}
 
   [[nodiscard]] State boundary(const Cfg& cfg) const;
   bool join(State& into, const State& from) const;
@@ -83,7 +93,9 @@ class NullnessAnalysis {
 
  private:
   void assign(const std::string& written, const minilang::Expr* rhs, State& state) const;
+  void apply_call_effects(const CfgNode& node, State& state) const;
   const minilang::Program* program_;
+  const SummaryMap* summaries_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -99,7 +111,11 @@ class DefiniteAssignmentAnalysis {
   /// Locals bound to a `new` literal → their not-yet-assigned fields.
   using State = std::map<std::string, Tracked>;
 
-  explicit DefiniteAssignmentAnalysis(const minilang::Program& program) : program_(&program) {}
+  /// With `summaries`, an argument escapes only when the callee may write
+  /// through that parameter; without, any call kills the tracking.
+  explicit DefiniteAssignmentAnalysis(const minilang::Program& program,
+                                      const SummaryMap* summaries = nullptr)
+      : program_(&program), summaries_(summaries) {}
 
   [[nodiscard]] State boundary(const Cfg& cfg) const;
   bool join(State& into, const State& from) const;
@@ -120,6 +136,7 @@ class DefiniteAssignmentAnalysis {
 
  private:
   const minilang::Program* program_;
+  const SummaryMap* summaries_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -136,8 +153,12 @@ class LockStateAnalysis {
     }
   };
 
-  LockStateAnalysis(const minilang::Program& program, const analysis::CallGraph& graph)
-      : program_(&program), graph_(&graph) {}
+  /// With `summaries`, calls apply the callee's *net monitor effect* and
+  /// blocking checks use the CFG-reachable `may_block` bit; without, calls
+  /// are monitor-neutral and blocking falls back to `reaches_blocking`.
+  LockStateAnalysis(const minilang::Program& program, const analysis::CallGraph& graph,
+                    const SummaryMap* summaries = nullptr)
+      : program_(&program), graph_(&graph), summaries_(summaries) {}
 
   [[nodiscard]] State boundary(const Cfg& cfg) const;
   bool join(State& into, const State& from) const;
@@ -162,8 +183,10 @@ class LockStateAnalysis {
               const std::vector<bool>& reached, std::vector<Diagnostic>& out) const;
 
  private:
+  [[nodiscard]] bool call_may_block(const std::string& callee) const;
   const minilang::Program* program_;
   const analysis::CallGraph* graph_;
+  const SummaryMap* summaries_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -188,7 +211,11 @@ class IntervalAnalysis {
   /// Interval per access path; absence means top (no information).
   using State = std::map<std::string, Interval>;
 
-  explicit IntervalAnalysis(const minilang::Program& program) : program_(&program) {}
+  /// With `summaries`, a call havocs only the callee's MOD set and call
+  /// expressions evaluate to the callee's return interval.
+  explicit IntervalAnalysis(const minilang::Program& program,
+                            const SummaryMap* summaries = nullptr)
+      : program_(&program), summaries_(summaries) {}
 
   [[nodiscard]] State boundary(const Cfg& cfg) const;
   bool join(State& into, const State& from) const;
@@ -215,13 +242,19 @@ class IntervalAnalysis {
   [[nodiscard]] int decide(const minilang::Expr& guard, const State& state) const;
 
  private:
+  void apply_call_effects(const CfgNode& node, State& state) const;
   const minilang::Program* program_;
+  const SummaryMap* summaries_ = nullptr;
 };
 
 /// Runs all four analyses over every function of `program` and collects
-/// their diagnostics in source order. `include_tests` controls whether
-/// @test functions are linted too (lock-state always skips them).
+/// their diagnostics, sorted by (line, column, function, analysis, message)
+/// and deduplicated, so output is byte-stable across runs. `include_tests`
+/// controls whether @test functions are linted too (lock-state always skips
+/// them). `use_summaries` computes interprocedural summaries first and
+/// threads them through every analysis; off reproduces call-site havoc.
 [[nodiscard]] std::vector<Diagnostic> lint_program(const minilang::Program& program,
-                                                   bool include_tests = true);
+                                                   bool include_tests = true,
+                                                   bool use_summaries = true);
 
 }  // namespace lisa::staticcheck

@@ -26,8 +26,10 @@ const char* screen_verdict_name(ScreenVerdict verdict) {
   return "?";
 }
 
-Screener::Screener(const Program& program)
-    : program_(&program), graph_(analysis::CallGraph::build(program)) {}
+Screener::Screener(const Program& program, bool use_summaries)
+    : program_(&program), graph_(analysis::CallGraph::build(program)) {
+  if (use_summaries) summaries_ = SummaryMap::compute(program, graph_);
+}
 
 const Cfg& Screener::cfg_for(const FuncDecl& fn) const {
   const auto it = cfgs_.find(&fn);
@@ -42,7 +44,7 @@ FormulaPtr Screener::facts_at(const FuncDecl& fn, const Stmt* stmt) const {
 
   std::vector<FormulaPtr> facts;
 
-  NullnessAnalysis nullness(*program_);
+  NullnessAnalysis nullness(*program_, summaries());
   const auto null_result = run_forward(cfg, nullness);
   if (null_result.reached[static_cast<std::size_t>(node)]) {
     for (const auto& [path, fact] : null_result.in[static_cast<std::size_t>(node)]) {
@@ -52,7 +54,7 @@ FormulaPtr Screener::facts_at(const FuncDecl& fn, const Stmt* stmt) const {
     }
   }
 
-  IntervalAnalysis intervals(*program_);
+  IntervalAnalysis intervals(*program_, summaries());
   const auto interval_result = run_forward(cfg, intervals);
   if (interval_result.reached[static_cast<std::size_t>(node)]) {
     for (const auto& [path, range] : interval_result.in[static_cast<std::size_t>(node)]) {
@@ -90,6 +92,21 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
   std::map<const Stmt*, FormulaPtr> target_facts;
   for (const auto& [fn, stmt] : targets) target_facts[stmt] = facts_at(*fn, stmt);
 
+  // Fact closure (summaries only): ¬P unsatisfiable under the facts at
+  // every target statement. Strong enough to settle a contract even when
+  // the guard-only tree cannot map some paths — the facts are a fixpoint
+  // over *all* paths, so no execution can reach a target with ¬P true.
+  // Without summaries the facts are too weak for this to fire soundly
+  // (call-site havoc erases exactly the cross-function guarantees needed).
+  const auto facts_refute_everywhere = [&]() -> bool {
+    if (summaries() == nullptr) return false;
+    smt::Solver closure_solver;
+    const FormulaPtr not_p = Formula::negate(condition);
+    for (const auto& [stmt, facts] : target_facts)
+      if (closure_solver.solve(Formula::conj2(facts, not_p)).sat()) return false;
+    return true;
+  };
+
   // The guard-only execution tree — deliberately the exact abstraction the
   // path checker decides, so "all paths verify" here implies the checker
   // reports zero violations.
@@ -107,7 +124,12 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
     return result;
   }
   if (tree.paths.empty()) {
-    result.reason = "no entry->target path to screen";
+    if (facts_refute_everywhere()) {
+      result.verdict = ScreenVerdict::kProvedSafe;
+      result.reason = "dataflow facts refute the contract's complement at every target";
+    } else {
+      result.reason = "no entry->target path to screen";
+    }
     result.elapsed_ms = timer.elapsed_ms();
     return result;
   }
@@ -151,7 +173,17 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
   }
 
   if (any_unmappable) {
-    result.reason = "contract variables unmappable on some path";
+    // Every mappable path verified; only unmappable ones stand between us
+    // and ProvedSafe. A facts-refuted mappable path would signal that the
+    // guard-only tree and the facts disagree — leave those to the checker.
+    if (!any_facts_refuted && facts_refute_everywhere()) {
+      result.verdict = ScreenVerdict::kProvedSafe;
+      result.reason =
+          "unmappable paths closed: dataflow facts refute the contract's "
+          "complement at every target";
+    } else {
+      result.reason = "contract variables unmappable on some path";
+    }
   } else if (any_facts_refuted) {
     result.reason = "violating paths refuted by dataflow facts";
   } else {
@@ -167,7 +199,7 @@ ScreenResult Screener::screen_structural() const {
   ScreenResult result;
   for (const FuncDecl& fn : program_->functions) {
     const Cfg& cfg = cfg_for(fn);
-    LockStateAnalysis locks(*program_, graph_);
+    LockStateAnalysis locks(*program_, graph_, summaries());
     const auto fixpoint = run_forward(cfg, locks);
     locks.report(cfg, fixpoint.in, fixpoint.reached, result.diagnostics);
   }

@@ -14,6 +14,11 @@
 //     (π ∧ ¬P unsat) and none is unmappable. The checker's static phase
 //     would report zero violations, and the concolic replay cannot fire a
 //     symbolic violation, so the contract can skip concolic entirely.
+//     With interprocedural summaries a second route exists: if no path
+//     produced a satisfiable violation and the dataflow facts at *every*
+//     target statement make ¬P unsatisfiable, unmappable paths (or the
+//     absence of any path) no longer block the verdict — the facts alone
+//     close the proof (see screen_state_predicate).
 //   * ProvedViolated — some path has π ∧ ¬P satisfiable AND the dataflow
 //     facts at the target are consistent with ¬P (the witness is not ruled
 //     out by assignments the guard-only path condition cannot see). The
@@ -25,6 +30,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +39,7 @@
 #include "staticcheck/analyses.hpp"
 #include "staticcheck/cfg.hpp"
 #include "staticcheck/diagnostics.hpp"
+#include "staticcheck/summaries.hpp"
 
 namespace lisa::staticcheck {
 
@@ -63,7 +70,15 @@ struct ScreenResult {
 /// caches per-function CFGs + dataflow facts; the program must outlive it.
 class Screener {
  public:
-  explicit Screener(const minilang::Program& program);
+  /// `use_summaries` computes interprocedural function summaries up front
+  /// and threads them through every dataflow query, strengthening the facts
+  /// (MOD-set havoc instead of kill-everything, boundary facts, return
+  /// intervals). With strong enough facts the screener can settle contracts
+  /// whose execution tree alone is inconclusive: when every enumerated path
+  /// either verifies or is unmappable and the facts at *every* target refute
+  /// ¬P outright, the contract is proved safe without concolic replay.
+  /// Disabling reproduces the PR 2 facts byte-for-byte (ablation baseline).
+  explicit Screener(const minilang::Program& program, bool use_summaries = true);
 
   /// Screens a state-predicate contract <condition> at `target_fragment`.
   /// `condition` uses target-function-local variable names (as produced by
@@ -85,11 +100,19 @@ class Screener {
 
   [[nodiscard]] const analysis::CallGraph& graph() const { return graph_; }
 
+  /// The interprocedural summaries, or nullptr when disabled. Exposes
+  /// computation stats (components, fixpoint rounds, elapsed time) for the
+  /// pipeline report and the ablation bench.
+  [[nodiscard]] const SummaryMap* summaries() const {
+    return summaries_.has_value() ? &*summaries_ : nullptr;
+  }
+
  private:
   const Cfg& cfg_for(const minilang::FuncDecl& fn) const;
 
   const minilang::Program* program_;
   analysis::CallGraph graph_;
+  std::optional<SummaryMap> summaries_;
   mutable std::map<const minilang::FuncDecl*, Cfg> cfgs_;
 };
 

@@ -121,6 +121,68 @@ fn top(x: int) { mid(x); clean(x); annotated(x); }
   EXPECT_FALSE(graph.reaches_blocking("clean"));
 }
 
+TEST(CallGraph, CondensationIsReverseTopologicalAndAcyclicIsSingletons) {
+  const Program program = sample();
+  const CallGraph graph = CallGraph::build(program);
+  const Condensation condensation = graph.condensation();
+  // Every function lands in exactly one component; no recursion here.
+  EXPECT_EQ(condensation.size(), program.functions.size());
+  for (const auto& component : condensation.components) {
+    EXPECT_EQ(component.members.size(), 1u);
+    EXPECT_FALSE(component.recursive);
+  }
+  // Reverse topological order: every callee's component precedes its caller's.
+  for (const minilang::FuncDecl& fn : program.functions)
+    for (const std::string& callee : graph.callees_of(fn.name)) {
+      if (program.find_function(callee) == nullptr) continue;  // builtin
+      EXPECT_LT(condensation.component_index(callee), condensation.component_index(fn.name))
+          << callee << " must be summarized before " << fn.name;
+    }
+  EXPECT_EQ(condensation.component_index("no_such_function"), -1);
+}
+
+TEST(CallGraph, CondensationGroupsRecursiveComponents) {
+  const Program program = minilang::parse_checked(R"(
+fn self_loop(n: int) -> int {
+  if (n <= 0) {
+    return 0;
+  }
+  return self_loop(n - 1);
+}
+fn even(n: int) -> bool {
+  if (n == 0) {
+    return true;
+  }
+  return odd(n - 1);
+}
+fn odd(n: int) -> bool {
+  if (n == 0) {
+    return false;
+  }
+  return even(n - 1);
+}
+@entry
+fn top(n: int) { print(self_loop(n)); print(even(n)); }
+)");
+  const CallGraph graph = CallGraph::build(program);
+  const Condensation condensation = graph.condensation();
+  // self_loop is its own recursive component; even/odd share one.
+  const int self_component = condensation.component_index("self_loop");
+  ASSERT_GE(self_component, 0);
+  EXPECT_TRUE(condensation.components[static_cast<std::size_t>(self_component)].recursive);
+  EXPECT_EQ(
+      condensation.components[static_cast<std::size_t>(self_component)].members.size(), 1u);
+  const int even_component = condensation.component_index("even");
+  EXPECT_EQ(even_component, condensation.component_index("odd"));
+  ASSERT_GE(even_component, 0);
+  EXPECT_TRUE(condensation.components[static_cast<std::size_t>(even_component)].recursive);
+  EXPECT_EQ(
+      condensation.components[static_cast<std::size_t>(even_component)].members.size(), 2u);
+  // top calls both SCCs, so both precede it.
+  EXPECT_LT(self_component, condensation.component_index("top"));
+  EXPECT_LT(even_component, condensation.component_index("top"));
+}
+
 TEST(Rename, CanonicalVarQualifiesLocalsAndMapsParams) {
   FrameMap map;
   map.frame = "touch";

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/callgraph.hpp"
 #include "corpus/ticket.hpp"
 #include "inference/mock_llm.hpp"
 #include "lisa/checker.hpp"
@@ -18,6 +19,7 @@
 #include "staticcheck/cfg.hpp"
 #include "staticcheck/dataflow.hpp"
 #include "staticcheck/screener.hpp"
+#include "staticcheck/summaries.hpp"
 
 namespace lisa::staticcheck {
 namespace {
@@ -605,12 +607,265 @@ fn test_handler() {
   EXPECT_EQ(report.dynamic.tests_run, 1);
 }
 
+// ---------------------------------------------------------------------------
+// Interprocedural summaries
+// ---------------------------------------------------------------------------
+
+SummaryMap summarize_program(const Program& program) {
+  return SummaryMap::compute(program, analysis::CallGraph::build(program));
+}
+
+TEST(Summaries, ModRefEffectsPropagateTransitively) {
+  const Program program = minilang::parse_checked(R"(
+struct S { a: int; b: int; }
+fn write_a(s: S) {
+  s.a = 1;
+}
+fn read_b(s: S) -> int {
+  return s.b;
+}
+@entry
+fn top(s: S) {
+  write_a(s);
+  print(read_b(s));
+}
+)");
+  const SummaryMap map = summarize_program(program);
+
+  const FunctionSummary* writer = map.find("write_a");
+  ASSERT_NE(writer, nullptr);
+  EXPECT_EQ(writer->mod_fields, (std::set<std::string>{"a"}));
+  EXPECT_EQ(writer->mod_params, (std::set<std::size_t>{0}));
+  EXPECT_FALSE(writer->may_throw);
+  EXPECT_FALSE(writer->opaque_effects);
+
+  const FunctionSummary* reader = map.find("read_b");
+  ASSERT_NE(reader, nullptr);
+  EXPECT_TRUE(reader->mod_fields.empty());
+  EXPECT_TRUE(reader->mod_params.empty());
+  EXPECT_EQ(reader->ref_fields, (std::set<std::string>{"b"}));
+
+  // Effects flow bottom-up: the caller's MOD/REF sets include the callees'.
+  const FunctionSummary* caller = map.find("top");
+  ASSERT_NE(caller, nullptr);
+  EXPECT_EQ(caller->mod_fields.count("a"), 1u);
+  EXPECT_EQ(caller->ref_fields.count("b"), 1u);
+
+  // Call-site effects: only what the callee can touch is killed.
+  EXPECT_FALSE(map.effect_of("read_b").kills_field("a"));
+  EXPECT_TRUE(map.effect_of("write_a").kills_field("a"));
+  EXPECT_FALSE(map.effect_of("write_a").kills_field("b"));
+  EXPECT_TRUE(map.effect_of("write_a").writes_param(0));
+  // Builtins: container mutators write params but no struct fields; pure
+  // builtins touch nothing; unknown names havoc everything.
+  EXPECT_TRUE(map.effect_of("put").writes_param(0));
+  EXPECT_FALSE(map.effect_of("put").kills_field("a"));
+  EXPECT_FALSE(map.effect_of("print").writes_param(0));
+  EXPECT_TRUE(map.effect_of("no_such_function").havoc_all);
+}
+
+TEST(Summaries, RecursiveReturnIntervalWidensToFixpoint) {
+  const Program program = minilang::parse_checked(R"(
+fn depth(n: int) -> int {
+  if (n <= 0) { return 0; }
+  return depth(n - 1) + 1;
+}
+@entry
+fn drive(n: int) {
+  print(depth(n));
+}
+)");
+  const SummaryMap map = summarize_program(program);
+  const FunctionSummary* summary = map.find("depth");
+  ASSERT_NE(summary, nullptr);
+  // Rounds climb [0,0] -> [0,1] -> [0,2], then widening pins the moving
+  // upper bound; the fixpoint is [0, +inf), never empty and never top.
+  EXPECT_EQ(summary->return_interval.lo, 0);
+  EXPECT_EQ(summary->return_interval.hi, Interval::kMax);
+  EXPECT_EQ(map.stats().recursive_components, 1);
+  EXPECT_GT(map.stats().fixpoint_iterations, 0);
+}
+
+TEST(Summaries, MutualRecursionReachesFixpoint) {
+  const Program program = minilang::parse_checked(R"(
+fn even(n: int) -> bool {
+  if (n == 0) { return true; }
+  return odd(n - 1);
+}
+fn odd(n: int) -> bool {
+  if (n == 0) { return false; }
+  return even(n - 1);
+}
+@entry
+fn drive(n: int) {
+  print(even(n));
+}
+)");
+  const SummaryMap map = summarize_program(program);
+  const FunctionSummary* even = map.find("even");
+  const FunctionSummary* odd = map.find("odd");
+  ASSERT_NE(even, nullptr);
+  ASSERT_NE(odd, nullptr);
+  // even/odd form one two-member SCC; the fixpoint converges without
+  // smuggling in spurious effects.
+  EXPECT_EQ(map.stats().recursive_components, 1);
+  EXPECT_FALSE(even->may_throw);
+  EXPECT_FALSE(odd->may_throw);
+  EXPECT_TRUE(even->mod_fields.empty());
+  EXPECT_TRUE(odd->mod_params.empty());
+}
+
+TEST(Summaries, SyncBlocksProveZeroNetMonitorEffect) {
+  const Program program = minilang::parse_checked(R"(
+struct Node { value: int; }
+fn bump_locked(node: Node) {
+  sync (node) {
+    node.value = node.value + 1;
+  }
+}
+fn throw_under_sync(node: Node) {
+  sync (node) {
+    throw "boom";
+  }
+}
+@entry
+fn drive(node: Node) {
+  bump_locked(node);
+  throw_under_sync(node);
+}
+)");
+  const SummaryMap map = summarize_program(program);
+  const FunctionSummary* balanced = map.find("bump_locked");
+  ASSERT_NE(balanced, nullptr);
+  EXPECT_EQ(balanced->net_monitor_normal, 0);
+  EXPECT_FALSE(balanced->may_throw);
+  // Block-structured sync releases the monitor on the unwind edge too.
+  const FunctionSummary* thrower = map.find("throw_under_sync");
+  ASSERT_NE(thrower, nullptr);
+  EXPECT_TRUE(thrower->may_throw);
+  EXPECT_EQ(thrower->net_monitor_throw, 0);
+}
+
+TEST(Summaries, MayBlockRequiresCfgReachableBlockingCall) {
+  const Program program = minilang::parse_checked(R"(
+fn dead_block(path: string) {
+  return;
+  write_record(path, path);
+}
+fn live_block(path: string) {
+  write_record(path, path);
+}
+@entry
+fn drive(path: string) {
+  dead_block(path);
+  live_block(path);
+}
+)");
+  // The syntactic call-graph bit says both reach a blocking builtin…
+  const analysis::CallGraph graph = analysis::CallGraph::build(program);
+  EXPECT_TRUE(graph.reaches_blocking("dead_block"));
+  EXPECT_TRUE(graph.reaches_blocking("live_block"));
+  // …but the summary is CFG-precise: the call after `return` is dead.
+  const SummaryMap map = summarize_program(program);
+  ASSERT_NE(map.find("dead_block"), nullptr);
+  EXPECT_FALSE(map.find("dead_block")->may_block);
+  ASSERT_NE(map.find("live_block"), nullptr);
+  EXPECT_TRUE(map.find("live_block")->may_block);
+}
+
+TEST(Summaries, NullCheckTransfersThroughReturn) {
+  const Program program = minilang::parse_checked(R"(
+struct Conn { id: int; }
+fn require(conn: Conn?) -> Conn {
+  if (conn == null) { throw "null connection"; }
+  return conn;
+}
+@entry
+fn drive(conn: Conn?) {
+  print(require(conn).id);
+}
+)");
+  const SummaryMap map = summarize_program(program);
+  const FunctionSummary* summary = map.find("require");
+  ASSERT_NE(summary, nullptr);
+  // The guard dominates every normal return, so both the returned value and
+  // the caller's argument are known non-null after the call.
+  EXPECT_EQ(summary->return_nullness, FunctionSummary::Nullability::kNonNull);
+  const auto fact = summary->nullness_on_return.find("conn");
+  ASSERT_NE(fact, summary->nullness_on_return.end());
+  EXPECT_EQ(fact->second, NullFact::kNonNull);
+  EXPECT_TRUE(summary->may_throw);
+}
+
+TEST(Summaries, TrackedObjectSurvivesReadOnlyCall) {
+  // Definite-assignment ablation: without summaries a call escapes the
+  // tracked object and the never-assigned-field read goes unreported; with
+  // summaries the read-only callee keeps the tracking alive.
+  const Program program = minilang::parse_checked(R"(
+struct Gauge { count: int; }
+fn inspect(g: Gauge) -> int {
+  return g.count;
+}
+@entry
+fn drive() {
+  let g = new Gauge {};
+  print(inspect(g));
+  print(g.count);
+}
+)");
+  const auto count_defassign = [](const std::vector<Diagnostic>& diags) {
+    int n = 0;
+    for (const Diagnostic& d : diags)
+      if (d.analysis == "definite-assignment") ++n;
+    return n;
+  };
+  EXPECT_EQ(count_defassign(lint_program(program, true, /*use_summaries=*/false)), 0);
+  EXPECT_GE(count_defassign(lint_program(program, true, /*use_summaries=*/true)), 1);
+}
+
+TEST(Screener, FactClosureSettlesUnmappablePathOnlyWithSummaries) {
+  // The only entry->target path passes the argument as a call expression, so
+  // the path condition cannot be mapped onto the contract variables and the
+  // havoc-mode screener must stay Unknown. With summaries, the callee's
+  // return nullability becomes a boundary fact for the helper, and the
+  // dataflow facts refute the contract's complement at the target: the
+  // fact-closure rule settles the contract ProvedSafe.
+  const Program program = minilang::parse_checked(R"(
+struct Entry { rc: int; }
+struct Table { entries: map<string, Entry>; }
+fn checked(t: Table, id: string) -> Entry {
+  let e = get(t.entries, id);
+  if (e == null) { throw "missing entry"; }
+  return e;
+}
+fn bump(e: Entry) {
+  e.rc = e.rc + 1;
+}
+fn touch(t: Table, e: Entry?) {
+  bump(e);
+}
+@entry
+fn drive(t: Table, id: string) {
+  touch(t, checked(t, id));
+}
+)");
+  const auto condition = smt::parse_condition("!(e == null)");
+  ASSERT_TRUE(condition.has_value());
+  const Screener havoc(program, /*use_summaries=*/false);
+  EXPECT_EQ(havoc.screen_state_predicate("bump(", *condition).verdict,
+            ScreenVerdict::kUnknown);
+  const Screener summarized(program, /*use_summaries=*/true);
+  const ScreenResult result = summarized.screen_state_predicate("bump(", *condition);
+  EXPECT_EQ(result.verdict, ScreenVerdict::kProvedSafe);
+}
+
 // The acceptance property for the whole subsystem: on every corpus program
 // and contract, a settled screening verdict must agree with the full
-// static + concolic checker. Screening may say Unknown, never the wrong
-// thing.
+// static + concolic checker — in both ablation modes. Screening may say
+// Unknown, never the wrong thing; summaries must settle strictly more.
 TEST(Screener, VerdictsAgreeWithFullCheckerAcrossCorpus) {
-  int settled = 0;
+  int settled_havoc = 0;
+  int settled_summaries = 0;
   for (const corpus::FailureTicket& ticket : corpus::Corpus::all()) {
     const inference::SemanticsProposal proposal = inference::MockLlm().infer(ticket);
     const core::TranslationResult translation =
@@ -624,26 +879,63 @@ TEST(Screener, VerdictsAgreeWithFullCheckerAcrossCorpus) {
         truth_options.static_screen = false;
         const core::ContractCheckReport truth =
             core::Checker().check(program, contract, truth_options);
-        core::CheckOptions screen_options;  // defaults: screening on
-        const core::ContractCheckReport screened =
-            core::Checker().check(program, contract, screen_options);
-        if (screened.screen_verdict == "proved-safe") {
-          ++settled;
-          EXPECT_TRUE(truth.passed())
-              << ticket.case_id << " " << contract.id << ": screener said safe, "
-              << "checker found violations";
-        } else if (screened.screen_verdict == "proved-violated") {
-          ++settled;
-          EXPECT_FALSE(truth.passed())
-              << ticket.case_id << " " << contract.id << ": screener said violated, "
-              << "checker found none";
+        for (const bool use_summaries : {false, true}) {
+          core::CheckOptions screen_options;  // defaults: screening on
+          screen_options.use_summaries = use_summaries;
+          const core::ContractCheckReport screened =
+              core::Checker().check(program, contract, screen_options);
+          int& settled = use_summaries ? settled_summaries : settled_havoc;
+          if (screened.screen_verdict == "proved-safe") {
+            ++settled;
+            EXPECT_TRUE(truth.passed())
+                << ticket.case_id << " " << contract.id
+                << (use_summaries ? " [summaries]" : " [havoc]")
+                << ": screener said safe, checker found violations";
+          } else if (screened.screen_verdict == "proved-violated") {
+            ++settled;
+            EXPECT_FALSE(truth.passed())
+                << ticket.case_id << " " << contract.id
+                << (use_summaries ? " [summaries]" : " [havoc]")
+                << ": screener said violated, checker found none";
+          }
         }
       }
     }
   }
   // The subsystem must actually settle a useful share of the corpus
-  // (the bench measures the exact fraction; this is the smoke floor).
-  EXPECT_GT(settled, 0);
+  // (the bench measures the exact fraction; this is the smoke floor), and
+  // interprocedural summaries must settle strictly more than call-site
+  // havoc — the corpus keeps at least one contract only they can close.
+  EXPECT_GT(settled_havoc, 0);
+  EXPECT_GT(settled_summaries, settled_havoc);
+}
+
+// Pins the specific corpus case the summary ablation is built around: the
+// hdfs-safemode replay-bookkeeping contract flows through a call-expression
+// argument (an unmappable path), so havoc mode stays Unknown while the
+// summary fact-closure rule proves it safe on both program versions.
+TEST(Screener, SummaryClosureSettlesHdfsSafemodeBookkeeping) {
+  const corpus::FailureTicket* ticket = corpus::Corpus::find("hdfs-safemode-allocation");
+  ASSERT_NE(ticket, nullptr);
+  const core::TranslationResult translation =
+      core::translate(inference::MockLlm().infer(*ticket), ticket->system);
+  const core::SemanticContract* contract = nullptr;
+  for (const core::SemanticContract& candidate : translation.contracts)
+    if (candidate.target_fragment == "record_allocation(") contract = &candidate;
+  ASSERT_NE(contract, nullptr);
+  ASSERT_NE(contract->condition, nullptr);
+  for (const std::string* source : {&ticket->buggy_source, &ticket->patched_source}) {
+    const Program program = minilang::parse_checked(*source);
+    const Screener havoc(program, /*use_summaries=*/false);
+    EXPECT_EQ(havoc.screen_state_predicate(contract->target_fragment, contract->condition)
+                  .verdict,
+              ScreenVerdict::kUnknown);
+    const Screener summarized(program, /*use_summaries=*/true);
+    EXPECT_EQ(
+        summarized.screen_state_predicate(contract->target_fragment, contract->condition)
+            .verdict,
+        ScreenVerdict::kProvedSafe);
+  }
 }
 
 TEST(Lint, CorpusAggregateMatchesCli) {

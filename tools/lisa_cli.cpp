@@ -13,10 +13,12 @@
 //                                     paths of the patched version
 //   lisa explore <case-id>            systematic path exploration: drive every
 //                                     synthesizable path with generated tests
-//   lisa lint [case-id] [--buggy|--latest]
+//   lisa lint [case-id] [--buggy|--latest] [--json]
 //                                     run the staticcheck dataflow analyses
 //                                     (nullness, definite assignment, lock
-//                                     state, intervals) over corpus programs
+//                                     state, intervals) over corpus programs;
+//                                     --json emits machine-readable
+//                                     diagnostics plus aggregate counts
 //
 // Exit code: 0 on success/pass, 1 on violations found/commit blocked,
 // 2 on usage or input errors.
@@ -44,7 +46,7 @@ int usage() {
                "usage: lisa <command> [args]\n"
                "  corpus | prompt <case> | infer <case> | check <case> [flags] |\n"
                "  gate <case> <file.ml> | hunt | synth <case> | explore <case> |\n"
-               "  lint [case] [--buggy|--latest]\n"
+               "  lint [case] [--buggy|--latest] [--json]\n"
                "flags for check: --latest --buggy --no-concolic --no-prune\n"
                "lint with no case runs over every patched corpus program\n");
   return 2;
@@ -239,15 +241,59 @@ int lint_source(const std::string& label, const std::string& source) {
   return errors;
 }
 
+/// Machine-readable lint: one entry per program plus aggregate counts.
+/// Returns the error count, like lint_source.
+int lint_source_json(const std::string& label, const std::string& source,
+                     support::JsonArray* programs, int* warnings, int* notes) {
+  support::JsonObject entry;
+  entry["case"] = label;
+  minilang::Program program;
+  try {
+    program = minilang::parse_checked(source);
+  } catch (const std::exception& error) {
+    entry["builds"] = false;
+    entry["error"] = std::string(error.what());
+    programs->push_back(support::Json(std::move(entry)));
+    return 1;
+  }
+  entry["builds"] = true;
+  const std::vector<staticcheck::Diagnostic> diagnostics =
+      staticcheck::lint_program(program);
+  int errors = 0;
+  support::JsonArray rendered;
+  for (const staticcheck::Diagnostic& diagnostic : diagnostics) {
+    support::JsonObject item;
+    item["function"] = diagnostic.function;
+    item["line"] = diagnostic.loc.line;
+    item["column"] = diagnostic.loc.column;
+    item["severity"] = std::string(staticcheck::severity_name(diagnostic.severity));
+    item["analysis"] = diagnostic.analysis;
+    item["message"] = diagnostic.message;
+    rendered.push_back(support::Json(std::move(item)));
+    switch (diagnostic.severity) {
+      case staticcheck::Severity::kError: ++errors; break;
+      case staticcheck::Severity::kWarning: ++*warnings; break;
+      case staticcheck::Severity::kNote: ++*notes; break;
+    }
+  }
+  entry["diagnostics"] = support::Json(std::move(rendered));
+  entry["errors"] = errors;
+  programs->push_back(support::Json(std::move(entry)));
+  return errors;
+}
+
 int cmd_lint(int argc, char** argv) {
   std::string case_id;
   bool use_buggy = false;
   bool use_latest = false;
+  bool json_output = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--buggy") == 0)
       use_buggy = true;
     else if (std::strcmp(argv[i], "--latest") == 0)
       use_latest = true;
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json_output = true;
     else if (argv[i][0] != '-' && case_id.empty())
       case_id = argv[i];
     else
@@ -266,6 +312,10 @@ int cmd_lint(int argc, char** argv) {
   }
 
   int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+  support::JsonArray programs;
+  int linted = 0;
   for (const corpus::FailureTicket* ticket : tickets) {
     const std::string& source = use_buggy    ? ticket->buggy_source
                                 : use_latest ? ticket->latest_source
@@ -275,7 +325,21 @@ int cmd_lint(int argc, char** argv) {
       if (!case_id.empty()) return 2;
       continue;
     }
-    errors += lint_source(ticket->case_id, source);
+    ++linted;
+    errors += json_output
+                  ? lint_source_json(ticket->case_id, source, &programs, &warnings, &notes)
+                  : lint_source(ticket->case_id, source);
+  }
+  if (json_output) {
+    support::JsonObject root;
+    root["programs"] = support::Json(std::move(programs));
+    support::JsonObject summary;
+    summary["programs"] = linted;
+    summary["errors"] = errors;
+    summary["warnings"] = warnings;
+    summary["notes"] = notes;
+    root["summary"] = support::Json(std::move(summary));
+    std::printf("%s\n", support::Json(std::move(root)).pretty().c_str());
   }
   return errors > 0 ? 1 : 0;
 }
