@@ -1,0 +1,142 @@
+// Observability overhead: instrumentation must be cheap enough to leave on.
+//
+// The pipeline's span/metric call sites are unconditional — there is no
+// compile-time switch — so the cost that matters is the *disabled-tracer*
+// cost: one relaxed atomic load plus a steady_clock read per span, and a
+// relaxed fetch_add per metric. This bench
+//   1. measures a corpus slice end-to-end with tracing off,
+//   2. counts how many spans that slice creates (one traced run),
+//   3. microbenchmarks the disabled ScopedSpan itself, and
+//   4. asserts spans * per-span-cost stays under 3% of the slice time,
+// exiting nonzero on violation so the bound is CI-enforceable.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "lisa/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace lisa;
+
+constexpr const char* kSystem = "zookeeper";
+constexpr double kOverheadBound = 0.03;
+
+double run_slice_once() {
+  const core::Pipeline pipeline;
+  const auto start = std::chrono::steady_clock::now();
+  for (const corpus::FailureTicket* ticket : corpus::Corpus::for_system(kSystem)) {
+    const core::PipelineResult result = pipeline.run(*ticket, ticket->patched_source);
+    benchmark::DoNotOptimize(result.total_violations());
+  }
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+/// Median corpus-slice wall time with the tracer disabled.
+double measure_slice_ms(int repetitions) {
+  std::vector<double> times;
+  for (int i = 0; i < repetitions; ++i) times.push_back(run_slice_once());
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Spans the slice creates when traced — the number of disabled-span
+/// constructions the untraced run pays for.
+std::size_t count_slice_spans() {
+  obs::tracer().set_enabled(true);
+  obs::tracer().clear();
+  run_slice_once();
+  const std::size_t spans = obs::tracer().size();
+  obs::tracer().set_enabled(false);
+  obs::tracer().clear();
+  return spans;
+}
+
+/// Per-construction cost of a disabled ScopedSpan (with one attr call,
+/// matching the typical call site), in milliseconds.
+double measure_disabled_span_ms() {
+  constexpr int kIterations = 1'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    obs::ScopedSpan span("bench.disabled");
+    span.attr("i", i);
+    benchmark::DoNotOptimize(span.live());
+  }
+  const double total_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  return total_ms / kIterations;
+}
+
+/// Returns 0 when the disabled-instrumentation bound holds, 1 otherwise.
+int check_overhead_bound() {
+  std::printf("=== observability overhead (tracing off) ===\n\n");
+  const double slice_ms = measure_slice_ms(15);
+  const std::size_t spans = count_slice_spans();
+  const double span_ms = measure_disabled_span_ms();
+  const double overhead_ms = static_cast<double>(spans) * span_ms;
+  const double fraction = overhead_ms / slice_ms;
+  std::printf("corpus slice (%s, tracing off):  %10.3f ms (median of 15)\n", kSystem,
+              slice_ms);
+  std::printf("spans created by the slice:            %10zu\n", spans);
+  std::printf("disabled ScopedSpan cost:              %10.1f ns\n", span_ms * 1e6);
+  std::printf("implied span overhead:                 %10.4f ms (%.3f%% of slice)\n",
+              overhead_ms, fraction * 100.0);
+  std::printf("bound:                                 %10.1f%%  →  %s\n\n",
+              kOverheadBound * 100.0, fraction < kOverheadBound ? "PASS" : "FAIL");
+  return fraction < kOverheadBound ? 0 : 1;
+}
+
+void BM_DisabledScopedSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.disabled");
+    benchmark::DoNotOptimize(span.live());
+  }
+}
+BENCHMARK(BM_DisabledScopedSpan)->Unit(benchmark::kNanosecond);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter& counter = obs::metrics().counter("bench.counter");
+  for (auto _ : state) counter.add();
+}
+BENCHMARK(BM_CounterAdd)->Unit(benchmark::kNanosecond);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram& histogram = obs::metrics().histogram("bench.histogram");
+  double v = 0.1;
+  for (auto _ : state) histogram.record(v += 0.001);
+}
+BENCHMARK(BM_HistogramRecord)->Unit(benchmark::kNanosecond);
+
+void BM_SliceTracingOff(benchmark::State& state) {
+  obs::tracer().set_enabled(false);
+  for (auto _ : state) benchmark::DoNotOptimize(run_slice_once());
+}
+BENCHMARK(BM_SliceTracingOff)->Unit(benchmark::kMillisecond);
+
+void BM_SliceTracingOn(benchmark::State& state) {
+  obs::tracer().set_enabled(true);
+  for (auto _ : state) {
+    obs::tracer().clear();
+    benchmark::DoNotOptimize(run_slice_once());
+  }
+  obs::tracer().set_enabled(false);
+  obs::tracer().clear();
+}
+BENCHMARK(BM_SliceTracingOn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int violation = check_overhead_bound();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return violation;
+}

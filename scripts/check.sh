@@ -28,3 +28,20 @@ if [[ "$lint_status" -gt 1 ]]; then
   exit 1
 fi
 echo "lint --json smoke: OK (exit $lint_status)"
+
+# Profile smoke: the cost table must come back as JSON with the expected
+# top-level schema (profile.spans / profile.smt_hotspots / metrics).
+profile_out=$("$BUILD_DIR"/tools/lisa profile zookeeper --json)
+for key in '"profile"' '"spans"' '"smt_hotspots"' '"wall_ms"' '"metrics"' '"counters"'; do
+  if [[ "$profile_out" != *"$key"* ]]; then
+    echo "check.sh: lisa profile zookeeper --json output lacks $key" >&2
+    exit 1
+  fi
+done
+if command -v python3 > /dev/null; then
+  echo "$profile_out" | python3 -m json.tool > /dev/null || {
+    echo "check.sh: lisa profile zookeeper --json is not valid JSON" >&2
+    exit 1
+  }
+fi
+echo "profile --json smoke: OK"

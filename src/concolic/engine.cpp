@@ -6,6 +6,8 @@
 #include "concolic/shadow.hpp"
 #include "minilang/interp.hpp"
 #include "minilang/printer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "smt/solver.hpp"
 #include "support/strings.hpp"
 
@@ -794,7 +796,22 @@ Engine::Engine(const Program& program) : impl_(std::make_unique<Impl>(program)) 
 Engine::~Engine() = default;
 
 RunResult Engine::run_test(const std::string& test_name, const CheckConfig& config) {
-  return impl_->run(test_name, config);
+  obs::ScopedSpan span("concolic.run_test");
+  span.attr("test", test_name);
+  const RunResult result = impl_->run(test_name, config);
+  // Fork-point accounting: every executed branch is a potential fork of the
+  // symbolic path; recorded ones entered the trace condition π.
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.counter("concolic.tests_run").add();
+  registry.counter("concolic.branches_total").add(result.branches_total);
+  registry.counter("concolic.branches_recorded").add(result.branches_recorded);
+  registry.counter("concolic.target_hits").add(static_cast<std::int64_t>(result.hits.size()));
+  registry.histogram("concolic.test_ms").record(span.elapsed_ms());
+  span.attr("passed", result.test_passed);
+  span.attr("hits", result.hits.size());
+  span.attr("branches_total", result.branches_total);
+  span.attr("branches_recorded", result.branches_recorded);
+  return result;
 }
 
 }  // namespace lisa::concolic

@@ -4,6 +4,8 @@
 #include "concolic/engine.hpp"
 #include "minilang/printer.hpp"
 #include "minilang/sema.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "smt/solver.hpp"
 
 namespace lisa::concolic {
@@ -58,6 +60,8 @@ ExplorationReport explore(const minilang::Program& program,
                           const std::string& target_fragment,
                           const smt::FormulaPtr& contract_condition) {
   ExplorationReport report;
+  obs::ScopedSpan run_span("explorer.run");
+  run_span.attr("target", target_fragment);
   const analysis::CallGraph graph = analysis::CallGraph::build(program);
   analysis::TreeOptions options;
   options.contract_condition = contract_condition;
@@ -66,16 +70,20 @@ ExplorationReport explore(const minilang::Program& program,
   options.prune_irrelevant = false;
   const analysis::ExecutionTree tree =
       analysis::build_execution_tree(program, graph, target_fragment, options);
+  run_span.attr("paths", tree.paths.size());
 
   smt::Solver solver;
   int sequence = 1;
   for (const analysis::ExecutionPath& path : tree.paths) {
+    obs::ScopedSpan path_span("explorer.path");
+    if (!path.call_chain.empty()) path_span.attr("entry", path.call_chain.front());
     ExploredPath explored;
     explored.call_chain = path.call_chain;
 
     if (!solver.solve(path.condition).sat()) {
       explored.verdict = ExploredVerdict::kInfeasible;
       explored.detail = "path condition unsatisfiable: " + path.condition->to_string();
+      path_span.attr("verdict", explored_verdict_name(explored.verdict));
       report.paths.push_back(std::move(explored));
       ++report.infeasible;
       continue;
@@ -92,6 +100,7 @@ ExplorationReport explore(const minilang::Program& program,
     if (!test.has_value()) {
       explored.verdict = ExploredVerdict::kNotSynthesizable;
       explored.detail = "required state is not constructible through entry arguments";
+      path_span.attr("verdict", explored_verdict_name(explored.verdict));
       report.paths.push_back(std::move(explored));
       ++report.human_needed;
       continue;
@@ -114,8 +123,15 @@ ExplorationReport explore(const minilang::Program& program,
       explored.detail = "replay confirmed the guard (model " + test->model_text + ")";
       ++report.verified;
     }
+    path_span.attr("verdict", explored_verdict_name(explored.verdict));
     report.paths.push_back(std::move(explored));
   }
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.counter("explorer.paths").add(static_cast<std::int64_t>(report.paths.size()));
+  registry.counter("explorer.verified").add(report.verified);
+  registry.counter("explorer.violated").add(report.violated);
+  registry.counter("explorer.infeasible").add(report.infeasible);
+  registry.counter("explorer.human_needed").add(report.human_needed);
   return report;
 }
 

@@ -9,6 +9,8 @@
 #include "concolic/engine.hpp"
 #include "inference/embedding.hpp"
 #include "minilang/printer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "smt/solver.hpp"
 #include "staticcheck/screener.hpp"
 
@@ -95,9 +97,42 @@ bool chain_suffix_matches(const std::vector<std::string>& hit_chain,
 
 }  // namespace
 
+namespace {
+
+/// Folds one finished contract check into the metrics registry and closes
+/// its span with the outcome attributes.
+void record_contract_outcome(obs::ScopedSpan& span, const ContractCheckReport& report,
+                             double elapsed_ms) {
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.counter("checker.contracts").add();
+  registry.counter("checker.paths_verified").add(report.verified);
+  registry.counter("checker.paths_violated").add(report.violated);
+  registry.counter("checker.paths_unmappable").add(report.unmappable);
+  registry.counter("checker.paths_uncovered").add(report.uncovered);
+  registry.histogram("checker.contract_ms").record(elapsed_ms);
+  if (!report.screen_verdict.empty()) {
+    registry.counter("screen." + report.screen_verdict).add();
+    registry.histogram("screen.ms").record(report.screen_ms);
+    if (report.summary_ms > 0.0) registry.histogram("summaries.ms").record(report.summary_ms);
+    if (report.screen_skipped_concolic) registry.counter("screen.concolic_skipped").add();
+  }
+  span.attr("paths", report.paths.size());
+  span.attr("verified", report.verified);
+  span.attr("violated", report.violated);
+  span.attr("unmappable", report.unmappable);
+  span.attr("passed", report.passed());
+  if (!report.screen_verdict.empty()) span.attr("screen_verdict", report.screen_verdict);
+}
+
+}  // namespace
+
 ContractCheckReport Checker::check(const minilang::Program& program,
                                    const SemanticContract& contract,
                                    const CheckOptions& options) const {
+  obs::ScopedSpan span("checker.contract");
+  span.attr("contract", contract.id);
+  span.attr("target", contract.target_fragment);
+
   ContractCheckReport report;
   report.contract_id = contract.id;
   report.target_fragment = contract.target_fragment;
@@ -121,6 +156,7 @@ ContractCheckReport Checker::check(const minilang::Program& program,
     report.target_statements =
         analysis::find_target_statements(program, contract.target_fragment).size();
     report.sanity_ok = true;  // structural rules need no fixed-path witness
+    record_contract_outcome(span, report, span.elapsed_ms());
     return report;
   }
 
@@ -155,12 +191,17 @@ ContractCheckReport Checker::check(const minilang::Program& program,
   tree_options.max_paths = options.max_paths;
   tree_options.prune_irrelevant = options.prune_irrelevant;
   tree_options.contract_condition = contract.condition;
+  obs::ScopedSpan tree_span("checker.tree");
   const analysis::ExecutionTree tree = analysis::build_execution_tree(
       program, graph, contract.target_fragment, tree_options);
+  tree_span.attr("paths", tree.paths.size());
+  tree_span.attr("raw_paths", tree.enumerated_raw);
+  tree_span.close();
   report.target_statements = tree.targets.size();
   report.raw_paths = tree.enumerated_raw;
   report.truncated = tree.truncated;
 
+  obs::ScopedSpan static_span("checker.static_paths");
   smt::Solver solver;
   for (const analysis::ExecutionPath& path : tree.paths) {
     PathReport path_report;
@@ -187,10 +228,14 @@ ContractCheckReport Checker::check(const minilang::Program& program,
     }
     report.paths.push_back(std::move(path_report));
   }
+  static_span.attr("verified", report.verified);
+  static_span.attr("violated", report.violated);
+  static_span.close();
   report.sanity_ok = report.verified > 0;
 
   // ---- Dynamic confirmation via concolic replay of selected tests ---------
   if (options.run_concolic && !skip_concolic) {
+    obs::ScopedSpan concolic_span("checker.concolic");
     std::vector<std::string> tests = options.forced_tests;
     if (tests.empty()) {
       // Per-path selection (§3.2: "selects relevant tests for each path"):
@@ -257,7 +302,10 @@ ContractCheckReport Checker::check(const minilang::Program& program,
     }
     for (const PathReport& path : report.paths)
       if (!path.covered_by_test) ++report.uncovered;
+    concolic_span.attr("tests_run", report.dynamic.tests_run);
+    concolic_span.attr("target_hits", report.dynamic.target_hits);
   }
+  record_contract_outcome(span, report, span.elapsed_ms());
   return report;
 }
 

@@ -2,6 +2,8 @@
 
 #include "analysis/paths.hpp"
 #include "minilang/sema.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/stopwatch.hpp"
 
 namespace lisa::core {
@@ -54,6 +56,8 @@ Json GateDecision::to_json() const {
 
 GateDecision CiGate::evaluate(const std::string& source, const ContractStore& store) const {
   GateDecision decision;
+  obs::ScopedSpan span("gate.evaluate");
+  span.attr("stored_contracts", store.size());
   const support::Stopwatch timer;
   minilang::Program program;
   try {
@@ -95,6 +99,12 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
     decision.reports.push_back(std::move(report));
   }
   decision.evaluation_ms = timer.elapsed_ms();
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.counter("gate.evaluations").add();
+  if (!decision.allowed) registry.counter("gate.blocked").add();
+  registry.histogram("gate.evaluation_ms").record(decision.evaluation_ms);
+  span.attr("allowed", decision.allowed);
+  span.attr("evaluated", decision.reports.size());
   return decision;
 }
 

@@ -1,7 +1,9 @@
 #include "lisa/pipeline.hpp"
 
 #include "minilang/sema.hpp"
-#include "support/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/log.hpp"
 
 namespace lisa::core {
 
@@ -74,29 +76,58 @@ Json PipelineResult::to_json() const {
 PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
                              const std::string& source_to_check) const {
   PipelineResult result;
-  const support::Stopwatch total;
+  obs::ScopedSpan run_span("pipeline.run");
+  run_span.attr("case", ticket.case_id);
 
-  support::Stopwatch stage;
-  result.proposal = llm_.infer(ticket);
-  result.timings.infer_ms = stage.elapsed_ms();
-
-  stage.reset();
-  TranslationResult translation = translate(result.proposal, ticket.system);
-  result.contracts = std::move(translation.contracts);
-  result.rejected = std::move(translation.rejected);
-  result.timings.translate_ms = stage.elapsed_ms();
-
-  stage.reset();
-  const minilang::Program program = minilang::parse_checked(source_to_check);
-  const Checker checker;
-  for (const SemanticContract& contract : result.contracts)
-    result.reports.push_back(checker.check(program, contract, check_options_));
-  result.timings.check_ms = stage.elapsed_ms();
+  {
+    obs::ScopedSpan stage("pipeline.infer");
+    result.proposal = llm_.infer(ticket);
+    result.timings.infer_ms = stage.elapsed_ms();
+  }
+  {
+    obs::ScopedSpan stage("pipeline.translate");
+    TranslationResult translation = translate(result.proposal, ticket.system);
+    result.contracts = std::move(translation.contracts);
+    result.rejected = std::move(translation.rejected);
+    stage.attr("contracts", result.contracts.size());
+    stage.attr("rejected", result.rejected.size());
+    result.timings.translate_ms = stage.elapsed_ms();
+  }
+  support::log(support::LogLevel::info, "pipeline ", ticket.case_id, ": ",
+               result.contracts.size(), " contract(s) translated, ",
+               result.rejected.size(), " rejected");
+  {
+    obs::ScopedSpan stage("pipeline.check");
+    const minilang::Program program = minilang::parse_checked(source_to_check);
+    const Checker checker;
+    for (const SemanticContract& contract : result.contracts) {
+      ContractCheckReport report = checker.check(program, contract, check_options_);
+      support::log(report.passed() ? support::LogLevel::debug : support::LogLevel::info,
+                   "contract ", contract.id, ": ",
+                   report.passed() ? "passed" : "VIOLATED", " (screen=",
+                   report.screen_verdict.empty() ? "n/a" : report.screen_verdict,
+                   ", paths=", report.paths.size(), ")");
+      result.reports.push_back(std::move(report));
+    }
+    result.timings.check_ms = stage.elapsed_ms();
+  }
+  // screen/summary are shares of the check stage (see StageTimings);
+  // total is the exact stage sum, so the fields never double-count.
   for (const ContractCheckReport& report : result.reports) {
     result.timings.screen_ms += report.screen_ms;
     result.timings.summary_ms += report.summary_ms;
   }
-  result.timings.total_ms = total.elapsed_ms();
+  result.timings.total_ms =
+      result.timings.infer_ms + result.timings.translate_ms + result.timings.check_ms;
+
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.counter("pipeline.runs").add();
+  registry.histogram("pipeline.infer_ms").record(result.timings.infer_ms);
+  registry.histogram("pipeline.translate_ms").record(result.timings.translate_ms);
+  registry.histogram("pipeline.check_ms").record(result.timings.check_ms);
+  registry.histogram("pipeline.total_ms").record(result.timings.total_ms);
+  run_span.attr("contracts", result.contracts.size());
+  run_span.attr("all_passed", result.all_passed());
   return result;
 }
 

@@ -14,13 +14,31 @@
 
 namespace lisa::core {
 
+// Stage latencies, derived from the obs span tracer (obs/trace.hpp): each
+// stage runs under a ScopedSpan and its field reads the span's elapsed
+// time, so the report, the trace, and the metrics registry agree by
+// construction.
+//
+// Invariants (asserted in report_test.cpp):
+//   * total_ms == infer_ms + translate_ms + check_ms — the stages partition
+//     the run; total is derived, never independently measured.
+//   * screen_ms + summary_ms <= check_ms — both are *shares of* check_ms
+//     (sub-intervals of the check stage), never additional time. Summing
+//     all six fields double-counts.
 struct StageTimings {
   double infer_ms = 0.0;
   double translate_ms = 0.0;
   double check_ms = 0.0;  // execution tree + SMT + test selection + concolic
   double screen_ms = 0.0;  // staticcheck screening share of check_ms
   double summary_ms = 0.0;  // interprocedural summary share of check_ms
-  double total_ms = 0.0;
+  double total_ms = 0.0;   // == infer_ms + translate_ms + check_ms
+
+  /// True when the invariants above hold (to `slack_ms` clock tolerance).
+  [[nodiscard]] bool consistent(double slack_ms = 0.05) const {
+    const double stage_sum = infer_ms + translate_ms + check_ms;
+    if (total_ms < stage_sum - slack_ms || total_ms > stage_sum + slack_ms) return false;
+    return screen_ms + summary_ms <= check_ms + slack_ms;
+  }
 };
 
 /// Screened-vs-explored accounting across a run's contracts.

@@ -1,0 +1,158 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lisa::obs {
+
+namespace {
+
+/// CAS-loop update for atomic min/max over doubles.
+template <typename Better>
+void update_extreme(std::atomic<double>& slot, double value, Better better) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (better(value, current) &&
+         !slot.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;  // non-positive and NaN → underflow bucket
+  const int raw = static_cast<int>(
+      std::floor(std::log2(value) * kSubBucketsPerOctave)) -
+      kMinExponent * kSubBucketsPerOctave + 1;
+  return std::clamp(raw, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_mid(int index) {
+  // Inverse of bucket_index: geometric midpoint of the bucket's range.
+  const double exponent =
+      (static_cast<double>(index - 1) + 0.5) / kSubBucketsPerOctave +
+      kMinExponent;
+  return std::exp2(exponent);
+}
+
+void Histogram::record(double value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  if (!has_samples_.exchange(true, std::memory_order_relaxed)) {
+    // First sample seeds both extremes; racing seeders are reconciled by
+    // the CAS loops below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  update_extreme(min_, value, [](double a, double b) { return a < b; });
+  update_extreme(max_, value, [](double a, double b) { return a > b; });
+}
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  return has_samples_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::max() const {
+  return has_samples_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank over the bucketed distribution. Rank 1 is the smallest
+  // sample and rank n the largest — both tracked exactly, so return them
+  // directly instead of a bucket midpoint.
+  const std::int64_t rank = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank <= 1) return min();
+  if (rank >= n) return max();
+  std::int64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank && cumulative > 0)
+      return std::clamp(bucket_mid(i), min(), max());
+  }
+  return max();
+}
+
+support::Json Histogram::to_json() const {
+  support::JsonObject out;
+  out["count"] = count();
+  out["sum"] = sum();
+  out["min"] = min();
+  out["max"] = max();
+  out["mean"] = mean();
+  out["p50"] = quantile(0.50);
+  out["p95"] = quantile(0.95);
+  out["p99"] = quantile(0.99);
+  return support::Json(std::move(out));
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  has_samples_.store(false, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+support::Json MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  support::JsonObject counters;
+  for (const auto& [name, counter] : counters_) counters[name] = counter->value();
+  support::JsonObject gauges;
+  for (const auto& [name, gauge] : gauges_) gauges[name] = gauge->value();
+  support::JsonObject histograms;
+  for (const auto& [name, histogram] : histograms_) histograms[name] = histogram->to_json();
+  support::JsonObject root;
+  root["counters"] = support::Json(std::move(counters));
+  root["gauges"] = support::Json(std::move(gauges));
+  root["histograms"] = support::Json(std::move(histograms));
+  return support::Json(std::move(root));
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace lisa::obs

@@ -1,0 +1,48 @@
+// Cost attribution over recorded spans — the engine behind `lisa profile`.
+//
+// Aggregates a Tracer snapshot two ways:
+//   * by span name: call count, inclusive time (span duration) and
+//     exclusive time (duration minus direct children), sorted by inclusive
+//     — the "where does the wall clock go" table;
+//   * SMT hotspots: per-contract totals of descendant smt.solve spans —
+//     which contracts are solver-bound, the per-query cost breakdown
+//     WeBridge-style engines are evaluated on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+
+namespace lisa::obs {
+
+/// Aggregate cost of all spans sharing a name.
+struct SpanCost {
+  std::string name;
+  std::int64_t count = 0;
+  double inclusive_ms = 0.0;  // sum of span durations
+  double exclusive_ms = 0.0;  // inclusive minus direct children
+};
+
+/// Per-contract SMT attribution (from smt.solve spans nested under a
+/// checker.contract span).
+struct SmtHotspot {
+  std::string contract_id;
+  std::int64_t queries = 0;
+  double solve_ms = 0.0;
+};
+
+struct CostTable {
+  std::vector<SpanCost> rows;         // sorted by inclusive_ms descending
+  std::vector<SmtHotspot> hotspots;   // sorted by solve_ms descending
+  double wall_ms = 0.0;               // sum of root-span durations
+
+  [[nodiscard]] support::Json to_json() const;
+  /// Fixed-width text table (top `limit` rows of each section).
+  [[nodiscard]] std::string render(std::size_t limit = 20) const;
+};
+
+[[nodiscard]] CostTable build_cost_table(const std::vector<SpanRecord>& spans);
+
+}  // namespace lisa::obs

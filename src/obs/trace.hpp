@@ -1,0 +1,129 @@
+// Hierarchical span tracing for the LISA pipeline.
+//
+// The paper positions LISA as a per-commit CI stage, which makes its cost
+// profile (paths explored, SMT queries, screening savings) a first-class
+// result. This tracer records *spans* — named wall-clock intervals with
+// parent/child nesting and typed attributes — across every pipeline layer:
+//
+//   pipeline.run > pipeline.check > checker.contract > smt.solve
+//                                                    > concolic.run_test
+//
+// Design constraints:
+//   * Near-zero overhead when disabled: ScopedSpan's constructor reads one
+//     relaxed atomic and a steady_clock timestamp; it allocates nothing and
+//     records nothing. Instrumentation can therefore stay on in production
+//     call sites unconditionally.
+//   * Thread-safe when enabled: spans may begin/end on any thread; parent
+//     linkage is per-thread (a thread-local span stack), and completed
+//     records append to the tracer under a mutex.
+//   * Exportable: chrome_trace() emits Chrome trace-event JSON ("X"
+//     complete events) loadable in Perfetto / chrome://tracing. Span
+//     timestamps share the process-epoch clock of support/log.hpp, so
+//     stderr log lines are directly correlatable with trace timelines.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace lisa::obs {
+
+/// One completed span. `start_us`/`dur_us` are microseconds relative to the
+/// process epoch (support::process_epoch), matching log-line prefixes.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root span of its thread
+  std::uint32_t tid = 0;        // small sequential thread number, not OS tid
+  std::string name;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  std::vector<std::pair<std::string, support::Json>> attrs;
+};
+
+class ScopedSpan;
+
+/// Collects spans process-wide. Disabled by default; `lisa check --trace`
+/// and `lisa profile` enable it around a run.
+class Tracer {
+ public:
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded spans (the id counter keeps advancing).
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+  /// Copies out every completed span, in completion order.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  /// Load in Perfetto (ui.perfetto.dev) or chrome://tracing.
+  [[nodiscard]] support::Json chrome_trace() const;
+
+ private:
+  friend class ScopedSpan;
+  std::uint64_t next_id() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  void record(SpanRecord&& span);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// The process-global tracer every instrumentation site uses.
+[[nodiscard]] Tracer& tracer();
+
+/// RAII span. Construction opens the span (nesting under the innermost live
+/// span of the current thread); destruction completes and records it. When
+/// the tracer is disabled the object is inert — no allocation, no recording
+/// — but elapsed_ms() still measures, so call sites can derive stage
+/// timings from the same object that traces them.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : ScopedSpan(tracer(), name) {}
+  ScopedSpan(Tracer& tracer, const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a key/value attribute (contract id, path count, verdict...).
+  /// No-ops when the span is not recording.
+  void attr(const char* key, support::Json value);
+  void attr(const char* key, const std::string& value) { attr(key, support::Json(value)); }
+  void attr(const char* key, const char* value) { attr(key, support::Json(value)); }
+  void attr(const char* key, std::int64_t value) { attr(key, support::Json(value)); }
+  void attr(const char* key, int value) { attr(key, support::Json(value)); }
+  void attr(const char* key, std::size_t value) { attr(key, support::Json(value)); }
+  void attr(const char* key, double value) { attr(key, support::Json(value)); }
+  void attr(const char* key, bool value) { attr(key, support::Json(value)); }
+
+  /// Completes and records the span now instead of at end of scope
+  /// (idempotent; the destructor then no-ops). For call sites where the
+  /// measured region ends mid-scope. Children must already be closed.
+  void close();
+
+  /// True when this span will be recorded (tracer enabled at construction).
+  [[nodiscard]] bool live() const { return record_ != nullptr; }
+
+  /// Wall-clock milliseconds since construction. Valid even when disabled.
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Tracer* tracer_;
+  std::unique_ptr<SpanRecord> record_;  // null when not recording
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lisa::obs

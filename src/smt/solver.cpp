@@ -8,6 +8,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lisa::smt {
 
 std::string Model::to_string() const {
@@ -420,16 +423,27 @@ TheoryResult check_theory(const PrimitiveTable& table, const std::vector<Assign>
 }  // namespace
 
 SolveResult Solver::solve(const FormulaPtr& formula) {
+  obs::ScopedSpan span("smt.solve");
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.counter("smt.queries").add();
+  // Records the verdict exactly once on every return path.
+  const auto finish = [&](SolveResult result) {
+    registry.counter(result.sat() ? "smt.sat" : "smt.unsat").add();
+    registry.histogram("smt.query_us").record(span.elapsed_ms() * 1000.0);
+    span.attr("status", result.sat() ? "sat" : "unsat");
+    return result;
+  };
+
   PrimitiveTable table;
   const LNode lowered = lower(table, formula, /*negated=*/false);
   SolveResult result;
   if (lowered.kind == LNode::Kind::kTrue) {
     result.status = Status::kSat;
-    return result;
+    return finish(std::move(result));
   }
   if (lowered.kind == LNode::Kind::kFalse) {
     result.status = Status::kUnsat;
-    return result;
+    return finish(std::move(result));
   }
   Cnf cnf(table.size());
   const int root = cnf.encode(lowered);
@@ -437,6 +451,10 @@ SolveResult Solver::solve(const FormulaPtr& formula) {
   stats_.atoms += table.size();
 
   stats_.clauses = static_cast<std::int64_t>(cnf.clauses().size());
+  registry.histogram("smt.formula_atoms").record(static_cast<double>(table.size()));
+  registry.histogram("smt.formula_clauses").record(static_cast<double>(cnf.clauses().size()));
+  span.attr("atoms", table.size());
+  span.attr("clauses", cnf.clauses().size());
   // Theory pruning on partial assignments: only the first `table.size()`
   // variables are theory atoms (Tseitin variables carry no theory meaning).
   const auto theory_ok = [&](const std::vector<Assign>& assignment) {
@@ -448,7 +466,7 @@ SolveResult Solver::solve(const FormulaPtr& formula) {
   const std::optional<std::vector<Assign>> model = dpll.next_model();
   if (!model.has_value()) {
     result.status = Status::kUnsat;
-    return result;
+    return finish(std::move(result));
   }
   const TheoryResult theory = check_theory(table, *model);
   result.status = Status::kSat;
@@ -459,7 +477,7 @@ SolveResult Solver::solve(const FormulaPtr& formula) {
     if (value != Assign::kUnset) result.model.bools[primitive.name] = value == Assign::kTrue;
   }
   result.model.ints = theory.values;
-  return result;
+  return finish(std::move(result));
 }
 
 bool Solver::implies(const FormulaPtr& premise, const FormulaPtr& conclusion) {

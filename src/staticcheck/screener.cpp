@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "analysis/paths.hpp"
+#include "obs/trace.hpp"
 #include "smt/solver.hpp"
 #include "staticcheck/dataflow.hpp"
 #include "support/stopwatch.hpp"
@@ -71,6 +72,8 @@ FormulaPtr Screener::facts_at(const FuncDecl& fn, const Stmt* stmt) const {
 ScreenResult Screener::screen_state_predicate(const std::string& target_fragment,
                                               const FormulaPtr& condition,
                                               const ScreenOptions& options) const {
+  obs::ScopedSpan span("screen.state_predicate");
+  span.attr("target", target_fragment);
   const support::Stopwatch timer;
   ScreenResult result;
   if (condition == nullptr) {
@@ -195,6 +198,7 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
 }
 
 ScreenResult Screener::screen_structural() const {
+  obs::ScopedSpan span("screen.structural");
   const support::Stopwatch timer;
   ScreenResult result;
   for (const FuncDecl& fn : program_->functions) {

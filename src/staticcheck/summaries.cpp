@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "minilang/interp.hpp"
+#include "obs/trace.hpp"
 #include "staticcheck/cfg.hpp"
 #include "staticcheck/dataflow.hpp"
 #include "support/stopwatch.hpp"
@@ -377,6 +378,7 @@ CallEffect SummaryMap::effect_of(const std::string& callee) const {
 }
 
 SummaryMap SummaryMap::compute(const Program& program, const analysis::CallGraph& graph) {
+  obs::ScopedSpan span("summaries.compute");
   const support::Stopwatch timer;
   SummaryMap map;
   const analysis::Condensation condensation = graph.condensation();
@@ -522,6 +524,9 @@ SummaryMap SummaryMap::compute(const Program& program, const analysis::CallGraph
   }
 
   map.stats_.elapsed_ms = timer.elapsed_ms();
+  span.attr("components", map.stats_.components);
+  span.attr("recursive_components", map.stats_.recursive_components);
+  span.attr("fixpoint_iterations", map.stats_.fixpoint_iterations);
   return map;
 }
 

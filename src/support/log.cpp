@@ -2,11 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/stopwatch.hpp"
+#include "support/strings.hpp"
 
 namespace lisa::support {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::warn};
+std::once_flag g_env_once;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,15 +25,57 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// Applies LISA_LOG_LEVEL once, before the first threshold read. An explicit
+/// set_log_level() afterwards still wins (it stores over this).
+void apply_env_level() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("LISA_LOG_LEVEL");
+    if (env == nullptr) return;
+    const std::optional<LogLevel> parsed = parse_log_level(env);
+    if (parsed.has_value())
+      g_level.store(*parsed, std::memory_order_relaxed);
+    else
+      // Direct write: log_line() would re-enter the call_once guard.
+      std::fprintf(stderr, "%s\n",
+                   render_log_line(LogLevel::warn,
+                                   std::string("unrecognized LISA_LOG_LEVEL '") + env +
+                                       "' ignored")
+                       .c_str());
+  });
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  apply_env_level();  // consume the env var so it cannot override this call later
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() {
+  apply_env_level();
+  return g_level.load(std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  const std::string lowered = to_lower(name);
+  if (lowered == "debug") return LogLevel::debug;
+  if (lowered == "info") return LogLevel::info;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::warn;
+  if (lowered == "error") return LogLevel::error;
+  if (lowered == "off" || lowered == "none") return LogLevel::off;
+  return std::nullopt;
+}
+
+std::string render_log_line(LogLevel level, const std::string& message) {
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "[+%11.3fms] [%s] ", process_elapsed_ms(),
+                level_name(level));
+  return prefix + message;
+}
 
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "%s\n", render_log_line(level, message).c_str());
 }
 
 }  // namespace lisa::support

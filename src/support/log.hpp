@@ -2,11 +2,21 @@
 //
 // LISA is a library first; logging defaults to warnings-and-above on stderr
 // so that example binaries stay readable. The level is process-global and
-// intended to be set once at startup.
+// intended to be set once at startup; the LISA_LOG_LEVEL environment
+// variable ("debug" | "info" | "warn" | "error" | "off"), read at first
+// use, overrides the default without a code change.
+//
+// Each line carries a monotonic elapsed-ms prefix measured from the shared
+// process epoch (support/stopwatch.hpp) — the same clock trace spans use —
+// so stderr output is directly correlatable with exported traces:
+//
+//   [+     12.345ms] [WARN] contract zk-1208 fell through to concolic
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace lisa::support {
 
@@ -15,6 +25,13 @@ enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 /// Sets the process-global minimum level that will be emitted.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Parses a LISA_LOG_LEVEL value ("warn", "ERROR", ...); nullopt on junk.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Formats one line exactly as log_line writes it (sans trailing newline):
+/// "[+<elapsed>ms] [LEVEL] <message>". Exposed for tests.
+[[nodiscard]] std::string render_log_line(LogLevel level, const std::string& message);
 
 /// Emits one line to stderr if `level` passes the global threshold.
 void log_line(LogLevel level, const std::string& message);

@@ -5,6 +5,22 @@
 
 namespace lisa::support {
 
+/// Process-wide monotonic epoch: fixed at the first call anywhere in the
+/// process. Log-line prefixes (support/log) and trace-span timestamps
+/// (obs/trace) both measure from it, so the two streams correlate.
+inline std::chrono::steady_clock::time_point process_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Milliseconds elapsed since process_epoch().
+inline double process_elapsed_ms() {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   process_epoch())
+      .count();
+}
+
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}

@@ -1,0 +1,350 @@
+// Tests for the observability layer: span nesting (including across
+// threads), histogram quantile math, disabled-tracer overhead, the Chrome
+// trace-event export, and cost-table attribution.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+
+namespace lisa::obs {
+namespace {
+
+// --- span recording ---------------------------------------------------------
+
+TEST(TracerTest, RecordsNestedSpansWithParentLinkage) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan outer(tracer, "outer");
+    {
+      ScopedSpan inner(tracer, "inner");
+      ScopedSpan sibling_child(tracer, "grandchild");
+    }
+    ScopedSpan second(tracer, "second");
+  }
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+
+  std::map<std::string, const SpanRecord*> by_name;
+  for (const SpanRecord& span : spans) by_name[span.name] = &span;
+  ASSERT_TRUE(by_name.count("outer"));
+  const SpanRecord& outer = *by_name.at("outer");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(by_name.at("inner")->parent_id, outer.id);
+  EXPECT_EQ(by_name.at("second")->parent_id, outer.id);
+  EXPECT_EQ(by_name.at("grandchild")->parent_id, by_name.at("inner")->id);
+
+  // Completion order: innermost spans close first.
+  EXPECT_EQ(spans.front().name, "grandchild");
+  EXPECT_EQ(spans.back().name, "outer");
+
+  // Child intervals sit inside the parent interval.
+  const SpanRecord& inner = *by_name.at("inner");
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_LE(inner.start_us + inner.dur_us, outer.start_us + outer.dur_us + 1.0);
+}
+
+TEST(TracerTest, AttributesSurviveIntoTheRecord) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span(tracer, "attrs");
+    span.attr("contract", "zk-1208#0");
+    span.attr("paths", std::size_t{7});
+    span.attr("passed", true);
+  }
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attrs.size(), 3u);
+  EXPECT_EQ(spans[0].attrs[0].first, "contract");
+  EXPECT_EQ(spans[0].attrs[0].second.as_string(), "zk-1208#0");
+  EXPECT_EQ(spans[0].attrs[1].second.as_int(), 7);
+  EXPECT_TRUE(spans[0].attrs[2].second.as_bool());
+}
+
+TEST(TracerTest, EachThreadNestsIndependently) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&tracer] {
+      ScopedSpan root(tracer, "thread.root");
+      ScopedSpan child(tracer, "thread.child");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u * kThreads);
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& span : spans) by_id[span.id] = &span;
+  std::set<std::uint32_t> tids;
+  for (const SpanRecord& span : spans) {
+    tids.insert(span.tid);
+    if (span.name == "thread.root") {
+      EXPECT_EQ(span.parent_id, 0u);
+    } else {
+      // Every child's parent is the root span *of its own thread* — never a
+      // root on another thread that happened to be open at the same moment.
+      ASSERT_TRUE(by_id.count(span.parent_id));
+      const SpanRecord& parent = *by_id.at(span.parent_id);
+      EXPECT_EQ(parent.name, "thread.root");
+      EXPECT_EQ(parent.tid, span.tid);
+    }
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(TracerTest, CloseCompletesMidScopeAndIsIdempotent) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan outer(tracer, "outer");
+    ScopedSpan early(tracer, "early");
+    early.close();
+    EXPECT_FALSE(early.live());
+    early.close();  // second close is a no-op
+    // A span opened after the close nests under outer, not under early.
+    ScopedSpan late(tracer, "late");
+  }
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  std::map<std::string, const SpanRecord*> by_name;
+  for (const SpanRecord& span : spans) by_name[span.name] = &span;
+  EXPECT_EQ(by_name.at("late")->parent_id, by_name.at("outer")->id);
+  EXPECT_EQ(by_name.at("early")->parent_id, by_name.at("outer")->id);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  {
+    ScopedSpan span(tracer, "invisible");
+    EXPECT_FALSE(span.live());
+    span.attr("ignored", 1);  // must be a no-op, not a crash
+    EXPECT_GE(span.elapsed_ms(), 0.0);  // timing still works while disabled
+  }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, ClearDropsSpansButKeepsIdsAdvancing) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { ScopedSpan span(tracer, "a"); }
+  const std::uint64_t first_id = tracer.snapshot().at(0).id;
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  { ScopedSpan span(tracer, "b"); }
+  EXPECT_GT(tracer.snapshot().at(0).id, first_id);
+}
+
+// --- Chrome trace export ----------------------------------------------------
+
+TEST(TracerTest, ChromeTraceRoundTripsThroughJsonParser) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan outer(tracer, "pipeline.run");
+    outer.attr("case", "zk-1208");
+    ScopedSpan inner(tracer, "smt.solve");
+    inner.attr("status", "unsat");
+  }
+  const std::string dumped = tracer.chrome_trace().dump();
+  const support::Json parsed = support::Json::parse(dumped);
+
+  EXPECT_EQ(parsed.at("displayTimeUnit").as_string(), "ms");
+  const support::JsonArray& events = parsed.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const support::Json& event : events) {
+    EXPECT_EQ(event.at("ph").as_string(), "X");
+    EXPECT_EQ(event.at("cat").as_string(), "lisa");
+    EXPECT_TRUE(event.has("name"));
+    EXPECT_TRUE(event.has("ts"));
+    EXPECT_TRUE(event.has("dur"));
+    EXPECT_TRUE(event.has("pid"));
+    EXPECT_TRUE(event.has("tid"));
+    EXPECT_TRUE(event.at("args").has("span_id"));
+    EXPECT_TRUE(event.at("args").has("parent_id"));
+  }
+  // Events appear in completion order: the inner span first.
+  EXPECT_EQ(events[0].at("name").as_string(), "smt.solve");
+  EXPECT_EQ(events[0].at("args").at("status").as_string(), "unsat");
+  EXPECT_EQ(events[1].at("args").at("case").as_string(), "zk-1208");
+  // Nesting is recoverable from the timestamps Perfetto uses.
+  EXPECT_GE(events[0].at("ts").as_double(), events[1].at("ts").as_double());
+}
+
+// --- counters, gauges, histograms -------------------------------------------
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  registry.counter("queries").add();
+  registry.counter("queries").add(4);
+  registry.gauge("live").set(17);
+  EXPECT_EQ(registry.counter("queries").value(), 5);
+  EXPECT_EQ(registry.gauge("live").value(), 17);
+  registry.reset();
+  EXPECT_EQ(registry.counter("queries").value(), 0);
+  EXPECT_EQ(registry.gauge("live").value(), 0);
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("same");
+  Counter& b = registry.counter("same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(HistogramTest, ExactStatisticsAreExact) {
+  Histogram histogram;
+  for (const double v : {2.0, 8.0, 4.0}) histogram.record(v);
+  EXPECT_EQ(histogram.count(), 3);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 14.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 8.0);
+  EXPECT_NEAR(histogram.mean(), 14.0 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, QuantilesOfUniformSequenceWithinBucketError) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.record(static_cast<double>(i));
+  // Log-scale buckets quantize to ~±4.5%; allow 10% against the exact ranks.
+  EXPECT_NEAR(histogram.quantile(0.50), 500.0, 50.0);
+  EXPECT_NEAR(histogram.quantile(0.95), 950.0, 95.0);
+  EXPECT_NEAR(histogram.quantile(0.99), 990.0, 99.0);
+  // Extremes clamp to the exact observed range.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, QuantilesOfBimodalDistribution) {
+  // 90 fast samples at ~1ms, 10 slow at ~100ms: p50 must sit in the fast
+  // mode and p95/p99 in the slow mode.
+  Histogram histogram;
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> fast(0.9, 1.1);
+  std::uniform_real_distribution<double> slow(90.0, 110.0);
+  for (int i = 0; i < 90; ++i) histogram.record(fast(rng));
+  for (int i = 0; i < 10; ++i) histogram.record(slow(rng));
+  EXPECT_NEAR(histogram.quantile(0.50), 1.0, 0.15);
+  EXPECT_NEAR(histogram.quantile(0.95), 100.0, 15.0);
+  EXPECT_NEAR(histogram.quantile(0.99), 100.0, 15.0);
+}
+
+TEST(HistogramTest, NonPositiveSamplesLandInUnderflowBucket) {
+  Histogram histogram;
+  histogram.record(0.0);
+  histogram.record(-3.0);
+  histogram.record(1.0);
+  EXPECT_EQ(histogram.count(), 3);
+  EXPECT_DOUBLE_EQ(histogram.min(), -3.0);
+  // Rank 1 is the tracked-exactly minimum, not a bucket midpoint.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), -3.0);
+}
+
+TEST(HistogramTest, JsonSnapshotHasAllPercentileKeys) {
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.record(5.0);
+  const support::Json json = histogram.to_json();
+  for (const char* key : {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"})
+    EXPECT_TRUE(json.has(key)) << key;
+  EXPECT_EQ(json.at("count").as_int(), 100);
+  EXPECT_NEAR(json.at("p50").as_double(), 5.0, 0.5);
+}
+
+TEST(MetricsTest, SnapshotGroupsByKind) {
+  MetricsRegistry registry;
+  registry.counter("smt.queries").add(3);
+  registry.gauge("corpus.size").set(16);
+  registry.histogram("smt.query_us").record(12.0);
+  const support::Json snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.at("counters").at("smt.queries").as_int(), 3);
+  EXPECT_EQ(snapshot.at("gauges").at("corpus.size").as_int(), 16);
+  EXPECT_EQ(snapshot.at("histograms").at("smt.query_us").at("count").as_int(), 1);
+}
+
+// --- cost attribution -------------------------------------------------------
+
+std::vector<SpanRecord> record_profile_fixture() {
+  // pipeline.run [0..1000us]
+  //   checker.contract{contract=c1} [100..900]
+  //     smt.solve [200..300], smt.solve [400..450]
+  //   smt.solve [950..960]   (outside any contract)
+  std::vector<SpanRecord> spans;
+  const auto make = [&](std::uint64_t id, std::uint64_t parent, const char* name,
+                        double start, double end) {
+    SpanRecord span;
+    span.id = id;
+    span.parent_id = parent;
+    span.name = name;
+    span.start_us = start;
+    span.dur_us = end - start;
+    spans.push_back(std::move(span));
+  };
+  make(1, 0, "pipeline.run", 0, 1000);
+  make(2, 1, "checker.contract", 100, 900);
+  spans.back().attrs.emplace_back("contract", support::Json("c1"));
+  make(3, 2, "smt.solve", 200, 300);
+  make(4, 2, "smt.solve", 400, 450);
+  make(5, 1, "smt.solve", 950, 960);
+  return spans;
+}
+
+TEST(ProfileTest, InclusiveAndExclusiveTimes) {
+  const CostTable table = build_cost_table(record_profile_fixture());
+  ASSERT_EQ(table.rows.size(), 3u);
+  // Sorted by inclusive descending: run (1000) > contract (800) > solve (160).
+  EXPECT_EQ(table.rows[0].name, "pipeline.run");
+  EXPECT_NEAR(table.rows[0].inclusive_ms, 1.0, 1e-9);
+  EXPECT_NEAR(table.rows[0].exclusive_ms, 1.0 - 0.8 - 0.01, 1e-9);
+  EXPECT_EQ(table.rows[1].name, "checker.contract");
+  EXPECT_NEAR(table.rows[1].inclusive_ms, 0.8, 1e-9);
+  EXPECT_NEAR(table.rows[1].exclusive_ms, 0.8 - 0.15, 1e-9);
+  EXPECT_EQ(table.rows[2].name, "smt.solve");
+  EXPECT_EQ(table.rows[2].count, 3);
+  EXPECT_NEAR(table.rows[2].inclusive_ms, 0.16, 1e-9);
+  EXPECT_NEAR(table.wall_ms, 1.0, 1e-9);
+}
+
+TEST(ProfileTest, SmtHotspotsAttributeToEnclosingContract) {
+  const CostTable table = build_cost_table(record_profile_fixture());
+  ASSERT_EQ(table.hotspots.size(), 2u);
+  EXPECT_EQ(table.hotspots[0].contract_id, "c1");
+  EXPECT_EQ(table.hotspots[0].queries, 2);
+  EXPECT_NEAR(table.hotspots[0].solve_ms, 0.15, 1e-9);
+  EXPECT_EQ(table.hotspots[1].contract_id, "(outside checker)");
+  EXPECT_EQ(table.hotspots[1].queries, 1);
+}
+
+TEST(ProfileTest, RenderAndJsonAgreeOnStructure) {
+  const CostTable table = build_cost_table(record_profile_fixture());
+  const support::Json json = table.to_json();
+  EXPECT_TRUE(json.has("wall_ms"));
+  EXPECT_EQ(json.at("spans").as_array().size(), 3u);
+  EXPECT_EQ(json.at("smt_hotspots").as_array().size(), 2u);
+  const std::string text = table.render();
+  EXPECT_NE(text.find("pipeline.run"), std::string::npos);
+  EXPECT_NE(text.find("c1"), std::string::npos);
+  EXPECT_NE(text.find("wall clock"), std::string::npos);
+}
+
+TEST(ProfileTest, EmptySnapshotProducesEmptyTable) {
+  const CostTable table = build_cost_table({});
+  EXPECT_TRUE(table.rows.empty());
+  EXPECT_TRUE(table.hotspots.empty());
+  EXPECT_DOUBLE_EQ(table.wall_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace lisa::obs

@@ -24,6 +24,19 @@ TEST(Report, PipelineMarkdownContainsContractAndVerdicts) {
   EXPECT_NE(markdown.find("Timings:"), std::string::npos);
 }
 
+TEST(Report, StageTimingsAreConsistent) {
+  const PipelineResult result = zk_result();
+  const StageTimings& timings = result.timings;
+  // total is the derived sum of the three stage spans...
+  EXPECT_NEAR(timings.total_ms,
+              timings.infer_ms + timings.translate_ms + timings.check_ms, 0.05);
+  // ...and screening/summaries are shares of the check stage, not extra
+  // time on top of it (the double-counting this invariant guards against).
+  EXPECT_LE(timings.screen_ms + timings.summary_ms, timings.check_ms + 0.05);
+  EXPECT_TRUE(timings.consistent());
+  EXPECT_GT(timings.total_ms, 0.0);
+}
+
 TEST(Report, ContractMarkdownShowsCounterexample) {
   const PipelineResult result = zk_result();
   ASSERT_FALSE(result.reports.empty());

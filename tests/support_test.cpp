@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "support/json.hpp"
+#include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 
@@ -173,6 +174,52 @@ TEST(Rng, BernoulliRoughlyCalibrated) {
     if (rng.next_bool(0.3)) ++heads;
   EXPECT_GT(heads, 2600);
   EXPECT_LT(heads, 3400);
+}
+
+// ---------------------------------------------------------------------------
+// log
+// ---------------------------------------------------------------------------
+
+TEST(Log, ParseLogLevelAcceptsAllSpellings) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::warn);
+  EXPECT_EQ(parse_log_level("WARNING"), LogLevel::warn);
+  EXPECT_EQ(parse_log_level("Error"), LogLevel::error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::off);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::off);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(Log, RenderedLineCarriesElapsedPrefixAndLevel) {
+  const std::string line = render_log_line(LogLevel::warn, "spilled to concolic");
+  // "[+     12.345ms] [WARN] spilled to concolic" — fixed-width elapsed ms
+  // from the process epoch, so lines correlate with trace timestamps.
+  ASSERT_GE(line.size(), 2u);
+  EXPECT_EQ(line.substr(0, 2), "[+");
+  const std::size_t ms = line.find("ms] ");
+  ASSERT_NE(ms, std::string::npos);
+  const std::string elapsed = line.substr(2, ms - 2);
+  EXPECT_NE(elapsed.find('.'), std::string::npos);
+  EXPECT_DOUBLE_EQ(std::stod(elapsed), std::stod(elapsed));  // parses as a number
+  EXPECT_GE(std::stod(elapsed), 0.0);
+  EXPECT_NE(line.find("[WARN] spilled to concolic"), std::string::npos);
+}
+
+TEST(Log, ElapsedPrefixIsMonotonic) {
+  const auto elapsed_of = [](const std::string& line) {
+    return std::stod(line.substr(2, line.find("ms] ") - 2));
+  };
+  const double first = elapsed_of(render_log_line(LogLevel::info, "a"));
+  const double second = elapsed_of(render_log_line(LogLevel::info, "b"));
+  EXPECT_GE(second, first);
+}
+
+TEST(Log, LevelNamesAlignAcrossLevels) {
+  EXPECT_NE(render_log_line(LogLevel::debug, "m").find("[DEBUG]"), std::string::npos);
+  EXPECT_NE(render_log_line(LogLevel::info, "m").find("[INFO]"), std::string::npos);
+  EXPECT_NE(render_log_line(LogLevel::error, "m").find("[ERROR]"), std::string::npos);
 }
 
 }  // namespace

@@ -5,7 +5,15 @@
 //   lisa prompt <case-id>             print the Listing-1 prompt for a ticket
 //   lisa infer <case-id>              run inference, print the proposal JSON
 //   lisa check <case-id> [--latest|--buggy] [--no-concolic] [--no-prune]
-//                                     full pipeline; markdown report to stdout
+//              [--trace out.json] [--metrics out.json]
+//                                     full pipeline; markdown report to stdout;
+//                                     --trace writes a Chrome trace-event file
+//                                     (open in Perfetto), --metrics a registry
+//                                     snapshot
+//   lisa profile <system|case-id|all> [--json] [--trace out.json]
+//                                     run the corpus slice with tracing on and
+//                                     print the per-span cost table (inclusive/
+//                                     exclusive ms) plus top SMT hotspots
 //   lisa gate <case-id> <file.ml>     evaluate a commit file against the
 //                                     contracts mined from a case
 //   lisa hunt                         §4 bug hunt over the latest releases
@@ -35,6 +43,9 @@
 #include "lisa/pipeline.hpp"
 #include "lisa/report.hpp"
 #include "minilang/sema.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "staticcheck/analyses.hpp"
 
 namespace {
@@ -46,10 +57,25 @@ int usage() {
                "usage: lisa <command> [args]\n"
                "  corpus | prompt <case> | infer <case> | check <case> [flags] |\n"
                "  gate <case> <file.ml> | hunt | synth <case> | explore <case> |\n"
-               "  lint [case] [--buggy|--latest] [--json]\n"
+               "  lint [case] [--buggy|--latest] [--json] |\n"
+               "  profile <system|case|all> [--json] [--trace out.json]\n"
                "flags for check: --latest --buggy --no-concolic --no-prune\n"
-               "lint with no case runs over every patched corpus program\n");
+               "                 --trace out.json --metrics out.json\n"
+               "lint with no case runs over every patched corpus program\n"
+               "profile runs the corpus slice with tracing on and prints the\n"
+               "per-span cost table and top SMT hotspots\n");
   return 2;
+}
+
+/// Writes pretty-printed JSON to `path`; reports and returns false on I/O error.
+bool write_json_file(const std::string& path, const support::Json& json) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << json.pretty() << "\n";
+  return out.good();
 }
 
 const corpus::FailureTicket* require_case(const std::string& case_id) {
@@ -91,6 +117,8 @@ int cmd_check(const std::string& case_id, int argc, char** argv) {
   const corpus::FailureTicket* ticket = require_case(case_id);
   if (ticket == nullptr) return 2;
   std::string source = ticket->patched_source;
+  std::string trace_path;
+  std::string metrics_path;
   core::CheckOptions options;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--latest") == 0) {
@@ -105,14 +133,91 @@ int cmd_check(const std::string& case_id, int argc, char** argv) {
       options.run_concolic = false;
     } else if (std::strcmp(argv[i], "--no-prune") == 0) {
       options.prune_irrelevant = false;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       return usage();
     }
   }
+  if (!trace_path.empty()) obs::tracer().set_enabled(true);
   const core::Pipeline pipeline(inference::MockLlmOptions{}, options);
   const core::PipelineResult result = pipeline.run(*ticket, source);
   std::printf("%s", core::render_markdown(result).c_str());
+  if (!trace_path.empty() &&
+      !write_json_file(trace_path, obs::tracer().chrome_trace()))
+    return 2;
+  if (!metrics_path.empty() &&
+      !write_json_file(metrics_path, obs::metrics().snapshot()))
+    return 2;
   return result.all_passed() ? 0 : 1;
+}
+
+int cmd_profile(int argc, char** argv) {
+  std::string selector;
+  std::string trace_path;
+  bool json_output = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0)
+      json_output = true;
+    else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
+    else if (argv[i][0] != '-' && selector.empty())
+      selector = argv[i];
+    else
+      return usage();
+  }
+  if (selector.empty()) return usage();
+
+  std::vector<const corpus::FailureTicket*> tickets;
+  if (selector == "all") {
+    for (const corpus::FailureTicket& ticket : corpus::Corpus::all())
+      tickets.push_back(&ticket);
+  } else {
+    tickets = corpus::Corpus::for_system(selector);
+    if (tickets.empty()) {
+      const corpus::FailureTicket* ticket = corpus::Corpus::find(selector);
+      if (ticket != nullptr) tickets.push_back(ticket);
+    }
+  }
+  if (tickets.empty()) {
+    std::fprintf(stderr,
+                 "'%s' names neither a system (zookeeper|hdfs|hbase|cassandra), a "
+                 "case id, nor 'all'\n",
+                 selector.c_str());
+    return 2;
+  }
+
+  obs::tracer().set_enabled(true);
+  obs::tracer().clear();
+  obs::metrics().reset();
+  const core::Pipeline pipeline;
+  int violations = 0;
+  for (const corpus::FailureTicket* ticket : tickets) {
+    const core::PipelineResult result = pipeline.run(*ticket, ticket->patched_source);
+    violations += result.total_violations();
+  }
+  const std::vector<obs::SpanRecord> spans = obs::tracer().snapshot();
+  const obs::CostTable table = obs::build_cost_table(spans);
+
+  if (json_output) {
+    support::JsonObject root;
+    root["selector"] = selector;
+    root["cases"] = tickets.size();
+    root["violations"] = violations;
+    root["profile"] = table.to_json();
+    root["metrics"] = obs::metrics().snapshot();
+    std::printf("%s\n", support::Json(std::move(root)).pretty().c_str());
+  } else {
+    std::printf("=== lisa profile: %s (%zu case%s, %zu spans) ===\n\n", selector.c_str(),
+                tickets.size(), tickets.size() == 1 ? "" : "s", spans.size());
+    std::printf("%s", table.render().c_str());
+  }
+  if (!trace_path.empty() &&
+      !write_json_file(trace_path, obs::tracer().chrome_trace()))
+    return 2;
+  return 0;
 }
 
 int cmd_gate(const std::string& case_id, const std::string& path) {
@@ -359,6 +464,7 @@ int main(int argc, char** argv) {
     if (command == "synth" && argc >= 3) return cmd_synth(argv[2]);
     if (command == "explore" && argc >= 3) return cmd_explore(argv[2]);
     if (command == "lint") return cmd_lint(argc - 2, argv + 2);
+    if (command == "profile") return cmd_profile(argc - 2, argv + 2);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
