@@ -45,3 +45,21 @@ if command -v python3 > /dev/null; then
   }
 fi
 echo "profile --json smoke: OK"
+
+# Chaos smoke: a governed run with armed fault points must degrade into a
+# structured report — exit 0 (all conclusive) or 1 (violations/inconclusive),
+# never a crash — and must say so in the output instead of silently passing.
+chaos_status=0
+chaos_out=$(LISA_FAULTPOINTS=smt.solve=timeout,infer.propose=fail:1 \
+  "$BUILD_DIR"/tools/lisa check zk-1208-ephemeral-create \
+  --deadline-ms 200 --max-smt-queries 4) || chaos_status=$?
+if [[ "$chaos_status" -gt 1 ]]; then
+  echo "check.sh: chaos run exited $chaos_status (expected 0 or 1)" >&2
+  exit 1
+fi
+if [[ "$chaos_out" != *"INCONCLUSIVE"* && "$chaos_out" != *"inconclusive"* ]]; then
+  echo "check.sh: chaos run did not surface a degraded outcome" >&2
+  echo "$chaos_out" >&2
+  exit 1
+fi
+echo "chaos smoke: OK (exit $chaos_status, degradation surfaced)"

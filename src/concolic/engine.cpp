@@ -74,6 +74,7 @@ class Engine::Impl {
     call_stack_.clear();
     fuel_used_ = 0;
     next_object_id_ = 1;
+    solver_.set_budget(config.budget);
 
     // Locate target statements and extract relevant field names.
     targets_.clear();
@@ -102,6 +103,13 @@ class Engine::Impl {
       result_.test_passed = true;
     } catch (const MiniThrow& thrown) {
       result_.failure = thrown.value().to_display();
+    } catch (const support::BudgetExhausted& exhausted) {
+      // Structured resource outcome: the run is cut off, not broken.
+      result_.budget_exhausted = true;
+      result_.degraded_reason = exhausted.what();
+    } catch (const minilang::StepLimitExceeded& limit) {
+      result_.step_limit_hit = true;
+      result_.degraded_reason = limit.what();
     } catch (const InterpError& error) {
       result_.failure = error.what();
     }
@@ -115,8 +123,13 @@ class Engine::Impl {
   enum class Flow { kNormal, kReturn, kBreak, kContinue };
 
   void burn_fuel() {
-    if (++fuel_used_ > 4'000'000)
-      throw InterpError("fuel exhausted in concolic engine");
+    if (++fuel_used_ > 4'000'000) throw minilang::StepLimitExceeded(4'000'000);
+    // Amortize the budget poll: a relaxed-atomic add every kStepStride
+    // statements keeps the ungoverned hot path untouched.
+    constexpr std::int64_t kStepStride = 256;
+    if (config_->budget != nullptr && fuel_used_ % kStepStride == 0 &&
+        !config_->budget->charge_steps(kStepStride))
+      throw support::BudgetExhausted(config_->budget->exhausted_reason());
   }
 
   // -- Relevance filter -----------------------------------------------------
@@ -298,6 +311,7 @@ class Engine::Impl {
         const smt::SolveResult check = solver_.solve(Formula::conj2(
             hit.trace_condition, Formula::negate(hit.instantiated_contract)));
         hit.symbolic_violation = check.sat();
+        hit.inconclusive = check.unknown();
         if (check.sat()) hit.witness = check.model.to_string();
       }
     } else {
@@ -353,6 +367,8 @@ class Engine::Impl {
     const bool taken = condition.v.as_bool();
     ++result_.branches_total;
     if (condition.sym.has_bool() && relevant(condition.sym.bool_formula)) {
+      if (config_->budget != nullptr && !config_->budget->charge_fork_point())
+        throw support::BudgetExhausted(config_->budget->exhausted_reason());
       FormulaPtr recorded =
           taken ? condition.sym.bool_formula : Formula::negate(condition.sym.bool_formula);
       path_condition_.push_back(std::move(recorded));
@@ -806,6 +822,7 @@ RunResult Engine::run_test(const std::string& test_name, const CheckConfig& conf
   registry.counter("concolic.branches_total").add(result.branches_total);
   registry.counter("concolic.branches_recorded").add(result.branches_recorded);
   registry.counter("concolic.target_hits").add(static_cast<std::int64_t>(result.hits.size()));
+  if (result.degraded()) registry.counter("concolic.degraded_runs").add();
   registry.histogram("concolic.test_ms").record(span.elapsed_ms());
   span.attr("passed", result.test_passed);
   span.attr("hits", result.hits.size());

@@ -25,6 +25,7 @@
 
 #include "minilang/ast.hpp"
 #include "smt/formula.hpp"
+#include "support/budget.hpp"
 
 namespace lisa::concolic {
 
@@ -37,6 +38,11 @@ struct CheckConfig {
   /// Record only guards touching fields the contract mentions (paper's
   /// relevant-variable pruning). Disable for the ablation bench.
   bool prune_irrelevant = true;
+  /// Cooperative resource budget (support/budget.hpp): the engine charges
+  /// interpreter steps and recorded fork points, and its per-hit solver
+  /// charges SMT queries. Exhaustion ends the run with a structured
+  /// RunResult::budget_exhausted outcome. nullptr = ungoverned.
+  support::Budget* budget = nullptr;
 };
 
 /// One arrival at a target statement.
@@ -49,16 +55,30 @@ struct TargetHit {
   bool instantiable = true;   // all contract paths resolved to locations
   bool concrete_violation = false;  // P false on the live concrete state
   bool symbolic_violation = false;  // sat(π ∧ ¬P): a missing-check path
+  bool inconclusive = false;  // the π ∧ ¬P query came back kUnknown (budget)
   std::string witness;              // model of π ∧ ¬P when symbolically violated
 };
 
 struct RunResult {
   bool test_passed = false;
   std::string failure;                 // populated when !test_passed
+  /// Structured resource outcomes — distinct from test failure so the
+  /// checker can account them as inconclusive rather than broken:
+  bool step_limit_hit = false;         // engine fuel ran out mid-test
+  bool budget_exhausted = false;       // the attached Budget cut the run off
+  std::string degraded_reason;         // which resource ran out
   std::vector<TargetHit> hits;
   std::int64_t branches_total = 0;     // branch decisions executed
   std::int64_t branches_recorded = 0;  // decisions recorded into π
   std::int64_t stmts_executed = 0;
+
+  /// True when any structured degradation occurred during the run.
+  [[nodiscard]] bool degraded() const {
+    if (step_limit_hit || budget_exhausted) return true;
+    for (const TargetHit& hit : hits)
+      if (hit.inconclusive) return true;
+    return false;
+  }
 };
 
 class Engine {

@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "smt/solver.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lisa::concolic {
 
@@ -17,6 +18,7 @@ const char* explored_verdict_name(ExploredVerdict verdict) {
     case ExploredVerdict::kInfeasible: return "infeasible";
     case ExploredVerdict::kNotSynthesizable: return "needs-human";
     case ExploredVerdict::kReplayMismatch: return "replay-mismatch";
+    case ExploredVerdict::kSkipped: return "skipped";
   }
   return "?";
 }
@@ -31,7 +33,8 @@ struct ReplayResult {
 
 ReplayResult replay(const minilang::Program& program, const SynthesizedTest& test,
                     const std::string& target_fragment,
-                    const smt::FormulaPtr& contract_condition) {
+                    const smt::FormulaPtr& contract_condition,
+                    support::Budget* budget) {
   ReplayResult result;
   minilang::Program with_test;
   try {
@@ -43,6 +46,7 @@ ReplayResult replay(const minilang::Program& program, const SynthesizedTest& tes
   CheckConfig config;
   config.target_fragment = target_fragment;
   config.contract = contract_condition;
+  config.budget = budget;
   const RunResult run = engine.run_test(test.test_name, config);
   for (const TargetHit& hit : run.hits) {
     result.reached = true;
@@ -58,7 +62,8 @@ ReplayResult replay(const minilang::Program& program, const SynthesizedTest& tes
 
 ExplorationReport explore(const minilang::Program& program,
                           const std::string& target_fragment,
-                          const smt::FormulaPtr& contract_condition) {
+                          const smt::FormulaPtr& contract_condition,
+                          support::Budget* budget) {
   ExplorationReport report;
   obs::ScopedSpan run_span("explorer.run");
   run_span.attr("target", target_fragment);
@@ -73,6 +78,7 @@ ExplorationReport explore(const minilang::Program& program,
   run_span.attr("paths", tree.paths.size());
 
   smt::Solver solver;
+  solver.set_budget(budget);
   int sequence = 1;
   for (const analysis::ExecutionPath& path : tree.paths) {
     obs::ScopedSpan path_span("explorer.path");
@@ -80,7 +86,31 @@ ExplorationReport explore(const minilang::Program& program,
     ExploredPath explored;
     explored.call_chain = path.call_chain;
 
-    if (!solver.solve(path.condition).sat()) {
+    // Governance: a refused path degrades to kSkipped — it never silently
+    // disappears from the report, and never upgrades to a replay verdict.
+    const bool fault_skip =
+        support::faultpoint("explorer.path") != support::FaultAction::kNone;
+    if (fault_skip) obs::metrics().counter("fault.explorer.path").add();
+    if (fault_skip || (budget != nullptr && !budget->charge_path())) {
+      explored.verdict = ExploredVerdict::kSkipped;
+      explored.detail = fault_skip ? "injected fault at explorer.path"
+                                   : budget->exhausted_reason();
+      path_span.attr("verdict", explored_verdict_name(explored.verdict));
+      report.paths.push_back(std::move(explored));
+      ++report.skipped;
+      continue;
+    }
+
+    const smt::SolveResult feasibility = solver.solve(path.condition);
+    if (feasibility.unknown()) {
+      explored.verdict = ExploredVerdict::kSkipped;
+      explored.detail = "solver inconclusive: " + feasibility.reason;
+      path_span.attr("verdict", explored_verdict_name(explored.verdict));
+      report.paths.push_back(std::move(explored));
+      ++report.skipped;
+      continue;
+    }
+    if (!feasibility.sat()) {
       explored.verdict = ExploredVerdict::kInfeasible;
       explored.detail = "path condition unsatisfiable: " + path.condition->to_string();
       path_span.attr("verdict", explored_verdict_name(explored.verdict));
@@ -107,7 +137,8 @@ ExplorationReport explore(const minilang::Program& program,
     }
     ++sequence;
     explored.test_source = test->source;
-    const ReplayResult run = replay(program, *test, target_fragment, contract_condition);
+    const ReplayResult run =
+        replay(program, *test, target_fragment, contract_condition, budget);
     if (!run.reached) {
       explored.verdict = ExploredVerdict::kReplayMismatch;
       explored.detail = "synthesized driver did not reach the target (model " +
@@ -126,12 +157,17 @@ ExplorationReport explore(const minilang::Program& program,
     path_span.attr("verdict", explored_verdict_name(explored.verdict));
     report.paths.push_back(std::move(explored));
   }
+  if (budget != nullptr && budget->exhausted()) {
+    report.budget_exhausted = true;
+    report.budget_reason = budget->exhausted_reason();
+  }
   obs::MetricsRegistry& registry = obs::metrics();
   registry.counter("explorer.paths").add(static_cast<std::int64_t>(report.paths.size()));
   registry.counter("explorer.verified").add(report.verified);
   registry.counter("explorer.violated").add(report.violated);
   registry.counter("explorer.infeasible").add(report.infeasible);
   registry.counter("explorer.human_needed").add(report.human_needed);
+  registry.counter("explorer.skipped").add(report.skipped);
   return report;
 }
 

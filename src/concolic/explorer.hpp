@@ -17,6 +17,7 @@
 #include "concolic/testgen.hpp"
 #include "minilang/ast.hpp"
 #include "smt/formula.hpp"
+#include "support/budget.hpp"
 
 namespace lisa::concolic {
 
@@ -26,6 +27,7 @@ enum class ExploredVerdict {
   kInfeasible,         // path condition unsatisfiable (dead static path)
   kNotSynthesizable,   // needs container-mediated state: human verdict
   kReplayMismatch,     // synthesized test did not reach the target
+  kSkipped,            // budget exhausted / fault injected: inconclusive
 };
 
 [[nodiscard]] const char* explored_verdict_name(ExploredVerdict verdict);
@@ -43,13 +45,19 @@ struct ExplorationReport {
   int violated = 0;
   int infeasible = 0;
   int human_needed = 0;  // not synthesizable or replay mismatch
+  int skipped = 0;       // budget-refused or fault-degraded paths
+  bool budget_exhausted = false;
+  std::string budget_reason;
 };
 
 /// Explores every path of the contract's (unpruned) execution tree whose
 /// chain-head entry is synthesizable, replaying a generated driver for each.
 /// `contract_condition` is in target-frame local names (as in TreeOptions).
+/// An exhausted `budget` (nullptr = ungoverned) degrades remaining paths to
+/// kSkipped — never to a verified/violated verdict.
 [[nodiscard]] ExplorationReport explore(const minilang::Program& program,
                                         const std::string& target_fragment,
-                                        const smt::FormulaPtr& contract_condition);
+                                        const smt::FormulaPtr& contract_condition,
+                                        support::Budget* budget = nullptr);
 
 }  // namespace lisa::concolic

@@ -1,12 +1,16 @@
 #include "inference/mock_llm.hpp"
 
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "corpus/diff.hpp"
 #include "minilang/interp.hpp"
 #include "minilang/parser.hpp"
 #include "minilang/printer.hpp"
 #include "minilang/sema.hpp"
+#include "obs/metrics.hpp"
+#include "support/faultpoint.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 
@@ -140,6 +144,36 @@ std::string MockLlm::render_prompt(const corpus::FailureTicket& ticket) {
 }
 
 SemanticsProposal MockLlm::infer(const corpus::FailureTicket& ticket) const {
+  if (options_.latency_spike_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.latency_spike_ms));
+  const support::FaultAction fault = support::faultpoint("infer.propose");
+  if (fault == support::FaultAction::kFail || fault == support::FaultAction::kTimeout) {
+    obs::metrics().counter("fault.infer.propose").add();
+    throw InferenceError(ticket.case_id,
+                         std::string("injected backend ") +
+                             support::fault_action_name(fault),
+                         /*transient=*/true);
+  }
+  if (transient_remaining_.load(std::memory_order_relaxed) > 0 &&
+      transient_remaining_.fetch_sub(1, std::memory_order_relaxed) > 0)
+    throw InferenceError(ticket.case_id, "transient backend error (configured fault)",
+                         /*transient=*/true);
+  bool malformed = fault == support::FaultAction::kMalformed;
+  if (malformed) obs::metrics().counter("fault.infer.propose").add();
+  if (malformed_remaining_.load(std::memory_order_relaxed) > 0 &&
+      malformed_remaining_.fetch_sub(1, std::memory_order_relaxed) > 0)
+    malformed = true;
+  if (malformed) {
+    // A structurally broken response: echoes the case but carries a
+    // low-level semantics with no target or condition, which
+    // validate_proposal rejects (the re-prompt path in infer_with_retry).
+    SemanticsProposal bad;
+    bad.case_id = ticket.case_id;
+    bad.low_level.emplace_back();
+    bad.reasoning = "(malformed response)";
+    return bad;
+  }
+
   const Program before = minilang::parse_checked(ticket.buggy_source);
   const Program after = minilang::parse_checked(ticket.patched_source);
   const corpus::ProgramDiff diff = corpus::diff_programs(before, after);

@@ -28,6 +28,7 @@
 // (§5), which the cross-validation stage must filter.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "corpus/ticket.hpp"
@@ -40,14 +41,30 @@ struct MockLlmOptions {
   /// model for the §5 ablation). 0 = faithful extraction.
   double noise = 0.0;
   std::uint64_t seed = 1;
+  /// Fault modes for the robustness harness — deterministic stand-ins for a
+  /// real backend's failure classes, consumed in call order:
+  /// the first `transient_failures` infer() calls throw a transient
+  /// InferenceError (rate limit / connection reset shape) ...
+  int transient_failures = 0;
+  /// ... the next `malformed_responses` calls return a structurally invalid
+  /// proposal (free-form output that fails validate_proposal) ...
+  int malformed_responses = 0;
+  /// ... and every call stalls this long before answering (latency spike;
+  /// changes timing, never results).
+  int latency_spike_ms = 0;
 };
 
 class MockLlm {
  public:
-  explicit MockLlm(MockLlmOptions options = {}) : options_(options) {}
+  explicit MockLlm(MockLlmOptions options = {})
+      : options_(options),
+        transient_remaining_(options.transient_failures),
+        malformed_remaining_(options.malformed_responses) {}
 
   /// Infers semantics from a failure ticket. Throws std::runtime_error if
-  /// the ticket's sources do not parse (corpus corruption).
+  /// the ticket's sources do not parse (corpus corruption) and a transient
+  /// InferenceError when a configured or injected backend fault fires
+  /// (retryable via infer_with_retry).
   [[nodiscard]] SemanticsProposal infer(const corpus::FailureTicket& ticket) const;
 
   /// The prompt text a real-LLM backend would send (Listing 1 instantiated
@@ -56,6 +73,8 @@ class MockLlm {
 
  private:
   MockLlmOptions options_;
+  mutable std::atomic<int> transient_remaining_;
+  mutable std::atomic<int> malformed_remaining_;
 };
 
 }  // namespace lisa::inference

@@ -13,6 +13,7 @@
 #include "obs/trace.hpp"
 #include "smt/solver.hpp"
 #include "staticcheck/screener.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lisa::core {
 
@@ -25,11 +26,37 @@ const char* path_verdict_name(PathVerdict verdict) {
     case PathVerdict::kVerified: return "verified";
     case PathVerdict::kViolated: return "violated";
     case PathVerdict::kUnmappable: return "unmappable";
+    case PathVerdict::kInconclusive: return "inconclusive";
   }
   return "?";
 }
 
+std::optional<PathVerdict> path_verdict_from_name(const std::string& name) {
+  if (name == "verified") return PathVerdict::kVerified;
+  if (name == "violated") return PathVerdict::kViolated;
+  if (name == "unmappable") return PathVerdict::kUnmappable;
+  if (name == "inconclusive") return PathVerdict::kInconclusive;
+  return std::nullopt;
+}
+
 Json ContractCheckReport::to_json() const {
+  // Degradation hook for the robustness harness: a faulted serialization
+  // yields a minimal-but-valid record instead of a torn artifact. Consumers
+  // see `serialization_degraded` and keep the verdict counts.
+  if (support::faultpoint("report.serialize") != support::FaultAction::kNone) {
+    obs::metrics().counter("fault.report.serialize").add();
+    JsonObject stub;
+    stub["contract_id"] = contract_id;
+    stub["target_fragment"] = target_fragment;
+    stub["verified"] = verified;
+    stub["violated"] = violated;
+    stub["unmappable"] = unmappable;
+    stub["inconclusive"] = inconclusive;
+    stub["passed"] = passed();
+    stub["conclusive"] = conclusive();
+    stub["serialization_degraded"] = true;
+    return Json(std::move(stub));
+  }
   JsonObject root;
   root["contract_id"] = contract_id;
   root["target_fragment"] = target_fragment;
@@ -37,11 +64,17 @@ Json ContractCheckReport::to_json() const {
   root["verified"] = verified;
   root["violated"] = violated;
   root["unmappable"] = unmappable;
+  if (inconclusive > 0) root["inconclusive"] = inconclusive;
   root["uncovered"] = uncovered;
   root["raw_paths"] = raw_paths;
   root["truncated"] = truncated;
   root["sanity_ok"] = sanity_ok;
   root["passed"] = passed();
+  if (!conclusive()) root["conclusive"] = false;
+  if (budget_exhausted) {
+    root["budget_exhausted"] = true;
+    root["budget_reason"] = budget_reason;
+  }
   JsonArray path_entries;
   for (const PathReport& path : paths) {
     JsonObject entry;
@@ -52,10 +85,18 @@ Json ContractCheckReport::to_json() const {
     }
     entry["chain"] = chain;
     entry["target_stmt"] = path.target_text;
+    entry["target_stmt_id"] = path.target_stmt_id;
     entry["path_condition"] = path.path_condition;
+    entry["contract_condition"] = path.contract_condition;
     entry["verdict"] = path_verdict_name(path.verdict);
     if (!path.counterexample.empty()) entry["counterexample"] = path.counterexample;
+    if (!path.detail.empty()) entry["detail"] = path.detail;
     entry["covered_by_test"] = path.covered_by_test;
+    if (!path.covering_tests.empty()) {
+      JsonArray covering;
+      for (const std::string& test : path.covering_tests) covering.push_back(Json(test));
+      entry["covering_tests"] = Json(std::move(covering));
+    }
     path_entries.emplace_back(std::move(entry));
   }
   root["paths"] = Json(std::move(path_entries));
@@ -68,6 +109,14 @@ Json ContractCheckReport::to_json() const {
   dyn["target_hits"] = dynamic.target_hits;
   dyn["symbolic_violations"] = dynamic.symbolic_violations;
   dyn["concrete_violations"] = dynamic.concrete_violations;
+  if (dynamic.inconclusive_hits > 0) dyn["inconclusive_hits"] = dynamic.inconclusive_hits;
+  if (dynamic.degraded_runs > 0) dyn["degraded_runs"] = dynamic.degraded_runs;
+  if (!dynamic.violation_details.empty()) {
+    JsonArray details;
+    for (const std::string& detail : dynamic.violation_details)
+      details.push_back(Json(detail));
+    dyn["violation_details"] = Json(std::move(details));
+  }
   root["dynamic"] = Json(std::move(dyn));
   JsonArray structural;
   for (const std::string& violation : structural_violations)
@@ -84,6 +133,94 @@ Json ContractCheckReport::to_json() const {
     root["screen"] = Json(std::move(screen));
   }
   return Json(std::move(root));
+}
+
+ContractCheckReport ContractCheckReport::from_json(const Json& json) {
+  ContractCheckReport report;
+  if (!json.is_object()) return report;
+  report.contract_id = json.get_string("contract_id");
+  report.target_fragment = json.get_string("target_fragment");
+  report.target_statements = static_cast<std::size_t>(json.get_int("target_statements"));
+  report.verified = static_cast<int>(json.get_int("verified"));
+  report.violated = static_cast<int>(json.get_int("violated"));
+  report.unmappable = static_cast<int>(json.get_int("unmappable"));
+  report.inconclusive = static_cast<int>(json.get_int("inconclusive"));
+  report.uncovered = static_cast<int>(json.get_int("uncovered"));
+  report.raw_paths = static_cast<std::size_t>(json.get_int("raw_paths"));
+  report.truncated = json.has("truncated") && json.at("truncated").is_bool() &&
+                     json.at("truncated").as_bool();
+  report.sanity_ok = json.has("sanity_ok") && json.at("sanity_ok").is_bool() &&
+                     json.at("sanity_ok").as_bool();
+  report.budget_exhausted = json.has("budget_exhausted") &&
+                            json.at("budget_exhausted").is_bool() &&
+                            json.at("budget_exhausted").as_bool();
+  report.budget_reason = json.get_string("budget_reason");
+  if (json.has("paths") && json.at("paths").is_array()) {
+    for (const Json& entry : json.at("paths").as_array()) {
+      if (!entry.is_object()) continue;
+      PathReport path;
+      const std::string chain = entry.get_string("chain");
+      for (std::size_t pos = 0; pos <= chain.size();) {
+        const std::size_t arrow = chain.find(" -> ", pos);
+        const std::size_t end = arrow == std::string::npos ? chain.size() : arrow;
+        if (end > pos) path.call_chain.push_back(chain.substr(pos, end - pos));
+        if (arrow == std::string::npos) break;
+        pos = arrow + 4;
+      }
+      path.target_text = entry.get_string("target_stmt");
+      path.target_stmt_id = static_cast<int>(entry.get_int("target_stmt_id", -1));
+      path.path_condition = entry.get_string("path_condition");
+      path.contract_condition = entry.get_string("contract_condition");
+      path.verdict = path_verdict_from_name(entry.get_string("verdict"))
+                         .value_or(PathVerdict::kInconclusive);
+      path.counterexample = entry.get_string("counterexample");
+      path.detail = entry.get_string("detail");
+      path.covered_by_test = entry.has("covered_by_test") &&
+                             entry.at("covered_by_test").is_bool() &&
+                             entry.at("covered_by_test").as_bool();
+      if (entry.has("covering_tests") && entry.at("covering_tests").is_array())
+        for (const Json& test : entry.at("covering_tests").as_array())
+          if (test.is_string()) path.covering_tests.push_back(test.as_string());
+      report.paths.push_back(std::move(path));
+    }
+  }
+  if (json.has("dynamic") && json.at("dynamic").is_object()) {
+    const Json& dyn = json.at("dynamic");
+    if (dyn.has("selected_tests") && dyn.at("selected_tests").is_array())
+      for (const Json& test : dyn.at("selected_tests").as_array())
+        if (test.is_string()) report.dynamic.selected_tests.push_back(test.as_string());
+    report.dynamic.tests_run = static_cast<int>(dyn.get_int("tests_run"));
+    report.dynamic.tests_passed = static_cast<int>(dyn.get_int("tests_passed"));
+    report.dynamic.target_hits = static_cast<int>(dyn.get_int("target_hits"));
+    report.dynamic.symbolic_violations =
+        static_cast<int>(dyn.get_int("symbolic_violations"));
+    report.dynamic.concrete_violations =
+        static_cast<int>(dyn.get_int("concrete_violations"));
+    report.dynamic.inconclusive_hits = static_cast<int>(dyn.get_int("inconclusive_hits"));
+    report.dynamic.degraded_runs = static_cast<int>(dyn.get_int("degraded_runs"));
+    if (dyn.has("violation_details") && dyn.at("violation_details").is_array())
+      for (const Json& detail : dyn.at("violation_details").as_array())
+        if (detail.is_string())
+          report.dynamic.violation_details.push_back(detail.as_string());
+  }
+  if (json.has("structural_violations") && json.at("structural_violations").is_array())
+    for (const Json& violation : json.at("structural_violations").as_array())
+      if (violation.is_string())
+        report.structural_violations.push_back(violation.as_string());
+  if (json.has("screen") && json.at("screen").is_object()) {
+    const Json& screen = json.at("screen");
+    report.screen_verdict = screen.get_string("verdict");
+    report.screen_witness = screen.get_string("witness");
+    report.screen_reason = screen.get_string("reason");
+    if (screen.has("elapsed_ms") && screen.at("elapsed_ms").is_number())
+      report.screen_ms = screen.at("elapsed_ms").as_double();
+    if (screen.has("summary_ms") && screen.at("summary_ms").is_number())
+      report.summary_ms = screen.at("summary_ms").as_double();
+    report.screen_skipped_concolic = screen.has("skipped_concolic") &&
+                                     screen.at("skipped_concolic").is_bool() &&
+                                     screen.at("skipped_concolic").as_bool();
+  }
+  return report;
 }
 
 namespace {
@@ -109,6 +246,10 @@ void record_contract_outcome(obs::ScopedSpan& span, const ContractCheckReport& r
   registry.counter("checker.paths_violated").add(report.violated);
   registry.counter("checker.paths_unmappable").add(report.unmappable);
   registry.counter("checker.paths_uncovered").add(report.uncovered);
+  if (report.inconclusive > 0)
+    registry.counter("checker.paths_inconclusive").add(report.inconclusive);
+  if (!report.conclusive()) registry.counter("checker.inconclusive_contracts").add();
+  if (report.budget_exhausted) registry.counter("checker.budget_exhausted").add();
   registry.histogram("checker.contract_ms").record(elapsed_ms);
   if (!report.screen_verdict.empty()) {
     registry.counter("screen." + report.screen_verdict).add();
@@ -203,6 +344,7 @@ ContractCheckReport Checker::check(const minilang::Program& program,
 
   obs::ScopedSpan static_span("checker.static_paths");
   smt::Solver solver;
+  solver.set_budget(options.budget);
   for (const analysis::ExecutionPath& path : tree.paths) {
     PathReport path_report;
     path_report.call_chain = path.call_chain;
@@ -211,13 +353,23 @@ ContractCheckReport Checker::check(const minilang::Program& program,
         path.target != nullptr ? minilang::stmt_header_text(*path.target) : "";
     path_report.path_condition = path.condition->to_string();
     path_report.contract_condition = path.renamed_contract->to_string();
-    if (!path.mappable) {
+    if (options.budget != nullptr && !options.budget->charge_path()) {
+      // A refused path is inconclusive, never silently verified: the report
+      // keeps the full path entry so a resumed run can pick it back up.
+      path_report.verdict = PathVerdict::kInconclusive;
+      path_report.detail = options.budget->exhausted_reason();
+      ++report.inconclusive;
+    } else if (!path.mappable) {
       path_report.verdict = PathVerdict::kUnmappable;
       ++report.unmappable;
     } else {
       const smt::SolveResult result = solver.solve(smt::Formula::conj2(
           path.condition, smt::Formula::negate(path.renamed_contract)));
-      if (result.sat()) {
+      if (result.unknown()) {
+        path_report.verdict = PathVerdict::kInconclusive;
+        path_report.detail = result.reason;
+        ++report.inconclusive;
+      } else if (result.sat()) {
         path_report.verdict = PathVerdict::kViolated;
         path_report.counterexample = result.model.to_string();
         ++report.violated;
@@ -230,6 +382,7 @@ ContractCheckReport Checker::check(const minilang::Program& program,
   }
   static_span.attr("verified", report.verified);
   static_span.attr("violated", report.violated);
+  if (report.inconclusive > 0) static_span.attr("inconclusive", report.inconclusive);
   static_span.close();
   report.sanity_ok = report.verified > 0;
 
@@ -271,13 +424,22 @@ ContractCheckReport Checker::check(const minilang::Program& program,
     config.target_fragment = contract.target_fragment;
     config.contract = contract.condition;
     config.prune_irrelevant = options.prune_irrelevant;
+    config.budget = options.budget;
     std::vector<concolic::TargetHit> all_hits;
     for (const std::string& test : tests) {
+      if (options.budget != nullptr && options.budget->exhausted()) {
+        // Unrun tests degrade the run count, not the verdict: the report's
+        // budget_exhausted flag marks the contract as needing attention.
+        ++report.dynamic.degraded_runs;
+        continue;
+      }
       const concolic::RunResult run = engine.run_test(test, config);
       ++report.dynamic.tests_run;
       if (run.test_passed) ++report.dynamic.tests_passed;
+      if (run.degraded()) ++report.dynamic.degraded_runs;
       for (const concolic::TargetHit& hit : run.hits) {
         ++report.dynamic.target_hits;
+        if (hit.inconclusive) ++report.dynamic.inconclusive_hits;
         if (hit.symbolic_violation) {
           ++report.dynamic.symbolic_violations;
           report.dynamic.violation_details.push_back(
@@ -304,6 +466,10 @@ ContractCheckReport Checker::check(const minilang::Program& program,
       if (!path.covered_by_test) ++report.uncovered;
     concolic_span.attr("tests_run", report.dynamic.tests_run);
     concolic_span.attr("target_hits", report.dynamic.target_hits);
+  }
+  if (options.budget != nullptr && options.budget->exhausted()) {
+    report.budget_exhausted = true;
+    report.budget_reason = options.budget->exhausted_reason();
   }
   record_contract_outcome(span, report, span.elapsed_ms());
   return report;

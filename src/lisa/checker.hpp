@@ -18,18 +18,24 @@
 // Structural contracts are checked over the call graph instead.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "lisa/contract.hpp"
 #include "minilang/ast.hpp"
+#include "support/budget.hpp"
 #include "support/json.hpp"
 
 namespace lisa::core {
 
-enum class PathVerdict { kVerified, kViolated, kUnmappable };
+enum class PathVerdict { kVerified, kViolated, kUnmappable, kInconclusive };
 
 [[nodiscard]] const char* path_verdict_name(PathVerdict verdict);
+
+/// Inverse of path_verdict_name; nullopt on an unrecognized name (journal
+/// entries written by a different build).
+[[nodiscard]] std::optional<PathVerdict> path_verdict_from_name(const std::string& name);
 
 struct PathReport {
   std::vector<std::string> call_chain;
@@ -39,6 +45,7 @@ struct PathReport {
   std::string contract_condition;  // renamed to canonical names
   PathVerdict verdict = PathVerdict::kVerified;
   std::string counterexample;  // model of π ∧ ¬P for violated paths
+  std::string detail;          // kInconclusive: why the verdict was refused
   bool covered_by_test = false;
   std::vector<std::string> covering_tests;
 };
@@ -50,6 +57,11 @@ struct DynamicReport {
   int target_hits = 0;
   int symbolic_violations = 0;
   int concrete_violations = 0;
+  /// Target hits whose π ∧ ¬P query came back unknown (budget or fault):
+  /// neither a violation nor a confirmation.
+  int inconclusive_hits = 0;
+  /// Runs cut short by the step limit or an exhausted budget.
+  int degraded_runs = 0;
   std::vector<std::string> violation_details;
 };
 
@@ -61,6 +73,7 @@ struct ContractCheckReport {
   int verified = 0;
   int violated = 0;
   int unmappable = 0;
+  int inconclusive = 0;     // paths refused by budget / fault / solver unknown
   int uncovered = 0;        // static paths no selected test exercised
   std::size_t raw_paths = 0;  // before pruning/dedup (ablation metric)
   bool truncated = false;
@@ -83,13 +96,31 @@ struct ContractCheckReport {
   /// True when the screener verdict made the concolic replay unnecessary.
   bool screen_skipped_concolic = false;
 
+  /// Resource governance (support/budget.hpp): set when the attached budget
+  /// latched exhausted at any point during this contract's check. The
+  /// skipped work is accounted under `inconclusive` / dynamic degradation —
+  /// never silently dropped.
+  bool budget_exhausted = false;
+  std::string budget_reason;
+
   /// True when the checked program satisfies the contract everywhere.
   [[nodiscard]] bool passed() const {
     return violated == 0 && structural_violations.empty() &&
            dynamic.symbolic_violations == 0 && dynamic.concrete_violations == 0;
   }
 
+  /// True when every phase ran to completion: no path refused, no run
+  /// degraded, no budget exhaustion. `passed() && !conclusive()` means
+  /// "no violation found so far" — needs attention, not a green light.
+  [[nodiscard]] bool conclusive() const {
+    return !budget_exhausted && inconclusive == 0 &&
+           dynamic.inconclusive_hits == 0 && dynamic.degraded_runs == 0;
+  }
+
   [[nodiscard]] support::Json to_json() const;
+  /// Rebuilds a report from its to_json form (checkpoint journal resume).
+  /// Best-effort: unknown verdict names degrade to kInconclusive.
+  [[nodiscard]] static ContractCheckReport from_json(const support::Json& json);
 };
 
 struct CheckOptions {
@@ -114,6 +145,11 @@ struct CheckOptions {
   /// the ablation axis of bench_static_screening. Never affects the static
   /// tree or concolic phases, only which contracts the screener can settle.
   bool use_summaries = true;
+  /// Cooperative resource budget shared across phases: the static loop
+  /// charges paths and SMT queries, the concolic engine charges steps and
+  /// fork points. Refused work surfaces as kInconclusive paths or degraded
+  /// runs. nullptr = ungoverned (byte-identical to the pre-budget checker).
+  support::Budget* budget = nullptr;
 };
 
 class Checker {

@@ -1,6 +1,7 @@
 #include "lisa/ci_gate.hpp"
 
 #include "analysis/paths.hpp"
+#include "lisa/journal.hpp"
 #include "minilang/sema.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -51,10 +52,18 @@ Json GateDecision::to_json() const {
   root["settled_fraction"] = settled_fraction();
   root["concolic_skipped"] = concolic_skipped;
   root["summary_ms"] = summary_ms;
+  if (inconclusive_contracts > 0) root["inconclusive_contracts"] = inconclusive_contracts;
+  if (needs_attention) root["needs_attention"] = true;
+  if (resumed_contracts > 0) root["resumed_contracts"] = resumed_contracts;
   return Json(std::move(root));
 }
 
 GateDecision CiGate::evaluate(const std::string& source, const ContractStore& store) const {
+  return evaluate(source, store, GateRunOptions{});
+}
+
+GateDecision CiGate::evaluate(const std::string& source, const ContractStore& store,
+                              const GateRunOptions& run_options) const {
   GateDecision decision;
   obs::ScopedSpan span("gate.evaluate");
   span.attr("stored_contracts", store.size());
@@ -68,6 +77,15 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
     decision.evaluation_ms = timer.elapsed_ms();
     return decision;
   }
+  CheckJournal journal(run_options.journal_path);
+  const bool journaling = !run_options.journal_path.empty();
+  if (journaling) {
+    std::string inputs = source;
+    for (const SemanticContract& contract : store.all()) inputs += "\n" + contract.id;
+    const std::string fingerprint = CheckJournal::fingerprint(inputs);
+    if (run_options.resume) (void)journal.load(fingerprint);
+    journal.begin(fingerprint);
+  }
   const Checker checker;
   for (const SemanticContract& contract : store.all()) {
     // Contracts whose target no longer exists in this codebase are vacuous
@@ -75,7 +93,20 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
     if (analysis::find_target_statements(program, contract.target_fragment).empty() &&
         contract.kind == corpus::SemanticsKind::kStatePredicate)
       continue;
-    ContractCheckReport report = checker.check(program, contract, options_);
+    const ContractCheckReport* checkpointed =
+        journaling && run_options.resume ? journal.find(contract.id) : nullptr;
+    ContractCheckReport report;
+    if (checkpointed != nullptr && checkpointed->conclusive()) {
+      report = *checkpointed;
+      ++decision.resumed_contracts;
+    } else {
+      report = checker.check(program, contract, options_);
+    }
+    if (journaling) journal.record(report);
+    if (!report.conclusive()) {
+      ++decision.inconclusive_contracts;
+      decision.needs_attention = true;
+    }
     if (report.screen_verdict == "proved-safe" || report.screen_verdict == "proved-violated")
       ++decision.screened_settled;
     else if (!report.screen_verdict.empty())
@@ -102,6 +133,9 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
   obs::MetricsRegistry& registry = obs::metrics();
   registry.counter("gate.evaluations").add();
   if (!decision.allowed) registry.counter("gate.blocked").add();
+  if (decision.needs_attention) registry.counter("gate.needs_attention").add();
+  if (decision.resumed_contracts > 0)
+    registry.counter("gate.resumed_contracts").add(decision.resumed_contracts);
   registry.histogram("gate.evaluation_ms").record(decision.evaluation_ms);
   span.attr("allowed", decision.allowed);
   span.attr("evaluated", decision.reports.size());

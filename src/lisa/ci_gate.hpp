@@ -32,6 +32,12 @@ class ContractStore {
   std::vector<SemanticContract> contracts_;
 };
 
+/// Per-evaluation knobs: checkpointing and resume (lisa/journal.hpp).
+struct GateRunOptions {
+  std::string journal_path;  // empty = no checkpointing
+  bool resume = false;       // reuse conclusive journaled reports
+};
+
 struct GateDecision {
   bool allowed = true;
   std::vector<std::string> violations;        // human-readable block reasons
@@ -42,6 +48,13 @@ struct GateDecision {
   int screened_unknown = 0;   // contracts that needed the full check
   int concolic_skipped = 0;   // replays the screener made unnecessary
   double summary_ms = 0.0;    // interprocedural summary computation time
+  // Resource governance: contracts whose check was cut short (budget, fault
+  // injection). An inconclusive contract never blocks the commit on its own
+  // — but it never silently passes either: `needs_attention` flags it.
+  int inconclusive_contracts = 0;
+  bool needs_attention = false;
+  /// Contracts replayed from the checkpoint journal instead of re-checked.
+  int resumed_contracts = 0;
 
   /// Fraction of screened contracts the screener settled (1.0 when no
   /// contract was screened).
@@ -61,6 +74,8 @@ class CiGate {
   /// contract. A parse/check failure of the source blocks the commit too.
   [[nodiscard]] GateDecision evaluate(const std::string& source,
                                       const ContractStore& store) const;
+  [[nodiscard]] GateDecision evaluate(const std::string& source, const ContractStore& store,
+                                      const GateRunOptions& run_options) const;
 
  private:
   CheckOptions options_;

@@ -1,0 +1,108 @@
+#include "lisa/journal.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "support/log.hpp"
+
+namespace lisa::core {
+
+using support::Json;
+using support::JsonObject;
+
+namespace {
+
+constexpr const char* kJournalKind = "lisa-check";
+constexpr std::int64_t kJournalVersion = 1;
+
+}  // namespace
+
+std::string CheckJournal::fingerprint(const std::string& inputs) {
+  // FNV-1a 64-bit: stable across runs of the same build, cheap, and good
+  // enough to tell "same inputs" from "different inputs" — the journal is a
+  // cache keyed by it, not a security boundary.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : inputs) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  std::ostringstream out;
+  out << std::hex << hash;
+  return out.str();
+}
+
+bool CheckJournal::load(const std::string& expected_fingerprint) {
+  entries_.clear();
+  std::ifstream in(path_);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  try {
+    const Json header = Json::parse(line);
+    if (header.get_string("journal") != kJournalKind ||
+        header.get_int("version") != kJournalVersion ||
+        header.get_string("fingerprint") != expected_fingerprint) {
+      support::log(support::LogLevel::warn, "journal ", path_,
+                   " does not match this run's inputs; starting fresh");
+      return false;
+    }
+  } catch (const std::exception&) {
+    support::log(support::LogLevel::warn, "journal ", path_,
+                 " has an unreadable header; starting fresh");
+    return false;
+  }
+  std::size_t dropped = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      ContractCheckReport report = ContractCheckReport::from_json(Json::parse(line));
+      if (report.contract_id.empty()) {
+        ++dropped;
+        continue;
+      }
+      entries_[report.contract_id] = std::move(report);
+    } catch (const std::exception&) {
+      // A torn tail from a crash mid-append: everything before it is good.
+      ++dropped;
+    }
+  }
+  if (dropped > 0)
+    support::log(support::LogLevel::warn, "journal ", path_, ": dropped ", dropped,
+                 " unreadable entr(ies)");
+  support::log(support::LogLevel::info, "journal ", path_, ": loaded ",
+               entries_.size(), " checkpointed report(s)");
+  return true;
+}
+
+bool CheckJournal::begin(const std::string& fingerprint) {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    support::log(support::LogLevel::warn, "journal ", path_,
+                 " cannot be opened for writing; checkpointing disabled");
+    writable_ = false;
+    return false;
+  }
+  JsonObject header;
+  header["journal"] = kJournalKind;
+  header["version"] = kJournalVersion;
+  header["fingerprint"] = fingerprint;
+  out << Json(std::move(header)).dump() << "\n";
+  writable_ = static_cast<bool>(out);
+  return writable_;
+}
+
+void CheckJournal::record(const ContractCheckReport& report) {
+  if (!writable_ || path_.empty()) return;
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return;
+  out << report.to_json().dump() << "\n";
+  out.flush();
+}
+
+const ContractCheckReport* CheckJournal::find(const std::string& contract_id) const {
+  const auto it = entries_.find(contract_id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace lisa::core

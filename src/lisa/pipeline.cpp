@@ -1,5 +1,6 @@
 #include "lisa/pipeline.hpp"
 
+#include "lisa/journal.hpp"
 #include "minilang/sema.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -12,8 +13,9 @@ using support::JsonArray;
 using support::JsonObject;
 
 bool PipelineResult::all_passed() const {
+  if (inference_failed) return false;
   for (const ContractCheckReport& report : reports)
-    if (!report.passed()) return false;
+    if (!report.passed() || !report.conclusive()) return false;
   return true;
 }
 
@@ -70,19 +72,49 @@ Json PipelineResult::to_json() const {
   screen["concolic_skipped"] = summary.concolic_skipped;
   root["screening"] = Json(std::move(screen));
   root["all_passed"] = all_passed();
+  if (inference_attempts > 1) root["inference_attempts"] = inference_attempts;
+  if (inference_failed) {
+    root["inference_failed"] = true;
+    root["inference_error"] = inference_error;
+  }
+  if (resumed_contracts > 0) root["resumed_contracts"] = resumed_contracts;
   return Json(std::move(root));
 }
 
 PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
                              const std::string& source_to_check) const {
+  return run(ticket, source_to_check, PipelineRunOptions{});
+}
+
+PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
+                             const std::string& source_to_check,
+                             const PipelineRunOptions& run_options) const {
   PipelineResult result;
   obs::ScopedSpan run_span("pipeline.run");
   run_span.attr("case", ticket.case_id);
 
   {
     obs::ScopedSpan stage("pipeline.infer");
-    result.proposal = llm_.infer(ticket);
+    inference::InferenceOutcome outcome = inference::infer_with_retry(
+        [&] { return llm_.infer(ticket); }, ticket.case_id, retry_policy_);
+    result.inference_attempts = outcome.attempts;
+    if (outcome.succeeded) {
+      result.proposal = std::move(outcome.proposal);
+    } else {
+      result.inference_failed = true;
+      result.inference_error = outcome.error;
+      result.proposal.case_id = ticket.case_id;
+    }
     result.timings.infer_ms = stage.elapsed_ms();
+  }
+  if (result.inference_failed) {
+    // Structured degradation: the run completes with zero contracts and
+    // all_passed() == false, so no downstream consumer mistakes a lost
+    // inference for a verified case.
+    result.timings.total_ms = result.timings.infer_ms;
+    obs::metrics().counter("pipeline.inference_failed").add();
+    run_span.attr("inference_failed", true);
+    return result;
   }
   {
     obs::ScopedSpan stage("pipeline.translate");
@@ -100,8 +132,28 @@ PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
     obs::ScopedSpan stage("pipeline.check");
     const minilang::Program program = minilang::parse_checked(source_to_check);
     const Checker checker;
+    CheckJournal journal(run_options.journal_path);
+    const bool journaling = !run_options.journal_path.empty();
+    if (journaling) {
+      const std::string fingerprint =
+          CheckJournal::fingerprint(ticket.case_id + "\n" + source_to_check);
+      if (run_options.resume) (void)journal.load(fingerprint);
+      journal.begin(fingerprint);
+    }
     for (const SemanticContract& contract : result.contracts) {
-      ContractCheckReport report = checker.check(program, contract, check_options_);
+      // Resume: a conclusive checkpointed report stands; inconclusive ones
+      // (budget-cut, fault-degraded) get their second chance here.
+      const ContractCheckReport* checkpointed =
+          journaling && run_options.resume ? journal.find(contract.id) : nullptr;
+      ContractCheckReport report;
+      if (checkpointed != nullptr && checkpointed->conclusive()) {
+        report = *checkpointed;
+        ++result.resumed_contracts;
+        obs::metrics().counter("pipeline.resumed_contracts").add();
+      } else {
+        report = checker.check(program, contract, check_options_);
+      }
+      if (journaling) journal.record(report);
       support::log(report.passed() ? support::LogLevel::debug : support::LogLevel::info,
                    "contract ", contract.id, ": ",
                    report.passed() ? "passed" : "VIOLATED", " (screen=",

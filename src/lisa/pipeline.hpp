@@ -57,14 +57,34 @@ struct ScreeningSummary {
   }
 };
 
+/// Per-run knobs orthogonal to CheckOptions: checkpointing and resume.
+struct PipelineRunOptions {
+  /// JSONL checkpoint journal (lisa/journal.hpp). Empty = no journal.
+  std::string journal_path;
+  /// Reuse conclusive reports from a matching journal instead of
+  /// re-checking; inconclusive entries are always re-checked.
+  bool resume = false;
+};
+
 struct PipelineResult {
   inference::SemanticsProposal proposal;
   std::vector<SemanticContract> contracts;
   std::vector<std::string> rejected;   // out-of-fragment low-level semantics
   std::vector<ContractCheckReport> reports;
   StageTimings timings;
+  /// Inference hardening (inference/proposal.hpp): attempts the retry loop
+  /// spent, and the structured failure when it gave up. A failed inference
+  /// yields an empty-but-valid result with all_passed() == false — never an
+  /// uncaught exception for backend faults.
+  int inference_attempts = 1;
+  bool inference_failed = false;
+  std::string inference_error;
+  /// Contracts whose reports were replayed from the checkpoint journal.
+  int resumed_contracts = 0;
 
-  /// True when every contract held on the checked version.
+  /// True when every contract held on the checked version — and was checked
+  /// to completion: an inconclusive (budget-cut / fault-degraded) report or
+  /// a failed inference never counts as a pass.
   [[nodiscard]] bool all_passed() const;
   /// Total violated paths + structural + dynamic violations across contracts.
   [[nodiscard]] int total_violations() const;
@@ -85,12 +105,21 @@ class Pipeline {
   /// fix, or the latest release for the §4 bug hunt).
   [[nodiscard]] PipelineResult run(const corpus::FailureTicket& ticket,
                                    const std::string& source_to_check) const;
+  [[nodiscard]] PipelineResult run(const corpus::FailureTicket& ticket,
+                                   const std::string& source_to_check,
+                                   const PipelineRunOptions& run_options) const;
 
   [[nodiscard]] const CheckOptions& check_options() const { return check_options_; }
+
+  /// Retry policy for the inference stage (bounded attempts, exponential
+  /// backoff). Tests turn sleeping off.
+  void set_retry_policy(inference::RetryPolicy policy) { retry_policy_ = policy; }
+  [[nodiscard]] const inference::RetryPolicy& retry_policy() const { return retry_policy_; }
 
  private:
   inference::MockLlm llm_;
   CheckOptions check_options_;
+  inference::RetryPolicy retry_policy_;
 };
 
 }  // namespace lisa::core

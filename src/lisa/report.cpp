@@ -20,6 +20,7 @@ const char* verdict_emoji(PathVerdict verdict) {
     case PathVerdict::kVerified: return "✅";
     case PathVerdict::kViolated: return "❌";
     case PathVerdict::kUnmappable: return "❓";
+    case PathVerdict::kInconclusive: return "⏳";
   }
   return "?";
 }
@@ -36,8 +37,11 @@ std::string render_markdown(const ContractCheckReport& report,
   out += "- target statements: " + std::to_string(report.target_statements) + "\n";
   out += "- paths: " + std::to_string(report.paths.size()) + " (verified " +
          std::to_string(report.verified) + ", violated " + std::to_string(report.violated) +
-         ", unmappable " + std::to_string(report.unmappable) + ", uncovered by tests " +
-         std::to_string(report.uncovered) + ")\n";
+         ", unmappable " + std::to_string(report.unmappable) +
+         (report.inconclusive > 0
+              ? ", inconclusive " + std::to_string(report.inconclusive)
+              : "") +
+         ", uncovered by tests " + std::to_string(report.uncovered) + ")\n";
   out += std::string("- sanity (fixed path verifies): ") + (report.sanity_ok ? "yes" : "NO") +
          "\n";
   if (!report.screen_verdict.empty()) {
@@ -45,7 +49,15 @@ std::string render_markdown(const ContractCheckReport& report,
     if (report.screen_skipped_concolic) out += " — concolic replay skipped";
     out += "\n";
   }
-  out += std::string("- overall: **") + (report.passed() ? "PASS" : "FAIL") + "**\n\n";
+  if (report.budget_exhausted)
+    out += "- ⏳ budget exhausted: " + report.budget_reason +
+           " — rerun with a larger budget or `--resume` to settle the "
+           "remaining work\n";
+  // An inconclusive report can claim neither PASS nor FAIL: part of the
+  // work was refused, so the honest verdict is "needs attention".
+  out += std::string("- overall: **") +
+         (report.passed() ? (report.conclusive() ? "PASS" : "INCONCLUSIVE") : "FAIL") +
+         "**\n\n";
   if (!report.paths.empty()) {
     out += "| path | verdict | detail |\n|---|---|---|\n";
     for (const PathReport& path : report.paths) {
@@ -53,6 +65,8 @@ std::string render_markdown(const ContractCheckReport& report,
              path_verdict_name(path.verdict) + " | ";
       if (path.verdict == PathVerdict::kViolated)
         out += "reachable with " + path.counterexample;
+      else if (path.verdict == PathVerdict::kInconclusive)
+        out += path.detail;
       else if (!path.covering_tests.empty())
         out += "exercised by `" + path.covering_tests.front() + "`";
       out += " |\n";
@@ -61,11 +75,19 @@ std::string render_markdown(const ContractCheckReport& report,
   }
   for (const std::string& violation : report.structural_violations)
     out += "- ⚠ structural: " + violation + "\n";
-  if (report.dynamic.tests_run > 0) {
+  if (report.dynamic.tests_run > 0 || report.dynamic.degraded_runs > 0) {
     out += "\nConcolic replay: " + std::to_string(report.dynamic.tests_run) + " tests, " +
            std::to_string(report.dynamic.target_hits) + " target hits, " +
            std::to_string(report.dynamic.symbolic_violations) + " missing-check traces, " +
-           std::to_string(report.dynamic.concrete_violations) + " concrete violations.\n";
+           std::to_string(report.dynamic.concrete_violations) + " concrete violations" +
+           (report.dynamic.inconclusive_hits > 0
+                ? ", " + std::to_string(report.dynamic.inconclusive_hits) +
+                      " inconclusive hits"
+                : "") +
+           (report.dynamic.degraded_runs > 0
+                ? ", " + std::to_string(report.dynamic.degraded_runs) + " degraded runs"
+                : "") +
+           ".\n";
     for (const std::string& detail : report.dynamic.violation_details)
       out += "  - " + detail + "\n";
   }
@@ -74,6 +96,13 @@ std::string render_markdown(const ContractCheckReport& report,
 
 std::string render_markdown(const PipelineResult& result) {
   std::string out = "## LISA pipeline report — case `" + result.proposal.case_id + "`\n\n";
+  if (result.inference_failed) {
+    out += "**⛔ Inference failed after " + std::to_string(result.inference_attempts) +
+           " attempt(s).** " + result.inference_error +
+           "\n\nNo contracts were extracted for this case; it needs attention, "
+           "not a green check.\n";
+    return out;
+  }
   out += "**High-level semantics.** " + result.proposal.high_level_semantics + "\n\n";
   out += "**Low-level semantics.**\n\n";
   for (const auto& low : result.proposal.low_level)
@@ -101,6 +130,16 @@ std::string render_markdown(const PipelineResult& result) {
            " explored by the full check, " + std::to_string(screening.concolic_skipped) +
            " concolic replay(s) skipped._\n\n";
   }
+  int inconclusive_reports = 0;
+  for (const ContractCheckReport& report : result.reports)
+    if (!report.conclusive()) ++inconclusive_reports;
+  if (inconclusive_reports > 0)
+    out += "_⏳ " + std::to_string(inconclusive_reports) +
+           " contract(s) inconclusive (budget or fault): rerun with a larger "
+           "budget or `--resume` to settle them._\n\n";
+  if (result.resumed_contracts > 0)
+    out += "_Resumed " + std::to_string(result.resumed_contracts) +
+           " contract(s) from the checkpoint journal._\n\n";
   char timing[224];
   std::snprintf(timing, sizeof(timing),
                 "_Timings: infer %.2f ms, translate %.2f ms, assert %.2f ms (screen %.2f "
@@ -119,8 +158,16 @@ std::string render_markdown(const GateDecision& decision) {
     for (const std::string& violation : decision.violations) out += "- " + violation + "\n";
     out += "\nEach rule below links the unguarded path and a state that reaches it.\n\n";
   }
+  if (decision.needs_attention)
+    out += "**⏳ Needs attention:** " + std::to_string(decision.inconclusive_contracts) +
+           " contract(s) were not checked to completion (budget or fault). The "
+           "commit decision above covers only the settled contracts — rerun "
+           "with a larger budget or `--resume` to close the gap.\n\n";
+  if (decision.resumed_contracts > 0)
+    out += "_Resumed " + std::to_string(decision.resumed_contracts) +
+           " contract(s) from the checkpoint journal._\n\n";
   for (const ContractCheckReport& report : decision.reports) {
-    if (report.passed()) continue;
+    if (report.passed() && report.conclusive()) continue;
     out += render_markdown(report);
     out += "\n";
   }

@@ -19,8 +19,7 @@ const std::unordered_set<std::string>& blocking_builtins() {
 Interp::Interp(const Program& program) : program_(program) {}
 
 void Interp::burn_fuel() {
-  if (++fuel_used_ > fuel_limit_)
-    throw InterpError("fuel exhausted: possible non-terminating MiniLang program");
+  if (++fuel_used_ > fuel_limit_) throw StepLimitExceeded(fuel_limit_);
 }
 
 bool Interp::truthy(const Value& v, const Expr& where) const {
@@ -379,11 +378,16 @@ Value Interp::call_builtin(const std::string& name, const Expr& expr, Frame& fra
 
 bool Interp::run_test(const std::string& test_name) {
   last_error_.clear();
+  step_limit_hit_ = false;
   try {
     call(test_name, {});
     return true;
   } catch (const MiniThrow& thrown) {
     last_error_ = thrown.value().to_display();
+    return false;
+  } catch (const StepLimitExceeded& limit) {
+    step_limit_hit_ = true;
+    last_error_ = limit.what();
     return false;
   } catch (const InterpError& error) {
     last_error_ = error.what();

@@ -32,10 +32,26 @@ class MiniThrow : public std::runtime_error {
   Value value_;
 };
 
-/// Engine-level error: type confusion, unknown function, fuel exhaustion.
+/// Engine-level error: type confusion, unknown function.
 class InterpError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Step-limit (fuel) exhaustion — a *resource* outcome, not a program bug.
+/// Distinct from InterpError so the checking stack can route it into
+/// inconclusive accounting instead of reporting a generic engine failure;
+/// still an InterpError subtype so existing catch sites keep working.
+class StepLimitExceeded : public InterpError {
+ public:
+  explicit StepLimitExceeded(std::int64_t limit)
+      : InterpError("step limit exhausted after " + std::to_string(limit) +
+                    " statements: possible non-terminating MiniLang program"),
+        limit_(limit) {}
+  [[nodiscard]] std::int64_t limit() const noexcept { return limit_; }
+
+ private:
+  std::int64_t limit_ = 0;
 };
 
 /// Observation points used by coverage measurement and the runtime
@@ -73,6 +89,11 @@ class Interp {
   std::pair<int, int> run_all_tests();
 
   [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+  /// True when the last run_test() failed because the step limit ran out
+  /// (see set_fuel) rather than a program error — a structured outcome the
+  /// caller should surface as inconclusive, not as a test failure.
+  [[nodiscard]] bool last_run_hit_step_limit() const { return step_limit_hit_; }
 
   /// Virtual clock (milliseconds). now() in MiniLang reads this.
   [[nodiscard]] std::int64_t now_ms() const { return now_ms_; }
@@ -118,6 +139,7 @@ class Interp {
   std::int64_t blocking_latency_ms_ = 5;
   std::int64_t fuel_limit_ = 2'000'000;
   std::int64_t fuel_used_ = 0;
+  bool step_limit_hit_ = false;
   int sync_depth_ = 0;
   int call_depth_ = 0;
   std::uint64_t next_object_id_ = 1;

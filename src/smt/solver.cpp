@@ -10,8 +10,18 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lisa::smt {
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kSat: return "sat";
+    case Status::kUnsat: return "unsat";
+    case Status::kUnknown: return "unknown";
+  }
+  return "?";
+}
 
 std::string Model::to_string() const {
   std::string out = "{";
@@ -428,11 +438,26 @@ SolveResult Solver::solve(const FormulaPtr& formula) {
   registry.counter("smt.queries").add();
   // Records the verdict exactly once on every return path.
   const auto finish = [&](SolveResult result) {
-    registry.counter(result.sat() ? "smt.sat" : "smt.unsat").add();
+    registry.counter(std::string("smt.") + status_name(result.status)).add();
     registry.histogram("smt.query_us").record(span.elapsed_ms() * 1000.0);
-    span.attr("status", result.sat() ? "sat" : "unsat");
+    span.attr("status", status_name(result.status));
     return result;
   };
+  // Governance gate: a refused or fault-degraded query is kUnknown — the
+  // caller must surface "inconclusive", never interpret it as unsat.
+  const auto unknown = [&](std::string reason) {
+    SolveResult result;
+    result.status = Status::kUnknown;
+    result.reason = std::move(reason);
+    return finish(std::move(result));
+  };
+  const support::FaultAction fault = support::faultpoint("smt.solve");
+  if (fault != support::FaultAction::kNone) {
+    registry.counter("fault.smt.solve").add();
+    return unknown(std::string("injected fault: ") + support::fault_action_name(fault));
+  }
+  if (budget_ != nullptr && !budget_->charge_smt_query())
+    return unknown(budget_->exhausted_reason());
 
   PrimitiveTable table;
   const LNode lowered = lower(table, formula, /*negated=*/false);
@@ -481,7 +506,8 @@ SolveResult Solver::solve(const FormulaPtr& formula) {
 }
 
 bool Solver::implies(const FormulaPtr& premise, const FormulaPtr& conclusion) {
-  return !solve(Formula::conj2(premise, Formula::negate(conclusion))).sat();
+  const SolveResult result = solve(Formula::conj2(premise, Formula::negate(conclusion)));
+  return !result.sat() && !result.unknown();
 }
 
 bool Solver::equivalent(const FormulaPtr& a, const FormulaPtr& b) {

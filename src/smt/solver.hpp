@@ -18,10 +18,17 @@
 #include <string>
 
 #include "smt/formula.hpp"
+#include "support/budget.hpp"
 
 namespace lisa::smt {
 
-enum class Status { kSat, kUnsat };
+/// kUnknown is the resource-governed outcome: the query was refused (budget
+/// exhausted) or degraded (injected fault). It is NEVER produced by the
+/// decision procedure itself — the fragment is decidable — so callers must
+/// treat it as "cannot conclude", not as unsat.
+enum class Status { kSat, kUnsat, kUnknown };
+
+[[nodiscard]] const char* status_name(Status status);
 
 /// A satisfying assignment (only meaningful when status == kSat). Variables
 /// not mentioned in the model are unconstrained.
@@ -35,8 +42,10 @@ struct Model {
 struct SolveResult {
   Status status = Status::kUnsat;
   Model model;
+  std::string reason;  // why the query came back kUnknown ("" otherwise)
 
   [[nodiscard]] bool sat() const { return status == Status::kSat; }
+  [[nodiscard]] bool unknown() const { return status == Status::kUnknown; }
 };
 
 /// Cumulative statistics for the solver-microbenchmark.
@@ -51,20 +60,30 @@ struct SolverStats {
 
 class Solver {
  public:
-  /// Decides `formula`. Deterministic: same formula, same result and model.
+  /// Decides `formula`. Deterministic: same formula, same result and model
+  /// — unless the attached budget refuses the query or the `smt.solve`
+  /// fault point is armed, in which case the result is kUnknown.
   [[nodiscard]] SolveResult solve(const FormulaPtr& formula);
 
-  /// True iff `premise → conclusion` holds (i.e. premise ∧ ¬conclusion UNSAT).
+  /// True iff `premise → conclusion` was *proved* (premise ∧ ¬conclusion
+  /// UNSAT). A kUnknown query yields false — conservative for every proof
+  /// use (an unproved implication never upgrades a verdict).
   [[nodiscard]] bool implies(const FormulaPtr& premise, const FormulaPtr& conclusion);
 
-  /// True iff the two formulas have the same models.
+  /// True iff the two formulas were proved to have the same models.
   [[nodiscard]] bool equivalent(const FormulaPtr& a, const FormulaPtr& b);
+
+  /// Attaches a cooperative budget: every solve() charges one SMT query and
+  /// returns kUnknown once the budget is exhausted. nullptr (the default)
+  /// disables governance; `budget` must outlive the solver's queries.
+  void set_budget(support::Budget* budget) { budget_ = budget; }
 
   /// Statistics accumulated across all queries on this instance.
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
 
  private:
   SolverStats stats_;
+  support::Budget* budget_ = nullptr;
 };
 
 }  // namespace lisa::smt

@@ -6,6 +6,7 @@
 #include "obs/trace.hpp"
 #include "smt/solver.hpp"
 #include "staticcheck/dataflow.hpp"
+#include "support/log.hpp"
 #include "support/stopwatch.hpp"
 
 namespace lisa::staticcheck {
@@ -29,7 +30,17 @@ const char* screen_verdict_name(ScreenVerdict verdict) {
 
 Screener::Screener(const Program& program, bool use_summaries)
     : program_(&program), graph_(analysis::CallGraph::build(program)) {
-  if (use_summaries) summaries_ = SummaryMap::compute(program, graph_);
+  if (!use_summaries) return;
+  try {
+    summaries_ = SummaryMap::compute(program, graph_);
+  } catch (const std::exception& error) {
+    // Summaries only strengthen facts; losing them degrades the screener to
+    // its summary-free (PR 2) precision instead of taking the pipeline down.
+    support::log(support::LogLevel::warn,
+                 "summary computation failed, screening without summaries: ",
+                 error.what());
+    summaries_.reset();
+  }
 }
 
 const Cfg& Screener::cfg_for(const FuncDecl& fn) const {
@@ -105,8 +116,12 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
     if (summaries() == nullptr) return false;
     smt::Solver closure_solver;
     const FormulaPtr not_p = Formula::negate(condition);
-    for (const auto& [stmt, facts] : target_facts)
-      if (closure_solver.solve(Formula::conj2(facts, not_p)).sat()) return false;
+    for (const auto& [stmt, facts] : target_facts) {
+      const smt::SolveResult closed = closure_solver.solve(Formula::conj2(facts, not_p));
+      // An unknown result never counts as a refutation: claiming ProvedSafe
+      // off a solver that refused to answer would silence real violations.
+      if (closed.sat() || closed.unknown()) return false;
+    }
     return true;
   };
 
@@ -141,6 +156,7 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
   const FormulaPtr not_condition = Formula::negate(condition);
   bool any_unmappable = false;
   bool any_facts_refuted = false;
+  bool any_unknown = false;
   for (const analysis::ExecutionPath& path : tree.paths) {
     if (!path.mappable) {
       any_unmappable = true;
@@ -148,6 +164,10 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
     }
     const smt::SolveResult sat = solver.solve(
         Formula::conj2(path.condition, Formula::negate(path.renamed_contract)));
+    if (sat.unknown()) {
+      any_unknown = true;
+      continue;
+    }
     if (!sat.sat()) continue;  // path verifies
 
     // The guard-only condition misses assignment effects; require the
@@ -158,6 +178,10 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
         facts == target_facts.end() ? Formula::truth(true) : facts->second;
     const smt::SolveResult confirmed =
         solver.solve(Formula::conj2(fact_formula, not_condition));
+    if (confirmed.unknown()) {
+      any_unknown = true;
+      continue;
+    }
     if (!confirmed.sat()) {
       any_facts_refuted = true;
       continue;
@@ -171,6 +195,14 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
     }
     result.witness = chain + " | " + sat.model.to_string();
     result.reason = "path condition admits the contract's complement";
+    result.elapsed_ms = timer.elapsed_ms();
+    return result;
+  }
+
+  if (any_unknown) {
+    // A refused query means some path was never decided; any ProvedSafe
+    // claim from here would rest on the undecided remainder.
+    result.reason = "solver inconclusive on some path (budget or fault)";
     result.elapsed_ms = timer.elapsed_ms();
     return result;
   }

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <stdexcept>
 
 #include "minilang/interp.hpp"
 #include "obs/trace.hpp"
 #include "staticcheck/cfg.hpp"
 #include "staticcheck/dataflow.hpp"
+#include "support/faultpoint.hpp"
 #include "support/stopwatch.hpp"
 
 namespace lisa::staticcheck {
@@ -379,6 +381,8 @@ CallEffect SummaryMap::effect_of(const std::string& callee) const {
 
 SummaryMap SummaryMap::compute(const Program& program, const analysis::CallGraph& graph) {
   obs::ScopedSpan span("summaries.compute");
+  if (support::faultpoint("summaries.fixpoint") != support::FaultAction::kNone)
+    throw std::runtime_error("injected fault at summaries.fixpoint");
   const support::Stopwatch timer;
   SummaryMap map;
   const analysis::Condensation condensation = graph.condensation();

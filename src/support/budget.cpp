@@ -1,0 +1,42 @@
+#include "support/budget.hpp"
+
+#include <cstdio>
+
+namespace lisa::support {
+
+const char* budget_resource_name(BudgetResource resource) {
+  switch (resource) {
+    case BudgetResource::kNone: return "none";
+    case BudgetResource::kDeadline: return "deadline";
+    case BudgetResource::kSmtQueries: return "smt-queries";
+    case BudgetResource::kPaths: return "paths";
+    case BudgetResource::kForkPoints: return "fork-points";
+    case BudgetResource::kSteps: return "steps";
+  }
+  return "?";
+}
+
+std::string Budget::exhausted_reason() const {
+  const BudgetResource resource = exhausted_resource();
+  switch (resource) {
+    case BudgetResource::kNone:
+      return "";
+    case BudgetResource::kDeadline: {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "deadline exceeded (%.1f ms)",
+                    limits_.deadline_ms);
+      return buffer;
+    }
+    case BudgetResource::kSmtQueries:
+      return "SMT query budget exceeded (" + std::to_string(limits_.max_smt_queries) + ")";
+    case BudgetResource::kPaths:
+      return "path budget exceeded (" + std::to_string(limits_.max_paths) + ")";
+    case BudgetResource::kForkPoints:
+      return "fork-point budget exceeded (" + std::to_string(limits_.max_fork_points) + ")";
+    case BudgetResource::kSteps:
+      return "step budget exceeded (" + std::to_string(limits_.max_steps) + ")";
+  }
+  return "?";
+}
+
+}  // namespace lisa::support

@@ -1,0 +1,142 @@
+// Cooperative resource governance for the checking stack.
+//
+// A CI gate is only trustworthy if it is bounded: a pathological SMT query
+// or a path-explosion case must degrade into an *inconclusive* verdict, not
+// hang the gate or throw out of the run. A Budget is a shared token passed
+// down Checker → concolic::Engine → smt::Solver; each layer charges the
+// resource it consumes (wall clock, SMT queries, static paths, fork points,
+// interpreter steps) and polls cheaply for exhaustion.
+//
+// Semantics:
+//   * All limits are soft *cutoffs*, not reservations: the charge that
+//     crosses the line still completes, everything after it is refused.
+//   * Exhaustion latches: once any resource runs out, every subsequent
+//     charge_*/check() returns false and exhausted_reason() names the first
+//     resource that ran out.
+//   * Degradation is monotone toward "inconclusive": callers must never turn
+//     a refused charge into a Verified or Violated verdict (asserted by
+//     bench_budget_degradation).
+//   * A default-constructed Budget is unlimited; callers holding a nullptr
+//     budget skip charging entirely, so governance is zero-cost when idle.
+//
+// Thread-safety: counters are relaxed atomics; the deadline is a steady-
+// clock read per poll. Charging from multiple threads is safe (the cutoff
+// may then overshoot by at most one in-flight charge per thread).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lisa::support {
+
+/// Which resource ran out first (kNone while the budget has headroom).
+enum class BudgetResource { kNone, kDeadline, kSmtQueries, kPaths, kForkPoints, kSteps };
+
+[[nodiscard]] const char* budget_resource_name(BudgetResource resource);
+
+/// Limits for one checking run. 0 means unlimited for every field.
+struct BudgetLimits {
+  double deadline_ms = 0.0;            // wall clock from Budget construction
+  std::int64_t max_smt_queries = 0;    // smt::Solver::solve calls
+  std::int64_t max_paths = 0;          // static execution-tree paths asserted
+  std::int64_t max_fork_points = 0;    // concolic branch decisions recorded
+  std::int64_t max_steps = 0;          // concolic interpreter statements
+
+  [[nodiscard]] bool unlimited() const {
+    return deadline_ms <= 0.0 && max_smt_queries <= 0 && max_paths <= 0 &&
+           max_fork_points <= 0 && max_steps <= 0;
+  }
+};
+
+/// Thrown by deep loops (the concolic interpreter) that cannot return a
+/// degraded value mid-statement; caught at the owning stage boundary and
+/// converted into a structured inconclusive outcome. Never escapes
+/// Checker::check / Pipeline::run / CiGate::evaluate.
+class BudgetExhausted : public std::runtime_error {
+ public:
+  explicit BudgetExhausted(const std::string& reason) : std::runtime_error(reason) {}
+};
+
+class Budget {
+ public:
+  /// Unlimited budget (every charge succeeds).
+  Budget() = default;
+  explicit Budget(const BudgetLimits& limits)
+      : limits_(limits), start_(std::chrono::steady_clock::now()) {}
+
+  /// Charge one unit of the given resource. Returns false when the budget
+  /// is (or just became) exhausted — the caller must degrade, not proceed.
+  bool charge_smt_query() { return charge(smt_queries_, limits_.max_smt_queries, BudgetResource::kSmtQueries, 1); }
+  bool charge_path() { return charge(paths_, limits_.max_paths, BudgetResource::kPaths, 1); }
+  bool charge_fork_point() { return charge(fork_points_, limits_.max_fork_points, BudgetResource::kForkPoints, 1); }
+  bool charge_steps(std::int64_t n = 1) { return charge(steps_, limits_.max_steps, BudgetResource::kSteps, n); }
+
+  /// Pure poll: deadline + latched state, no counter movement.
+  bool check() {
+    if (exhausted()) return false;
+    return check_deadline();
+  }
+
+  [[nodiscard]] bool exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed) !=
+           static_cast<int>(BudgetResource::kNone);
+  }
+  [[nodiscard]] BudgetResource exhausted_resource() const {
+    return static_cast<BudgetResource>(exhausted_.load(std::memory_order_relaxed));
+  }
+  /// Human-readable "deadline exceeded (50.0 ms)" style reason; "" while
+  /// the budget has headroom.
+  [[nodiscard]] std::string exhausted_reason() const;
+
+  // Spent-so-far accounting (exported into reports and metrics).
+  [[nodiscard]] std::int64_t smt_queries() const { return smt_queries_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t paths() const { return paths_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t fork_points() const { return fork_points_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+  [[nodiscard]] const BudgetLimits& limits() const { return limits_; }
+
+ private:
+  bool charge(std::atomic<std::int64_t>& counter, std::int64_t limit,
+              BudgetResource resource, std::int64_t n) {
+    if (exhausted()) return false;
+    if (!check_deadline()) return false;
+    const std::int64_t spent = counter.fetch_add(n, std::memory_order_relaxed) + n;
+    if (limit > 0 && spent > limit) {
+      latch(resource);
+      return false;
+    }
+    return true;
+  }
+
+  bool check_deadline() {
+    if (limits_.deadline_ms > 0.0 && elapsed_ms() > limits_.deadline_ms) {
+      latch(BudgetResource::kDeadline);
+      return false;
+    }
+    return true;
+  }
+
+  void latch(BudgetResource resource) {
+    int expected = static_cast<int>(BudgetResource::kNone);
+    exhausted_.compare_exchange_strong(expected, static_cast<int>(resource),
+                                       std::memory_order_relaxed);
+  }
+
+  BudgetLimits limits_{};
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+  std::atomic<std::int64_t> smt_queries_{0};
+  std::atomic<std::int64_t> paths_{0};
+  std::atomic<std::int64_t> fork_points_{0};
+  std::atomic<std::int64_t> steps_{0};
+  std::atomic<int> exhausted_{static_cast<int>(BudgetResource::kNone)};
+};
+
+}  // namespace lisa::support

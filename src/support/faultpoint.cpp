@@ -1,0 +1,138 @@
+#include "support/faultpoint.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace lisa::support {
+
+const char* fault_action_name(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kFail: return "fail";
+    case FaultAction::kTimeout: return "timeout";
+    case FaultAction::kMalformed: return "malformed";
+    case FaultAction::kDelay: return "delay";
+  }
+  return "?";
+}
+
+namespace {
+
+bool parse_action(std::string_view name, FaultAction* action) {
+  if (name == "fail") *action = FaultAction::kFail;
+  else if (name == "timeout") *action = FaultAction::kTimeout;
+  else if (name == "malformed") *action = FaultAction::kMalformed;
+  else if (name == "delay") *action = FaultAction::kDelay;
+  else return false;
+  return true;
+}
+
+bool parse_int(std::string_view text, std::int64_t* out) {
+  if (text.empty()) return false;
+  std::int64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::instance() {
+  static FaultRegistry registry;
+  return registry;
+}
+
+FaultRegistry::FaultRegistry() {
+  const char* env = std::getenv("LISA_FAULTPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    if (!configure(env))
+      log(LogLevel::warn, "LISA_FAULTPOINTS is malformed, fault injection disarmed: ",
+          env);
+  }
+}
+
+bool FaultRegistry::configure(const std::string& spec) {
+  std::map<std::string, Spec> parsed;
+  for (const std::string& entry : split(spec, ',')) {
+    const std::string trimmed{trim(entry)};
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string::npos || eq == 0) { clear(); return false; }
+    const std::string site = trimmed.substr(0, eq);
+    std::string action_text = trimmed.substr(eq + 1);
+    Spec site_spec;
+    const std::size_t colon = action_text.find(':');
+    std::string param;
+    if (colon != std::string::npos) {
+      param = action_text.substr(colon + 1);
+      action_text = action_text.substr(0, colon);
+    }
+    if (!parse_action(action_text, &site_spec.action)) { clear(); return false; }
+    if (site_spec.action == FaultAction::kDelay) {
+      // delay's parameter is the sleep in milliseconds, fired on every visit.
+      if (!param.empty() && !parse_int(param, &site_spec.delay_ms)) { clear(); return false; }
+      if (param.empty()) site_spec.delay_ms = 1;
+    } else if (!param.empty()) {
+      if (!parse_int(param, &site_spec.remaining)) { clear(); return false; }
+    }
+    parsed[site] = site_spec;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_ = std::move(parsed);
+  armed_.store(!sites_.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void FaultRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultAction FaultRegistry::consume(const std::string& site, std::int64_t* delay_ms) {
+  if (!armed_.load(std::memory_order_relaxed)) return FaultAction::kNone;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return FaultAction::kNone;
+  Spec& spec = it->second;
+  if (spec.remaining == 0) return FaultAction::kNone;  // spent
+  if (spec.remaining > 0) --spec.remaining;
+  ++spec.triggered;
+  if (delay_ms != nullptr) *delay_ms = spec.delay_ms;
+  return spec.action;
+}
+
+std::int64_t FaultRegistry::triggered(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.triggered;
+}
+
+std::vector<std::string> FaultRegistry::armed_sites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, spec] : sites_) names.push_back(name);
+  return names;
+}
+
+FaultAction faultpoint(const std::string& site) {
+  std::int64_t delay_ms = 0;
+  const FaultAction action = FaultRegistry::instance().consume(site, &delay_ms);
+  if (action == FaultAction::kNone) return action;
+  log(LogLevel::warn, "fault injected at ", site, ": ", fault_action_name(action));
+  if (action == FaultAction::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return FaultAction::kNone;  // a latency spike changes timing, not control flow
+  }
+  return action;
+}
+
+}  // namespace lisa::support

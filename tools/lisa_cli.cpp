@@ -31,6 +31,7 @@
 // Exit code: 0 on success/pass, 1 on violations found/commit blocked,
 // 2 on usage or input errors.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -47,6 +48,7 @@
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "staticcheck/analyses.hpp"
+#include "support/budget.hpp"
 
 namespace {
 
@@ -56,11 +58,14 @@ int usage() {
   std::fprintf(stderr,
                "usage: lisa <command> [args]\n"
                "  corpus | prompt <case> | infer <case> | check <case> [flags] |\n"
-               "  gate <case> <file.ml> | hunt | synth <case> | explore <case> |\n"
+               "  gate <case> <file.ml> [flags] | hunt | synth <case> | explore <case> |\n"
                "  lint [case] [--buggy|--latest] [--json] |\n"
                "  profile <system|case|all> [--json] [--trace out.json]\n"
                "flags for check: --latest --buggy --no-concolic --no-prune\n"
                "                 --trace out.json --metrics out.json\n"
+               "budget flags (check, gate): --deadline-ms N --max-paths N\n"
+               "                 --max-smt-queries N --max-steps N\n"
+               "checkpointing (check, gate): --journal out.jsonl --resume\n"
                "lint with no case runs over every patched corpus program\n"
                "profile runs the corpus slice with tracing on and prints the\n"
                "per-span cost table and top SMT hotspots\n");
@@ -113,6 +118,27 @@ int cmd_infer(const std::string& case_id) {
   return 0;
 }
 
+/// Parses the shared budget flags (--deadline-ms, --max-paths,
+/// --max-smt-queries, --max-steps). Returns false when `flag` is not a
+/// budget flag; `i` advances past the consumed value.
+bool parse_budget_flag(int argc, char** argv, int* i, support::BudgetLimits* limits) {
+  const auto int_value = [&](std::int64_t* out) {
+    if (*i + 1 >= argc) return false;
+    *out = std::atoll(argv[++*i]);
+    return *out > 0;
+  };
+  if (std::strcmp(argv[*i], "--deadline-ms") == 0) {
+    if (*i + 1 >= argc) return false;
+    limits->deadline_ms = std::atof(argv[++*i]);
+    return limits->deadline_ms > 0.0;
+  }
+  if (std::strcmp(argv[*i], "--max-paths") == 0) return int_value(&limits->max_paths);
+  if (std::strcmp(argv[*i], "--max-smt-queries") == 0)
+    return int_value(&limits->max_smt_queries);
+  if (std::strcmp(argv[*i], "--max-steps") == 0) return int_value(&limits->max_steps);
+  return false;
+}
+
 int cmd_check(const std::string& case_id, int argc, char** argv) {
   const corpus::FailureTicket* ticket = require_case(case_id);
   if (ticket == nullptr) return 2;
@@ -120,6 +146,8 @@ int cmd_check(const std::string& case_id, int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   core::CheckOptions options;
+  core::PipelineRunOptions run_options;
+  support::BudgetLimits limits;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--latest") == 0) {
       if (ticket->latest_source.empty()) {
@@ -137,14 +165,39 @@ int cmd_check(const std::string& case_id, int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      run_options.journal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      run_options.resume = true;
+    } else if (parse_budget_flag(argc, argv, &i, &limits)) {
+      // consumed
     } else {
       return usage();
     }
   }
+  if (run_options.resume && run_options.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal <path>\n");
+    return 2;
+  }
   if (!trace_path.empty()) obs::tracer().set_enabled(true);
+  support::Budget budget(limits);
+  if (!limits.unlimited()) options.budget = &budget;
   const core::Pipeline pipeline(inference::MockLlmOptions{}, options);
-  const core::PipelineResult result = pipeline.run(*ticket, source);
+  const core::PipelineResult result = pipeline.run(*ticket, source, run_options);
   std::printf("%s", core::render_markdown(result).c_str());
+  if (options.budget != nullptr) {
+    int inconclusive = 0;
+    for (const core::ContractCheckReport& report : result.reports)
+      if (!report.conclusive()) ++inconclusive;
+    const std::string exhausted_note =
+        budget.exhausted() ? " — exhausted: " + budget.exhausted_reason() : "";
+    std::printf(
+        "_Budget: %lld SMT queries, %lld paths, %lld fork points, %lld steps%s; "
+        "%d contract(s) inconclusive._\n",
+        static_cast<long long>(budget.smt_queries()), static_cast<long long>(budget.paths()),
+        static_cast<long long>(budget.fork_points()), static_cast<long long>(budget.steps()),
+        exhausted_note.c_str(), inconclusive);
+  }
   if (!trace_path.empty() &&
       !write_json_file(trace_path, obs::tracer().chrome_trace()))
     return 2;
@@ -220,7 +273,7 @@ int cmd_profile(int argc, char** argv) {
   return 0;
 }
 
-int cmd_gate(const std::string& case_id, const std::string& path) {
+int cmd_gate(const std::string& case_id, const std::string& path, int argc, char** argv) {
   const corpus::FailureTicket* ticket = require_case(case_id);
   if (ticket == nullptr) return 2;
   std::ifstream file(path);
@@ -231,13 +284,34 @@ int cmd_gate(const std::string& case_id, const std::string& path) {
   std::ostringstream buffer;
   buffer << file.rdbuf();
 
+  core::GateRunOptions run_options;
+  support::BudgetLimits limits;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc)
+      run_options.journal_path = argv[++i];
+    else if (std::strcmp(argv[i], "--resume") == 0)
+      run_options.resume = true;
+    else if (parse_budget_flag(argc, argv, &i, &limits)) {
+      // consumed
+    } else {
+      return usage();
+    }
+  }
+  if (run_options.resume && run_options.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal <path>\n");
+    return 2;
+  }
+
   const inference::SemanticsProposal proposal = inference::MockLlm().infer(*ticket);
   core::TranslationResult translation = core::translate(proposal, ticket->system);
   core::ContractStore store;
   store.add_all(std::move(translation.contracts));
   core::CheckOptions options;
   options.run_concolic = false;
-  const core::GateDecision decision = core::CiGate(options).evaluate(buffer.str(), store);
+  support::Budget budget(limits);
+  if (!limits.unlimited()) options.budget = &budget;
+  const core::GateDecision decision =
+      core::CiGate(options).evaluate(buffer.str(), store, run_options);
   std::printf("%s", core::render_markdown(decision).c_str());
   return decision.allowed ? 0 : 1;
 }
@@ -459,7 +533,7 @@ int main(int argc, char** argv) {
     if (command == "prompt" && argc >= 3) return cmd_prompt(argv[2]);
     if (command == "infer" && argc >= 3) return cmd_infer(argv[2]);
     if (command == "check" && argc >= 3) return cmd_check(argv[2], argc - 3, argv + 3);
-    if (command == "gate" && argc >= 4) return cmd_gate(argv[2], argv[3]);
+    if (command == "gate" && argc >= 4) return cmd_gate(argv[2], argv[3], argc - 4, argv + 4);
     if (command == "hunt") return cmd_hunt();
     if (command == "synth" && argc >= 3) return cmd_synth(argv[2]);
     if (command == "explore" && argc >= 3) return cmd_explore(argv[2]);
