@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Tier-2 benchmark snapshot: runs the pipeline-level benchmarks and a
+# corpus-wide checking pass, then writes one sequenced BENCH_<n>.json
+# capturing wall-clock per bench plus the corpus settled fraction and
+# verdict counts. Snapshots are append-only — compare two files to see a
+# regression, delete none.
+#
+# Usage: scripts/bench_snapshot.sh
+#   BUILD_DIR=build      build tree holding the bench binaries
+#   OUT_DIR=bench/snapshots   where BENCH_<n>.json lands
+#   FAST=1               cut benchmark min-time for a smoke-speed snapshot
+#   BENCHES="a b"        override the bench binary list
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT_DIR=${OUT_DIR:-bench/snapshots}
+BENCHES=${BENCHES:-"bench_fig5_pipeline bench_static_screening bench_ci_gate bench_smt_solver bench_vm_throughput"}
+
+if [[ ! -x "$BUILD_DIR/tools/lisa" ]]; then
+  echo "bench_snapshot: $BUILD_DIR/tools/lisa not built (run cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+extra_flags=()
+if [[ "${FAST:-0}" == "1" ]]; then
+  extra_flags+=(--benchmark_min_time=0.01)
+fi
+
+ran=()
+for bench in $BENCHES; do
+  binary="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$binary" ]]; then
+    echo "bench_snapshot: skipping $bench (not built)" >&2
+    continue
+  fi
+  echo "bench_snapshot: running $bench..." >&2
+  # --benchmark_out keeps the JSON clean of the benches' own stdout tables.
+  "$binary" --benchmark_out="$tmp/$bench.json" --benchmark_out_format=json \
+    "${extra_flags[@]}" > "$tmp/$bench.log" 2>&1 || {
+    echo "bench_snapshot: $bench failed:" >&2
+    cat "$tmp/$bench.log" >&2
+    exit 1
+  }
+  ran+=("$bench")
+done
+
+# Corpus-wide verdict accounting: one checking pass over every case, read
+# off the metrics registry (screen.* for the settled fraction, checker.*
+# for path verdict counts).
+echo "bench_snapshot: running corpus pass..." >&2
+"$BUILD_DIR/tools/lisa" profile all --json > "$tmp/corpus.json"
+
+# Next sequence number (BENCH_1.json, BENCH_2.json, ...).
+n=1
+while [[ -e "$OUT_DIR/BENCH_$n.json" ]]; do n=$((n + 1)); done
+out="$OUT_DIR/BENCH_$n.json"
+
+TMP="$tmp" OUT="$out" RAN="${ran[*]}" python3 - <<'PY'
+import json, os, time
+
+tmp, out = os.environ["TMP"], os.environ["OUT"]
+snapshot = {
+    "schema": "lisa-bench-snapshot",
+    "version": 1,
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    "benches": {},
+    "corpus": {},
+}
+
+for bench in os.environ["RAN"].split():
+    with open(f"{tmp}/{bench}.json") as f:
+        report = json.load(f)
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        record = {"wall_ms": entry["real_time"] * {
+            "ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[entry.get("time_unit", "ns")]}
+        for key, value in entry.items():
+            if key in ("name", "run_name", "run_type", "repetitions",
+                       "repetition_index", "threads", "iterations", "real_time",
+                       "cpu_time", "time_unit", "family_index",
+                       "per_family_instance_index"):
+                continue
+            if isinstance(value, (int, float)):
+                record[key] = value
+        snapshot["benches"][entry["name"]] = record
+
+with open(f"{tmp}/corpus.json") as f:
+    corpus = json.load(f)
+counters = corpus.get("metrics", {}).get("counters", {})
+safe = counters.get("screen.proved-safe", 0)
+refuted = counters.get("screen.proved-violated", 0)
+unknown = counters.get("screen.unknown", 0)
+screened = safe + refuted + unknown
+snapshot["corpus"] = {
+    "cases": corpus.get("cases", 0),
+    "violations": corpus.get("violations", 0),
+    "settled_fraction": (safe + refuted) / screened if screened else 1.0,
+    "verdicts": {
+        "contracts": counters.get("checker.contracts", 0),
+        "paths_verified": counters.get("checker.paths_verified", 0),
+        "paths_violated": counters.get("checker.paths_violated", 0),
+        "paths_unmappable": counters.get("checker.paths_unmappable", 0),
+        "paths_uncovered": counters.get("checker.paths_uncovered", 0),
+        "screen_proved_safe": safe,
+        "screen_proved_violated": refuted,
+        "screen_unknown": unknown,
+    },
+}
+
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(out)
+PY

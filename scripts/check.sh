@@ -63,3 +63,55 @@ if [[ "$chaos_out" != *"INCONCLUSIVE"* && "$chaos_out" != *"inconclusive"* ]]; t
   exit 1
 fi
 echo "chaos smoke: OK (exit $chaos_status, degradation surfaced)"
+
+# Explain smoke: a known-violated corpus contract must produce a ledger with
+# a reproduced narration (JSON schema) and a non-empty self-contained HTML
+# report. Exit 1 is the expected "violations found" outcome.
+explain_dir=$(mktemp -d)
+explain_status=0
+"$BUILD_DIR"/tools/lisa explain zk-1208-ephemeral-create --buggy --json \
+  --html "$explain_dir/report.html" > "$explain_dir/ledger.json" || explain_status=$?
+if [[ "$explain_status" -ne 1 ]]; then
+  echo "check.sh: lisa explain on a violated case exited $explain_status (expected 1)" >&2
+  exit 1
+fi
+python3 - "$explain_dir/ledger.json" <<'PY' || exit 1
+import json, sys
+ledger = json.load(open(sys.argv[1]))
+assert ledger["journal"] == "lisa-ledger", ledger.get("journal")
+assert ledger["fingerprint"], "missing run fingerprint"
+violated = [c for c in ledger["contracts"] if c["verdict"] == "violated"]
+assert violated, "expected a violated contract"
+for contract in violated:
+    assert contract["smt_queries"], f"{contract['contract_id']}: no SMT evidence"
+    narration = contract["narration"]
+    assert narration["reproduced"], f"{contract['contract_id']}: not reproduced"
+    assert narration["steps"], f"{contract['contract_id']}: empty trace"
+PY
+if [[ ! -s "$explain_dir/report.html" ]] || \
+   ! grep -q "<!doctype html>" "$explain_dir/report.html"; then
+  echo "check.sh: lisa explain --html produced no HTML report" >&2
+  exit 1
+fi
+rm -rf "$explain_dir"
+echo "explain smoke: OK (narration reproduced, HTML written)"
+
+# Bench-snapshot smoke: a FAST snapshot must produce a parseable file with
+# the documented schema (benches -> wall_ms, corpus -> settled fraction and
+# verdict counts).
+snap_dir=$(mktemp -d)
+FAST=1 OUT_DIR="$snap_dir" BUILD_DIR="$BUILD_DIR" \
+  BENCHES="bench_smt_solver" scripts/bench_snapshot.sh > /dev/null
+python3 - "$snap_dir/BENCH_1.json" <<'PY' || exit 1
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["schema"] == "lisa-bench-snapshot" and snap["version"] == 1
+assert snap["timestamp"]
+assert snap["benches"], "no bench entries"
+assert all("wall_ms" in entry for entry in snap["benches"].values())
+corpus = snap["corpus"]
+assert 0.0 <= corpus["settled_fraction"] <= 1.0
+assert corpus["verdicts"]["contracts"] > 0
+PY
+rm -rf "$snap_dir"
+echo "bench snapshot smoke: OK (schema valid)"

@@ -75,6 +75,9 @@ class Engine::Impl {
     fuel_used_ = 0;
     next_object_id_ = 1;
     solver_.set_budget(config.budget);
+    obs::PhasedSmtCapture smt_capture(config.capture.ledger, config.capture.capture,
+                                      "concolic");
+    solver_.set_capture(config.capture.active() ? &smt_capture : nullptr);
 
     // Locate target statements and extract relevant field names.
     targets_.clear();
@@ -113,6 +116,8 @@ class Engine::Impl {
     } catch (const InterpError& error) {
       result_.failure = error.what();
     }
+    // The capture sink is stack-local to this call; detach before returning.
+    solver_.set_capture(nullptr);
     return std::move(result_);
   }
 
@@ -312,7 +317,11 @@ class Engine::Impl {
             hit.trace_condition, Formula::negate(hit.instantiated_contract)));
         hit.symbolic_violation = check.sat();
         hit.inconclusive = check.unknown();
-        if (check.sat()) hit.witness = check.model.to_string();
+        if (check.sat()) {
+          hit.witness = check.model.to_string();
+          hit.witness_bools = check.model.bools;
+          hit.witness_ints = check.model.ints;
+        }
       }
     } else {
       hit.instantiated_contract = Formula::truth(true);

@@ -19,11 +19,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "minilang/ast.hpp"
+#include "obs/provenance.hpp"
 #include "smt/formula.hpp"
 #include "support/budget.hpp"
 
@@ -43,6 +45,9 @@ struct CheckConfig {
   /// charges SMT queries. Exhaustion ends the run with a structured
   /// RunResult::budget_exhausted outcome. nullptr = ungoverned.
   support::Budget* budget = nullptr;
+  /// Provenance capture: every per-hit π ∧ ¬P query is recorded with phase
+  /// "concolic". An inert handle (the default) is the zero-cost path.
+  obs::CaptureHandle capture;
 };
 
 /// One arrival at a target statement.
@@ -57,6 +62,10 @@ struct TargetHit {
   bool symbolic_violation = false;  // sat(π ∧ ¬P): a missing-check path
   bool inconclusive = false;  // the π ∧ ¬P query came back kUnknown (budget)
   std::string witness;              // model of π ∧ ¬P when symbolically violated
+  /// Structured form of `witness` (object-identity variable names), kept so
+  /// the counterexample narrator can replay the model without re-parsing.
+  std::map<std::string, bool> witness_bools;
+  std::map<std::string, std::int64_t> witness_ints;
 };
 
 struct RunResult {

@@ -63,7 +63,7 @@ ReplayResult replay(const minilang::Program& program, const SynthesizedTest& tes
 ExplorationReport explore(const minilang::Program& program,
                           const std::string& target_fragment,
                           const smt::FormulaPtr& contract_condition,
-                          support::Budget* budget) {
+                          support::Budget* budget, const obs::CaptureHandle& capture) {
   ExplorationReport report;
   obs::ScopedSpan run_span("explorer.run");
   run_span.attr("target", target_fragment);
@@ -79,6 +79,8 @@ ExplorationReport explore(const minilang::Program& program,
 
   smt::Solver solver;
   solver.set_budget(budget);
+  obs::PhasedSmtCapture smt_capture(capture.ledger, capture.capture, "explore");
+  if (capture.active()) solver.set_capture(&smt_capture);
   int sequence = 1;
   for (const analysis::ExecutionPath& path : tree.paths) {
     obs::ScopedSpan path_span("explorer.path");

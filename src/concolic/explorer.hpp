@@ -16,6 +16,7 @@
 #include "analysis/paths.hpp"
 #include "concolic/testgen.hpp"
 #include "minilang/ast.hpp"
+#include "obs/provenance.hpp"
 #include "smt/formula.hpp"
 #include "support/budget.hpp"
 
@@ -54,10 +55,13 @@ struct ExplorationReport {
 /// chain-head entry is synthesizable, replaying a generated driver for each.
 /// `contract_condition` is in target-frame local names (as in TreeOptions).
 /// An exhausted `budget` (nullptr = ungoverned) degrades remaining paths to
-/// kSkipped — never to a verified/violated verdict.
+/// kSkipped — never to a verified/violated verdict. An active `capture`
+/// records the exploration's feasibility / violation SMT queries (phase
+/// "explore") into the provenance ledger.
 [[nodiscard]] ExplorationReport explore(const minilang::Program& program,
                                         const std::string& target_fragment,
                                         const smt::FormulaPtr& contract_condition,
-                                        support::Budget* budget = nullptr);
+                                        support::Budget* budget = nullptr,
+                                        const obs::CaptureHandle& capture = {});
 
 }  // namespace lisa::concolic

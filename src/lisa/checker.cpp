@@ -9,6 +9,7 @@
 #include "concolic/engine.hpp"
 #include "inference/embedding.hpp"
 #include "minilang/printer.hpp"
+#include "obs/explain.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "smt/solver.hpp"
@@ -74,6 +75,7 @@ Json ContractCheckReport::to_json() const {
   if (budget_exhausted) {
     root["budget_exhausted"] = true;
     root["budget_reason"] = budget_reason;
+    if (!budget_resource.empty()) root["budget_resource"] = budget_resource;
   }
   JsonArray path_entries;
   for (const PathReport& path : paths) {
@@ -155,6 +157,7 @@ ContractCheckReport ContractCheckReport::from_json(const Json& json) {
                             json.at("budget_exhausted").is_bool() &&
                             json.at("budget_exhausted").as_bool();
   report.budget_reason = json.get_string("budget_reason");
+  report.budget_resource = json.get_string("budget_resource");
   if (json.has("paths") && json.at("paths").is_array()) {
     for (const Json& entry : json.at("paths").as_array()) {
       if (!entry.is_object()) continue;
@@ -249,7 +252,13 @@ void record_contract_outcome(obs::ScopedSpan& span, const ContractCheckReport& r
   if (report.inconclusive > 0)
     registry.counter("checker.paths_inconclusive").add(report.inconclusive);
   if (!report.conclusive()) registry.counter("checker.inconclusive_contracts").add();
-  if (report.budget_exhausted) registry.counter("checker.budget_exhausted").add();
+  if (report.budget_exhausted) {
+    registry.counter("checker.budget_exhausted").add();
+    // Typed exhaustion cause as a labeled counter, so a metrics dump shows
+    // *which* resource the fleet keeps running out of.
+    if (!report.budget_resource.empty())
+      registry.counter("budget.exhausted{reason=" + report.budget_resource + "}").add();
+  }
   registry.histogram("checker.contract_ms").record(elapsed_ms);
   if (!report.screen_verdict.empty()) {
     registry.counter("screen." + report.screen_verdict).add();
@@ -263,6 +272,55 @@ void record_contract_outcome(obs::ScopedSpan& span, const ContractCheckReport& r
   span.attr("unmappable", report.unmappable);
   span.attr("passed", report.passed());
   if (!report.screen_verdict.empty()) span.attr("screen_verdict", report.screen_verdict);
+  if (report.budget_exhausted && !report.budget_resource.empty())
+    span.attr("budget.exhausted_reason", report.budget_resource);
+}
+
+/// Creates (or re-opens) the capture cell for `contract` and fills its
+/// identity fields. Inert handle when no ledger is attached.
+obs::CaptureHandle bind_capture(obs::ProvenanceLedger* ledger,
+                                const SemanticContract& contract) {
+  if (ledger == nullptr) return {};
+  obs::ContractCapture* capture = ledger->capture_for(contract.id);
+  capture->contract_id = contract.id;
+  capture->system = contract.system;
+  capture->kind = contract.kind == corpus::SemanticsKind::kStructuralPattern
+                      ? "structural-pattern"
+                      : "state-predicate";
+  capture->target_fragment = contract.target_fragment;
+  capture->condition_text = contract.condition_text;
+  capture->description = contract.description;
+  capture->fingerprint = obs::evidence_digest(contract.id + "|" + contract.target_fragment +
+                                              "|" + contract.condition_text);
+  return {ledger, capture};
+}
+
+/// Copies the final verdict and budget accounting onto the capture cell.
+/// Charges are counter snapshots (deterministic for non-deadline budgets);
+/// elapsed time deliberately stays out of the ledger.
+void finalize_capture(const obs::CaptureHandle& capture, const ContractCheckReport& report,
+                      const support::Budget* budget) {
+  if (!capture.active()) return;
+  obs::ContractCapture* cell = capture.capture;
+  cell->passed = report.passed();
+  cell->conclusive = report.conclusive();
+  cell->verdict =
+      !report.passed() ? "violated" : (report.conclusive() ? "passed" : "inconclusive");
+  cell->screen_verdict = report.screen_verdict;
+  cell->screen_reason = report.screen_reason;
+  cell->screen_witness = report.screen_witness;
+  cell->budget.attached = budget != nullptr;
+  if (budget != nullptr) {
+    cell->budget.exhausted = budget->exhausted();
+    if (budget->exhausted()) {
+      cell->budget.resource = support::budget_resource_name(budget->exhausted_resource());
+      cell->budget.reason = budget->exhausted_reason();
+    }
+    cell->budget.charges["smt-queries"] = budget->smt_queries();
+    cell->budget.charges["paths"] = budget->paths();
+    cell->budget.charges["fork-points"] = budget->fork_points();
+    cell->budget.charges["steps"] = budget->steps();
+  }
 }
 
 }  // namespace
@@ -279,13 +337,16 @@ ContractCheckReport Checker::check(const minilang::Program& program,
   report.target_fragment = contract.target_fragment;
 
   const analysis::CallGraph graph = analysis::CallGraph::build(program);
+  const obs::CaptureHandle capture = bind_capture(options.ledger, contract);
 
   if (contract.kind == corpus::SemanticsKind::kStructuralPattern) {
     // The path-sensitive lock-state dataflow subsumes the older structural
     // walk (analysis/patterns.cpp): same monitor rule, but exception edges
     // release monitors and nested sync depth is tracked per path.
     const staticcheck::Screener screener(program, options.use_summaries);
-    const staticcheck::ScreenResult screen = screener.screen_structural();
+    staticcheck::ScreenOptions screen_options;
+    screen_options.capture = capture;
+    const staticcheck::ScreenResult screen = screener.screen_structural(screen_options);
     if (screener.summaries() != nullptr)
       report.summary_ms = screener.summaries()->stats().elapsed_ms;
     for (const staticcheck::Diagnostic& diagnostic : screen.diagnostics)
@@ -297,6 +358,18 @@ ContractCheckReport Checker::check(const minilang::Program& program,
     report.target_statements =
         analysis::find_target_statements(program, contract.target_fragment).size();
     report.sanity_ok = true;  // structural rules need no fixed-path witness
+    if (capture.active() && !report.passed()) {
+      // Narrate the deadlock-shaped witness: replay tests until a blocking
+      // call executes under a held monitor.
+      obs::NarrationRequest request;
+      request.contract_id = contract.id;
+      request.kind = "structural-pattern";
+      request.target_fragment = contract.target_fragment;
+      for (const minilang::FuncDecl* fn : program.functions_with("test"))
+        request.candidate_tests.push_back(fn->name);
+      capture.capture->narration = obs::narrate_counterexample(program, request);
+    }
+    finalize_capture(capture, report, options.budget);
     record_contract_outcome(span, report, span.elapsed_ms());
     return report;
   }
@@ -310,6 +383,7 @@ ContractCheckReport Checker::check(const minilang::Program& program,
     staticcheck::ScreenOptions screen_options;
     screen_options.max_paths = options.max_paths;
     screen_options.prune_irrelevant = options.prune_irrelevant;
+    screen_options.capture = capture;
     const staticcheck::ScreenResult screen = screener.screen_state_predicate(
         contract.target_fragment, contract.condition, screen_options);
     report.screen_verdict = staticcheck::screen_verdict_name(screen.verdict);
@@ -345,6 +419,13 @@ ContractCheckReport Checker::check(const minilang::Program& program,
   obs::ScopedSpan static_span("checker.static_paths");
   smt::Solver solver;
   solver.set_budget(options.budget);
+  obs::PhasedSmtCapture static_smt_capture(capture.ledger, capture.capture, "static-path");
+  if (capture.active()) solver.set_capture(&static_smt_capture);
+  // The first violated path's satisfying model, kept structured for the
+  // counterexample narrator (names in canonical frame vocabulary).
+  smt::Model narration_model;
+  int narration_stmt_id = -1;
+  std::vector<std::string> narration_path_chain;
   for (const analysis::ExecutionPath& path : tree.paths) {
     PathReport path_report;
     path_report.call_chain = path.call_chain;
@@ -353,6 +434,7 @@ ContractCheckReport Checker::check(const minilang::Program& program,
         path.target != nullptr ? minilang::stmt_header_text(*path.target) : "";
     path_report.path_condition = path.condition->to_string();
     path_report.contract_condition = path.renamed_contract->to_string();
+    smt::Model violated_model;
     if (options.budget != nullptr && !options.budget->charge_path()) {
       // A refused path is inconclusive, never silently verified: the report
       // keeps the full path entry so a resumed run can pick it back up.
@@ -372,14 +454,40 @@ ContractCheckReport Checker::check(const minilang::Program& program,
       } else if (result.sat()) {
         path_report.verdict = PathVerdict::kViolated;
         path_report.counterexample = result.model.to_string();
+        violated_model = result.model;
+        if (narration_stmt_id < 0) {
+          narration_model = result.model;
+          narration_stmt_id = path_report.target_stmt_id;
+          narration_path_chain = path.call_chain;
+        }
         ++report.violated;
       } else {
         path_report.verdict = PathVerdict::kVerified;
         ++report.verified;
       }
     }
+    if (capture.active()) {
+      obs::PathEvidence evidence;
+      std::string chain;
+      for (const std::string& fn : path_report.call_chain) {
+        if (!chain.empty()) chain += " -> ";
+        chain += fn;
+      }
+      evidence.chain = std::move(chain);
+      evidence.target_stmt_id = path_report.target_stmt_id;
+      evidence.target_text = path_report.target_text;
+      evidence.path_condition = path_report.path_condition;
+      evidence.contract_condition = path_report.contract_condition;
+      evidence.verdict = path_verdict_name(path_report.verdict);
+      evidence.counterexample = path_report.counterexample;
+      evidence.detail = path_report.detail;
+      evidence.model_bools = violated_model.bools;
+      evidence.model_ints = violated_model.ints;
+      capture.path(std::move(evidence));
+    }
     report.paths.push_back(std::move(path_report));
   }
+  solver.set_capture(nullptr);  // the sink is stack-local
   static_span.attr("verified", report.verified);
   static_span.attr("violated", report.violated);
   if (report.inconclusive > 0) static_span.attr("inconclusive", report.inconclusive);
@@ -387,6 +495,9 @@ ContractCheckReport Checker::check(const minilang::Program& program,
   report.sanity_ok = report.verified > 0;
 
   // ---- Dynamic confirmation via concolic replay of selected tests ---------
+  // The witness model for the narrator, and the test that produced it when
+  // it came from a concolic hit rather than a static path.
+  std::string narration_hit_test;
   if (options.run_concolic && !skip_concolic) {
     obs::ScopedSpan concolic_span("checker.concolic");
     std::vector<std::string> tests = options.forced_tests;
@@ -425,7 +536,7 @@ ContractCheckReport Checker::check(const minilang::Program& program,
     config.contract = contract.condition;
     config.prune_irrelevant = options.prune_irrelevant;
     config.budget = options.budget;
-    std::vector<concolic::TargetHit> all_hits;
+    config.capture = capture;
     for (const std::string& test : tests) {
       if (options.budget != nullptr && options.budget->exhausted()) {
         // Unrun tests degrade the run count, not the verdict: the report's
@@ -450,7 +561,32 @@ ContractCheckReport Checker::check(const minilang::Program& program,
           report.dynamic.violation_details.push_back(
               test + " -> " + hit.function + ": contract concretely false at target");
         }
-        all_hits.push_back(hit);
+        if (hit.symbolic_violation && narration_stmt_id < 0 &&
+            !(hit.witness_bools.empty() && hit.witness_ints.empty())) {
+          // No static path produced a model (e.g. all paths unmappable):
+          // fall back to this hit's π ∧ ¬P witness for the narration.
+          narration_model.bools = hit.witness_bools;
+          narration_model.ints = hit.witness_ints;
+          narration_stmt_id = hit.stmt_id;
+          narration_hit_test = test;
+        }
+        if (capture.active()) {
+          obs::HitEvidence evidence;
+          evidence.test = test;
+          evidence.function = hit.function;
+          evidence.stmt_id = hit.stmt_id;
+          evidence.trace_condition =
+              hit.trace_condition != nullptr ? hit.trace_condition->to_string() : "";
+          evidence.instantiated_contract =
+              hit.instantiated_contract != nullptr ? hit.instantiated_contract->to_string()
+                                                   : "";
+          evidence.outcome = hit.concrete_violation   ? "concrete-violation"
+                             : hit.symbolic_violation ? "symbolic-violation"
+                             : hit.inconclusive       ? "inconclusive"
+                                                      : "ok";
+          evidence.witness = hit.witness;
+          capture.hit(std::move(evidence));
+        }
         // Mark static paths covered by this hit.
         for (PathReport& path : report.paths) {
           if (path.target_stmt_id != hit.stmt_id) continue;
@@ -470,7 +606,36 @@ ContractCheckReport Checker::check(const minilang::Program& program,
   if (options.budget != nullptr && options.budget->exhausted()) {
     report.budget_exhausted = true;
     report.budget_reason = options.budget->exhausted_reason();
+    report.budget_resource =
+        support::budget_resource_name(options.budget->exhausted_resource());
   }
+  if (capture.active() && !report.passed()) {
+    // Narrate the counterexample: replay the best covering test with the
+    // violated path's model injected into the live state.
+    obs::NarrationRequest request;
+    request.contract_id = contract.id;
+    request.kind = "state-predicate";
+    request.target_fragment = contract.target_fragment;
+    request.target_stmt_id = narration_stmt_id;
+    request.contract = contract.condition;
+    request.model_bools = narration_model.bools;
+    request.model_ints = narration_model.ints;
+    // Candidate order: tests covering the violated path, then the test whose
+    // hit supplied the witness, then every selected test, then the rest of
+    // the suite. The narrator dedups and returns the first reproduction.
+    for (const PathReport& path : report.paths) {
+      if (path.verdict != PathVerdict::kViolated) continue;
+      for (const std::string& test : path.covering_tests)
+        request.candidate_tests.push_back(test);
+    }
+    if (!narration_hit_test.empty()) request.candidate_tests.push_back(narration_hit_test);
+    for (const std::string& test : report.dynamic.selected_tests)
+      request.candidate_tests.push_back(test);
+    for (const minilang::FuncDecl* fn : program.functions_with("test"))
+      request.candidate_tests.push_back(fn->name);
+    capture.capture->narration = obs::narrate_counterexample(program, request);
+  }
+  finalize_capture(capture, report, options.budget);
   record_contract_outcome(span, report, span.elapsed_ms());
   return report;
 }

@@ -24,6 +24,7 @@
 
 #include "lisa/contract.hpp"
 #include "minilang/ast.hpp"
+#include "obs/provenance.hpp"
 #include "support/budget.hpp"
 #include "support/json.hpp"
 
@@ -102,6 +103,9 @@ struct ContractCheckReport {
   /// never silently dropped.
   bool budget_exhausted = false;
   std::string budget_reason;
+  /// Typed exhaustion cause ("deadline" | "smt-queries" | "paths" |
+  /// "fork-points" | "steps"); empty unless budget_exhausted.
+  std::string budget_resource;
 
   /// True when the checked program satisfies the contract everywhere.
   [[nodiscard]] bool passed() const {
@@ -150,6 +154,12 @@ struct CheckOptions {
   /// fork points. Refused work surfaces as kInconclusive paths or degraded
   /// runs. nullptr = ungoverned (byte-identical to the pre-budget checker).
   support::Budget* budget = nullptr;
+  /// Verdict provenance (obs/provenance.hpp): when set, the checker records
+  /// the complete evidence chain — screen facts and summaries, every static
+  /// path's π ∧ ¬P query, concolic hits, budget charges, and a narrated
+  /// counterexample for violated contracts. nullptr = zero-cost (the check
+  /// output is byte-identical to an uncaptured run).
+  obs::ProvenanceLedger* ledger = nullptr;
 };
 
 class Checker {

@@ -79,12 +79,15 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
   }
   CheckJournal journal(run_options.journal_path);
   const bool journaling = !run_options.journal_path.empty();
-  if (journaling) {
+  if (journaling || run_options.ledger != nullptr) {
     std::string inputs = source;
     for (const SemanticContract& contract : store.all()) inputs += "\n" + contract.id;
-    const std::string fingerprint = CheckJournal::fingerprint(inputs);
-    if (run_options.resume) (void)journal.load(fingerprint);
-    journal.begin(fingerprint);
+    if (run_options.ledger != nullptr) run_options.ledger->bind(inputs);
+    if (journaling) {
+      const std::string fingerprint = CheckJournal::fingerprint(inputs);
+      if (run_options.resume) (void)journal.load(fingerprint);
+      journal.begin(fingerprint);
+    }
   }
   const Checker checker;
   for (const SemanticContract& contract : store.all()) {
@@ -100,7 +103,9 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
       report = *checkpointed;
       ++decision.resumed_contracts;
     } else {
-      report = checker.check(program, contract, options_);
+      CheckOptions contract_options = options_;
+      contract_options.ledger = run_options.ledger;
+      report = checker.check(program, contract, contract_options);
     }
     if (journaling) journal.record(report);
     if (!report.conclusive()) {

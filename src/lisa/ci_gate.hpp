@@ -36,6 +36,11 @@ class ContractStore {
 struct GateRunOptions {
   std::string journal_path;  // empty = no checkpointing
   bool resume = false;       // reuse conclusive journaled reports
+  /// Verdict provenance (obs/provenance.hpp): when set, the evaluation binds
+  /// the ledger to (source, stored contract ids) — the same inputs as the
+  /// checkpoint journal — and every evaluated contract captures its full
+  /// evidence chain. nullptr = zero-cost.
+  obs::ProvenanceLedger* ledger = nullptr;
 };
 
 struct GateDecision {

@@ -2,8 +2,8 @@
 
 #include <cstdint>
 #include <fstream>
-#include <sstream>
 
+#include "support/jsonl.hpp"
 #include "support/log.hpp"
 
 namespace lisa::core {
@@ -19,17 +19,10 @@ constexpr std::int64_t kJournalVersion = 1;
 }  // namespace
 
 std::string CheckJournal::fingerprint(const std::string& inputs) {
-  // FNV-1a 64-bit: stable across runs of the same build, cheap, and good
+  // FNV-1a 64-bit (support/jsonl.hpp): stable across runs, cheap, and good
   // enough to tell "same inputs" from "different inputs" — the journal is a
   // cache keyed by it, not a security boundary.
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (const char c : inputs) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
-  }
-  std::ostringstream out;
-  out << std::hex << hash;
-  return out.str();
+  return support::fnv1a_fingerprint(inputs);
 }
 
 bool CheckJournal::load(const std::string& expected_fingerprint) {
@@ -38,18 +31,10 @@ bool CheckJournal::load(const std::string& expected_fingerprint) {
   if (!in) return false;
   std::string line;
   if (!std::getline(in, line)) return false;
-  try {
-    const Json header = Json::parse(line);
-    if (header.get_string("journal") != kJournalKind ||
-        header.get_int("version") != kJournalVersion ||
-        header.get_string("fingerprint") != expected_fingerprint) {
-      support::log(support::LogLevel::warn, "journal ", path_,
-                   " does not match this run's inputs; starting fresh");
-      return false;
-    }
-  } catch (const std::exception&) {
+  if (!support::jsonl_header_matches(line, kJournalKind, kJournalVersion,
+                                     expected_fingerprint)) {
     support::log(support::LogLevel::warn, "journal ", path_,
-                 " has an unreadable header; starting fresh");
+                 " does not match this run's inputs; starting fresh");
     return false;
   }
   std::size_t dropped = 0;
@@ -83,11 +68,7 @@ bool CheckJournal::begin(const std::string& fingerprint) {
     writable_ = false;
     return false;
   }
-  JsonObject header;
-  header["journal"] = kJournalKind;
-  header["version"] = kJournalVersion;
-  header["fingerprint"] = fingerprint;
-  out << Json(std::move(header)).dump() << "\n";
+  out << support::jsonl_header(kJournalKind, kJournalVersion, fingerprint) << "\n";
   writable_ = static_cast<bool>(out);
   return writable_;
 }

@@ -92,12 +92,31 @@ PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
   PipelineResult result;
   obs::ScopedSpan run_span("pipeline.run");
   run_span.attr("case", ticket.case_id);
+  if (run_options.ledger != nullptr)
+    run_options.ledger->bind(ticket.case_id + "\n" + source_to_check);
 
   {
     obs::ScopedSpan stage("pipeline.infer");
     inference::InferenceOutcome outcome = inference::infer_with_retry(
         [&] { return llm_.infer(ticket); }, ticket.case_id, retry_policy_);
     result.inference_attempts = outcome.attempts;
+    if (run_options.ledger != nullptr) {
+      // Inference provenance: how the proposal behind these contracts came
+      // to be, including the retry/validation history (PR 5).
+      obs::ProposalEvidence evidence;
+      evidence.case_id = ticket.case_id;
+      evidence.succeeded = outcome.succeeded;
+      evidence.attempts = outcome.attempts;
+      evidence.transient_errors = outcome.transient_errors;
+      evidence.validation_failures = outcome.validation_failures;
+      evidence.error = outcome.error;
+      if (outcome.succeeded) {
+        evidence.high_level = outcome.proposal.high_level_semantics;
+        for (const inference::LowLevelSemantics& low : outcome.proposal.low_level)
+          evidence.low_level.push_back(low.description);
+      }
+      run_options.ledger->set_proposal(std::move(evidence));
+    }
     if (outcome.succeeded) {
       result.proposal = std::move(outcome.proposal);
     } else {
@@ -151,7 +170,9 @@ PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
         ++result.resumed_contracts;
         obs::metrics().counter("pipeline.resumed_contracts").add();
       } else {
-        report = checker.check(program, contract, check_options_);
+        CheckOptions contract_options = check_options_;
+        contract_options.ledger = run_options.ledger;
+        report = checker.check(program, contract, contract_options);
       }
       if (journaling) journal.record(report);
       support::log(report.passed() ? support::LogLevel::debug : support::LogLevel::info,

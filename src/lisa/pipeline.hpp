@@ -64,6 +64,11 @@ struct PipelineRunOptions {
   /// Reuse conclusive reports from a matching journal instead of
   /// re-checking; inconclusive entries are always re-checked.
   bool resume = false;
+  /// Verdict provenance (obs/provenance.hpp): when set, the run binds the
+  /// ledger to its inputs, records the inference proposal's retry history,
+  /// and every contract check captures its full evidence chain. nullptr =
+  /// zero-cost (run output byte-identical to an uncaptured run).
+  obs::ProvenanceLedger* ledger = nullptr;
 };
 
 struct PipelineResult {

@@ -53,15 +53,53 @@ Value Interp::call_function(const FuncDecl& fn, std::vector<Value> args) {
   for (std::size_t i = 0; i < args.size(); ++i)
     frame.scopes.back()[fn.params[i].name] = std::move(args[i]);
   Value return_value;
+  const FuncDecl* caller_fn = current_fn_;
+  current_fn_ = &fn;
   try {
     exec_block(fn.body, frame, return_value);
   } catch (...) {
+    current_fn_ = caller_fn;
     --call_depth_;
     throw;
   }
+  current_fn_ = caller_fn;
   --call_depth_;
   return return_value;
 }
+
+namespace {
+
+/// StateAccess over the executing frame's scope stack (interp.hpp). Built
+/// per observed statement, only when the observer asked for state.
+class FrameStateAccess final : public StateAccess {
+ public:
+  FrameStateAccess(std::vector<std::unordered_map<std::string, Value>>& scopes,
+                   int sync_depth)
+      : scopes_(scopes), sync_depth_(sync_depth) {}
+
+  Value* lookup(const std::string& name) override {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::string> local_names() const override {
+    std::vector<std::string> names;
+    for (const auto& scope : scopes_)
+      for (const auto& [name, value] : scope) names.push_back(name);
+    return names;
+  }
+
+  int sync_depth() const override { return sync_depth_; }
+
+ private:
+  std::vector<std::unordered_map<std::string, Value>>& scopes_;
+  int sync_depth_;
+};
+
+}  // namespace
 
 Interp::Flow Interp::exec_block(const std::vector<StmtPtr>& stmts, Frame& frame,
                                 Value& return_value) {
@@ -79,11 +117,13 @@ Interp::Flow Interp::exec_stmt(const Stmt& stmt, Frame& frame, Value& return_val
   burn_fuel();
   covered_.insert(stmt.id);
   if (observer_ != nullptr) {
-    // The owning function is not threaded through; pass a sentinel-free call
-    // with the statement only via a dedicated overload would complicate the
-    // interface, so observers that need the function track on_call instead.
     static const FuncDecl kNoFunc{};
-    observer_->on_stmt(kNoFunc, stmt);
+    const FuncDecl& owner = current_fn_ != nullptr ? *current_fn_ : kNoFunc;
+    observer_->on_stmt(owner, stmt);
+    if (observer_->wants_state()) {
+      FrameStateAccess state(frame.scopes, sync_depth_);
+      observer_->on_state(owner, stmt, state);
+    }
   }
   switch (stmt.kind) {
     case Stmt::Kind::kLet:

@@ -54,6 +54,23 @@ class StepLimitExceeded : public InterpError {
   std::int64_t limit_ = 0;
 };
 
+/// Mutable view of the executing frame, handed to state-observing
+/// callbacks (ExecObserver::on_state). Lookups see every scope of the
+/// current function frame, innermost first; returned pointers stay valid
+/// only for the duration of the callback. Mutation through the pointer is
+/// deliberate — the counterexample narrator (obs/explain.hpp) injects
+/// witness state this way.
+class StateAccess {
+ public:
+  virtual ~StateAccess() = default;
+  /// The live slot for local `name`, or nullptr when no scope defines it.
+  [[nodiscard]] virtual Value* lookup(const std::string& name) = 0;
+  /// Every visible local name (unordered; callers sort for determinism).
+  [[nodiscard]] virtual std::vector<std::string> local_names() const = 0;
+  /// Monitors held at this statement.
+  [[nodiscard]] virtual int sync_depth() const = 0;
+};
+
 /// Observation points used by coverage measurement and the runtime
 /// blocking-in-sync detector. All callbacks default to no-ops.
 class ExecObserver {
@@ -65,6 +82,14 @@ class ExecObserver {
   /// `sync_depth` > 0 means the call happens while holding a monitor.
   virtual void on_blocking(const std::string& name, int sync_depth) {
     (void)name, (void)sync_depth;
+  }
+  /// Opt-in state observation: when wants_state() returns true, on_state
+  /// fires before every statement with a mutable view of the live frame.
+  /// Kept behind the flag so the common observers pay one virtual call,
+  /// not a frame adapter, per statement.
+  [[nodiscard]] virtual bool wants_state() { return false; }
+  virtual void on_state(const FuncDecl& fn, const Stmt& stmt, StateAccess& state) {
+    (void)fn, (void)stmt, (void)state;
   }
 };
 
@@ -133,6 +158,7 @@ class Interp {
 
   const Program& program_;
   ExecObserver* observer_ = nullptr;
+  const FuncDecl* current_fn_ = nullptr;  // function whose body is executing
   std::string output_;
   std::string last_error_;
   std::int64_t now_ms_ = 0;

@@ -441,6 +441,13 @@ SolveResult Solver::solve(const FormulaPtr& formula) {
     registry.counter(std::string("smt.") + status_name(result.status)).add();
     registry.histogram("smt.query_us").record(span.elapsed_ms() * 1000.0);
     span.attr("status", status_name(result.status));
+    if (capture_ != nullptr) {
+      // Provenance capture is the only consumer of the rendered query text,
+      // so the formula is stringified only on this (opt-in) path.
+      capture_->on_smt_query(formula->to_string(), status_name(result.status),
+                             result.sat() ? result.model.to_string() : std::string(),
+                             result.reason);
+    }
     return result;
   };
   // Governance gate: a refused or fault-degraded query is kUnknown — the

@@ -17,6 +17,7 @@
 #include <map>
 #include <string>
 
+#include "obs/provenance.hpp"
 #include "smt/formula.hpp"
 #include "support/budget.hpp"
 
@@ -78,12 +79,18 @@ class Solver {
   /// disables governance; `budget` must outlive the solver's queries.
   void set_budget(support::Budget* budget) { budget_ = budget; }
 
+  /// Attaches a provenance capture sink (obs/provenance.hpp): every solve()
+  /// reports its query text, status, and model. nullptr (the default) is
+  /// the zero-cost path — no formula is rendered unless a sink is attached.
+  void set_capture(obs::SmtCaptureSink* capture) { capture_ = capture; }
+
   /// Statistics accumulated across all queries on this instance.
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
 
  private:
   SolverStats stats_;
   support::Budget* budget_ = nullptr;
+  obs::SmtCaptureSink* capture_ = nullptr;
 };
 
 }  // namespace lisa::smt

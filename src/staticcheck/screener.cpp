@@ -50,9 +50,25 @@ const Cfg& Screener::cfg_for(const FuncDecl& fn) const {
 }
 
 FormulaPtr Screener::facts_at(const FuncDecl& fn, const Stmt* stmt) const {
+  return facts_at(fn, stmt, obs::CaptureHandle{});
+}
+
+FormulaPtr Screener::facts_at(const FuncDecl& fn, const Stmt* stmt,
+                              const obs::CaptureHandle& capture) const {
   const Cfg& cfg = cfg_for(fn);
   const int node = cfg.node_of(stmt);
   if (node < 0) return Formula::truth(true);
+
+  const auto record = [&](const char* analysis, std::string fact) {
+    if (!capture.active()) return;
+    obs::FactEvidence evidence;
+    evidence.analysis = analysis;
+    evidence.function = fn.name;
+    evidence.line = stmt->loc.line;
+    evidence.column = stmt->loc.column;
+    evidence.fact = std::move(fact);
+    capture.fact(std::move(evidence));
+  };
 
   std::vector<FormulaPtr> facts;
 
@@ -60,6 +76,7 @@ FormulaPtr Screener::facts_at(const FuncDecl& fn, const Stmt* stmt) const {
   const auto null_result = run_forward(cfg, nullness);
   if (null_result.reached[static_cast<std::size_t>(node)]) {
     for (const auto& [path, fact] : null_result.in[static_cast<std::size_t>(node)]) {
+      record("nullness", path + (fact == NullFact::kNull ? " = null" : " = non-null"));
       FormulaPtr is_null = Formula::make_atom(Atom::bool_var(path + "#null"));
       facts.push_back(fact == NullFact::kNull ? std::move(is_null)
                                               : Formula::negate(std::move(is_null)));
@@ -70,15 +87,59 @@ FormulaPtr Screener::facts_at(const FuncDecl& fn, const Stmt* stmt) const {
   const auto interval_result = run_forward(cfg, intervals);
   if (interval_result.reached[static_cast<std::size_t>(node)]) {
     for (const auto& [path, range] : interval_result.in[static_cast<std::size_t>(node)]) {
-      if (range.lo != Interval::kMin)
+      if (range.lo != Interval::kMin) {
+        record("intervals", path + " >= " + std::to_string(range.lo));
         facts.push_back(Formula::make_atom(Atom::cmp_const(path, CmpOp::kGe, range.lo)));
-      if (range.hi != Interval::kMax)
+      }
+      if (range.hi != Interval::kMax) {
+        record("intervals", path + " <= " + std::to_string(range.hi));
         facts.push_back(Formula::make_atom(Atom::cmp_const(path, CmpOp::kLe, range.hi)));
+      }
     }
   }
 
   return facts.empty() ? Formula::truth(true) : Formula::conj(std::move(facts));
 }
+
+namespace {
+
+/// Summary evidence for a target function: the interprocedural facts that
+/// strengthened the dataflow analyses above. Rendered compactly so the
+/// ledger stays readable.
+void record_summary_evidence(const obs::CaptureHandle& capture,
+                             const SummaryMap* summaries, const FuncDecl& fn) {
+  if (!capture.active() || summaries == nullptr) return;
+  const FunctionSummary* summary = summaries->find(fn.name);
+  if (summary == nullptr) return;
+
+  const auto join = [](const std::set<std::string>& items) {
+    std::string out;
+    for (const std::string& item : items) {
+      if (!out.empty()) out += ", ";
+      out += item;
+    }
+    return out;
+  };
+
+  std::string text = "mod-fields {" + join(summary->mod_fields) + "}";
+  text += summary->may_throw ? "; may-throw" : "; no-throw";
+  text += summary->may_block ? "; may-block" : "; no-block";
+  if (summary->opaque_effects) text += "; opaque-effects";
+  for (const auto& [path, fact] : summary->nullness_on_return) {
+    text += "; on-return " + path + (fact == NullFact::kNull ? " = null" : " = non-null");
+  }
+  for (const auto& [path, fact] : summary->boundary_nullness) {
+    text += "; boundary " + path + (fact == NullFact::kNull ? " = null" : " = non-null");
+  }
+
+  obs::FactEvidence evidence;
+  evidence.analysis = "summary";
+  evidence.function = fn.name;
+  evidence.fact = std::move(text);
+  capture.fact(std::move(evidence));
+}
+
+}  // namespace
 
 ScreenResult Screener::screen_state_predicate(const std::string& target_fragment,
                                               const FormulaPtr& condition,
@@ -104,7 +165,12 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
   // Dataflow facts per target statement, in target-local names (the same
   // vocabulary `condition` is written in).
   std::map<const Stmt*, FormulaPtr> target_facts;
-  for (const auto& [fn, stmt] : targets) target_facts[stmt] = facts_at(*fn, stmt);
+  std::set<const FuncDecl*> target_fns;
+  for (const auto& [fn, stmt] : targets) {
+    target_facts[stmt] = facts_at(*fn, stmt, options.capture);
+    if (target_fns.insert(fn).second)
+      record_summary_evidence(options.capture, summaries(), *fn);
+  }
 
   // Fact closure (summaries only): ¬P unsatisfiable under the facts at
   // every target statement. Strong enough to settle a contract even when
@@ -112,9 +178,12 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
   // over *all* paths, so no execution can reach a target with ¬P true.
   // Without summaries the facts are too weak for this to fire soundly
   // (call-site havoc erases exactly the cross-function guarantees needed).
+  obs::PhasedSmtCapture smt_capture(options.capture.ledger, options.capture.capture,
+                                    "screen");
   const auto facts_refute_everywhere = [&]() -> bool {
     if (summaries() == nullptr) return false;
     smt::Solver closure_solver;
+    if (options.capture.active()) closure_solver.set_capture(&smt_capture);
     const FormulaPtr not_p = Formula::negate(condition);
     for (const auto& [stmt, facts] : target_facts) {
       const smt::SolveResult closed = closure_solver.solve(Formula::conj2(facts, not_p));
@@ -153,6 +222,7 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
   }
 
   smt::Solver solver;
+  if (options.capture.active()) solver.set_capture(&smt_capture);
   const FormulaPtr not_condition = Formula::negate(condition);
   bool any_unmappable = false;
   bool any_facts_refuted = false;
@@ -230,6 +300,10 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
 }
 
 ScreenResult Screener::screen_structural() const {
+  return screen_structural(ScreenOptions{});
+}
+
+ScreenResult Screener::screen_structural(const ScreenOptions& options) const {
   obs::ScopedSpan span("screen.structural");
   const support::Stopwatch timer;
   ScreenResult result;
@@ -238,6 +312,17 @@ ScreenResult Screener::screen_structural() const {
     LockStateAnalysis locks(*program_, graph_, summaries());
     const auto fixpoint = run_forward(cfg, locks);
     locks.report(cfg, fixpoint.in, fixpoint.reached, result.diagnostics);
+  }
+  if (options.capture.active()) {
+    for (const Diagnostic& diagnostic : result.diagnostics) {
+      obs::FactEvidence evidence;
+      evidence.analysis = diagnostic.analysis;
+      evidence.function = diagnostic.function;
+      evidence.line = diagnostic.loc.line;
+      evidence.column = diagnostic.loc.column;
+      evidence.fact = diagnostic.message;
+      options.capture.fact(std::move(evidence));
+    }
   }
   if (result.diagnostics.empty()) {
     result.verdict = ScreenVerdict::kProvedSafe;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "analysis/callgraph.hpp"
+#include "obs/provenance.hpp"
 #include "smt/formula.hpp"
 #include "staticcheck/analyses.hpp"
 #include "staticcheck/cfg.hpp"
@@ -50,6 +51,11 @@ enum class ScreenVerdict { kProvedSafe, kProvedViolated, kUnknown };
 struct ScreenOptions {
   std::size_t max_paths = 4096;
   bool prune_irrelevant = true;  // mirror the checker's path pruning
+  /// Provenance capture (obs/provenance.hpp): when active, the screener
+  /// records its dataflow facts (per analysis, with source locations),
+  /// function-summary evidence, and every SMT query it issues. An inert
+  /// handle (the default) is the zero-cost path.
+  obs::CaptureHandle capture;
 };
 
 struct ScreenResult {
@@ -89,14 +95,20 @@ class Screener {
 
   /// Screens the no-blocking-in-sync structural rule via the path-sensitive
   /// lock-state analysis. Structural rules are fully decidable statically:
-  /// the verdict is never Unknown.
+  /// the verdict is never Unknown. The options overload records lock-state
+  /// diagnostics into the provenance capture.
   [[nodiscard]] ScreenResult screen_structural() const;
+  [[nodiscard]] ScreenResult screen_structural(const ScreenOptions& options) const;
 
   /// Dataflow facts at `stmt` of `fn` as a formula over local names
   /// (nullness indicator variables and interval bounds). Returns kTrue when
-  /// nothing is known. Exposed for tests.
+  /// nothing is known. Exposed for tests. The capture overload additionally
+  /// records each fact with its producing analysis and source location.
   [[nodiscard]] smt::FormulaPtr facts_at(const minilang::FuncDecl& fn,
                                          const minilang::Stmt* stmt) const;
+  [[nodiscard]] smt::FormulaPtr facts_at(const minilang::FuncDecl& fn,
+                                         const minilang::Stmt* stmt,
+                                         const obs::CaptureHandle& capture) const;
 
   [[nodiscard]] const analysis::CallGraph& graph() const { return graph_; }
 

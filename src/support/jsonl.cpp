@@ -1,0 +1,42 @@
+#include "support/jsonl.hpp"
+
+#include <sstream>
+
+namespace lisa::support {
+
+std::string fnv1a_fingerprint(const std::string& inputs) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : inputs) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  std::ostringstream out;
+  out << std::hex << hash;
+  return out.str();
+}
+
+std::string jsonl_header(const std::string& kind, std::int64_t version,
+                         const std::string& fingerprint) {
+  JsonObject header;
+  header["journal"] = kind;
+  header["version"] = version;
+  header["fingerprint"] = fingerprint;
+  return Json(std::move(header)).dump();
+}
+
+bool jsonl_header_matches(const std::string& line, const std::string& kind,
+                          std::int64_t version, const std::string& expected_fingerprint) {
+  try {
+    const Json header = Json::parse(line);
+    if (header.get_string("journal") != kind) return false;
+    if (header.get_int("version") != version) return false;
+    if (!expected_fingerprint.empty() &&
+        header.get_string("fingerprint") != expected_fingerprint)
+      return false;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace lisa::support

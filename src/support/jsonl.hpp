@@ -1,0 +1,39 @@
+// Shared JSONL journal framing: fingerprinted headers over line-oriented
+// JSON files.
+//
+// Two artifacts use the format — the checkpoint journal (lisa/journal.hpp,
+// kind "lisa-check") and the provenance ledger (obs/provenance.hpp, kind
+// "lisa-ledger"). Both start with a one-line header
+//
+//   {"journal":"<kind>","version":N,"fingerprint":"<hex>"}
+//
+// followed by one JSON document per line. The fingerprint binds the file to
+// the run's identifying inputs; a mismatched header means "different inputs,
+// do not trust". This header centralizes the hash and the header handling so
+// the two formats cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace lisa::support {
+
+/// FNV-1a 64-bit content hash as lowercase hex. Stable across runs and
+/// builds, cheap, and collision-resistant enough for cache keying — none of
+/// the consumers treat it as a security boundary.
+[[nodiscard]] std::string fnv1a_fingerprint(const std::string& inputs);
+
+/// The header line (no trailing newline) for a journal of `kind`.
+[[nodiscard]] std::string jsonl_header(const std::string& kind, std::int64_t version,
+                                       const std::string& fingerprint);
+
+/// Parses `line` as a journal header and checks kind, version, and (when
+/// `expected_fingerprint` is non-empty) the fingerprint. Returns false on a
+/// torn/malformed line or any mismatch.
+[[nodiscard]] bool jsonl_header_matches(const std::string& line, const std::string& kind,
+                                        std::int64_t version,
+                                        const std::string& expected_fingerprint);
+
+}  // namespace lisa::support

@@ -14,8 +14,19 @@
 //                                     run the corpus slice with tracing on and
 //                                     print the per-span cost table (inclusive/
 //                                     exclusive ms) plus top SMT hotspots
-//   lisa gate <case-id> <file.ml>     evaluate a commit file against the
-//                                     contracts mined from a case
+//   lisa gate <case-id> <file.ml> [--trace out.json] [--metrics out.json]
+//             [--report <dir>]        evaluate a commit file against the
+//                                     contracts mined from a case; --report
+//                                     writes the provenance ledger
+//                                     (ledger.jsonl) and a self-contained
+//                                     HTML failure report (report.html)
+//   lisa explain <case-id> [<contract-id>] [--buggy|--latest] [--json]
+//                [--html <file>]      check the case with provenance capture
+//                                     on and print each contract's evidence
+//                                     chain — screen facts, per-path SMT
+//                                     queries, concolic hits, budget charges,
+//                                     and a narrated counterexample for
+//                                     violations
 //   lisa hunt                         §4 bug hunt over the latest releases
 //   lisa synth <case-id>              synthesize witness tests for violated
 //                                     paths of the patched version
@@ -33,6 +44,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -44,8 +56,10 @@
 #include "lisa/pipeline.hpp"
 #include "lisa/report.hpp"
 #include "minilang/sema.hpp"
+#include "obs/explain.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "staticcheck/analyses.hpp"
 #include "support/budget.hpp"
@@ -58,11 +72,14 @@ int usage() {
   std::fprintf(stderr,
                "usage: lisa <command> [args]\n"
                "  corpus | prompt <case> | infer <case> | check <case> [flags] |\n"
-               "  gate <case> <file.ml> [flags] | hunt | synth <case> | explore <case> |\n"
+               "  gate <case> <file.ml> [flags] | explain <case> [contract] [flags] |\n"
+               "  hunt | synth <case> | explore <case> |\n"
                "  lint [case] [--buggy|--latest] [--json] |\n"
                "  profile <system|case|all> [--json] [--trace out.json]\n"
                "flags for check: --latest --buggy --no-concolic --no-prune\n"
                "                 --trace out.json --metrics out.json\n"
+               "flags for gate:  --trace out.json --metrics out.json --report <dir>\n"
+               "flags for explain: --buggy --latest --json --html <file>\n"
                "budget flags (check, gate): --deadline-ms N --max-paths N\n"
                "                 --max-smt-queries N --max-steps N\n"
                "checkpointing (check, gate): --journal out.jsonl --resume\n"
@@ -80,6 +97,17 @@ bool write_json_file(const std::string& path, const support::Json& json) {
     return false;
   }
   out << json.pretty() << "\n";
+  return out.good();
+}
+
+/// Writes raw text to `path`; reports and returns false on I/O error.
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
   return out.good();
 }
 
@@ -286,11 +314,20 @@ int cmd_gate(const std::string& case_id, const std::string& path, int argc, char
 
   core::GateRunOptions run_options;
   support::BudgetLimits limits;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string report_dir;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc)
       run_options.journal_path = argv[++i];
     else if (std::strcmp(argv[i], "--resume") == 0)
       run_options.resume = true;
+    else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
+    else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc)
+      metrics_path = argv[++i];
+    else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc)
+      report_dir = argv[++i];
     else if (parse_budget_flag(argc, argv, &i, &limits)) {
       // consumed
     } else {
@@ -301,6 +338,7 @@ int cmd_gate(const std::string& case_id, const std::string& path, int argc, char
     std::fprintf(stderr, "--resume requires --journal <path>\n");
     return 2;
   }
+  if (!trace_path.empty()) obs::tracer().set_enabled(true);
 
   const inference::SemanticsProposal proposal = inference::MockLlm().infer(*ticket);
   core::TranslationResult translation = core::translate(proposal, ticket->system);
@@ -310,10 +348,97 @@ int cmd_gate(const std::string& case_id, const std::string& path, int argc, char
   options.run_concolic = false;
   support::Budget budget(limits);
   if (!limits.unlimited()) options.budget = &budget;
+  obs::ProvenanceLedger ledger;
+  if (!report_dir.empty()) run_options.ledger = &ledger;
   const core::GateDecision decision =
       core::CiGate(options).evaluate(buffer.str(), store, run_options);
   std::printf("%s", core::render_markdown(decision).c_str());
+  if (!report_dir.empty()) {
+    std::error_code dir_error;
+    std::filesystem::create_directories(report_dir, dir_error);
+    if (dir_error) {
+      std::fprintf(stderr, "cannot create %s: %s\n", report_dir.c_str(),
+                   dir_error.message().c_str());
+      return 2;
+    }
+    const std::string ledger_path = report_dir + "/ledger.jsonl";
+    const std::string html_path = report_dir + "/report.html";
+    if (!ledger.write_jsonl(ledger_path)) {
+      std::fprintf(stderr, "cannot write %s\n", ledger_path.c_str());
+      return 2;
+    }
+    if (!write_text_file(html_path, obs::render_ledger_html(ledger))) return 2;
+    std::fprintf(stderr, "gate report: %s, %s\n", ledger_path.c_str(), html_path.c_str());
+  }
+  if (!trace_path.empty() &&
+      !write_json_file(trace_path, obs::tracer().chrome_trace()))
+    return 2;
+  if (!metrics_path.empty() &&
+      !write_json_file(metrics_path, obs::metrics().snapshot()))
+    return 2;
   return decision.allowed ? 0 : 1;
+}
+
+int cmd_explain(const std::string& case_id, int argc, char** argv) {
+  const corpus::FailureTicket* ticket = require_case(case_id);
+  if (ticket == nullptr) return 2;
+  std::string source = ticket->patched_source;
+  std::string contract_id;
+  std::string html_path;
+  bool json_output = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--latest") == 0) {
+      if (ticket->latest_source.empty()) {
+        std::fprintf(stderr, "case %s has no latest version\n", case_id.c_str());
+        return 2;
+      }
+      source = ticket->latest_source;
+    } else if (std::strcmp(argv[i], "--buggy") == 0) {
+      source = ticket->buggy_source;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_output = true;
+    } else if (std::strcmp(argv[i], "--html") == 0 && i + 1 < argc) {
+      html_path = argv[++i];
+    } else if (argv[i][0] != '-' && contract_id.empty()) {
+      contract_id = argv[i];
+    } else {
+      return usage();
+    }
+  }
+
+  obs::ProvenanceLedger ledger;
+  core::PipelineRunOptions run_options;
+  run_options.ledger = &ledger;
+  const core::Pipeline pipeline;
+  const core::PipelineResult result = pipeline.run(*ticket, source, run_options);
+  if (result.inference_failed) {
+    std::fprintf(stderr, "inference failed: %s\n", result.inference_error.c_str());
+    return 2;
+  }
+  if (!contract_id.empty() && ledger.find(contract_id) == nullptr) {
+    std::fprintf(stderr, "no contract '%s' in this case; captured:", contract_id.c_str());
+    for (const std::string& id : ledger.contract_ids())
+      std::fprintf(stderr, " %s", id.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  if (json_output) {
+    if (contract_id.empty()) {
+      std::printf("%s\n", ledger.to_json().pretty().c_str());
+    } else {
+      std::printf("%s\n", ledger.find(contract_id)->to_json().pretty().c_str());
+    }
+  } else {
+    for (const std::string& id : ledger.contract_ids()) {
+      if (!contract_id.empty() && id != contract_id) continue;
+      std::printf("%s", obs::render_capture_text(*ledger.find(id)).c_str());
+    }
+  }
+  if (!html_path.empty() &&
+      !write_text_file(html_path, obs::render_ledger_html(ledger)))
+    return 2;
+  return result.all_passed() ? 0 : 1;
 }
 
 int cmd_hunt() {
@@ -534,6 +659,7 @@ int main(int argc, char** argv) {
     if (command == "infer" && argc >= 3) return cmd_infer(argv[2]);
     if (command == "check" && argc >= 3) return cmd_check(argv[2], argc - 3, argv + 3);
     if (command == "gate" && argc >= 4) return cmd_gate(argv[2], argv[3], argc - 4, argv + 4);
+    if (command == "explain" && argc >= 3) return cmd_explain(argv[2], argc - 3, argv + 3);
     if (command == "hunt") return cmd_hunt();
     if (command == "synth" && argc >= 3) return cmd_synth(argv[2]);
     if (command == "explore" && argc >= 3) return cmd_explore(argv[2]);
