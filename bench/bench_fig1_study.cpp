@@ -39,9 +39,14 @@ void print_study_tables() {
   std::printf("%-12s %7s %6s %12s %17s %10s\n", "system", "cases", "bugs", "test fns",
               "mean gap (years)", "stmt cov");
 
+  // The study tables cover the paper's §2.1 corpus; the interleaving-
+  // sensitive concurrency cases are a later extension and are excluded so
+  // the counts stay comparable to the paper's 16/34 shape.
   std::map<std::string, std::vector<const FailureTicket*>> by_system;
-  for (const FailureTicket& ticket : Corpus::all())
+  for (const FailureTicket& ticket : Corpus::all()) {
+    if (ticket.kind == lisa::corpus::SemanticsKind::kInterleavingSensitive) continue;
     by_system[ticket.system].push_back(&ticket);
+  }
 
   int total_cases = 0;
   int total_bugs = 0;
@@ -97,8 +102,10 @@ void print_study_tables() {
   // original fix established (the contract already existed when the
   // regression shipped).
   int regressions = 0;
-  for (const FailureTicket& ticket : Corpus::all())
+  for (const FailureTicket& ticket : Corpus::all()) {
+    if (ticket.kind == lisa::corpus::SemanticsKind::kInterleavingSensitive) continue;
     regressions += static_cast<int>(ticket.regressions.size());
+  }
   std::printf("regressions violating pre-existing semantics: %d/%d (100%%; paper cites "
               "68%% of *all* failures violating old semantics [OSDI'22])\n\n",
               regressions, regressions);

@@ -48,7 +48,7 @@ double percentile(std::vector<double> values, double p) {
 }
 
 void print_stage_table() {
-  std::printf("=== Fig. 5: workflow stage breakdown over the 16-ticket corpus ===\n\n");
+  std::printf("=== Fig. 5: workflow stage breakdown over the 20-ticket corpus ===\n\n");
   const std::vector<StageRow> rows = run_all();
   const auto column = [&](auto getter) {
     std::vector<double> values;

@@ -98,12 +98,21 @@ safe = counters.get("screen.proved-safe", 0)
 refuted = counters.get("screen.proved-violated", 0)
 unknown = counters.get("screen.unknown", 0)
 screened = safe + refuted + unknown
+# Interleaving-sensitive (deadlock/race) contracts settle through the lock
+# graph, not the execution tree — their settled fraction is tracked apart.
+i_safe = counters.get("screen.interleaving.proved-safe", 0)
+i_refuted = counters.get("screen.interleaving.proved-violated", 0)
+i_unknown = counters.get("screen.interleaving.unknown", 0)
+i_screened = i_safe + i_refuted + i_unknown
 snapshot["corpus"] = {
     "cases": corpus.get("cases", 0),
     "violations": corpus.get("violations", 0),
     "settled_fraction": (safe + refuted) / screened if screened else 1.0,
+    "interleaving_settled_fraction":
+        (i_safe + i_refuted) / i_screened if i_screened else 1.0,
     "verdicts": {
         "contracts": counters.get("checker.contracts", 0),
+        "interleaving_contracts": counters.get("checker.interleaving_contracts", 0),
         "paths_verified": counters.get("checker.paths_verified", 0),
         "paths_violated": counters.get("checker.paths_violated", 0),
         "paths_unmappable": counters.get("checker.paths_unmappable", 0),
@@ -111,6 +120,9 @@ snapshot["corpus"] = {
         "screen_proved_safe": safe,
         "screen_proved_violated": refuted,
         "screen_unknown": unknown,
+        "screen_interleaving_proved_safe": i_safe,
+        "screen_interleaving_proved_violated": i_refuted,
+        "screen_interleaving_unknown": i_unknown,
     },
 }
 

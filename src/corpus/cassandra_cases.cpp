@@ -387,10 +387,110 @@ fn test_casscounter_rejected_during_bootstrap() {
   return ticket;
 }
 
+// ---------------------------------------------------------------------------
+// Case 4: hint delivery zeroes the pending counter outside the store monitor.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kCassHintRaceCommon = R"ml(
+struct HintStore { pending: int; delivered: int; }
+
+fn new_hint_store() -> HintStore {
+  return new HintStore { pending: 0, delivered: 0 };
+}
+
+// Writers record a hint for a dead replica under the store monitor.
+@entry
+fn accept_hint(store: HintStore) {
+  sync (store) {
+    store.pending = store.pending + 1;
+  }
+}
+)ml";
+
+constexpr const char* kCassHintRaceTests = R"ml(
+@test
+fn test_accept_counts_pending_hint() {
+  let store = new_hint_store();
+  accept_hint(store);
+  accept_hint(store);
+  assert(store.pending == 2, "hints pending");
+}
+
+@test
+fn test_delivery_flushes_pending_hints() {
+  let store = new_hint_store();
+  accept_hint(store);
+  deliver_hints(store);
+  assert(store.pending == 0, "pending drained");
+  assert(store.delivered == 1, "delivery counted");
+}
+)ml";
+
+FailureTicket cass_hint_race_case() {
+  FailureTicket ticket;
+  ticket.case_id = "cass-hints-race";
+  ticket.system = "cassandra";
+  ticket.feature = "hinted handoff";
+  ticket.title = "Hints silently dropped: delivery zeroes the pending counter unguarded";
+  ticket.description =
+      "After a replica came back, the hint delivery thread zeroed the "
+      "pending counter without holding the store monitor while writer "
+      "threads were still incrementing it — a data race that lost the "
+      "concurrent increments, so those hints were never replayed and reads "
+      "went stale. Developer discussion: every access of the pending "
+      "counter must run while the store is held. Fix wraps the delivery "
+      "path's counter update in the store critical section.";
+
+  const std::string buggy_deliver = R"ml(
+@entry
+fn deliver_hints(store: HintStore) {
+  store.delivered = store.delivered + store.pending;
+  store.pending = 0;
+}
+)ml";
+
+  const std::string patched_deliver = R"ml(
+@entry
+fn deliver_hints(store: HintStore) {
+  sync (store) {
+    let n = store.pending;
+    store.pending = 0;
+    store.delivered = store.delivered + n;
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_casshints_delivery_preserves_new_hints() {
+  let store = new_hint_store();
+  accept_hint(store);
+  deliver_hints(store);
+  accept_hint(store);
+  assert(store.pending == 1, "hint accepted after delivery is kept");
+  assert(store.delivered == 1, "earlier hint delivered");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kCassHintRaceCommon) + buggy_deliver + kCassHintRaceTests;
+  ticket.patched_source =
+      std::string(kCassHintRaceCommon) + patched_deliver + kCassHintRaceTests + regression_test;
+  ticket.regression_tests = {"test_casshints_delivery_preserves_new_hints"};
+  ticket.original = {"CASS-H3", "2016-02-09",
+                     "Pending-hint counter raced by delivery thread; hints never replayed"};
+  ticket.regressions = {{"CASS-H4", "2017-10-19",
+                         "Batch delivery path resets the counter outside the store "
+                         "monitor; single-hint fix missed it"}};
+  ticket.kind = SemanticsKind::kInterleavingSensitive;
+  ticket.expected_target = "pending";
+  ticket.expected_condition = "holds(store)";
+  return ticket;
+}
+
 }  // namespace
 
 std::vector<FailureTicket> cassandra_cases() {
-  return {cass_hint_case(), cass_repair_case(), cass_counter_case()};
+  return {cass_hint_case(), cass_repair_case(), cass_counter_case(), cass_hint_race_case()};
 }
 
 }  // namespace lisa::corpus

@@ -557,10 +557,138 @@ fn test_hbasewal_roll_rejected_during_flush() {
   return ticket;
 }
 
+// ---------------------------------------------------------------------------
+// Case 5: flush enqueues under the region monitor while the drain thread
+// updates regions under the queue monitor — an interprocedural inversion.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHbaseFlushLockCommon = R"ml(
+struct Region { name: string; dirty: int; flushes: int; }
+struct FlushQueue { depth: int; drained: int; }
+
+fn new_region(name: string) -> Region {
+  return new Region { name: name, dirty: 0, flushes: 0 };
+}
+
+fn new_flush_queue() -> FlushQueue {
+  return new FlushQueue { depth: 0, drained: 0 };
+}
+
+fn enqueue_flush(queue: FlushQueue) {
+  sync (queue) {
+    queue.depth = queue.depth + 1;
+  }
+}
+
+fn update_region(region: Region) {
+  sync (region) {
+    region.dirty = 0;
+  }
+}
+
+// The drain thread walks the queue under its monitor and pushes results
+// back into each region.
+@entry
+fn drain_queue(queue: FlushQueue, region: Region) {
+  sync (queue) {
+    queue.drained = queue.drained + queue.depth;
+    queue.depth = 0;
+    update_region(region);
+  }
+}
+)ml";
+
+constexpr const char* kHbaseFlushLockTests = R"ml(
+@test
+fn test_flush_clears_dirty_cells() {
+  let region = new_region("r1");
+  let queue = new_flush_queue();
+  region.dirty = 4;
+  flush_region(region, queue);
+  assert(region.dirty == 0, "flushed");
+  assert(queue.depth == 1, "flush queued");
+}
+
+@test
+fn test_drain_applies_queued_flushes() {
+  let region = new_region("r2");
+  let queue = new_flush_queue();
+  flush_region(region, queue);
+  drain_queue(queue, region);
+  assert(queue.depth == 0, "queue drained");
+  assert(queue.drained == 1, "drain counted");
+}
+)ml";
+
+FailureTicket hbase_flush_lock_case() {
+  FailureTicket ticket;
+  ticket.case_id = "hbase-flush-deadlock";
+  ticket.system = "hbase";
+  ticket.feature = "memstore flush";
+  ticket.title = "Region server wedges: flush and drain threads deadlock across two monitors";
+  ticket.description =
+      "A region server stopped serving writes: the flush handler held the "
+      "region monitor and called into the flush queue, while the drain thread "
+      "held the queue monitor and called back into the region — a lock order "
+      "inversion hidden across two call layers, producing a deadlock that a "
+      "restart was the only way out of. Developer discussion: the region "
+      "monitor must be released before touching the queue. Fix moves the "
+      "enqueue call out of the region critical section in flush_region.";
+
+  const std::string buggy_flush = R"ml(
+@entry
+fn flush_region(region: Region, queue: FlushQueue) {
+  sync (region) {
+    region.dirty = 0;
+    region.flushes = region.flushes + 1;
+    enqueue_flush(queue);
+  }
+}
+)ml";
+
+  const std::string patched_flush = R"ml(
+@entry
+fn flush_region(region: Region, queue: FlushQueue) {
+  sync (region) {
+    region.dirty = 0;
+    region.flushes = region.flushes + 1;
+  }
+  enqueue_flush(queue);
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_hbflush_enqueue_outside_region_monitor() {
+  let region = new_region("r3");
+  let queue = new_flush_queue();
+  flush_region(region, queue);
+  flush_region(region, queue);
+  assert(region.flushes == 2, "both flushes recorded");
+  assert(queue.depth == 2, "each flush queued exactly once");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kHbaseFlushLockCommon) + buggy_flush + kHbaseFlushLockTests;
+  ticket.patched_source =
+      std::string(kHbaseFlushLockCommon) + patched_flush + kHbaseFlushLockTests + regression_test;
+  ticket.regression_tests = {"test_hbflush_enqueue_outside_region_monitor"};
+  ticket.original = {"HBASE-F1", "2020-05-11",
+                     "Region server deadlocks between flush handler and queue drain thread"};
+  ticket.regressions = {{"HBASE-F2", "2021-08-30",
+                         "Compaction-triggered flush path reacquires the region monitor "
+                         "around the enqueue, reviving the inversion"}};
+  ticket.kind = SemanticsKind::kInterleavingSensitive;
+  ticket.expected_target = "sync (";
+  ticket.expected_condition = "lock_order_acyclic";
+  return ticket;
+}
+
 }  // namespace
 
 std::vector<FailureTicket> hbase_cases() {
-  return {hbase_snapshot_case(), hbase_split_case(), hbase_meta_case(), hbase_wal_case()};
+  return {hbase_snapshot_case(), hbase_split_case(), hbase_meta_case(), hbase_wal_case(),
+          hbase_flush_lock_case()};
 }
 
 }  // namespace lisa::corpus

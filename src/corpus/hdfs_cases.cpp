@@ -670,11 +670,127 @@ fn test_hdfsdecom_skips_decommissioning_target() {
   return ticket;
 }
 
+// ---------------------------------------------------------------------------
+// Case 5: block reports bump the pending-replication counter through a
+// helper that skips the namenode monitor.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHdfsPendingCommon = R"ml(
+struct NameNode { pending_count: int; scanned: int; }
+
+fn new_name_node() -> NameNode {
+  return new NameNode { pending_count: 0, scanned: 0 };
+}
+
+// Shared bookkeeping helper: callers are responsible for holding the
+// namenode monitor around it.
+fn bump_pending(nn: NameNode) {
+  nn.pending_count = nn.pending_count + 1;
+}
+
+// The replication monitor thread retires one pending item per sweep.
+@entry
+fn rescan_pending(nn: NameNode) {
+  sync (nn) {
+    if (nn.pending_count > 0) {
+      nn.pending_count = nn.pending_count - 1;
+    }
+    nn.scanned = nn.scanned + 1;
+  }
+}
+)ml";
+
+constexpr const char* kHdfsPendingTests = R"ml(
+@test
+fn test_report_counts_pending_replication() {
+  let nn = new_name_node();
+  report_block(nn, "blk-1");
+  report_block(nn, "blk-2");
+  assert(nn.pending_count == 2, "both reports pending");
+}
+
+@test
+fn test_rescan_retires_one_item() {
+  let nn = new_name_node();
+  report_block(nn, "blk-3");
+  rescan_pending(nn);
+  assert(nn.pending_count == 0, "item retired");
+  assert(nn.scanned == 1, "sweep counted");
+}
+)ml";
+
+FailureTicket hdfs_pending_race_case() {
+  FailureTicket ticket;
+  ticket.case_id = "hdfs-pending-race";
+  ticket.system = "hdfs";
+  ticket.feature = "block replication";
+  ticket.title = "Pending-replication counter corrupted by unguarded helper";
+  ticket.description =
+      "Under a burst of block reports the pending-replication counter "
+      "drifted negative: the report path bumped it through a helper without "
+      "holding the namenode monitor, racing the replication monitor's sweep "
+      "that decrements it — lost updates from the unguarded increment, a "
+      "data race with no atomicity across the read-modify-write. Developer "
+      "discussion: every update of the pending counter must run while the "
+      "namenode is held. Fix takes the monitor around the helper call on "
+      "the report path.";
+
+  const std::string buggy_report = R"ml(
+@entry
+fn report_block(nn: NameNode, block: string) {
+  if (block == "") {
+    return;
+  }
+  bump_pending(nn);
+}
+)ml";
+
+  const std::string patched_report = R"ml(
+@entry
+fn report_block(nn: NameNode, block: string) {
+  if (block == "") {
+    return;
+  }
+  sync (nn) {
+    bump_pending(nn);
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_hdfspending_reports_and_sweeps_balance() {
+  let nn = new_name_node();
+  report_block(nn, "blk-4");
+  report_block(nn, "blk-5");
+  rescan_pending(nn);
+  rescan_pending(nn);
+  rescan_pending(nn);
+  assert(nn.pending_count == 0, "counter never drifts negative");
+  assert(nn.scanned == 3, "all sweeps ran");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kHdfsPendingCommon) + buggy_report + kHdfsPendingTests;
+  ticket.patched_source =
+      std::string(kHdfsPendingCommon) + patched_report + kHdfsPendingTests + regression_test;
+  ticket.regression_tests = {"test_hdfspending_reports_and_sweeps_balance"};
+  ticket.original = {"HDFS-P1", "2016-09-14",
+                     "Pending-replication counter drifts negative under block-report burst"};
+  ticket.regressions = {{"HDFS-P2", "2018-01-23",
+                         "Incremental block-report path calls the bump helper outside the "
+                         "monitor; full-report fix did not cover it"}};
+  ticket.kind = SemanticsKind::kInterleavingSensitive;
+  ticket.expected_target = "pending_count";
+  ticket.expected_condition = "holds(nn)";
+  return ticket;
+}
+
 }  // namespace
 
 std::vector<FailureTicket> hdfs_cases() {
   return {hdfs_observer_case(), hdfs_lease_case(), hdfs_safemode_case(),
-          hdfs_decommission_case()};
+          hdfs_decommission_case(), hdfs_pending_race_case()};
 }
 
 }  // namespace lisa::corpus

@@ -12,7 +12,9 @@
 // real tickets; the cases are modeled on the incidents the paper cites
 // (ZOOKEEPER-1208/1496, ZOOKEEPER-2201/3531, HBASE-27671/28704/29296,
 // HDFS-13924/16732/17768) plus additional cases in the same four systems to
-// reach the study's 16-case / 34-bug shape.
+// reach the study's 16-case / 34-bug shape, and four interleaving-sensitive
+// cases (lock-order deadlocks, data races) settled by the static
+// concurrency pass rather than concolic replay.
 #pragma once
 
 #include <string>
@@ -28,8 +30,10 @@ struct BugRecord {
 };
 
 enum class SemanticsKind {
-  kStatePredicate,    // <P> s — guard condition at a target statement
-  kStructuralPattern, // e.g. no blocking I/O inside sync blocks (Fig. 6)
+  kStatePredicate,         // <P> s — guard condition at a target statement
+  kStructuralPattern,      // e.g. no blocking I/O inside sync blocks (Fig. 6)
+  kInterleavingSensitive,  // guarded-field invariants / lock-order patterns,
+                           // settled by the static concurrency pass
 };
 
 struct FailureTicket {
@@ -65,7 +69,7 @@ struct FailureTicket {
 /// The full study corpus.
 class Corpus {
  public:
-  /// All 16 cases, in stable order.
+  /// All cases (16 study + 4 interleaving-sensitive), in stable order.
   [[nodiscard]] static const std::vector<FailureTicket>& all();
 
   /// Case lookup by id; nullptr if absent.

@@ -4,7 +4,9 @@
 // an ephemeral node created on a closing session leaves stale data behind.
 // Case 2 models ZOOKEEPER-2201 → ZOOKEEPER-3531 (Fig. 6): blocking
 // serialization inside a synchronized block wedges the request pipeline.
-// Cases 3–5 are additional ZooKeeper regressions in the same shape.
+// Cases 3–5 are additional ZooKeeper regressions in the same shape. Case 6
+// is an interleaving-sensitive regression: a lock-order inversion between
+// the election state and the peer set.
 #include "corpus/ticket.hpp"
 
 namespace lisa::corpus {
@@ -722,11 +724,127 @@ fn test_zkacl_rejects_empty_scheme() {
   return ticket;
 }
 
+// ---------------------------------------------------------------------------
+// Case 6: vote broadcast acquires election monitors in the reverse order.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kZkElectionCommon = R"ml(
+struct ElectionState { round: int; leader: string; votes: int; }
+struct PeerSet { count: int; notified: int; }
+
+fn new_election_state() -> ElectionState {
+  return new ElectionState { round: 0, leader: "", votes: 0 };
+}
+
+fn new_peer_set(count: int) -> PeerSet {
+  return new PeerSet { count: count, notified: 0 };
+}
+
+// Leader election takes the election state first, then the peer set while
+// resetting notification bookkeeping for the new round.
+@entry
+fn elect_leader(state: ElectionState, peers: PeerSet) {
+  sync (state) {
+    sync (peers) {
+      peers.notified = 0;
+    }
+    state.leader = "self";
+    state.round = state.round + 1;
+  }
+}
+)ml";
+
+constexpr const char* kZkElectionTests = R"ml(
+@test
+fn test_election_settles_leader() {
+  let state = new_election_state();
+  let peers = new_peer_set(3);
+  elect_leader(state, peers);
+  assert(state.leader == "self", "leader chosen");
+  assert(state.round == 1, "round advanced");
+}
+
+@test
+fn test_broadcast_notifies_peers() {
+  let state = new_election_state();
+  let peers = new_peer_set(2);
+  broadcast_vote(state, peers);
+  assert(peers.notified == 2, "all peers notified");
+  assert(state.votes == 1, "vote recorded");
+}
+)ml";
+
+FailureTicket zk_election_case() {
+  FailureTicket ticket;
+  ticket.case_id = "zk-election-deadlock";
+  ticket.system = "zookeeper";
+  ticket.feature = "leader election";
+  ticket.title = "Election stalls forever: vote broadcast takes monitors in reverse order";
+  ticket.description =
+      "During a flaky-network episode two quorum peers stalled forever in "
+      "leader election: jstack showed one thread inside elect_leader holding "
+      "the election state and waiting for the peer set, while a vote-broadcast "
+      "thread held the peer set and waited for the election state — a lock "
+      "order inversion, i.e. a classic deadlock. Developer discussion: every "
+      "thread must acquire the election state before the peer set. Fix "
+      "reorders the acquisitions in broadcast_vote.";
+
+  const std::string buggy_broadcast = R"ml(
+@entry
+fn broadcast_vote(state: ElectionState, peers: PeerSet) {
+  sync (peers) {
+    sync (state) {
+      state.votes = state.votes + 1;
+    }
+    peers.notified = peers.count;
+  }
+}
+)ml";
+
+  const std::string patched_broadcast = R"ml(
+@entry
+fn broadcast_vote(state: ElectionState, peers: PeerSet) {
+  sync (state) {
+    sync (peers) {
+      peers.notified = peers.count;
+    }
+    state.votes = state.votes + 1;
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_zkelection_broadcast_then_elect() {
+  let state = new_election_state();
+  let peers = new_peer_set(2);
+  broadcast_vote(state, peers);
+  elect_leader(state, peers);
+  assert(state.votes == 1, "vote survives election");
+  assert(state.leader == "self", "election completes after broadcast");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kZkElectionCommon) + buggy_broadcast + kZkElectionTests;
+  ticket.patched_source =
+      std::string(kZkElectionCommon) + patched_broadcast + kZkElectionTests + regression_test;
+  ticket.regression_tests = {"test_zkelection_broadcast_then_elect"};
+  ticket.original = {"ZK-E1", "2017-11-02",
+                     "Quorum peers deadlock in leader election under notification storm"};
+  ticket.regressions = {{"ZK-E2", "2019-09-17",
+                         "Vote broadcast reintroduces reversed monitor order, wedging "
+                         "re-election after leader loss"}};
+  ticket.kind = SemanticsKind::kInterleavingSensitive;
+  ticket.expected_target = "sync (";
+  ticket.expected_condition = "lock_order_acyclic";
+  return ticket;
+}
+
 }  // namespace
 
 std::vector<FailureTicket> zookeeper_cases() {
   return {zk_ephemeral_case(), zk_sync_serialize_case(), zk_watch_case(), zk_quota_case(),
-          zk_acl_case()};
+          zk_acl_case(),       zk_election_case()};
 }
 
 }  // namespace lisa::corpus

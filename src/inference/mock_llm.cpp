@@ -118,6 +118,29 @@ bool contains_blocking_call(const Expr& expr, std::string* name) {
 
 std::string negate_text(const std::string& expr_text) { return "!(" + expr_text + ")"; }
 
+/// True when the program contains at least one `sync` statement.
+bool has_sync_stmt(const Program& program) {
+  bool found = false;
+  program.for_each_stmt([&](const FuncDecl&, const Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kSync) found = true;
+  });
+  return found;
+}
+
+/// First field name written by an assignment in `stmts` (recursive), or "".
+std::string first_field_write(const std::vector<StmtPtr>& stmts) {
+  for (const StmtPtr& stmt : stmts) {
+    if (stmt->kind == Stmt::Kind::kAssign && stmt->expr &&
+        stmt->expr->kind == Expr::Kind::kField)
+      return stmt->expr->text;
+    std::string nested = first_field_write(stmt->body);
+    if (!nested.empty()) return nested;
+    nested = first_field_write(stmt->else_body);
+    if (!nested.empty()) return nested;
+  }
+  return "";
+}
+
 }  // namespace
 
 std::string MockLlm::render_prompt(const corpus::FailureTicket& ticket) {
@@ -182,6 +205,82 @@ SemanticsProposal MockLlm::infer(const corpus::FailureTicket& ticket) const {
   proposal.case_id = ticket.case_id;
   std::string reasoning =
       "Root cause localized from the patch diff of " + ticket.case_id + ". ";
+
+  // ---- Interleaving rule: lock-order inversion fixed by the patch ----------
+  // Deadlock tickets talk about lock ordering; the checkable rule is global
+  // acyclicity of the acquisition-order graph, settled by the static
+  // concurrency pass (staticcheck/concurrency.hpp).
+  const bool deadlock_language =
+      support::contains_ci(ticket.description, "deadlock") ||
+      support::contains_ci(ticket.description, "lock order") ||
+      support::contains_ci(ticket.description, "inversion");
+  if (deadlock_language && has_sync_stmt(before)) {
+    proposal.kind = corpus::SemanticsKind::kInterleavingSensitive;
+    proposal.pattern = "lock_order_acyclic";
+    proposal.high_level_semantics =
+        "Threads must acquire monitors in one global order: any cycle in the "
+        "lock-acquisition-order graph is a potential deadlock.";
+    LowLevelSemantics low;
+    low.description =
+        "The lock-acquisition-order graph over every thread entry point must "
+        "be acyclic; nested monitor acquisitions must follow a single global "
+        "order.";
+    low.target_statement = "sync (";
+    low.condition_statement = "lock_order_acyclic";
+    proposal.low_level.push_back(std::move(low));
+    reasoning +=
+        "The ticket describes threads waiting on each other's monitors; the "
+        "patch re-establishes a single acquisition order, so the generalized "
+        "rule is acyclicity of the global lock-order graph rather than the "
+        "one inverted pair that was patched.";
+    proposal.reasoning = reasoning;
+    return proposal;
+  }
+
+  // ---- Interleaving rule: unguarded shared-field access (race) -------------
+  // Race tickets are fixed by wrapping the access (or the call reaching it)
+  // in a sync block; the rule is that every access of the field must hold
+  // that monitor.
+  const bool race_language = support::contains_ci(ticket.description, "race") ||
+                             support::contains_ci(ticket.description, "atomicity");
+  if (race_language) {
+    for (const corpus::DiffEntry& added : diff.added) {
+      if (added.stmt->kind != Stmt::Kind::kSync || added.stmt->expr == nullptr)
+        continue;
+      const std::string monitor = minilang::expr_text(*added.stmt->expr);
+      // The guarded field: written directly in the new sync body, or inside
+      // the first function the body calls (the patch wrapped the call).
+      std::string field = first_field_write(added.stmt->body);
+      if (field.empty()) {
+        for (const StmtPtr& inner : added.stmt->body) {
+          const Expr* call = first_call_in_stmt(*inner);
+          if (call == nullptr) continue;
+          const FuncDecl* callee = after.find_function(call->text);
+          if (callee != nullptr) field = first_field_write(callee->body);
+          if (!field.empty()) break;
+        }
+      }
+      if (field.empty() || monitor.empty()) continue;
+      proposal.kind = corpus::SemanticsKind::kInterleavingSensitive;
+      proposal.pattern = "guarded_field";
+      proposal.high_level_semantics =
+          "Shared mutable state has one guard monitor: every thread must hold "
+          "it across reads and writes of the guarded field.";
+      LowLevelSemantics low;
+      low.description = "Every access of field '" + field +
+                        "' must execute while monitor '" + monitor +
+                        "' is held; a write outside the monitor is a data race.";
+      low.target_statement = field;
+      low.condition_statement = "holds(" + monitor + ")";
+      proposal.low_level.push_back(std::move(low));
+      reasoning += "The patch wrapped the access to '" + field + "' in sync (" +
+                   monitor +
+                   "); generalized from the patched site to every access of "
+                   "the field under the Eraser lockset discipline.";
+      proposal.reasoning = reasoning;
+      return proposal;
+    }
+  }
 
   // ---- Structural rule: blocking call moved out of a sync region ----------
   const bool blocking_language =

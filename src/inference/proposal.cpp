@@ -27,7 +27,9 @@ Json SemanticsProposal::to_json() const {
   root["low_level_semantics"] = Json(std::move(lows));
   root["reasoning"] = reasoning;
   root["kind"] = kind == corpus::SemanticsKind::kStatePredicate ? "state_predicate"
-                                                                : "structural_pattern";
+                 : kind == corpus::SemanticsKind::kStructuralPattern
+                     ? "structural_pattern"
+                     : "interleaving_sensitive";
   if (!pattern.empty()) root["pattern"] = pattern;
   return Json(std::move(root));
 }
@@ -37,8 +39,11 @@ SemanticsProposal SemanticsProposal::from_json(const Json& json) {
   proposal.case_id = json.get_string("case_id");
   proposal.high_level_semantics = json.get_string("high_level_semantics");
   proposal.reasoning = json.get_string("reasoning");
-  proposal.kind = json.get_string("kind") == "structural_pattern"
+  const std::string kind_text = json.get_string("kind");
+  proposal.kind = kind_text == "structural_pattern"
                       ? corpus::SemanticsKind::kStructuralPattern
+                  : kind_text == "interleaving_sensitive"
+                      ? corpus::SemanticsKind::kInterleavingSensitive
                       : corpus::SemanticsKind::kStatePredicate;
   proposal.pattern = json.get_string("pattern");
   if (json.has("low_level_semantics")) {
@@ -58,7 +63,8 @@ std::string validate_proposal(const SemanticsProposal& proposal,
   if (!expected_case_id.empty() && proposal.case_id != expected_case_id)
     return "case id mismatch: expected " + expected_case_id + ", got '" +
            proposal.case_id + "'";
-  if (proposal.kind == corpus::SemanticsKind::kStructuralPattern &&
+  if ((proposal.kind == corpus::SemanticsKind::kStructuralPattern ||
+       proposal.kind == corpus::SemanticsKind::kInterleavingSensitive) &&
       proposal.pattern.empty())
     return "structural proposal names no pattern";
   for (std::size_t i = 0; i < proposal.low_level.size(); ++i) {

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "smt/solver.hpp"
+#include "staticcheck/concurrency.hpp"
 #include "staticcheck/screener.hpp"
 #include "support/faultpoint.hpp"
 
@@ -286,6 +287,8 @@ obs::CaptureHandle bind_capture(obs::ProvenanceLedger* ledger,
   capture->system = contract.system;
   capture->kind = contract.kind == corpus::SemanticsKind::kStructuralPattern
                       ? "structural-pattern"
+                  : contract.kind == corpus::SemanticsKind::kInterleavingSensitive
+                      ? "interleaving-sensitive"
                       : "state-predicate";
   capture->target_fragment = contract.target_fragment;
   capture->condition_text = contract.condition_text;
@@ -365,6 +368,65 @@ ContractCheckReport Checker::check(const minilang::Program& program,
       request.contract_id = contract.id;
       request.kind = "structural-pattern";
       request.target_fragment = contract.target_fragment;
+      for (const minilang::FuncDecl* fn : program.functions_with("test"))
+        request.candidate_tests.push_back(fn->name);
+      capture.capture->narration = obs::narrate_counterexample(program, request);
+    }
+    finalize_capture(capture, report, options.budget);
+    record_contract_outcome(span, report, span.elapsed_ms());
+    return report;
+  }
+
+  if (contract.kind == corpus::SemanticsKind::kInterleavingSensitive) {
+    // Interleaving-sensitive contracts are settled by the static concurrency
+    // pass (locksets + the lock-acquisition-order graph): single-threaded
+    // concolic replay cannot observe interleavings, so the screen *is* the
+    // check — Unknown when summaries are unavailable, never a false
+    // ProvedSafe.
+    const staticcheck::Screener screener(program, options.use_summaries);
+    if (screener.summaries() != nullptr)
+      report.summary_ms = screener.summaries()->stats().elapsed_ms;
+    staticcheck::ScreenOptions screen_options;
+    screen_options.capture = capture;
+    const staticcheck::ScreenResult screen = screener.screen_interleaving(
+        contract.pattern, contract.target_fragment, contract.condition_text,
+        screen_options);
+    for (const staticcheck::Diagnostic& diagnostic : screen.diagnostics)
+      report.structural_violations.push_back(diagnostic.render());
+    report.screen_verdict = staticcheck::screen_verdict_name(screen.verdict);
+    report.screen_witness = screen.witness;
+    report.screen_reason = screen.reason;
+    report.screen_ms = screen.elapsed_ms;
+    report.target_statements =
+        analysis::find_target_statements(program, contract.target_fragment).size();
+    report.sanity_ok = true;  // the screened verdict carries its own witness
+    obs::metrics().counter("checker.interleaving_contracts").add();
+    obs::metrics()
+        .counter(std::string("screen.interleaving.") +
+                 staticcheck::screen_verdict_name(screen.verdict))
+        .add();
+    if (capture.active() && !report.passed()) {
+      // Narrate the concrete schedule: replay tests until one acquires a
+      // cycle-edge monitor pair nested, or writes the guarded field bare.
+      obs::NarrationRequest request;
+      request.contract_id = contract.id;
+      request.kind = "interleaving-sensitive";
+      request.target_fragment = contract.target_fragment;
+      if (contract.pattern == "lock_order_acyclic" && screener.summaries() != nullptr) {
+        const staticcheck::LockGraph lock_graph = staticcheck::LockGraph::build(
+            program, screener.graph(), *screener.summaries());
+        for (const staticcheck::LockCycle& cycle : lock_graph.cycles)
+          for (const staticcheck::LockOrderEdge& edge : cycle.edges)
+            request.cycle_edges.emplace_back(edge.first, edge.second);
+      } else if (contract.pattern == "guarded_field") {
+        request.guarded_field = contract.target_fragment;
+        const std::size_t open = contract.condition_text.find("holds(");
+        const std::size_t close = contract.condition_text.rfind(')');
+        if (open != std::string::npos && close != std::string::npos &&
+            close > open + 6)
+          request.guard_monitor =
+              contract.condition_text.substr(open + 6, close - open - 6);
+      }
       for (const minilang::FuncDecl* fn : program.functions_with("test"))
         request.candidate_tests.push_back(fn->name);
       capture.capture->narration = obs::narrate_counterexample(program, request);

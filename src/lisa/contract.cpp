@@ -13,7 +13,9 @@ Json SemanticContract::to_json() const {
   root["case_id"] = case_id;
   root["system"] = system;
   root["kind"] = kind == corpus::SemanticsKind::kStatePredicate ? "state_predicate"
-                                                                : "structural_pattern";
+                 : kind == corpus::SemanticsKind::kStructuralPattern
+                     ? "structural_pattern"
+                     : "interleaving_sensitive";
   root["description"] = description;
   root["high_level"] = high_level;
   root["target_fragment"] = target_fragment;
@@ -27,8 +29,11 @@ SemanticContract SemanticContract::from_json(const Json& json) {
   contract.id = json.get_string("id");
   contract.case_id = json.get_string("case_id");
   contract.system = json.get_string("system");
-  contract.kind = json.get_string("kind") == "structural_pattern"
+  const std::string kind_text = json.get_string("kind");
+  contract.kind = kind_text == "structural_pattern"
                       ? corpus::SemanticsKind::kStructuralPattern
+                  : kind_text == "interleaving_sensitive"
+                      ? corpus::SemanticsKind::kInterleavingSensitive
                       : corpus::SemanticsKind::kStatePredicate;
   contract.description = json.get_string("description");
   contract.high_level = json.get_string("high_level");

@@ -49,6 +49,30 @@ std::string truncate(std::string text, std::size_t limit) {
   return text;
 }
 
+/// Dotted access path of a var/field chain ("" for anything else). A local
+/// copy of the staticcheck helper: explain sits below lisa_staticcheck in
+/// the layer graph.
+std::string access_path_of(const minilang::Expr& expr) {
+  if (expr.kind == minilang::Expr::Kind::kVar) return expr.text;
+  if (expr.kind == minilang::Expr::Kind::kField && expr.args.size() == 1 &&
+      expr.args[0]) {
+    const std::string base = access_path_of(*expr.args[0]);
+    return base.empty() ? "" : base + "." + expr.text;
+  }
+  return "";
+}
+
+/// Monitor names from summaries may carry `fn::` namespace prefixes; the
+/// runtime sync-header text never does. Compare the de-namespaced tails.
+std::string monitor_tail(const std::string& name) {
+  const std::size_t sep = name.rfind("::");
+  return sep == std::string::npos ? name : name.substr(sep + 2);
+}
+
+bool monitor_matches(const std::string& runtime, const std::string& name) {
+  return monitor_tail(runtime) == monitor_tail(name);
+}
+
 std::string value_brief(const Value& v) {
   if (v.is_null()) return "null";
   if (v.is_int()) return std::to_string(v.as_int());
@@ -180,19 +204,23 @@ bool resolve_value(StateAccess& state, const std::string& dotted, Value* out) {
 class Narrator final : public minilang::ExecObserver {
  public:
   Narrator(const NarrationRequest& request, const std::set<int>& targets,
-           std::vector<Injection> injections, bool structural, Narration* out)
+           std::vector<Injection> injections, bool structural, bool interleaving,
+           Narration* out)
       : request_(&request),
         targets_(&targets),
         injections_(std::move(injections)),
         structural_(structural),
+        interleaving_(interleaving),
         out_(out) {}
 
   [[nodiscard]] bool wants_state() override { return true; }
 
   void on_state(const FuncDecl& fn, const Stmt& stmt, StateAccess& state) override {
-    const bool at_target = !structural_ && targets_->count(stmt.id) > 0;
+    const bool at_target =
+        !structural_ && !interleaving_ && targets_->count(stmt.id) > 0;
     apply_injections(fn, state, at_target);
     record_step(fn, stmt, state);
+    if (interleaving_) check_interleaving(stmt, state);
     if (at_target) evaluate_predicate(state);
   }
 
@@ -225,7 +253,9 @@ class Narrator final : public minilang::ExecObserver {
       out_->kind = "unavailable";
       out_->detail = append_detail(
           structural_ ? "no blocking call executed under a held monitor"
-                      : "replay never reached the target statement",
+          : interleaving_
+              ? "no replay exercised a cycle edge or an unguarded write"
+              : "replay never reached the target statement",
           out_->detail);
     }
   }
@@ -240,6 +270,66 @@ class Narrator final : public minilang::ExecObserver {
   void note(std::string text) {
     if (!pending_note_.empty()) pending_note_ += "; ";
     pending_note_ += std::move(text);
+  }
+
+  // -- interleaving reproduction --------------------------------------------
+
+  /// Appends `text` to the last recorded step's note (the step for `stmt`).
+  void annotate_last_step(const std::string& text) {
+    if (out_->steps.empty()) return;
+    std::string& note = out_->steps.back().note;
+    if (!note.empty()) note += "; ";
+    note += text;
+  }
+
+  /// Tracks the concrete monitor stack (by sync-header text) against the
+  /// interpreter's sync depth, and reproduces when a lock-order cycle edge
+  /// is exercised or a guarded field is written with its guard not held.
+  void check_interleaving(const Stmt& stmt, StateAccess& state) {
+    const int raw_depth = state.sync_depth();
+    const std::size_t depth =
+        raw_depth > 0 ? static_cast<std::size_t>(raw_depth) : 0;
+    while (monitors_.size() > depth) monitors_.pop_back();
+    if (monitors_.size() < depth) {
+      // Entered sync block(s) since the last observed statement; the newly
+      // held monitor is the last sync header the replay passed.
+      while (monitors_.size() < depth) monitors_.push_back(pending_monitor_);
+      const std::string& inner = monitors_.back();
+      for (std::size_t i = 0; i + 1 < monitors_.size(); ++i) {
+        const std::string& outer = monitors_[i];
+        for (const auto& [edge_outer, edge_inner] : request_->cycle_edges) {
+          if (!monitor_matches(outer, edge_outer) ||
+              !monitor_matches(inner, edge_inner))
+            continue;
+          annotate_last_step("acquired '" + inner + "' while holding '" + outer + "'");
+          out_->kind = "interleaving-replay";
+          out_->reproduced = true;
+          out_->detail = "lock-order cycle edge exercised: acquired '" + inner +
+                         "' while holding '" + outer + "' (cycle edge '" +
+                         edge_outer + "' -> '" + edge_inner + "')";
+          throw StopReplay{};
+        }
+      }
+    }
+    if (stmt.kind == Stmt::Kind::kSync && stmt.expr)
+      pending_monitor_ = minilang::expr_text(*stmt.expr);
+
+    if (request_->guarded_field.empty() || stmt.kind != Stmt::Kind::kAssign ||
+        !stmt.expr)
+      return;
+    const std::string path = access_path_of(*stmt.expr);
+    const std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos || path.substr(dot + 1) != request_->guarded_field)
+      return;
+    for (const std::string& monitor : monitors_)
+      if (monitor_matches(monitor, request_->guard_monitor)) return;
+    annotate_last_step("writes '" + path + "' without '" + request_->guard_monitor +
+                       "' held");
+    out_->kind = "interleaving-replay";
+    out_->reproduced = true;
+    out_->detail = "write to guarded field '" + path + "' with monitor '" +
+                   request_->guard_monitor + "' not held";
+    throw StopReplay{};
   }
 
   // -- witness injection ----------------------------------------------------
@@ -477,7 +567,11 @@ class Narrator final : public minilang::ExecObserver {
   const std::set<int>* targets_;
   std::vector<Injection> injections_;
   bool structural_ = false;
+  bool interleaving_ = false;
   Narration* out_;
+  /// Concrete monitor stack mirrored from sync_depth (interleaving mode).
+  std::vector<std::string> monitors_;
+  std::string pending_monitor_;
 
   std::string pending_note_;
   std::string last_fn_;
@@ -491,8 +585,9 @@ class Narrator final : public minilang::ExecObserver {
 
 Narration narrate_counterexample(const Program& program, const NarrationRequest& request) {
   const bool structural = request.kind == "structural-pattern";
+  const bool interleaving = request.kind == "interleaving-sensitive";
   std::set<int> targets;
-  if (!structural) {
+  if (!structural && !interleaving) {
     program.for_each_stmt([&](const FuncDecl& fn, const Stmt& stmt) {
       if (fn.has_annotation("test")) return;
       if (minilang::stmt_header_text(stmt).find(request.target_fragment) != std::string::npos)
@@ -510,13 +605,15 @@ Narration narrate_counterexample(const Program& program, const NarrationRequest&
   best.kind = "unavailable";
   best.detail = candidates.empty()
                     ? "no candidate test available"
-                    : (structural ? "no test executed a blocking call under a held monitor"
-                                  : "no candidate test reached the target statement");
+                : structural ? "no test executed a blocking call under a held monitor"
+                : interleaving
+                    ? "no test exercised a cycle edge or an unguarded write"
+                    : "no candidate test reached the target statement";
 
   for (const std::string& test : candidates) {
     Narration attempt;
     attempt.test = test;
-    Narrator narrator(request, targets, injections, structural, &attempt);
+    Narrator narrator(request, targets, injections, structural, interleaving, &attempt);
     minilang::Interp interp(program);
     interp.set_fuel(kReplayFuel);
     interp.set_observer(&narrator);

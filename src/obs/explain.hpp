@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "minilang/ast.hpp"
@@ -35,8 +36,10 @@ namespace lisa::obs {
 /// What the narrator needs to reproduce one violated contract.
 struct NarrationRequest {
   std::string contract_id;
-  /// "state-predicate" (inject model, evaluate Q at the target) or
-  /// "structural-pattern" (watch for a blocking call under a held monitor).
+  /// "state-predicate" (inject model, evaluate Q at the target),
+  /// "structural-pattern" (watch for a blocking call under a held monitor),
+  /// or "interleaving-sensitive" (watch for a lock-order cycle edge being
+  /// exercised or an unguarded write to a guarded field).
   std::string kind;
   /// Canonical-text fragment identifying target statements (state-predicate).
   std::string target_fragment;
@@ -50,6 +53,14 @@ struct NarrationRequest {
   /// @test functions to replay, best candidates first (covering tests, then
   /// the rest). The narrator returns the first reproducing replay.
   std::vector<std::string> candidate_tests;
+  /// Interleaving-sensitive contracts: lock-order cycle edges as (outer,
+  /// inner) monitor names — the replay reproduces when a test acquires
+  /// `inner` while `outer` is held — and/or a guarded field whose write
+  /// with `guard_monitor` not held reproduces the race. Monitor names are
+  /// matched modulo `fn::` namespace prefixes.
+  std::vector<std::pair<std::string, std::string>> cycle_edges;
+  std::string guarded_field;
+  std::string guard_monitor;
 };
 
 /// Replays candidate tests until one concretely reproduces the violation;

@@ -5,6 +5,7 @@
 
 #include "minilang/interp.hpp"
 #include "minilang/printer.hpp"
+#include "staticcheck/concurrency.hpp"
 #include "staticcheck/dataflow.hpp"
 #include "staticcheck/summaries.hpp"
 
@@ -903,6 +904,23 @@ std::vector<Diagnostic> lint_program(const Program& program, bool include_tests,
     IntervalAnalysis intervals(program, summaries);
     const auto interval_result = run_forward(cfg, intervals);
     intervals.report(cfg, interval_result.in, interval_result.reached, out);
+  }
+  // Whole-program concurrency checks (deadlock cycles, inconsistent-lockset
+  // races) need the interprocedural summaries and only fire on programs
+  // that use monitors at all — sync-free programs keep byte-identical
+  // output with and without this pass.
+  if (summaries != nullptr) {
+    bool has_sync = false;
+    program.for_each_stmt([&](const FuncDecl&, const minilang::Stmt& stmt) {
+      if (stmt.kind == minilang::Stmt::Kind::kSync) has_sync = true;
+    });
+    if (has_sync) {
+      const LockGraph lock_graph = LockGraph::build(program, graph, *summaries);
+      for (Diagnostic& diag : deadlock_diagnostics(lock_graph))
+        out.push_back(std::move(diag));
+      for (Diagnostic& diag : race_diagnostics(program, graph, *summaries))
+        out.push_back(std::move(diag));
+    }
   }
   // Deterministic output: one program is one file, so (line, column) is a
   // global position; break ties by function, analysis, then message, and

@@ -5,6 +5,7 @@
 #include "analysis/paths.hpp"
 #include "obs/trace.hpp"
 #include "smt/solver.hpp"
+#include "staticcheck/concurrency.hpp"
 #include "staticcheck/dataflow.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
@@ -333,6 +334,130 @@ ScreenResult Screener::screen_structural(const ScreenOptions& options) const {
     result.reason = std::to_string(result.diagnostics.size()) +
                     " blocking call(s) reachable while a monitor is held";
   }
+  result.elapsed_ms = timer.elapsed_ms();
+  return result;
+}
+
+ScreenResult Screener::screen_interleaving(const std::string& pattern,
+                                           const std::string& target_fragment,
+                                           const std::string& condition_text,
+                                           const ScreenOptions& options) const {
+  obs::ScopedSpan span("screen.interleaving");
+  span.attr("pattern", pattern);
+  const support::Stopwatch timer;
+  ScreenResult result;
+  if (summaries() == nullptr) {
+    result.reason = "interprocedural summaries unavailable";
+    result.elapsed_ms = timer.elapsed_ms();
+    return result;
+  }
+
+  const LockGraph lock_graph = LockGraph::build(*program_, graph_, *summaries());
+  const auto record = [&](const char* analysis, std::string function, int line,
+                          int column, std::string fact) {
+    if (!options.capture.active()) return;
+    obs::FactEvidence evidence;
+    evidence.analysis = analysis;
+    evidence.function = std::move(function);
+    evidence.line = line;
+    evidence.column = column;
+    evidence.fact = std::move(fact);
+    options.capture.fact(std::move(evidence));
+  };
+  for (const LockOrderEdge& edge : lock_graph.edges)
+    record("lock-graph", edge.function, edge.line, edge.column,
+           "'" + edge.first + "' -> '" + edge.second + "'" +
+               (edge.via.empty() ? "" : " (via " + edge.via + ")"));
+
+  if (pattern == "lock_order_acyclic") {
+    if (!lock_graph.cycles.empty()) {
+      result.verdict = ScreenVerdict::kProvedViolated;
+      result.witness = lock_graph.cycles.front().render();
+      result.reason = std::to_string(lock_graph.cycles.size()) +
+                      " lock-order cycle(s) in the acquisition graph";
+      result.diagnostics = deadlock_diagnostics(lock_graph);
+    } else if (lock_graph.degraded) {
+      result.reason = "a summary degraded to conservative: edge set incomplete";
+    } else {
+      result.verdict = ScreenVerdict::kProvedSafe;
+      result.reason = "lock-acquisition-order graph is acyclic over " +
+                      std::to_string(lock_graph.edges.size()) + " edge(s)";
+    }
+    result.elapsed_ms = timer.elapsed_ms();
+    return result;
+  }
+
+  if (pattern == "guarded_field") {
+    // condition_text carries the guard as "holds(<monitor>)".
+    std::string guard = condition_text;
+    const auto open = guard.find("holds(");
+    const auto close = guard.rfind(')');
+    if (open != std::string::npos && close != std::string::npos && close > open + 6)
+      guard = guard.substr(open + 6, close - open - 6);
+    if (guard.empty() || guard == condition_text) {
+      result.reason = "guarded_field contract names no monitor";
+      result.elapsed_ms = timer.elapsed_ms();
+      return result;
+    }
+
+    const auto fields = shared_field_accesses(*program_, graph_, *summaries());
+    const auto found = fields.find(target_fragment);
+    if (found == fields.end() || found->second.sites.empty()) {
+      result.reason = "no root-reachable access of field '" + target_fragment + "'";
+      result.elapsed_ms = timer.elapsed_ms();
+      return result;
+    }
+    const FieldAccesses& accesses = found->second;
+    result.targets = accesses.sites.size();
+    for (const auto& [root, site] : accesses.sites) {
+      std::string locks;
+      for (const std::string& monitor : site.lockset) {
+        if (!locks.empty()) locks += ", ";
+        locks += monitor;
+      }
+      record("lockset", site.function, site.line, site.column,
+             std::string(site.is_write ? "write" : "read") + " of '" +
+                 target_fragment + "' holds {" + locks + "} (root " + root + ")");
+    }
+    // A concretely uncovered site refutes the contract even when the site
+    // set is otherwise incomplete — the witness access is real.
+    for (const auto& [root, site] : accesses.sites) {
+      if (lockset_covers(site.lockset, guard)) continue;
+      result.verdict = ScreenVerdict::kProvedViolated;
+      result.witness = site.function + ":" + std::to_string(site.line) + ":" +
+                       std::to_string(site.column) + " " +
+                       (site.is_write ? "writes" : "reads") + " '" +
+                       target_fragment + "' without '" + guard +
+                       "' (thread root " + root + ")";
+      result.reason = "an access site does not hold the guard monitor";
+      Diagnostic diagnostic;
+      diagnostic.analysis = "race";
+      diagnostic.severity = Severity::kError;
+      diagnostic.function = site.function;
+      diagnostic.loc = {site.line, site.column};
+      diagnostic.message = std::string(site.is_write ? "write" : "read") +
+                           " of field '" + target_fragment + "' without monitor '" +
+                           guard + "' held (thread root " + root + ")";
+      result.diagnostics.push_back(std::move(diagnostic));
+      result.elapsed_ms = timer.elapsed_ms();
+      return result;
+    }
+    if (accesses.truncated) {
+      result.reason = "field access summary truncated: coverage unprovable";
+    } else if (!lock_graph.acyclic()) {
+      result.reason =
+          "every access holds the guard but the lock graph is not provably "
+          "acyclic";
+    } else {
+      result.verdict = ScreenVerdict::kProvedSafe;
+      result.reason = "every root-reachable access of '" + target_fragment +
+                      "' holds '" + guard + "' and the lock graph is acyclic";
+    }
+    result.elapsed_ms = timer.elapsed_ms();
+    return result;
+  }
+
+  result.reason = "unknown interleaving pattern '" + pattern + "'";
   result.elapsed_ms = timer.elapsed_ms();
   return result;
 }

@@ -100,6 +100,22 @@ class Screener {
   [[nodiscard]] ScreenResult screen_structural() const;
   [[nodiscard]] ScreenResult screen_structural(const ScreenOptions& options) const;
 
+  /// Screens an interleaving-sensitive contract against the concurrency
+  /// summaries (staticcheck/concurrency.hpp). Two patterns:
+  ///   * "lock_order_acyclic" — ProvedSafe iff the global lock-acquisition
+  ///     graph over the thread roots has no cycle (and no summary degraded);
+  ///     a cycle is a located ProvedViolated witness.
+  ///   * "guarded_field" — `target_fragment` names the field and
+  ///     `condition_text` its guard as "holds(<monitor>)". ProvedSafe when
+  ///     every root-reachable access holds the guard and the lock graph is
+  ///     acyclic; an access without the guard is ProvedViolated; truncated
+  ///     summaries or an otherwise-guarded-but-cyclic program stay Unknown.
+  /// Summaries disabled → Unknown (these verdicts are interprocedural).
+  [[nodiscard]] ScreenResult screen_interleaving(const std::string& pattern,
+                                                 const std::string& target_fragment,
+                                                 const std::string& condition_text,
+                                                 const ScreenOptions& options = {}) const;
+
   /// Dataflow facts at `stmt` of `fn` as a formula over local names
   /// (nullness indicator variables and interval bounds). Returns kTrue when
   /// nothing is known. Exposed for tests. The capture overload additionally

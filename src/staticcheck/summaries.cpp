@@ -8,6 +8,7 @@
 #include "minilang/interp.hpp"
 #include "obs/trace.hpp"
 #include "staticcheck/cfg.hpp"
+#include "staticcheck/concurrency.hpp"
 #include "staticcheck/dataflow.hpp"
 #include "support/faultpoint.hpp"
 #include "support/stopwatch.hpp"
@@ -98,7 +99,11 @@ bool phase_a_equal(const FunctionSummary& a, const FunctionSummary& b) {
          a.net_monitor_throw == b.net_monitor_throw &&
          a.return_nullness == b.return_nullness &&
          a.nullness_on_return == b.nullness_on_return &&
-         a.return_interval == b.return_interval;
+         a.return_interval == b.return_interval &&
+         a.acquired_locks == b.acquired_locks &&
+         a.lock_order_edges == b.lock_order_edges &&
+         a.field_locks == b.field_locks &&
+         a.concurrency_degraded == b.concurrency_degraded;
 }
 
 /// Classic interval widening against the previous iterate: a bound that is
@@ -291,6 +296,10 @@ FunctionSummary summarize(const Program& program, const analysis::CallGraph& gra
     }
   }
 
+  // --- concurrency: must-held locksets per statement, acquisition
+  // orderings, and shared-field access sites (concurrency.cpp). ---
+  summarize_concurrency(program, graph, map, fn, cfg, &s);
+
   // --- nullness: return nullability plus param-rooted facts holding on
   // every normal return. ---
   {
@@ -426,6 +435,12 @@ SummaryMap SummaryMap::compute(const Program& program, const analysis::CallGraph
           summary.return_nullness = FunctionSummary::Nullability::kUnknown;
           summary.nullness_on_return.clear();
           summary.return_interval = Interval{};
+          // The concurrency sets are incomplete from here on; flag them so
+          // no consumer proves acyclicity or guard coverage from them.
+          summary.acquired_locks.clear();
+          summary.lock_order_edges.clear();
+          summary.field_locks.clear();
+          summary.concurrency_degraded = true;
         }
         break;
       }

@@ -27,6 +27,7 @@
 // the ablation baseline in bench_static_screening.
 #pragma once
 
+#include <compare>
 #include <cstddef>
 #include <map>
 #include <set>
@@ -37,6 +38,58 @@
 #include "staticcheck/analyses.hpp"
 
 namespace lisa::staticcheck {
+
+/// Source anchor for concurrency facts (function + position). Kept tiny so
+/// summary sets stay cheap to compare in the fixpoint.
+struct SummarySite {
+  std::string function;
+  int line = 0;
+  int column = 0;
+
+  auto operator<=>(const SummarySite&) const = default;
+};
+
+/// One observed lock-acquisition ordering: `second` is acquired while
+/// `first` is held. `function`/`line`/`column` locate the *inner*
+/// acquisition; `via` names the one-hop callee the edge was imported
+/// through (empty for a direct nested `sync`). Storing only one hop keeps
+/// the edge set finite on recursive SCCs.
+struct LockOrderEdge {
+  std::string first;   // monitor already held (caller namespace)
+  std::string second;  // monitor acquired under it
+  std::string function;
+  int line = 0;
+  int column = 0;
+  std::string via;
+
+  auto operator<=>(const LockOrderEdge&) const = default;
+};
+
+/// One shared-field access with the must-held lockset in force when it
+/// executes. `base` is the access path of the owning object ("store" for
+/// `store.pending`), rewritten into the caller's namespace on import.
+struct FieldAccessSite {
+  std::string function;
+  int line = 0;
+  int column = 0;
+  bool is_write = false;
+  std::string base;
+  std::set<std::string> lockset;  // must-held monitors at the access
+
+  auto operator<=>(const FieldAccessSite&) const = default;
+};
+
+/// Everything the summary knows about accesses to one field name.
+struct FieldLockSummary {
+  std::set<FieldAccessSite> sites;
+  /// Set when the site cap dropped accesses; consumers must not prove
+  /// safety from a truncated set.
+  bool truncated = false;
+
+  bool operator==(const FieldLockSummary& other) const {
+    return sites == other.sites && truncated == other.truncated;
+  }
+};
 
 struct FunctionSummary {
   enum class Nullability { kUnknown, kNonNull, kNull };
@@ -67,6 +120,20 @@ struct FunctionSummary {
   // --- top-down boundary facts (join over every call site) ---
   std::map<std::string, NullFact> boundary_nullness;
   std::map<std::string, Interval> boundary_intervals;
+
+  // --- concurrency (entry-relative, transitive through calls) ---
+  /// Monitors the function (or a callee) may acquire, keyed by canonical
+  /// monitor path in this function's namespace; the value locates the
+  /// innermost acquisition site.
+  std::map<std::string, SummarySite> acquired_locks;
+  /// Lock-acquisition orderings observed in this function or imported from
+  /// callees (monitor names rewritten through the call's arguments).
+  std::set<LockOrderEdge> lock_order_edges;
+  /// Shared-field accesses with their must-held locksets.
+  std::map<std::string, FieldLockSummary> field_locks;
+  /// Set when the fixpoint degraded to conservative (or a callee did):
+  /// the concurrency sets above are incomplete and must not prove safety.
+  bool concurrency_degraded = false;
 };
 
 /// What a single call may do to the caller's state. Derived from the callee

@@ -13,27 +13,57 @@ namespace {
 
 TEST(Corpus, StudyShapeMatchesPaper) {
   // §2.1: 16 regression cases, 34 bugs total, 4 systems, each case has at
-  // least one regression.
+  // least one regression. The paper-shape counts cover the original study
+  // corpus; the interleaving-sensitive concurrency cases are an extension
+  // on top and are counted separately below.
   const auto& cases = Corpus::all();
-  EXPECT_EQ(cases.size(), 16u);
   int bugs = 0;
+  std::size_t study_cases = 0;
+  std::size_t interleaving_cases = 0;
   std::set<std::string> systems;
   for (const FailureTicket& ticket : cases) {
-    bugs += ticket.bug_count();
-    systems.insert(ticket.system);
     EXPECT_GE(ticket.regressions.size(), 1u) << ticket.case_id;
+    systems.insert(ticket.system);
+    if (ticket.kind == SemanticsKind::kInterleavingSensitive) {
+      ++interleaving_cases;
+      continue;
+    }
+    ++study_cases;
+    bugs += ticket.bug_count();
   }
+  EXPECT_EQ(study_cases, 16u);
   EXPECT_EQ(bugs, 34);
+  EXPECT_EQ(interleaving_cases, 4u);
+  EXPECT_EQ(cases.size(), 20u);
   EXPECT_EQ(systems, (std::set<std::string>{"zookeeper", "hdfs", "hbase", "cassandra"}));
 }
 
 TEST(Corpus, LookupHelpers) {
   EXPECT_NE(Corpus::find("zk-1208-ephemeral-create"), nullptr);
   EXPECT_EQ(Corpus::find("nope"), nullptr);
-  EXPECT_EQ(Corpus::for_system("zookeeper").size(), 5u);
-  EXPECT_EQ(Corpus::for_system("hdfs").size(), 4u);
-  EXPECT_EQ(Corpus::for_system("hbase").size(), 4u);
-  EXPECT_EQ(Corpus::for_system("cassandra").size(), 3u);
+  EXPECT_EQ(Corpus::for_system("zookeeper").size(), 6u);
+  EXPECT_EQ(Corpus::for_system("hdfs").size(), 5u);
+  EXPECT_EQ(Corpus::for_system("hbase").size(), 5u);
+  EXPECT_EQ(Corpus::for_system("cassandra").size(), 4u);
+}
+
+TEST(Corpus, InterleavingCasesCoverBothConcurrencyShapes) {
+  // The concurrency extension contributes one deadlock-shaped and one
+  // race-shaped case pair; each system family gains at most one.
+  std::size_t deadlock_shaped = 0;
+  std::size_t race_shaped = 0;
+  for (const FailureTicket& ticket : Corpus::all()) {
+    if (ticket.kind != SemanticsKind::kInterleavingSensitive) continue;
+    if (ticket.expected_condition == "lock_order_acyclic") {
+      EXPECT_EQ(ticket.expected_target, "sync (") << ticket.case_id;
+      ++deadlock_shaped;
+    } else {
+      EXPECT_EQ(ticket.expected_condition.rfind("holds(", 0), 0u) << ticket.case_id;
+      ++race_shaped;
+    }
+  }
+  EXPECT_EQ(deadlock_shaped, 2u);
+  EXPECT_EQ(race_shaped, 2u);
 }
 
 TEST(Corpus, EveryProgramParsesAndChecksClean) {

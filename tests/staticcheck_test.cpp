@@ -17,6 +17,7 @@
 #include "smt/solver.hpp"
 #include "staticcheck/analyses.hpp"
 #include "staticcheck/cfg.hpp"
+#include "staticcheck/concurrency.hpp"
 #include "staticcheck/dataflow.hpp"
 #include "staticcheck/screener.hpp"
 #include "staticcheck/summaries.hpp"
@@ -936,6 +937,292 @@ TEST(Screener, SummaryClosureSettlesHdfsSafemodeBookkeeping) {
             .verdict,
         ScreenVerdict::kProvedSafe);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: locksets, the lock-order graph, and the race rule
+// ---------------------------------------------------------------------------
+
+SummaryMap summarize(const Program& program) {
+  return SummaryMap::compute(program, analysis::CallGraph::build(program));
+}
+
+// A throw inside nested sync blocks unwinds through the monitors in LIFO
+// order: the catch body holds nothing, and a later sync re-acquires cleanly.
+TEST(Lockset, ThrowUnwindReleasesMonitorsLifo) {
+  const Program program = minilang::parse_checked(R"(
+struct A { x: int; }
+struct B { y: int; }
+@entry
+fn f(a: A, b: B) {
+  try {
+    sync (a) {
+      sync (b) {
+        throw "E";
+      }
+    }
+  } catch (e) {
+    print(e);
+  }
+  sync (b) {
+    b.y = 1;
+  }
+}
+)");
+  const analysis::CallGraph graph = analysis::CallGraph::build(program);
+  const Cfg cfg = Cfg::build(program.functions[0]);
+  LocksetAnalysis analysis_(program, graph);
+  const auto result = run_forward(cfg, analysis_);
+  const Stmt* catch_print = nullptr;
+  const Stmt* guarded_write = nullptr;
+  program.for_each_stmt([&](const minilang::FuncDecl&, const Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kExpr) catch_print = &stmt;
+    if (stmt.kind == Stmt::Kind::kAssign) guarded_write = &stmt;
+  });
+  ASSERT_NE(catch_print, nullptr);
+  ASSERT_NE(guarded_write, nullptr);
+  const int catch_node = cfg.node_of(catch_print);
+  const int write_node = cfg.node_of(guarded_write);
+  ASSERT_GE(catch_node, 0);
+  ASSERT_GE(write_node, 0);
+  // Both monitors released on the unwind path into the catch.
+  EXPECT_TRUE(result.in[catch_node].held.empty());
+  // The later sync re-acquires exactly its own monitor.
+  EXPECT_EQ(result.in[write_node].held, (std::vector<std::string>{"b"}));
+}
+
+// The unwind path must not trip the deadlock or race rules: two roots with
+// a consistent acquisition order stay clean even when one throws mid-sync.
+TEST(Lockset, UnwindPathProducesNoFalseConcurrencyPositives) {
+  const Program program = minilang::parse_checked(R"(
+struct Pool { active: int; }
+struct Conn { open: bool; sends: int; }
+
+@entry
+fn send_guarded(pool: Pool, conn: Conn) {
+  sync (pool) {
+    sync (conn) {
+      if (conn.open == false) {
+        throw "ConnectionClosedException";
+      }
+      conn.sends = conn.sends + 1;
+    }
+    pool.active = pool.active + 1;
+  }
+}
+
+@entry
+fn close_conn(pool: Pool, conn: Conn) {
+  sync (pool) {
+    sync (conn) {
+      conn.open = false;
+    }
+    pool.active = pool.active - 1;
+  }
+}
+)");
+  for (const Diagnostic& diagnostic : lint_program(program)) {
+    EXPECT_NE(diagnostic.analysis, "deadlock") << diagnostic.render();
+    EXPECT_NE(diagnostic.analysis, "race") << diagnostic.render();
+  }
+}
+
+// Satellite acceptance: a recursive SCC whose functions acquire monitors
+// must reach the summary fixpoint in bounded rounds without degrading.
+TEST(Summaries, RecursiveSccWithMonitorEffectsConverges) {
+  const Program program = minilang::parse_checked(R"(
+struct Node { next: Node?; count: int; }
+
+fn walk(n: Node) {
+  sync (n) {
+    n.count = n.count + 1;
+    if (n.next != null) {
+      walk(n.next);
+    }
+  }
+}
+
+@entry
+fn start(n: Node) {
+  walk(n);
+}
+)");
+  const analysis::CallGraph graph = analysis::CallGraph::build(program);
+  const SummaryMap summaries = SummaryMap::compute(program, graph);
+  EXPECT_GE(summaries.stats().recursive_components, 1);
+  EXPECT_GT(summaries.stats().fixpoint_iterations, 0);
+  // Well under the divergence safety net (16 rounds): the same-SCC verbatim
+  // import keeps the monitor name set finite, so phase A settles fast.
+  EXPECT_LT(summaries.stats().fixpoint_iterations, 8);
+  const FunctionSummary* walk = summaries.find("walk");
+  ASSERT_NE(walk, nullptr);
+  EXPECT_FALSE(walk->concurrency_degraded);
+  EXPECT_EQ(walk->acquired_locks.count("n"), 1u);
+  // Self-acquisition on recursion is not a cycle: the graph stays acyclic.
+  EXPECT_TRUE(LockGraph::build(program, graph, summaries).acyclic());
+}
+
+TEST(LockGraph, InterproceduralInversionIsOneLocatedCycle) {
+  const auto source = [](bool inverted) {
+    return std::string(R"(
+struct A { x: int; }
+struct B { y: int; }
+fn lock_b_then_touch(a: A, b: B) {
+  sync (b) {
+    b.y = b.y + 1;
+  }
+}
+fn lock_a_then_touch(a: A, b: B) {
+  sync (a) {
+    a.x = a.x + 1;
+  }
+}
+@entry
+fn first(a: A, b: B) {
+  sync (a) {
+    lock_b_then_touch(a, b);
+  }
+}
+)") + (inverted ? R"(
+@entry
+fn second(a: A, b: B) {
+  sync (b) {
+    lock_a_then_touch(a, b);
+  }
+}
+)"
+                : R"(
+@entry
+fn second(a: A, b: B) {
+  sync (a) {
+    lock_b_then_touch(a, b);
+  }
+}
+)");
+  };
+  const Program buggy = minilang::parse_checked(source(true));
+  const analysis::CallGraph buggy_graph = analysis::CallGraph::build(buggy);
+  const LockGraph cyclic = LockGraph::build(buggy, buggy_graph, summarize(buggy));
+  EXPECT_FALSE(cyclic.acyclic());
+  ASSERT_EQ(cyclic.cycles.size(), 1u);
+  EXPECT_EQ(cyclic.cycles[0].monitors, (std::vector<std::string>{"a", "b"}));
+  // The rendering carries located acquisition chains through the helpers.
+  const std::string rendered = cyclic.cycles[0].render();
+  EXPECT_NE(rendered.find("while holding"), std::string::npos);
+  EXPECT_NE(rendered.find("lock_b_then_touch"), std::string::npos);
+  const auto diagnostics = deadlock_diagnostics(cyclic);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].analysis, "deadlock");
+  EXPECT_EQ(diagnostics[0].severity, Severity::kError);
+
+  const Program patched = minilang::parse_checked(source(false));
+  const analysis::CallGraph patched_graph = analysis::CallGraph::build(patched);
+  const LockGraph acyclic = LockGraph::build(patched, patched_graph, summarize(patched));
+  EXPECT_TRUE(acyclic.acyclic());
+  EXPECT_TRUE(deadlock_diagnostics(acyclic).empty());
+}
+
+TEST(Race, InconsistentLocksetFlagsUnguardedWriteOnly) {
+  const auto source = [](bool guarded) {
+    return std::string(R"(
+struct Counter { hits: int; }
+@entry
+fn observe(c: Counter) {
+  sync (c) {
+    c.hits = c.hits + 1;
+  }
+}
+)") + (guarded ? R"(
+@entry
+fn reset(c: Counter) {
+  sync (c) {
+    c.hits = 0;
+  }
+}
+)"
+               : R"(
+@entry
+fn reset(c: Counter) {
+  c.hits = 0;
+}
+)");
+  };
+  const Program buggy = minilang::parse_checked(source(false));
+  const analysis::CallGraph buggy_graph = analysis::CallGraph::build(buggy);
+  const auto diagnostics = race_diagnostics(buggy, buggy_graph, summarize(buggy));
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].analysis, "race");
+  EXPECT_EQ(diagnostics[0].function, "reset");
+  EXPECT_NE(diagnostics[0].message.find("'hits'"), std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("observe"), std::string::npos);
+
+  const Program patched = minilang::parse_checked(source(true));
+  const analysis::CallGraph patched_graph = analysis::CallGraph::build(patched);
+  EXPECT_TRUE(race_diagnostics(patched, patched_graph, summarize(patched)).empty());
+
+  // Eraser bias: a field never guarded anywhere (single-threaded idiom)
+  // stays silent even with two writing roots.
+  const Program unguarded = minilang::parse_checked(R"(
+struct Counter { hits: int; }
+@entry
+fn observe(c: Counter) {
+  c.hits = c.hits + 1;
+}
+@entry
+fn reset(c: Counter) {
+  c.hits = 0;
+}
+)");
+  const analysis::CallGraph unguarded_graph = analysis::CallGraph::build(unguarded);
+  EXPECT_TRUE(race_diagnostics(unguarded, unguarded_graph, summarize(unguarded)).empty());
+}
+
+// Sync-free programs never grow concurrency diagnostics — the lint gating
+// that keeps pre-concurrency corpus output byte-identical.
+TEST(Lint, SyncFreeProgramHasNoConcurrencyDiagnostics) {
+  const Program program = minilang::parse_checked(R"(
+struct S { n: int; }
+@entry
+fn bump(s: S) {
+  s.n = s.n + 1;
+}
+@entry
+fn clear(s: S) {
+  s.n = 0;
+}
+)");
+  for (const Diagnostic& diagnostic : lint_program(program)) {
+    EXPECT_NE(diagnostic.analysis, "deadlock") << diagnostic.render();
+    EXPECT_NE(diagnostic.analysis, "race") << diagnostic.render();
+  }
+}
+
+TEST(Screener, InterleavingNeedsSummariesAndKnownPattern) {
+  const Program program = minilang::parse_checked(R"(
+struct S { n: int; }
+@entry
+fn bump(s: S) {
+  sync (s) {
+    s.n = s.n + 1;
+  }
+}
+)");
+  const Screener havoc(program, /*use_summaries=*/false);
+  EXPECT_EQ(havoc.screen_interleaving("lock_order_acyclic", "sync (", "lock_order_acyclic")
+                .verdict,
+            ScreenVerdict::kUnknown);
+  const Screener summarized(program, /*use_summaries=*/true);
+  EXPECT_EQ(summarized
+                .screen_interleaving("lock_order_acyclic", "sync (", "lock_order_acyclic")
+                .verdict,
+            ScreenVerdict::kProvedSafe);
+  EXPECT_EQ(summarized.screen_interleaving("guarded_field", "n", "holds(s)").verdict,
+            ScreenVerdict::kProvedSafe);
+  // Malformed guard and unknown pattern both stay Unknown, never safe.
+  EXPECT_EQ(summarized.screen_interleaving("guarded_field", "n", "nonsense").verdict,
+            ScreenVerdict::kUnknown);
+  EXPECT_EQ(summarized.screen_interleaving("no_such_pattern", "n", "x").verdict,
+            ScreenVerdict::kUnknown);
 }
 
 TEST(Lint, CorpusAggregateMatchesCli) {
