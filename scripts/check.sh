@@ -134,12 +134,35 @@ fi
 rm -rf "$explain_dir"
 echo "explain smoke: OK (narration reproduced, HTML written)"
 
+# Slice smoke: the verdict-cone report must be deterministic (byte-identical
+# across two runs — the fingerprints key incremental re-checking) and the
+# --json form must parse.
+slice_dir=$(mktemp -d)
+"$BUILD_DIR"/tools/lisa slice zk-1208-ephemeral-create > "$slice_dir/a.txt"
+"$BUILD_DIR"/tools/lisa slice zk-1208-ephemeral-create > "$slice_dir/b.txt"
+if ! cmp -s "$slice_dir/a.txt" "$slice_dir/b.txt"; then
+  echo "check.sh: lisa slice output is not byte-stable across runs" >&2
+  exit 1
+fi
+if ! grep -q "fingerprint" "$slice_dir/a.txt"; then
+  echo "check.sh: lisa slice output lacks a fingerprint line" >&2
+  exit 1
+fi
+"$BUILD_DIR"/tools/lisa slice zk-1208-ephemeral-create --json \
+  | python3 -m json.tool > /dev/null || {
+  echo "check.sh: lisa slice --json is not valid JSON" >&2
+  exit 1
+}
+rm -rf "$slice_dir"
+echo "slice smoke: OK (byte-stable, JSON valid)"
+
 # Bench-snapshot smoke: a FAST snapshot must produce a parseable file with
 # the documented schema (benches -> wall_ms, corpus -> settled fraction and
-# verdict counts).
+# verdict counts), and the incremental bench must export its re-check
+# fraction as a lifted counter.
 snap_dir=$(mktemp -d)
 FAST=1 OUT_DIR="$snap_dir" BUILD_DIR="$BUILD_DIR" \
-  BENCHES="bench_smt_solver" scripts/bench_snapshot.sh > /dev/null
+  BENCHES="bench_smt_solver bench_incremental" scripts/bench_snapshot.sh > /dev/null
 python3 - "$snap_dir/BENCH_1.json" <<'PY' || exit 1
 import json, sys
 snap = json.load(open(sys.argv[1]))
@@ -147,6 +170,11 @@ assert snap["schema"] == "lisa-bench-snapshot" and snap["version"] == 1
 assert snap["timestamp"]
 assert snap["benches"], "no bench entries"
 assert all("wall_ms" in entry for entry in snap["benches"].values())
+fractions = [entry["incremental_recheck_fraction"]
+             for entry in snap["benches"].values()
+             if "incremental_recheck_fraction" in entry]
+assert fractions, "bench_incremental exported no incremental_recheck_fraction"
+assert all(0.0 <= f < 1.0 for f in fractions), fractions
 corpus = snap["corpus"]
 assert 0.0 <= corpus["settled_fraction"] <= 1.0
 assert 0.0 <= corpus["interleaving_settled_fraction"] <= 1.0
@@ -154,4 +182,4 @@ assert corpus["verdicts"]["contracts"] > 0
 assert "screen_interleaving_proved_safe" in corpus["verdicts"]
 PY
 rm -rf "$snap_dir"
-echo "bench snapshot smoke: OK (schema valid)"
+echo "bench snapshot smoke: OK (schema valid, incremental fraction exported)"

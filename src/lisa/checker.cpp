@@ -15,6 +15,7 @@
 #include "smt/solver.hpp"
 #include "staticcheck/concurrency.hpp"
 #include "staticcheck/screener.hpp"
+#include "staticcheck/slice.hpp"
 #include "support/faultpoint.hpp"
 
 namespace lisa::core {
@@ -135,6 +136,7 @@ Json ContractCheckReport::to_json() const {
     screen["skipped_concolic"] = screen_skipped_concolic;
     root["screen"] = Json(std::move(screen));
   }
+  if (!slice_fp.empty()) root["slice_fp"] = slice_fp;
   return Json(std::move(root));
 }
 
@@ -224,7 +226,40 @@ ContractCheckReport ContractCheckReport::from_json(const Json& json) {
                                      screen.at("skipped_concolic").is_bool() &&
                                      screen.at("skipped_concolic").as_bool();
   }
+  report.slice_fp = json.get_string("slice_fp");
   return report;
+}
+
+std::string ContractCheckReport::verdict_signature() const {
+  std::string sig = contract_id + "|" + target_fragment;
+  sig += "|verified=" + std::to_string(verified);
+  sig += "|violated=" + std::to_string(violated);
+  sig += "|unmappable=" + std::to_string(unmappable);
+  sig += "|inconclusive=" + std::to_string(inconclusive);
+  sig += "|uncovered=" + std::to_string(uncovered);
+  if (truncated) sig += "|truncated";
+  sig += sanity_ok ? "|sane" : "|unsane";
+  sig += passed() ? "|passed" : "|failed";
+  for (const PathReport& path : paths) {
+    sig += "\npath ";
+    for (const std::string& fn : path.call_chain) sig += fn + ">";
+    // The target is named by its text, not its statement id: ids are
+    // positional and shift when an edit inserts statements elsewhere, and a
+    // pure shift is not a verdict change.
+    sig += "[" + path.target_text + "]";
+    sig += " " + std::string(path_verdict_name(path.verdict));
+    if (!path.counterexample.empty()) sig += " " + path.counterexample;
+  }
+  for (const std::string& violation : structural_violations)
+    sig += "\nstructural " + violation;
+  sig += "\ndynamic tests=" + std::to_string(dynamic.tests_run);
+  sig += " passed=" + std::to_string(dynamic.tests_passed);
+  sig += " hits=" + std::to_string(dynamic.target_hits);
+  sig += " symbolic=" + std::to_string(dynamic.symbolic_violations);
+  sig += " concrete=" + std::to_string(dynamic.concrete_violations);
+  for (const std::string& detail : dynamic.violation_details) sig += "\nviolation " + detail;
+  if (!screen_verdict.empty()) sig += "\nscreen " + screen_verdict;
+  return sig;
 }
 
 namespace {
@@ -305,6 +340,7 @@ void finalize_capture(const obs::CaptureHandle& capture, const ContractCheckRepo
                       const support::Budget* budget) {
   if (!capture.active()) return;
   obs::ContractCapture* cell = capture.capture;
+  if (!report.slice_fp.empty()) cell->slice_fp = report.slice_fp;
   cell->passed = report.passed();
   cell->conclusive = report.conclusive();
   cell->verdict =
@@ -327,6 +363,38 @@ void finalize_capture(const obs::CaptureHandle& capture, const ContractCheckRepo
 }
 
 }  // namespace
+
+staticcheck::SliceRequest contract_slice_request(const SemanticContract& contract,
+                                                 bool run_concolic) {
+  staticcheck::SliceRequest request;
+  switch (contract.kind) {
+    case corpus::SemanticsKind::kStructuralPattern:
+      request.kind = staticcheck::SliceRequest::Kind::kStructural;
+      request.include_tests = true;  // the lock-state scan covers test bodies
+      break;
+    case corpus::SemanticsKind::kInterleavingSensitive:
+      request.kind = staticcheck::SliceRequest::Kind::kInterleaving;
+      request.include_tests = true;  // thread roots may be anywhere
+      break;
+    case corpus::SemanticsKind::kStatePredicate:
+      request.kind = staticcheck::SliceRequest::Kind::kStatePredicate;
+      request.include_tests = run_concolic;
+      break;
+  }
+  request.target_fragment = contract.target_fragment;
+  request.condition = contract.condition;
+  request.condition_text = contract.condition_text;
+  request.pattern = contract.pattern;
+  request.contract_text = contract.id + "|" + contract.target_fragment + "|" +
+                          contract.condition_text + "|" + contract.pattern;
+  return request;
+}
+
+std::string contract_slice_fingerprint(const staticcheck::SliceEngine& engine,
+                                       const SemanticContract& contract,
+                                       bool run_concolic) {
+  return engine.slice(contract_slice_request(contract, run_concolic)).fingerprint;
+}
 
 ContractCheckReport Checker::check(const minilang::Program& program,
                                    const SemanticContract& contract,
@@ -352,6 +420,10 @@ ContractCheckReport Checker::check(const minilang::Program& program,
     const staticcheck::ScreenResult screen = screener.screen_structural(screen_options);
     if (screener.summaries() != nullptr)
       report.summary_ms = screener.summaries()->stats().elapsed_ms;
+    if (options.compute_slice_fp) {
+      const staticcheck::SliceEngine slicer(program, screener.graph(), screener.summaries());
+      report.slice_fp = contract_slice_fingerprint(slicer, contract, options.run_concolic);
+    }
     for (const staticcheck::Diagnostic& diagnostic : screen.diagnostics)
       report.structural_violations.push_back(diagnostic.render());
     report.screen_verdict = staticcheck::screen_verdict_name(screen.verdict);
@@ -386,6 +458,10 @@ ContractCheckReport Checker::check(const minilang::Program& program,
     const staticcheck::Screener screener(program, options.use_summaries);
     if (screener.summaries() != nullptr)
       report.summary_ms = screener.summaries()->stats().elapsed_ms;
+    if (options.compute_slice_fp) {
+      const staticcheck::SliceEngine slicer(program, screener.graph(), screener.summaries());
+      report.slice_fp = contract_slice_fingerprint(slicer, contract, options.run_concolic);
+    }
     staticcheck::ScreenOptions screen_options;
     screen_options.capture = capture;
     const staticcheck::ScreenResult screen = screener.screen_interleaving(
@@ -461,6 +537,16 @@ ContractCheckReport Checker::check(const minilang::Program& program,
            options.trust_screen_verdicts);
     }
     report.screen_skipped_concolic = skip_concolic && options.run_concolic;
+    if (options.compute_slice_fp) {
+      const staticcheck::SliceEngine slicer(program, screener.graph(), screener.summaries());
+      report.slice_fp = contract_slice_fingerprint(slicer, contract, options.run_concolic);
+    }
+  }
+  if (options.compute_slice_fp && report.slice_fp.empty()) {
+    // Screening off: no summaries around, so the fingerprint degrades to the
+    // whole-program cone — maximally conservative, never stale.
+    const staticcheck::SliceEngine slicer(program, graph, nullptr);
+    report.slice_fp = contract_slice_fingerprint(slicer, contract, options.run_concolic);
   }
 
   // ---- Static assertion over the execution tree ---------------------------

@@ -28,6 +28,11 @@
 #include "support/budget.hpp"
 #include "support/json.hpp"
 
+namespace lisa::staticcheck {
+class SliceEngine;
+struct SliceRequest;
+}
+
 namespace lisa::core {
 
 enum class PathVerdict { kVerified, kViolated, kUnmappable, kInconclusive };
@@ -107,6 +112,13 @@ struct ContractCheckReport {
   /// "fork-points" | "steps"); empty unless budget_exhausted.
   std::string budget_resource;
 
+  /// Slice fingerprint of this contract's verdict cone
+  /// (staticcheck/slice.hpp): the canonical identity of everything the
+  /// verdict can depend on. Journal resume replays a checkpointed entry iff
+  /// its slice_fp still matches the current program; empty when fingerprint
+  /// computation was not requested (CheckOptions::compute_slice_fp).
+  std::string slice_fp;
+
   /// True when the checked program satisfies the contract everywhere.
   [[nodiscard]] bool passed() const {
     return violated == 0 && structural_violations.empty() &&
@@ -120,6 +132,14 @@ struct ContractCheckReport {
     return !budget_exhausted && inconclusive == 0 &&
            dynamic.inconclusive_hits == 0 && dynamic.degraded_runs == 0;
   }
+
+  /// Canonical rendering of everything verdict-relevant — counts, per-path
+  /// verdicts and counterexamples, dynamic violations, structural findings,
+  /// screen verdict — excluding timings and the screen reason/witness
+  /// phrasing. Two runs decided a contract identically iff their signatures
+  /// are byte-identical: the equivalence oracle for incremental re-checking
+  /// (bench_incremental) and resume tests.
+  [[nodiscard]] std::string verdict_signature() const;
 
   [[nodiscard]] support::Json to_json() const;
   /// Rebuilds a report from its to_json form (checkpoint journal resume).
@@ -160,7 +180,28 @@ struct CheckOptions {
   /// counterexample for violated contracts. nullptr = zero-cost (the check
   /// output is byte-identical to an uncaptured run).
   obs::ProvenanceLedger* ledger = nullptr;
+  /// Compute the contract's slice fingerprint and record it on the report
+  /// (and ledger capture). Off by default so ungoverned check output stays
+  /// byte-identical; the pipeline and gate turn it on whenever a journal or
+  /// ledger is attached.
+  bool compute_slice_fp = false;
 };
+
+/// The canonical slice request for `contract` — the single construction the
+/// checker, resume, and `lisa slice` all share, so their fingerprints agree.
+/// `run_concolic` must match the CheckOptions in effect: state-predicate
+/// cones include @test functions iff concolic replay is on; structural and
+/// interleaving cones always include them (their analyses scan every
+/// function).
+[[nodiscard]] staticcheck::SliceRequest contract_slice_request(
+    const SemanticContract& contract, bool run_concolic);
+
+/// The slice fingerprint Checker::check records for `contract` — exposed so
+/// resume can recompute it against the current program without running the
+/// check.
+[[nodiscard]] std::string contract_slice_fingerprint(const staticcheck::SliceEngine& engine,
+                                                     const SemanticContract& contract,
+                                                     bool run_concolic);
 
 class Checker {
  public:

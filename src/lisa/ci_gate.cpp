@@ -1,10 +1,14 @@
 #include "lisa/ci_gate.hpp"
 
+#include <optional>
+
 #include "analysis/paths.hpp"
 #include "lisa/journal.hpp"
 #include "minilang/sema.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "staticcheck/screener.hpp"
+#include "staticcheck/slice.hpp"
 #include "support/stopwatch.hpp"
 
 namespace lisa::core {
@@ -79,13 +83,22 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
   }
   CheckJournal journal(run_options.journal_path);
   const bool journaling = !run_options.journal_path.empty();
+  // Per-entry resume: replay eligibility is decided by each entry's slice
+  // fingerprint against the current commit, so an edit only re-checks the
+  // contracts whose verdict cone contains it.
+  std::optional<staticcheck::Screener> slice_screener;
+  std::optional<staticcheck::SliceEngine> slice_engine;
+  if (journaling && run_options.resume) {
+    slice_screener.emplace(program, options_.use_summaries);
+    slice_engine.emplace(program, slice_screener->graph(), slice_screener->summaries());
+  }
   if (journaling || run_options.ledger != nullptr) {
     std::string inputs = source;
     for (const SemanticContract& contract : store.all()) inputs += "\n" + contract.id;
     if (run_options.ledger != nullptr) run_options.ledger->bind(inputs);
     if (journaling) {
       const std::string fingerprint = CheckJournal::fingerprint(inputs);
-      if (run_options.resume) (void)journal.load(fingerprint);
+      if (run_options.resume) (void)journal.load("");
       journal.begin(fingerprint);
     }
   }
@@ -98,13 +111,19 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
       continue;
     const ContractCheckReport* checkpointed =
         journaling && run_options.resume ? journal.find(contract.id) : nullptr;
+    const bool replay =
+        checkpointed != nullptr && checkpointed->conclusive() &&
+        !checkpointed->slice_fp.empty() && slice_engine.has_value() &&
+        checkpointed->slice_fp ==
+            contract_slice_fingerprint(*slice_engine, contract, options_.run_concolic);
     ContractCheckReport report;
-    if (checkpointed != nullptr && checkpointed->conclusive()) {
+    if (replay) {
       report = *checkpointed;
       ++decision.resumed_contracts;
     } else {
       CheckOptions contract_options = options_;
       contract_options.ledger = run_options.ledger;
+      contract_options.compute_slice_fp = journaling || run_options.ledger != nullptr;
       report = checker.check(program, contract, contract_options);
     }
     if (journaling) journal.record(report);

@@ -14,9 +14,14 @@
 //   {<ContractCheckReport::to_json()>}
 //   ...
 //
-// The fingerprint binds the journal to (case, source) — a journal written
-// against different inputs is ignored rather than trusted. A torn final
-// line (crash mid-append) is dropped; everything before it survives.
+// The header fingerprint records the (case, source) the journal was written
+// against. Callers that demand identical inputs pass it to load(); the
+// pipeline and gate instead load any compatible journal (empty expected
+// fingerprint) and decide replay per entry by matching each report's
+// slice fingerprint (staticcheck/slice.hpp) against the current program —
+// a one-function edit then re-checks only the contracts whose verdict cone
+// contains it. A torn final line (crash mid-append) is dropped; everything
+// before it survives.
 #pragma once
 
 #include <map>
@@ -36,8 +41,9 @@ class CheckJournal {
   [[nodiscard]] static std::string fingerprint(const std::string& inputs);
 
   /// Loads an existing journal. Returns true iff the file exists, its
-  /// header matches `expected_fingerprint`, and at least the header parsed.
-  /// Entries with unparseable lines (torn tail) are skipped with a warning.
+  /// header matches `expected_fingerprint` (empty = accept any journal of
+  /// this kind/version), and at least the header parsed. Entries with
+  /// unparseable lines (torn tail) are skipped with a warning.
   [[nodiscard]] bool load(const std::string& expected_fingerprint);
 
   /// Starts a fresh journal: truncates the file and writes the header.

@@ -1,9 +1,13 @@
 #include "lisa/pipeline.hpp"
 
+#include <optional>
+
 #include "lisa/journal.hpp"
 #include "minilang/sema.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "staticcheck/screener.hpp"
+#include "staticcheck/slice.hpp"
 #include "support/log.hpp"
 
 namespace lisa::core {
@@ -153,25 +157,43 @@ PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
     const Checker checker;
     CheckJournal journal(run_options.journal_path);
     const bool journaling = !run_options.journal_path.empty();
+    // Resume replay is decided per entry by slice fingerprints, not by a
+    // whole-input gate: after a one-function edit only the contracts whose
+    // verdict cone contains the edit re-check. The engine recomputes each
+    // contract's fingerprint against the current program for the match.
+    std::optional<staticcheck::Screener> slice_screener;
+    std::optional<staticcheck::SliceEngine> slice_engine;
+    if (journaling && run_options.resume) {
+      slice_screener.emplace(program, check_options_.use_summaries);
+      slice_engine.emplace(program, slice_screener->graph(), slice_screener->summaries());
+    }
     if (journaling) {
       const std::string fingerprint =
           CheckJournal::fingerprint(ticket.case_id + "\n" + source_to_check);
-      if (run_options.resume) (void)journal.load(fingerprint);
+      if (run_options.resume) (void)journal.load("");
       journal.begin(fingerprint);
     }
     for (const SemanticContract& contract : result.contracts) {
-      // Resume: a conclusive checkpointed report stands; inconclusive ones
-      // (budget-cut, fault-degraded) get their second chance here.
+      // Resume: a conclusive checkpointed report whose slice fingerprint
+      // still matches stands; inconclusive ones (budget-cut, fault-degraded)
+      // and entries whose cone changed get re-checked here.
       const ContractCheckReport* checkpointed =
           journaling && run_options.resume ? journal.find(contract.id) : nullptr;
+      const bool replay =
+          checkpointed != nullptr && checkpointed->conclusive() &&
+          !checkpointed->slice_fp.empty() && slice_engine.has_value() &&
+          checkpointed->slice_fp == contract_slice_fingerprint(
+                                        *slice_engine, contract, check_options_.run_concolic);
       ContractCheckReport report;
-      if (checkpointed != nullptr && checkpointed->conclusive()) {
+      if (replay) {
         report = *checkpointed;
         ++result.resumed_contracts;
         obs::metrics().counter("pipeline.resumed_contracts").add();
       } else {
         CheckOptions contract_options = check_options_;
         contract_options.ledger = run_options.ledger;
+        contract_options.compute_slice_fp =
+            journaling || run_options.ledger != nullptr;
         report = checker.check(program, contract, contract_options);
       }
       if (journaling) journal.record(report);

@@ -232,6 +232,7 @@ Json ContractCapture::to_json() const {
   root["condition_text"] = condition_text;
   root["description"] = description;
   root["fingerprint"] = fingerprint;
+  if (!slice_fp.empty()) root["slice_fp"] = slice_fp;
   root["verdict"] = verdict;
   root["passed"] = passed;
   root["conclusive"] = conclusive;
@@ -282,6 +283,7 @@ ContractCapture ContractCapture::from_json(const Json& json) {
   capture.condition_text = json.get_string("condition_text");
   capture.description = json.get_string("description");
   capture.fingerprint = json.get_string("fingerprint");
+  capture.slice_fp = json.get_string("slice_fp");
   capture.verdict = json.get_string("verdict");
   capture.passed = json.has("passed") && json.at("passed").is_bool() &&
                    json.at("passed").as_bool();

@@ -171,6 +171,9 @@ struct ContractCapture {
   std::string condition_text;
   std::string description;
   std::string fingerprint;       // fnv1a over id + target + condition
+  /// Slice fingerprint of the contract's verdict cone (staticcheck/slice.hpp);
+  /// empty when the checker did not compute one.
+  std::string slice_fp;
 
   // Outcome.
   std::string verdict;           // "passed" | "violated" | "inconclusive"

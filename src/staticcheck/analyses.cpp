@@ -7,6 +7,7 @@
 #include "minilang/printer.hpp"
 #include "staticcheck/concurrency.hpp"
 #include "staticcheck/dataflow.hpp"
+#include "staticcheck/depgraph.hpp"
 #include "staticcheck/summaries.hpp"
 
 namespace lisa::staticcheck {
@@ -904,6 +905,12 @@ std::vector<Diagnostic> lint_program(const Program& program, bool include_tests,
     IntervalAnalysis intervals(program, summaries);
     const auto interval_result = run_forward(cfg, intervals);
     intervals.report(cfg, interval_result.in, interval_result.reached, out);
+
+    // Dead stores / unused definitions: free byproducts of the reaching-
+    // definition chains (depgraph.hpp). Local-only, so a degraded graph
+    // (summaries off) reports the same findings.
+    const FuncDepGraph dep = FuncDepGraph::build(fn, program, summaries);
+    report_dead_defs(dep, out);
   }
   // Whole-program concurrency checks (deadlock cycles, inconsistent-lockset
   // races) need the interprocedural summaries and only fire on programs

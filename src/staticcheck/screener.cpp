@@ -50,6 +50,11 @@ const Cfg& Screener::cfg_for(const FuncDecl& fn) const {
   return cfgs_.emplace(&fn, Cfg::build(fn)).first->second;
 }
 
+const SliceEngine& Screener::slicer() const {
+  if (!slicer_.has_value()) slicer_.emplace(*program_, graph_, summaries());
+  return *slicer_;
+}
+
 FormulaPtr Screener::facts_at(const FuncDecl& fn, const Stmt* stmt) const {
   return facts_at(fn, stmt, obs::CaptureHandle{});
 }
@@ -142,6 +147,159 @@ void record_summary_evidence(const obs::CaptureHandle& capture,
 
 }  // namespace
 
+bool Screener::slice_closure_refutes(const std::string& target_fragment,
+                                     const FormulaPtr& condition,
+                                     const ScreenOptions& options,
+                                     obs::PhasedSmtCapture& smt_capture) const {
+  // The rule leans on the same interprocedural facts as the fact closure:
+  // without summaries every call havocs the depgraph and the slice degrades.
+  if (summaries() == nullptr) return false;
+
+  SliceRequest request;
+  request.kind = SliceRequest::Kind::kStatePredicate;
+  request.target_fragment = target_fragment;
+  request.condition = condition;
+  // A ProvedSafe verdict can skip the concolic replay, so the cone must
+  // cover @test drivers: a test constructing the footprint and calling the
+  // target is as verdict-relevant as any production caller.
+  request.include_tests = true;
+  const SliceResult sliced = slicer().slice(request);
+  if (sliced.degraded || sliced.footprint.empty()) return false;
+
+  // Every footprint path must be a depth-1 field of one shared root local
+  // ("s.closed"), so a single construction characterizes the whole
+  // footprint.
+  std::string root;
+  for (const std::string& path : sliced.footprint) {
+    const auto dot = path.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 == path.size()) return false;
+    if (path.find('.', dot + 1) != std::string::npos) return false;
+    const std::string path_root = path.substr(0, dot);
+    if (root.empty())
+      root = path_root;
+    else if (root != path_root)
+      return false;
+  }
+
+  // No write into the footprint anywhere in the cone other than fully
+  // literal constructions — a field store or an unknown call effect abstains.
+  for (const SliceWriteSite& site : sliced.footprint_writes)
+    if (!site.literal_construction) return false;
+
+  // At every target the root must be bound exclusively to literal
+  // constructions. A reaching parameter or call-produced binding means the
+  // object may arrive from a frame the construction facts do not cover.
+  const auto targets = analysis::find_target_statements(*program_, target_fragment);
+  if (targets.empty()) return false;
+  std::vector<std::pair<const Definition*, const FuncDecl*>> candidates;
+  std::set<const Definition*> seen;
+  for (const auto& [fn, stmt] : targets) {
+    const FuncDepGraph& dep = slicer().depgraph_for(*fn);
+    if (dep.degraded) return false;
+    const int node = dep.cfg.node_of(stmt);
+    if (node < 0) return false;
+    bool any_binding = false;
+    for (const std::size_t def_index : dep.reach_in[static_cast<std::size_t>(node)]) {
+      const Definition& def = dep.defs[def_index];
+      if (!def.may_write(root)) continue;
+      if (def.kind != Definition::Kind::kLet && def.kind != Definition::Kind::kAssign)
+        return false;
+      if (def.stmt == nullptr) return false;
+      const minilang::Expr* rhs = def.kind == Definition::Kind::kLet
+                                      ? def.stmt->expr.get()
+                                      : def.stmt->expr2.get();
+      if (rhs == nullptr || !is_literal_new(*rhs)) return false;
+      any_binding = true;
+      if (seen.insert(&def).second) candidates.emplace_back(&def, fn);
+    }
+    if (!any_binding) return false;
+  }
+
+  // Each candidate construction's field facts must make ¬P unsatisfiable:
+  // then any interleaving of constructions and reads satisfies the contract.
+  // Field encoding mirrors facts_at (values plus "#null" indicators);
+  // fields whose initializer or default the fragment cannot express (strings,
+  // lists, maps) contribute no fact, which only weakens the refutation.
+  smt::Solver solver;
+  if (options.capture.active()) solver.set_capture(&smt_capture);
+  const FormulaPtr not_p = Formula::negate(condition);
+  for (const auto& [def, fn] : candidates) {
+    const minilang::Expr* ctor =
+        def->kind == Definition::Kind::kLet ? def->stmt->expr.get() : def->stmt->expr2.get();
+    const minilang::StructDecl* decl = program_->find_struct(ctor->text);
+    if (decl == nullptr) return false;
+    std::vector<FormulaPtr> facts;
+    facts.push_back(Formula::negate(Formula::make_atom(Atom::bool_var(root + "#null"))));
+    for (const minilang::FieldDecl& field : decl->fields) {
+      const std::string path = root + "." + field.name;
+      const minilang::Expr* init = nullptr;
+      for (std::size_t i = 0; i < ctor->field_names.size() && i < ctor->args.size(); ++i)
+        if (ctor->field_names[i] == field.name) init = ctor->args[i].get();
+      const FormulaPtr non_null =
+          Formula::negate(Formula::make_atom(Atom::bool_var(path + "#null")));
+      if (init != nullptr) {
+        switch (init->kind) {
+          case minilang::Expr::Kind::kIntLit:
+            facts.push_back(
+                Formula::make_atom(Atom::cmp_const(path, CmpOp::kEq, init->int_value)));
+            facts.push_back(non_null);
+            break;
+          case minilang::Expr::Kind::kBoolLit: {
+            FormulaPtr value = Formula::make_atom(Atom::bool_var(path));
+            facts.push_back(init->bool_value ? std::move(value)
+                                             : Formula::negate(std::move(value)));
+            facts.push_back(non_null);
+            break;
+          }
+          case minilang::Expr::Kind::kNullLit:
+            facts.push_back(Formula::make_atom(Atom::bool_var(path + "#null")));
+            break;
+          default:
+            break;
+        }
+      } else {
+        // Omitted fields default per the interpreter (interp.cpp kNew).
+        switch (field.type->kind) {
+          case minilang::Type::Kind::kInt:
+            facts.push_back(Formula::make_atom(Atom::cmp_const(path, CmpOp::kEq, 0)));
+            facts.push_back(non_null);
+            break;
+          case minilang::Type::Kind::kBool:
+            facts.push_back(
+                Formula::negate(Formula::make_atom(Atom::bool_var(path))));
+            facts.push_back(non_null);
+            break;
+          case minilang::Type::Kind::kStruct:
+          case minilang::Type::Kind::kAny:
+            facts.push_back(Formula::make_atom(Atom::bool_var(path + "#null")));
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    const smt::SolveResult closed =
+        solver.solve(Formula::conj2(Formula::conj(std::move(facts)), not_p));
+    // Unknown never counts: an unanswered query must not ground ProvedSafe.
+    if (closed.sat() || closed.unknown()) return false;
+  }
+
+  if (options.capture.active()) {
+    for (const auto& [def, fn] : candidates) {
+      obs::FactEvidence evidence;
+      evidence.analysis = "slice";
+      evidence.function = fn->name;
+      evidence.line = def->loc.line;
+      evidence.column = def->loc.column;
+      evidence.fact = "construction of '" + root +
+                      "' satisfies the contract; the slice has no other write "
+                      "to the footprint";
+      options.capture.fact(std::move(evidence));
+    }
+  }
+  return true;
+}
+
 ScreenResult Screener::screen_state_predicate(const std::string& target_fragment,
                                               const FormulaPtr& condition,
                                               const ScreenOptions& options) const {
@@ -215,6 +373,11 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
     if (facts_refute_everywhere()) {
       result.verdict = ScreenVerdict::kProvedSafe;
       result.reason = "dataflow facts refute the contract's complement at every target";
+    } else if (slice_closure_refutes(target_fragment, condition, options, smt_capture)) {
+      result.verdict = ScreenVerdict::kProvedSafe;
+      result.reason =
+          "slice: no write reaches the contract footprint and every "
+          "construction satisfies the predicate";
     } else {
       result.reason = "no entry->target path to screen";
     }
@@ -287,6 +450,12 @@ ScreenResult Screener::screen_state_predicate(const std::string& target_fragment
       result.reason =
           "unmappable paths closed: dataflow facts refute the contract's "
           "complement at every target";
+    } else if (!any_facts_refuted &&
+               slice_closure_refutes(target_fragment, condition, options, smt_capture)) {
+      result.verdict = ScreenVerdict::kProvedSafe;
+      result.reason =
+          "unmappable paths closed: slice shows no write reaches the "
+          "contract footprint and every construction satisfies the predicate";
     } else {
       result.reason = "contract variables unmappable on some path";
     }

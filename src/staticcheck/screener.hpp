@@ -40,6 +40,7 @@
 #include "staticcheck/analyses.hpp"
 #include "staticcheck/cfg.hpp"
 #include "staticcheck/diagnostics.hpp"
+#include "staticcheck/slice.hpp"
 #include "staticcheck/summaries.hpp"
 
 namespace lisa::staticcheck {
@@ -137,11 +138,26 @@ class Screener {
 
  private:
   const Cfg& cfg_for(const minilang::FuncDecl& fn) const;
+  const SliceEngine& slicer() const;
+
+  /// Slice-based irrelevance rule: true when the contract's slice shows the
+  /// footprint is written only by fully literal constructions, every target
+  /// sees the footprint root bound exclusively to such constructions, and
+  /// each construction's field facts make ¬P unsatisfiable. Fires only as a
+  /// fallback where the fact closure is consulted (empty or unmappable
+  /// trees), so it can never contradict the path checker: a locally
+  /// constructed root makes the contract variables unmappable, which the
+  /// checker reports as unmappable rather than violated.
+  [[nodiscard]] bool slice_closure_refutes(const std::string& target_fragment,
+                                           const smt::FormulaPtr& condition,
+                                           const ScreenOptions& options,
+                                           obs::PhasedSmtCapture& smt_capture) const;
 
   const minilang::Program* program_;
   analysis::CallGraph graph_;
   std::optional<SummaryMap> summaries_;
   mutable std::map<const minilang::FuncDecl*, Cfg> cfgs_;
+  mutable std::optional<SliceEngine> slicer_;
 };
 
 }  // namespace lisa::staticcheck

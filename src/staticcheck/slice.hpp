@@ -1,0 +1,150 @@
+// Demand-driven backward contract slicing over the dependence graphs.
+//
+// For each semantic contract the slicer computes the *verdict cone*: the
+// set of functions (and, inside target functions, statements) the contract
+// verdict can possibly depend on. The cone is closed under everything the
+// checker actually reads:
+//
+//   * state predicates — the functions containing target statements, their
+//     transitive callers (execution-tree guards and boundary-fact joins),
+//     and the transitive callees of that closure (call effects, return
+//     facts, interpreter semantics). @test callers are skipped unless
+//     `include_tests`: static path enumeration never roots at tests, so a
+//     test body only matters when concolic replay (which ranks every test)
+//     will run — then the @test functions and their callees join too.
+//   * structural rules — every non-test function plus callees (the
+//     lock-state rule scans the whole program).
+//   * interleaving contracts — same whole-program cone: the lock graph is
+//     unioned over all thread roots.
+//
+// The slice fingerprint is the canonical identity of that cone: contract
+// text, the sorted target-match list, sorted per-function body digests, and
+// sorted per-function summary digests, all FNV-1a hashed. Two properties
+// carry the incremental gate (journal.hpp):
+//   * byte-stable — same program and contract, same fingerprint, across
+//     runs and processes;
+//   * verdict-sound — any edit that can change the verdict changes the
+//     fingerprint. Function digests cover bodies in the cone; *summary*
+//     digests cover interprocedural facts flowing into the cone from
+//     outside it (boundary facts join over every caller, including callers
+//     the cone walk may not visit), so even a missed cone edge degrades to
+//     an unnecessary re-check, never a stale replay. The target-match list
+//     covers edits that introduce or remove a matching statement anywhere.
+//
+// When summaries are unavailable the slice degrades to every function and
+// says so (`degraded`) — the PR 7 convention: degrade loudly, never
+// truncate silently.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "minilang/ast.hpp"
+#include "smt/formula.hpp"
+#include "staticcheck/depgraph.hpp"
+
+namespace lisa::staticcheck {
+
+class SummaryMap;
+struct FunctionSummary;
+
+struct SliceRequest {
+  enum class Kind { kStatePredicate, kStructural, kInterleaving };
+  Kind kind = Kind::kStatePredicate;
+  /// State predicates: canonical target-statement fragment. Interleaving
+  /// guarded_field: the field name.
+  std::string target_fragment;
+  /// State predicates: the contract condition in target-local names.
+  smt::FormulaPtr condition;
+  std::string condition_text;
+  /// Interleaving pattern ("lock_order_acyclic" | "guarded_field").
+  std::string pattern;
+  /// Canonical contract identity (id | kind | target | condition), hashed
+  /// into the fingerprint so renaming a contract invalidates its entry.
+  std::string contract_text;
+  /// Add @test functions + their callees to the cone (pipeline runs with
+  /// concolic replay; the gate does not).
+  bool include_tests = false;
+};
+
+struct SliceStatement {
+  std::string function;
+  int line = 0;
+  int column = 0;
+  std::string text;  // canonical statement header
+  std::string role;  // "target" | "data" | "control"
+};
+
+/// A write site that may store into the contract footprint.
+struct SliceWriteSite {
+  std::string function;
+  int line = 0;
+  int column = 0;
+  std::string path;  // written path (wildcard spellings per Definition)
+  /// True for `let x = new S{...}` / `x = new S{...}` where every field
+  /// initializer is a literal — a fully characterized construction, which
+  /// the screener's slice-irrelevance rule may discharge against the
+  /// contract instead of treating as an unknown store.
+  bool literal_construction = false;
+};
+
+struct SliceResult {
+  /// Functions the verdict may depend on, sorted (std::set order).
+  std::set<std::string> functions;
+  /// Statement-level slice inside the functions containing targets:
+  /// backward closure over def-use and control-dependence edges. Other
+  /// cone functions participate at whole-function granularity.
+  std::vector<SliceStatement> statements;
+  /// Contract footprint: access paths the condition reads (target-local
+  /// names, "#null" markers stripped), sorted.
+  std::vector<std::string> footprint;
+  /// Definitions anywhere in the cone that may write a footprint path
+  /// (conservative field-name aliasing across frames).
+  std::vector<SliceWriteSite> footprint_writes;
+  /// Target matches as "function: text", sorted. Deliberately line-free:
+  /// the fingerprint hashes this list, and an edit above a target must not
+  /// invalidate it by shifting its line.
+  std::vector<std::string> targets;
+  bool degraded = false;
+  /// Canonical byte-stable fingerprint of the cone (fnv1a).
+  std::string fingerprint;
+};
+
+/// True for `new S{...}` whose every field initializer is a literal.
+[[nodiscard]] bool is_literal_new(const minilang::Expr& expr);
+
+/// Slices contracts against one program. Builds per-function dependence
+/// graphs on demand and caches them; program/graph/summaries must outlive
+/// the engine. `summaries == nullptr` degrades every slice to the whole
+/// program.
+class SliceEngine {
+ public:
+  SliceEngine(const minilang::Program& program, const analysis::CallGraph& graph,
+              const SummaryMap* summaries);
+
+  [[nodiscard]] SliceResult slice(const SliceRequest& request) const;
+
+  /// Canonical rendering of one function summary (sorted, locale-free) —
+  /// the digest input. Exposed for fingerprint tests.
+  [[nodiscard]] static std::string summary_digest_text(const FunctionSummary& summary);
+
+  /// The cached per-function dependence graph (built on demand). Exposed
+  /// for the screener's slice-irrelevance rule and for tests.
+  [[nodiscard]] const FuncDepGraph& depgraph_for(const minilang::FuncDecl& fn) const;
+
+ private:
+  void close_over_callees(std::set<std::string>& cone) const;
+  void close_over_callers(std::set<std::string>& cone, bool include_tests) const;
+  [[nodiscard]] std::string fingerprint_of(const SliceRequest& request,
+                                           const SliceResult& result) const;
+
+  const minilang::Program* program_;
+  const analysis::CallGraph* graph_;
+  const SummaryMap* summaries_;
+  mutable std::map<const minilang::FuncDecl*, FuncDepGraph> cache_;
+};
+
+}  // namespace lisa::staticcheck

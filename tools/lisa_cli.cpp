@@ -62,6 +62,8 @@
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "staticcheck/analyses.hpp"
+#include "staticcheck/screener.hpp"
+#include "staticcheck/slice.hpp"
 #include "support/budget.hpp"
 
 namespace {
@@ -73,6 +75,7 @@ int usage() {
                "usage: lisa <command> [args]\n"
                "  corpus | prompt <case> | infer <case> | check <case> [flags] |\n"
                "  gate <case> <file.ml> [flags] | explain <case> [contract] [flags] |\n"
+               "  slice <case> [contract] [--buggy|--latest] [--json] |\n"
                "  hunt | synth <case> | explore <case> |\n"
                "  lint [case] [--buggy|--latest] [--json] |\n"
                "  profile <system|case|all> [--json] [--trace out.json]\n"
@@ -441,6 +444,134 @@ int cmd_explain(const std::string& case_id, int argc, char** argv) {
   return result.all_passed() ? 0 : 1;
 }
 
+/// `lisa slice <case> [contract] [--buggy|--latest] [--json]`: the verdict
+/// cone of each contract — the functions, statements, footprint, and write
+/// sites the verdict can depend on, plus the slice fingerprint that keys
+/// incremental re-checking. Deterministic: two runs print identical bytes.
+int cmd_slice(const std::string& case_id, int argc, char** argv) {
+  const corpus::FailureTicket* ticket = require_case(case_id);
+  if (ticket == nullptr) return 2;
+  std::string source = ticket->patched_source;
+  std::string contract_id;
+  bool json_output = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--latest") == 0) {
+      if (ticket->latest_source.empty()) {
+        std::fprintf(stderr, "case %s has no latest version\n", case_id.c_str());
+        return 2;
+      }
+      source = ticket->latest_source;
+    } else if (std::strcmp(argv[i], "--buggy") == 0) {
+      source = ticket->buggy_source;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_output = true;
+    } else if (argv[i][0] != '-' && contract_id.empty()) {
+      contract_id = argv[i];
+    } else {
+      return usage();
+    }
+  }
+
+  const inference::SemanticsProposal proposal = inference::MockLlm().infer(*ticket);
+  core::TranslationResult translation = core::translate(proposal, ticket->system);
+  if (!contract_id.empty()) {
+    bool found = false;
+    for (const core::SemanticContract& contract : translation.contracts)
+      found = found || contract.id == contract_id;
+    if (!found) {
+      std::fprintf(stderr, "no contract '%s' in this case; translated:", contract_id.c_str());
+      for (const core::SemanticContract& contract : translation.contracts)
+        std::fprintf(stderr, " %s", contract.id.c_str());
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+  }
+
+  const minilang::Program program = minilang::parse_checked(source);
+  const staticcheck::Screener screener(program);
+  const staticcheck::SliceEngine engine(program, screener.graph(), screener.summaries());
+
+  support::JsonArray entries;
+  for (const core::SemanticContract& contract : translation.contracts) {
+    if (!contract_id.empty() && contract.id != contract_id) continue;
+    const staticcheck::SliceRequest request =
+        core::contract_slice_request(contract, /*run_concolic=*/true);
+    const staticcheck::SliceResult slice = engine.slice(request);
+    if (json_output) {
+      support::JsonObject entry;
+      entry["contract_id"] = contract.id;
+      entry["target_fragment"] = contract.target_fragment;
+      entry["fingerprint"] = slice.fingerprint;
+      entry["degraded"] = slice.degraded;
+      support::JsonArray footprint;
+      for (const std::string& path : slice.footprint)
+        footprint.push_back(support::Json(path));
+      entry["footprint"] = support::Json(std::move(footprint));
+      support::JsonArray targets;
+      for (const std::string& target : slice.targets)
+        targets.push_back(support::Json(target));
+      entry["targets"] = support::Json(std::move(targets));
+      support::JsonArray functions;
+      for (const std::string& fn : slice.functions)
+        functions.push_back(support::Json(fn));
+      entry["functions"] = support::Json(std::move(functions));
+      support::JsonArray statements;
+      for (const staticcheck::SliceStatement& stmt : slice.statements) {
+        support::JsonObject item;
+        item["function"] = stmt.function;
+        item["line"] = stmt.line;
+        item["column"] = stmt.column;
+        item["role"] = stmt.role;
+        item["text"] = stmt.text;
+        statements.push_back(support::Json(std::move(item)));
+      }
+      entry["statements"] = support::Json(std::move(statements));
+      support::JsonArray writes;
+      for (const staticcheck::SliceWriteSite& site : slice.footprint_writes) {
+        support::JsonObject item;
+        item["function"] = site.function;
+        item["line"] = site.line;
+        item["column"] = site.column;
+        item["path"] = site.path;
+        item["literal_construction"] = site.literal_construction;
+        writes.push_back(support::Json(std::move(item)));
+      }
+      entry["footprint_writes"] = support::Json(std::move(writes));
+      entries.push_back(support::Json(std::move(entry)));
+      continue;
+    }
+    std::printf("contract %s target '%s'\n", contract.id.c_str(),
+                contract.target_fragment.c_str());
+    std::printf("  fingerprint %s%s\n", slice.fingerprint.c_str(),
+                slice.degraded ? " (degraded: whole-program cone)" : "");
+    if (!slice.footprint.empty()) {
+      std::printf("  footprint:");
+      for (const std::string& path : slice.footprint) std::printf(" %s", path.c_str());
+      std::printf("\n");
+    }
+    for (const std::string& target : slice.targets)
+      std::printf("  target %s\n", target.c_str());
+    std::printf("  cone (%zu function(s)):", slice.functions.size());
+    for (const std::string& fn : slice.functions) std::printf(" %s", fn.c_str());
+    std::printf("\n");
+    for (const staticcheck::SliceStatement& stmt : slice.statements)
+      std::printf("  [%-7s] %s:%d:%d: %s\n", stmt.role.c_str(), stmt.function.c_str(),
+                  stmt.line, stmt.column, stmt.text.c_str());
+    for (const staticcheck::SliceWriteSite& site : slice.footprint_writes)
+      std::printf("  write %s:%d:%d: %s%s\n", site.function.c_str(), site.line,
+                  site.column, site.path.c_str(),
+                  site.literal_construction ? " (literal construction)" : "");
+    std::printf("\n");
+  }
+  if (json_output) {
+    support::JsonObject root;
+    root["case"] = case_id;
+    root["contracts"] = support::Json(std::move(entries));
+    std::printf("%s\n", support::Json(std::move(root)).pretty().c_str());
+  }
+  return 0;
+}
+
 int cmd_hunt() {
   int found = 0;
   for (const char* case_id :
@@ -660,6 +791,7 @@ int main(int argc, char** argv) {
     if (command == "check" && argc >= 3) return cmd_check(argv[2], argc - 3, argv + 3);
     if (command == "gate" && argc >= 4) return cmd_gate(argv[2], argv[3], argc - 4, argv + 4);
     if (command == "explain" && argc >= 3) return cmd_explain(argv[2], argc - 3, argv + 3);
+    if (command == "slice" && argc >= 3) return cmd_slice(argv[2], argc - 3, argv + 3);
     if (command == "hunt") return cmd_hunt();
     if (command == "synth" && argc >= 3) return cmd_synth(argv[2]);
     if (command == "explore" && argc >= 3) return cmd_explore(argv[2]);
