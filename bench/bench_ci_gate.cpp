@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "lisa/ci_gate.hpp"
 #include "lisa/pipeline.hpp"
@@ -77,6 +79,30 @@ void BM_GateRegressingCommit(benchmark::State& state) {
   state.counters["contracts"] = static_cast<double>(store.size());
 }
 BENCHMARK(BM_GateRegressingCommit)->Arg(1)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// History-enabled evaluation: each iteration loads the (growing) run-history
+// file, attaches a local provenance ledger, runs drift detection, and appends
+// one record — the full longitudinal-observability overhead `--history` adds
+// on top of BM_GateRegressingCommit's Arg(8) shape.
+void BM_GateWithHistory(benchmark::State& state) {
+  const core::ContractStore store = store_of_size(8);
+  core::CheckOptions options;
+  options.run_concolic = false;
+  const core::CiGate gate(options);
+  const corpus::FailureTicket* zk = corpus::Corpus::find("zk-1208-ephemeral-create");
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lisa_bench_gate_history.jsonl").string();
+  std::remove(path.c_str());
+  core::GateRunOptions run_options;
+  run_options.history_path = path;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        gate.evaluate(zk->patched_source, store, run_options).allowed);
+  state.counters["contracts"] = static_cast<double>(store.size());
+  state.counters["history_runs"] = static_cast<double>(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_GateWithHistory)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -8,8 +8,14 @@
 # Usage: scripts/bench_snapshot.sh
 #   BUILD_DIR=build      build tree holding the bench binaries
 #   OUT_DIR=bench/snapshots   where BENCH_<n>.json lands
+#   HISTORY=<file>       run-history JSONL (obs/history.hpp format) to append
+#                        one kind="bench" record to (default
+#                        $OUT_DIR/history.jsonl; HISTORY="" disables)
 #   FAST=1               cut benchmark min-time for a smoke-speed snapshot
 #   BENCHES="a b"        override the bench binary list
+#
+# Each snapshot is stamped with the git SHA/branch/dirty state it measured,
+# so a regression found by `lisa trends` can name the commit that caused it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -56,12 +62,24 @@ done
 echo "bench_snapshot: running corpus pass..." >&2
 "$BUILD_DIR/tools/lisa" profile all --json > "$tmp/corpus.json"
 
+# Provenance stamp: which commit these numbers measure. Degrades to
+# "unknown" outside a git checkout rather than failing the snapshot.
+GIT_SHA=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+GIT_BRANCH=$(git rev-parse --abbrev-ref HEAD 2>/dev/null || echo unknown)
+GIT_DIRTY=false
+if [[ "$GIT_SHA" != unknown ]] && ! git diff --quiet HEAD 2>/dev/null; then
+  GIT_DIRTY=true
+fi
+
 # Next sequence number (BENCH_1.json, BENCH_2.json, ...).
 n=1
 while [[ -e "$OUT_DIR/BENCH_$n.json" ]]; do n=$((n + 1)); done
 out="$OUT_DIR/BENCH_$n.json"
 
-TMP="$tmp" OUT="$out" RAN="${ran[*]}" python3 - <<'PY'
+HISTORY=${HISTORY-"$OUT_DIR/history.jsonl"}
+
+TMP="$tmp" OUT="$out" RAN="${ran[*]}" HISTORY="$HISTORY" \
+  GIT_SHA="$GIT_SHA" GIT_BRANCH="$GIT_BRANCH" GIT_DIRTY="$GIT_DIRTY" python3 - <<'PY'
 import json, os, time
 
 tmp, out = os.environ["TMP"], os.environ["OUT"]
@@ -69,6 +87,11 @@ snapshot = {
     "schema": "lisa-bench-snapshot",
     "version": 1,
     "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    "git": {
+        "sha": os.environ["GIT_SHA"],
+        "branch": os.environ["GIT_BRANCH"],
+        "dirty": os.environ["GIT_DIRTY"] == "true",
+    },
     "benches": {},
     "corpus": {},
 }
@@ -130,4 +153,37 @@ with open(out, "w") as f:
     json.dump(snapshot, f, indent=2, sort_keys=True)
     f.write("\n")
 print(out)
+
+# Longitudinal record: append one kind="bench" RunRecord to the run-history
+# store (obs/history.hpp JSONL format, shared with `lisa check/gate
+# --history`), so `lisa trends` and `lisa diff --history` can watch bench
+# numbers next to gate latencies. The header matches support::jsonl_header.
+history = os.environ.get("HISTORY", "")
+if history:
+    compact = dict(separators=(",", ":"), sort_keys=True)
+    record = {
+        "kind": "bench",
+        "label": "bench_snapshot",
+        "input_fingerprint": snapshot["git"]["sha"],
+        "contracts": {},
+        "metrics": {"settled_fraction": snapshot["corpus"]["settled_fraction"],
+                    "violations": float(snapshot["corpus"]["violations"])},
+        "meta": {"git_sha": snapshot["git"]["sha"],
+                 "git_branch": snapshot["git"]["branch"],
+                 "git_dirty": str(snapshot["git"]["dirty"]).lower(),
+                 "snapshot": os.path.basename(out)},
+    }
+    for name, entry in snapshot["benches"].items():
+        # Benchmark names ("BM_Foo/3") are free-form; metric keys keep only
+        # charset-safe characters and gain the _ms suffix the latency drift
+        # rule watches.
+        key = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+        record["metrics"][key + "_ms"] = entry["wall_ms"]
+    new_file = not os.path.exists(history) or os.path.getsize(history) == 0
+    with open(history, "a") as f:
+        if new_file:
+            f.write(json.dumps({"fingerprint": "", "journal": "lisa-history",
+                                "version": 1}, **compact) + "\n")
+        f.write(json.dumps(record, **compact) + "\n")
+    print(f"bench_snapshot: appended bench record to {history}")
 PY

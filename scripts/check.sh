@@ -156,6 +156,76 @@ fi
 rm -rf "$slice_dir"
 echo "slice smoke: OK (byte-stable, JSON valid)"
 
+# Diff smoke: seeding buggy -> patched ledgers must report exactly one
+# verdict flip, and the report must be byte-identical across invocations
+# (postmortems diff CI artifacts; nondeterministic diffs are useless).
+diff_dir=$(mktemp -d)
+"$BUILD_DIR"/tools/lisa explain hdfs-pending-race --buggy \
+  --ledger "$diff_dir/buggy.jsonl" > /dev/null || true
+"$BUILD_DIR"/tools/lisa explain hdfs-pending-race \
+  --ledger "$diff_dir/patched.jsonl" > /dev/null
+diff_status=0
+"$BUILD_DIR"/tools/lisa diff "$diff_dir/buggy.jsonl" "$diff_dir/patched.jsonl" \
+  > "$diff_dir/a.txt" || diff_status=$?
+if [[ "$diff_status" -ne 1 ]]; then
+  echo "check.sh: lisa diff with a verdict flip exited $diff_status (expected 1)" >&2
+  exit 1
+fi
+"$BUILD_DIR"/tools/lisa diff "$diff_dir/buggy.jsonl" "$diff_dir/patched.jsonl" \
+  > "$diff_dir/b.txt" || true
+if ! cmp -s "$diff_dir/a.txt" "$diff_dir/b.txt"; then
+  echo "check.sh: lisa diff output is not byte-stable across runs" >&2
+  exit 1
+fi
+if ! grep -q "verdict flips: 1" "$diff_dir/a.txt" || \
+   ! grep -q "\[FLIP\] hdfs-pending-race#0: violated -> passed" "$diff_dir/a.txt"; then
+  echo "check.sh: lisa diff did not report the seeded buggy->patched flip:" >&2
+  cat "$diff_dir/a.txt" >&2
+  exit 1
+fi
+# diff exits 1 on flips by design, so capture first instead of piping
+# (pipefail would blame json.tool for diff's own exit code).
+"$BUILD_DIR"/tools/lisa diff "$diff_dir/buggy.jsonl" "$diff_dir/patched.jsonl" --json \
+  > "$diff_dir/a.json" || true
+python3 -m json.tool "$diff_dir/a.json" > /dev/null || {
+  echo "check.sh: lisa diff --json is not valid JSON" >&2
+  exit 1
+}
+rm -rf "$diff_dir"
+echo "diff smoke: OK (one flip, byte-stable, JSON valid)"
+
+# Drift smoke: three clean gate runs seed a baseline history, then a run with
+# an injected 40 ms delay (LISA_FAULTPOINTS) must turn the gate red with a
+# narrated latency-regression cause — never silently.
+drift_dir=$(mktemp -d)
+"$BUILD_DIR"/tools/lisa source hdfs-pending-race > "$drift_dir/commit.ml"
+for _ in 1 2 3; do
+  "$BUILD_DIR"/tools/lisa gate hdfs-pending-race "$drift_dir/commit.ml" \
+    --history "$drift_dir/history.jsonl" > /dev/null
+done
+drift_status=0
+drift_out=$(LISA_FAULTPOINTS=summaries.fixpoint=delay:40 \
+  "$BUILD_DIR"/tools/lisa gate hdfs-pending-race "$drift_dir/commit.ml" \
+  --history "$drift_dir/history.jsonl" 2>/dev/null) || drift_status=$?
+if [[ "$drift_status" -ne 1 ]]; then
+  echo "check.sh: drifted gate run exited $drift_status (expected 1: blocked)" >&2
+  exit 1
+fi
+if [[ "$drift_out" != *"drift [latency-regression]"* ]]; then
+  echo "check.sh: blocked drifted run lacks the narrated cause:" >&2
+  echo "$drift_out" >&2
+  exit 1
+fi
+# All four runs (including the red one) are on record for `lisa trends`.
+trends_out=$("$BUILD_DIR"/tools/lisa trends "$drift_dir/history.jsonl")
+if [[ "$trends_out" != *"4 run(s)"* || "$trends_out" != *"evaluation_ms"* ]]; then
+  echo "check.sh: lisa trends does not show the recorded runs:" >&2
+  echo "$trends_out" >&2
+  exit 1
+fi
+rm -rf "$drift_dir"
+echo "drift smoke: OK (injected regression blocked the gate, narrated)"
+
 # Bench-snapshot smoke: a FAST snapshot must produce a parseable file with
 # the documented schema (benches -> wall_ms, corpus -> settled fraction and
 # verdict counts), and the incremental bench must export its re-check
@@ -168,6 +238,8 @@ import json, sys
 snap = json.load(open(sys.argv[1]))
 assert snap["schema"] == "lisa-bench-snapshot" and snap["version"] == 1
 assert snap["timestamp"]
+assert snap["git"]["sha"] and snap["git"]["branch"], snap.get("git")
+assert isinstance(snap["git"]["dirty"], bool)
 assert snap["benches"], "no bench entries"
 assert all("wall_ms" in entry for entry in snap["benches"].values())
 fractions = [entry["incremental_recheck_fraction"]
@@ -181,5 +253,16 @@ assert 0.0 <= corpus["interleaving_settled_fraction"] <= 1.0
 assert corpus["verdicts"]["contracts"] > 0
 assert "screen_interleaving_proved_safe" in corpus["verdicts"]
 PY
+# The snapshot also appends a kind="bench" record the trends CLI can read.
+if [[ ! -s "$snap_dir/history.jsonl" ]]; then
+  echo "check.sh: bench_snapshot.sh appended no history record" >&2
+  exit 1
+fi
+snap_trends=$("$BUILD_DIR"/tools/lisa trends "$snap_dir/history.jsonl")
+if [[ "$snap_trends" != *"bench bench_snapshot"* ]]; then
+  echo "check.sh: lisa trends cannot read the bench history:" >&2
+  echo "$snap_trends" >&2
+  exit 1
+fi
 rm -rf "$snap_dir"
-echo "bench snapshot smoke: OK (schema valid, incremental fraction exported)"
+echo "bench snapshot smoke: OK (schema valid, git-stamped, history appended)"

@@ -1,12 +1,15 @@
 #include "lisa/ci_gate.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "analysis/paths.hpp"
 #include "lisa/journal.hpp"
 #include "minilang/sema.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
+#include "support/jsonl.hpp"
 #include "staticcheck/screener.hpp"
 #include "staticcheck/slice.hpp"
 #include "support/stopwatch.hpp"
@@ -59,6 +62,15 @@ Json GateDecision::to_json() const {
   if (inconclusive_contracts > 0) root["inconclusive_contracts"] = inconclusive_contracts;
   if (needs_attention) root["needs_attention"] = true;
   if (resumed_contracts > 0) root["resumed_contracts"] = resumed_contracts;
+  // Longitudinal fields appear only when a history file was in play, so
+  // history-off output stays byte-identical to pre-history LISA.
+  if (baseline_runs >= 0) {
+    root["baseline_runs"] = baseline_runs;
+    JsonArray drift_entries;
+    for (const obs::DriftFinding& finding : drift_findings)
+      drift_entries.push_back(finding.to_json());
+    root["drift_findings"] = Json(std::move(drift_entries));
+  }
   return Json(std::move(root));
 }
 
@@ -83,6 +95,13 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
   }
   CheckJournal journal(run_options.journal_path);
   const bool journaling = !run_options.journal_path.empty();
+  // Longitudinal history needs per-contract SMT counts and digests, which
+  // only a ledger captures — so a history-enabled run without a caller
+  // ledger attaches a local one (provably output-neutral, see PR 6 tests).
+  const bool history_enabled = !run_options.history_path.empty();
+  obs::ProvenanceLedger local_ledger;
+  obs::ProvenanceLedger* ledger = run_options.ledger;
+  if (history_enabled && ledger == nullptr) ledger = &local_ledger;
   // Per-entry resume: replay eligibility is decided by each entry's slice
   // fingerprint against the current commit, so an edit only re-checks the
   // contracts whose verdict cone contains it.
@@ -92,14 +111,15 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
     slice_screener.emplace(program, options_.use_summaries);
     slice_engine.emplace(program, slice_screener->graph(), slice_screener->summaries());
   }
-  if (journaling || run_options.ledger != nullptr) {
+  std::string inputs_fingerprint;
+  if (journaling || ledger != nullptr) {
     std::string inputs = source;
     for (const SemanticContract& contract : store.all()) inputs += "\n" + contract.id;
-    if (run_options.ledger != nullptr) run_options.ledger->bind(inputs);
+    inputs_fingerprint = CheckJournal::fingerprint(inputs);
+    if (ledger != nullptr) ledger->bind(inputs);
     if (journaling) {
-      const std::string fingerprint = CheckJournal::fingerprint(inputs);
       if (run_options.resume) (void)journal.load("");
-      journal.begin(fingerprint);
+      journal.begin(inputs_fingerprint);
     }
   }
   const Checker checker;
@@ -122,8 +142,8 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
       ++decision.resumed_contracts;
     } else {
       CheckOptions contract_options = options_;
-      contract_options.ledger = run_options.ledger;
-      contract_options.compute_slice_fp = journaling || run_options.ledger != nullptr;
+      contract_options.ledger = ledger;
+      contract_options.compute_slice_fp = journaling || ledger != nullptr;
       report = checker.check(program, contract, contract_options);
     }
     if (journaling) journal.record(report);
@@ -161,6 +181,74 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
   if (decision.resumed_contracts > 0)
     registry.counter("gate.resumed_contracts").add(decision.resumed_contracts);
   registry.histogram("gate.evaluation_ms").record(decision.evaluation_ms);
+  if (history_enabled) {
+    obs::RunHistory history(run_options.history_path);
+    (void)history.load();  // absent file = fresh baseline, not an error
+    std::string label = run_options.history_label;
+    if (label.empty()) {
+      // Keyed by the contract ids, not the source: the baseline series must
+      // survive source edits or flake detection could never fire.
+      std::string ids;
+      for (const SemanticContract& contract : store.all()) ids += contract.id + "\n";
+      label = support::fnv1a_fingerprint(ids);
+    }
+    obs::RunRecord record;
+    record.kind = "gate";
+    record.label = std::move(label);
+    record.input_fingerprint = inputs_fingerprint;
+    std::int64_t total_smt_queries = 0;
+    std::vector<std::string> smt_digests;
+    for (const ContractCheckReport& report : decision.reports) {
+      obs::ContractOutcome outcome;
+      outcome.passed = report.passed();
+      outcome.conclusive = report.conclusive();
+      outcome.verdict = !outcome.conclusive ? "inconclusive"
+                        : outcome.passed    ? "passed"
+                                            : "violated";
+      outcome.signature_digest = support::fnv1a_fingerprint(report.verdict_signature());
+      outcome.slice_fp = report.slice_fp;
+      if (const obs::ContractCapture* capture = ledger->find(report.contract_id)) {
+        outcome.smt_queries = static_cast<std::int64_t>(capture->smt_queries.size());
+        for (const obs::SmtQueryEvidence& query : capture->smt_queries)
+          smt_digests.push_back(query.digest);
+      }
+      total_smt_queries += outcome.smt_queries;
+      record.contracts[report.contract_id] = std::move(outcome);
+    }
+    if (!smt_digests.empty()) {
+      std::sort(smt_digests.begin(), smt_digests.end());
+      std::string joined;
+      for (const std::string& digest : smt_digests) joined += digest + "\n";
+      record.smt_digest = support::fnv1a_fingerprint(joined);
+    }
+    // evaluation_ms was captured BEFORE this block, so history bookkeeping
+    // cannot regress the very latency metric the drift rules watch.
+    record.metrics["evaluation_ms"] = decision.evaluation_ms;
+    record.metrics["summary_ms"] = decision.summary_ms;
+    record.metrics["settled_fraction"] = decision.settled_fraction();
+    record.metrics["smt_queries"] = static_cast<double>(total_smt_queries);
+    record.metrics["contracts"] = static_cast<double>(decision.reports.size());
+    record.metrics["violations"] = static_cast<double>(decision.violations.size());
+    record.metrics["inconclusive"] = static_cast<double>(decision.inconclusive_contracts);
+    const std::vector<const obs::RunRecord*> baseline =
+        history.matching("gate", record.label);
+    decision.baseline_runs = static_cast<int>(baseline.size());
+    decision.drift_findings = obs::detect_drift(baseline, record, run_options.drift);
+    for (const obs::DriftFinding& finding : decision.drift_findings) {
+      if (finding.fails_gate) {
+        decision.allowed = false;
+        decision.violations.push_back("drift [" + finding.kind + "]: " + finding.cause);
+      } else {
+        decision.needs_attention = true;
+      }
+    }
+    if (!decision.drift_findings.empty()) {
+      registry.counter("gate.drift_findings")
+          .add(static_cast<std::int64_t>(decision.drift_findings.size()));
+      if (!decision.allowed) registry.counter("gate.blocked_by_drift").add();
+    }
+    (void)history.append(record);  // red runs are history too
+  }
   span.attr("allowed", decision.allowed);
   span.attr("evaluated", decision.reports.size());
   return decision;

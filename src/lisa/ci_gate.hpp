@@ -12,6 +12,7 @@
 
 #include "lisa/checker.hpp"
 #include "lisa/contract.hpp"
+#include "obs/history.hpp"
 
 namespace lisa::core {
 
@@ -41,6 +42,17 @@ struct GateRunOptions {
   /// checkpoint journal — and every evaluated contract captures its full
   /// evidence chain. nullptr = zero-cost.
   obs::ProvenanceLedger* ledger = nullptr;
+  /// Longitudinal observability (obs/history.hpp): when set, the evaluation
+  /// loads this run-history file, runs the drift rules against the trailing
+  /// baseline window, and appends one RunRecord for this run. Findings whose
+  /// `fails_gate` is set block the commit with a narrated cause. Empty =
+  /// zero-cost, byte-identical output.
+  std::string history_path;
+  /// Timeline key for the baseline series; defaults to a fingerprint of the
+  /// stored contract ids (so the series survives source edits).
+  std::string history_label;
+  /// Thresholds for the drift rules (only read when history_path is set).
+  obs::DriftOptions drift;
 };
 
 struct GateDecision {
@@ -60,6 +72,13 @@ struct GateDecision {
   bool needs_attention = false;
   /// Contracts replayed from the checkpoint journal instead of re-checked.
   int resumed_contracts = 0;
+  /// Longitudinal drift findings (only populated when GateRunOptions names a
+  /// history file). A finding with `fails_gate` blocks the commit; the rest
+  /// set `needs_attention`.
+  std::vector<obs::DriftFinding> drift_findings;
+  /// Baseline runs the drift rules compared against; -1 = history disabled
+  /// (the sentinel keeps to_json() byte-identical to pre-history output).
+  int baseline_runs = -1;
 
   /// Fraction of screened contracts the screener settled (1.0 when no
   /// contract was screened).

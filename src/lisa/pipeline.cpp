@@ -1,13 +1,16 @@
 #include "lisa/pipeline.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "lisa/journal.hpp"
 #include "minilang/sema.hpp"
+#include "obs/history.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "staticcheck/screener.hpp"
 #include "staticcheck/slice.hpp"
+#include "support/jsonl.hpp"
 #include "support/log.hpp"
 
 namespace lisa::core {
@@ -96,15 +99,21 @@ PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
   PipelineResult result;
   obs::ScopedSpan run_span("pipeline.run");
   run_span.attr("case", ticket.case_id);
-  if (run_options.ledger != nullptr)
-    run_options.ledger->bind(ticket.case_id + "\n" + source_to_check);
+  // History needs per-contract SMT evidence, which only a ledger captures;
+  // a history-enabled run without a caller ledger attaches a local one
+  // (ledger attachment is provably output-neutral, see provenance tests).
+  const bool history_enabled = !run_options.history_path.empty();
+  obs::ProvenanceLedger local_ledger;
+  obs::ProvenanceLedger* ledger = run_options.ledger;
+  if (history_enabled && ledger == nullptr) ledger = &local_ledger;
+  if (ledger != nullptr) ledger->bind(ticket.case_id + "\n" + source_to_check);
 
   {
     obs::ScopedSpan stage("pipeline.infer");
     inference::InferenceOutcome outcome = inference::infer_with_retry(
         [&] { return llm_.infer(ticket); }, ticket.case_id, retry_policy_);
     result.inference_attempts = outcome.attempts;
-    if (run_options.ledger != nullptr) {
+    if (ledger != nullptr) {
       // Inference provenance: how the proposal behind these contracts came
       // to be, including the retry/validation history (PR 5).
       obs::ProposalEvidence evidence;
@@ -119,7 +128,7 @@ PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
         for (const inference::LowLevelSemantics& low : outcome.proposal.low_level)
           evidence.low_level.push_back(low.description);
       }
-      run_options.ledger->set_proposal(std::move(evidence));
+      ledger->set_proposal(std::move(evidence));
     }
     if (outcome.succeeded) {
       result.proposal = std::move(outcome.proposal);
@@ -191,9 +200,8 @@ PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
         obs::metrics().counter("pipeline.resumed_contracts").add();
       } else {
         CheckOptions contract_options = check_options_;
-        contract_options.ledger = run_options.ledger;
-        contract_options.compute_slice_fp =
-            journaling || run_options.ledger != nullptr;
+        contract_options.ledger = ledger;
+        contract_options.compute_slice_fp = journaling || ledger != nullptr;
         report = checker.check(program, contract, contract_options);
       }
       if (journaling) journal.record(report);
@@ -221,6 +229,54 @@ PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
   registry.histogram("pipeline.translate_ms").record(result.timings.translate_ms);
   registry.histogram("pipeline.check_ms").record(result.timings.check_ms);
   registry.histogram("pipeline.total_ms").record(result.timings.total_ms);
+  if (history_enabled) {
+    obs::RunHistory history(run_options.history_path);
+    (void)history.load();
+    obs::RunRecord record;
+    record.kind = "check";
+    record.label = ticket.case_id;
+    record.input_fingerprint =
+        CheckJournal::fingerprint(ticket.case_id + "\n" + source_to_check);
+    int inconclusive = 0;
+    std::int64_t total_smt_queries = 0;
+    std::vector<std::string> smt_digests;
+    for (const ContractCheckReport& report : result.reports) {
+      obs::ContractOutcome outcome;
+      outcome.passed = report.passed();
+      outcome.conclusive = report.conclusive();
+      if (!outcome.conclusive) ++inconclusive;
+      outcome.verdict = !outcome.conclusive ? "inconclusive"
+                        : outcome.passed    ? "passed"
+                                            : "violated";
+      outcome.signature_digest = support::fnv1a_fingerprint(report.verdict_signature());
+      outcome.slice_fp = report.slice_fp;
+      if (const obs::ContractCapture* capture = ledger->find(report.contract_id)) {
+        outcome.smt_queries = static_cast<std::int64_t>(capture->smt_queries.size());
+        for (const obs::SmtQueryEvidence& query : capture->smt_queries)
+          smt_digests.push_back(query.digest);
+      }
+      total_smt_queries += outcome.smt_queries;
+      record.contracts[report.contract_id] = std::move(outcome);
+    }
+    if (!smt_digests.empty()) {
+      std::sort(smt_digests.begin(), smt_digests.end());
+      std::string joined;
+      for (const std::string& digest : smt_digests) joined += digest + "\n";
+      record.smt_digest = support::fnv1a_fingerprint(joined);
+    }
+    record.metrics["infer_ms"] = result.timings.infer_ms;
+    record.metrics["translate_ms"] = result.timings.translate_ms;
+    record.metrics["check_ms"] = result.timings.check_ms;
+    record.metrics["screen_ms"] = result.timings.screen_ms;
+    record.metrics["summary_ms"] = result.timings.summary_ms;
+    record.metrics["total_ms"] = result.timings.total_ms;
+    record.metrics["settled_fraction"] = result.screening().settled_fraction();
+    record.metrics["smt_queries"] = static_cast<double>(total_smt_queries);
+    record.metrics["contracts"] = static_cast<double>(result.reports.size());
+    record.metrics["violations"] = static_cast<double>(result.total_violations());
+    record.metrics["inconclusive"] = static_cast<double>(inconclusive);
+    (void)history.append(record);
+  }
   run_span.attr("contracts", result.contracts.size());
   run_span.attr("all_passed", result.all_passed());
   return result;

@@ -69,6 +69,11 @@ struct PipelineRunOptions {
   /// and every contract check captures its full evidence chain. nullptr =
   /// zero-cost (run output byte-identical to an uncaptured run).
   obs::ProvenanceLedger* ledger = nullptr;
+  /// Longitudinal observability (obs/history.hpp): when set, the run appends
+  /// one RunRecord (kind "check", label = the ticket's case id) with stage
+  /// timings, settled fraction, and per-contract outcomes to this history
+  /// file. Empty = zero-cost, byte-identical output.
+  std::string history_path;
 };
 
 struct PipelineResult {

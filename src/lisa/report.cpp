@@ -158,7 +158,9 @@ std::string render_markdown(const GateDecision& decision) {
     for (const std::string& violation : decision.violations) out += "- " + violation + "\n";
     out += "\nEach rule below links the unguarded path and a state that reaches it.\n\n";
   }
-  if (decision.needs_attention)
+  // needs_attention can also be set by warn-only drift findings, which have
+  // their own section below — the budget blurb only fits incomplete checks.
+  if (decision.needs_attention && decision.inconclusive_contracts > 0)
     out += "**⏳ Needs attention:** " + std::to_string(decision.inconclusive_contracts) +
            " contract(s) were not checked to completion (budget or fault). The "
            "commit decision above covers only the settled contracts — rerun "
@@ -166,6 +168,14 @@ std::string render_markdown(const GateDecision& decision) {
   if (decision.resumed_contracts > 0)
     out += "_Resumed " + std::to_string(decision.resumed_contracts) +
            " contract(s) from the checkpoint journal._\n\n";
+  if (decision.baseline_runs >= 0 && !decision.drift_findings.empty()) {
+    out += "### 📉 Drift vs the last " + std::to_string(decision.baseline_runs) +
+           " recorded run(s)\n\n";
+    for (const obs::DriftFinding& finding : decision.drift_findings)
+      out += std::string("- ") + (finding.fails_gate ? "⛔" : "⚠") + " **" + finding.kind +
+             "** (`" + finding.subject + "`): " + finding.cause + "\n";
+    out += "\n";
+  }
   for (const ContractCheckReport& report : decision.reports) {
     if (report.passed() && report.conclusive()) continue;
     out += render_markdown(report);

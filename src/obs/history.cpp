@@ -1,0 +1,303 @@
+#include "obs/history.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/jsonl.hpp"
+
+namespace lisa::obs {
+
+using support::Json;
+using support::JsonArray;
+using support::JsonObject;
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+Json RunRecord::to_json() const {
+  JsonObject root;
+  root["kind"] = kind;
+  root["label"] = label;
+  root["input_fingerprint"] = input_fingerprint;
+  if (!smt_digest.empty()) root["smt_digest"] = smt_digest;
+  JsonObject contract_entries;
+  for (const auto& [id, outcome] : contracts) {
+    JsonObject entry;
+    entry["verdict"] = outcome.verdict;
+    entry["passed"] = outcome.passed;
+    entry["conclusive"] = outcome.conclusive;
+    entry["signature_digest"] = outcome.signature_digest;
+    if (!outcome.slice_fp.empty()) entry["slice_fp"] = outcome.slice_fp;
+    if (outcome.smt_queries > 0) entry["smt_queries"] = outcome.smt_queries;
+    contract_entries[id] = Json(std::move(entry));
+  }
+  root["contracts"] = Json(std::move(contract_entries));
+  JsonObject metric_entries;
+  for (const auto& [name, value] : metrics) metric_entries[name] = value;
+  root["metrics"] = Json(std::move(metric_entries));
+  if (!meta.empty()) {
+    JsonObject meta_entries;
+    for (const auto& [name, value] : meta) meta_entries[name] = value;
+    root["meta"] = Json(std::move(meta_entries));
+  }
+  return Json(std::move(root));
+}
+
+RunRecord RunRecord::from_json(const Json& json) {
+  RunRecord record;
+  if (!json.is_object()) return record;
+  record.kind = json.get_string("kind");
+  record.label = json.get_string("label");
+  record.input_fingerprint = json.get_string("input_fingerprint");
+  record.smt_digest = json.get_string("smt_digest");
+  if (json.has("contracts") && json.at("contracts").is_object()) {
+    for (const auto& [id, entry] : json.at("contracts").as_object()) {
+      if (!entry.is_object()) continue;
+      ContractOutcome outcome;
+      outcome.verdict = entry.get_string("verdict");
+      outcome.passed = entry.has("passed") && entry.at("passed").is_bool() &&
+                       entry.at("passed").as_bool();
+      outcome.conclusive = entry.has("conclusive") && entry.at("conclusive").is_bool() &&
+                           entry.at("conclusive").as_bool();
+      outcome.signature_digest = entry.get_string("signature_digest");
+      outcome.slice_fp = entry.get_string("slice_fp");
+      outcome.smt_queries = entry.get_int("smt_queries");
+      record.contracts[id] = std::move(outcome);
+    }
+  }
+  if (json.has("metrics") && json.at("metrics").is_object())
+    for (const auto& [name, value] : json.at("metrics").as_object())
+      if (value.is_number()) record.metrics[name] = value.as_double();
+  if (json.has("meta") && json.at("meta").is_object())
+    for (const auto& [name, value] : json.at("meta").as_object())
+      if (value.is_string()) record.meta[name] = value.as_string();
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+bool RunHistory::load() {
+  records_.clear();
+  std::ifstream in(path_);
+  if (!in) return false;  // absent file: fresh history, first append creates it
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  if (!support::jsonl_header_matches(line, kHistoryKind, kHistoryVersion, "")) return false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      RunRecord record = RunRecord::from_json(Json::parse(line));
+      if (record.kind.empty()) continue;
+      records_.push_back(std::move(record));
+    } catch (const std::exception&) {
+      // Torn tail from a crash mid-append: keep everything before it.
+    }
+  }
+  return true;
+}
+
+bool RunHistory::append(const RunRecord& record) {
+  if (path_.empty()) return false;
+  bool need_header = false;
+  {
+    std::ifstream probe(path_);
+    need_header = !probe || probe.peek() == std::ifstream::traits_type::eof();
+  }
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return false;
+  if (need_header)
+    out << support::jsonl_header(kHistoryKind, kHistoryVersion, "") << "\n";
+  out << record.to_json().dump() << "\n";
+  out.flush();
+  if (!out.good()) return false;
+  records_.push_back(record);
+  return true;
+}
+
+std::vector<const RunRecord*> RunHistory::matching(const std::string& kind,
+                                                   const std::string& label) const {
+  std::vector<const RunRecord*> out;
+  for (const RunRecord& record : records_) {
+    if (!kind.empty() && record.kind != kind) continue;
+    if (!label.empty() && record.label != label) continue;
+    out.push_back(&record);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Drift detection
+// ---------------------------------------------------------------------------
+
+Json DriftFinding::to_json() const {
+  JsonObject root;
+  root["kind"] = kind;
+  root["subject"] = subject;
+  root["cause"] = cause;
+  root["baseline"] = baseline;
+  root["observed"] = observed;
+  root["fails_gate"] = fails_gate;
+  return Json(std::move(root));
+}
+
+double drift_median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  // Lower middle on even sizes: the conservative baseline for "observed
+  // exceeds factor × median" style thresholds.
+  const std::size_t mid = (values.size() - 1) / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+namespace {
+
+std::string format_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
+/// Baseline values of one metric over the window, oldest first.
+std::vector<double> metric_series(const std::vector<const RunRecord*>& window,
+                                  const std::string& name) {
+  std::vector<double> values;
+  for (const RunRecord* record : window) {
+    const auto it = record->metrics.find(name);
+    if (it != record->metrics.end()) values.push_back(it->second);
+  }
+  return values;
+}
+
+}  // namespace
+
+std::vector<DriftFinding> detect_drift(const std::vector<const RunRecord*>& baseline,
+                                       const RunRecord& current,
+                                       const DriftOptions& options) {
+  std::vector<DriftFinding> findings;
+  if (baseline.empty()) return findings;  // the first run IS the baseline
+  const std::size_t window_size =
+      std::min(baseline.size(), static_cast<std::size_t>(std::max(options.window, 1)));
+  const std::vector<const RunRecord*> window(baseline.end() - static_cast<std::ptrdiff_t>(window_size),
+                                             baseline.end());
+
+  // Rule 1: verdict flips on unchanged fingerprints. Compare against the most
+  // recent baseline record checking the SAME inputs — if the source and the
+  // contract's verdict cone are unchanged yet the verdict signature differs,
+  // the gate is nondeterministic about that contract: a flake.
+  const RunRecord* same_inputs = nullptr;
+  for (const RunRecord* record : baseline)  // full history, not just the window
+    if (record->input_fingerprint == current.input_fingerprint &&
+        !record->input_fingerprint.empty())
+      same_inputs = record;  // keep the most recent
+  if (same_inputs != nullptr) {
+    for (const auto& [id, outcome] : current.contracts) {
+      const auto it = same_inputs->contracts.find(id);
+      if (it == same_inputs->contracts.end()) continue;
+      const ContractOutcome& before = it->second;
+      if (before.slice_fp != outcome.slice_fp) continue;  // cone changed: not a flake
+      if (before.signature_digest == outcome.signature_digest) continue;
+      if (before.signature_digest.empty() || outcome.signature_digest.empty()) continue;
+      DriftFinding finding;
+      finding.kind = "verdict-flip";
+      finding.subject = id;
+      finding.cause = "contract " + id + " was decided differently on unchanged inputs (" +
+                      before.verdict + " -> " + outcome.verdict +
+                      ", input fingerprint " + current.input_fingerprint +
+                      ", slice fingerprint unchanged): the gate is flaky on this "
+                      "contract — its verdict cannot be trusted until the "
+                      "nondeterminism is found";
+      finding.fails_gate = options.fail_gate;
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  // Rule 2: settled-fraction drop — the static screener is settling fewer
+  // contracts than it used to, so more work silently falls through to the
+  // expensive phases.
+  {
+    const std::vector<double> series = metric_series(window, "settled_fraction");
+    const auto it = current.metrics.find("settled_fraction");
+    if (!series.empty() && it != current.metrics.end()) {
+      const double median = drift_median(series);
+      if (it->second < median - options.settled_drop) {
+        DriftFinding finding;
+        finding.kind = "settled-drop";
+        finding.subject = "settled_fraction";
+        finding.baseline = median;
+        finding.observed = it->second;
+        finding.cause = "settled fraction dropped to " + format_value(it->second) +
+                        " from a baseline median of " + format_value(median) +
+                        " (last " + std::to_string(window_size) +
+                        " run(s)): the static screener settles fewer contracts than "
+                        "it used to, so more contracts fall through to the slow path";
+        finding.fails_gate = options.fail_gate;
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+
+  // Rule 3: latency regressions on every watched *_ms metric present on both
+  // sides. Factor × median AND an absolute floor: a 0.2 ms stage tripling to
+  // 0.6 ms is noise, a 200 ms stage tripling is an incident.
+  for (const auto& [name, observed] : current.metrics) {
+    if (name.size() < 3 || name.compare(name.size() - 3, 3, "_ms") != 0) continue;
+    const std::vector<double> series = metric_series(window, name);
+    if (series.empty()) continue;
+    const double median = drift_median(series);
+    if (observed > median * options.latency_factor &&
+        observed - median > options.min_latency_ms) {
+      DriftFinding finding;
+      finding.kind = "latency-regression";
+      finding.subject = name;
+      finding.baseline = median;
+      finding.observed = observed;
+      finding.cause = name + " regressed to " + format_value(observed) +
+                      " ms from a baseline median of " + format_value(median) +
+                      " ms (last " + std::to_string(window_size) + " run(s), threshold " +
+                      format_value(options.latency_factor) +
+                      "x): the gate got slower — find the new cost before it "
+                      "normalizes";
+      finding.fails_gate = options.fail_gate;
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  // Rule 4: SMT query count regression — the solver is being asked more
+  // questions for the same decision, usually a pruning or screening rot.
+  {
+    const std::vector<double> series = metric_series(window, "smt_queries");
+    const auto it = current.metrics.find("smt_queries");
+    if (!series.empty() && it != current.metrics.end()) {
+      const double median = drift_median(series);
+      if (it->second > median * options.smt_factor &&
+          it->second - median >= options.min_smt_queries) {
+        DriftFinding finding;
+        finding.kind = "smt-regression";
+        finding.subject = "smt_queries";
+        finding.baseline = median;
+        finding.observed = it->second;
+        finding.cause = "SMT query count regressed to " + format_value(it->second) +
+                        " from a baseline median of " + format_value(median) +
+                        " (last " + std::to_string(window_size) +
+                        " run(s)): the solver answers more queries for the same "
+                        "verdicts — screening or pruning lost ground";
+        finding.fails_gate = options.fail_gate;
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const DriftFinding& a, const DriftFinding& b) {
+              return a.kind != b.kind ? a.kind < b.kind : a.subject < b.subject;
+            });
+  return findings;
+}
+
+}  // namespace lisa::obs

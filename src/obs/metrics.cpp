@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <utility>
+#include <vector>
 
 namespace lisa::obs {
 
@@ -98,6 +101,22 @@ support::Json Histogram::to_json() const {
   return support::Json(std::move(out));
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count() == 0) return;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::int64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  if (!has_samples_.exchange(true, std::memory_order_relaxed)) {
+    min_.store(other.min(), std::memory_order_relaxed);
+    max_.store(other.max(), std::memory_order_relaxed);
+  }
+  update_extreme(min_, other.min(), [](double a, double b) { return a < b; });
+  update_extreme(max_, other.max(), [](double a, double b) { return a > b; });
+}
+
 void Histogram::reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -153,6 +172,117 @@ void MetricsRegistry::reset() {
 MetricsRegistry& metrics() {
   static MetricsRegistry instance;
   return instance;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+std::string prometheus_metric_name(const std::string& name) {
+  // Strip an embedded `{...}` label suffix; the caller renders it separately.
+  const std::size_t brace = name.find('{');
+  const std::string base = brace == std::string::npos ? name : name.substr(0, brace);
+  std::string out = "lisa_";
+  for (const char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Renders the `{key="value",...}` suffix for a registry name carrying
+/// embedded labels (`budget.exhausted{reason=deadline}`); "" when none.
+/// `extra` label pairs (e.g. quantile) are appended after the embedded ones.
+std::string prometheus_labels(const std::string& name,
+                              const std::vector<std::pair<std::string, std::string>>& extra = {}) {
+  std::vector<std::pair<std::string, std::string>> labels;
+  const std::size_t brace = name.find('{');
+  if (brace != std::string::npos && name.back() == '}') {
+    const std::string inside = name.substr(brace + 1, name.size() - brace - 2);
+    std::size_t start = 0;
+    while (start < inside.size()) {
+      std::size_t end = inside.find(',', start);
+      if (end == std::string::npos) end = inside.size();
+      const std::string pair = inside.substr(start, end - start);
+      const std::size_t eq = pair.find('=');
+      if (eq != std::string::npos)
+        labels.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+      start = end + 1;
+    }
+  }
+  labels.insert(labels.end(), extra.begin(), extra.end());
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    // Label names get the same charset sanitization as metric names
+    // (without the prefix); values are escaped, not sanitized.
+    std::string clean_key;
+    for (const char c : key) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      clean_key += ok ? c : '_';
+    }
+    out += clean_key + "=\"" + prometheus_escape_label(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string prometheus_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::render_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = prometheus_metric_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + prometheus_labels(name) + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = prometheus_metric_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + prometheus_labels(name) + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = prometheus_metric_name(name);
+    out += "# TYPE " + prom + " summary\n";
+    static constexpr std::pair<double, const char*> kQuantiles[] = {
+        {0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}};
+    for (const auto& [q, label] : kQuantiles)
+      out += prom + prometheus_labels(name, {{"quantile", label}}) + " " +
+             prometheus_number(histogram->quantile(q)) + "\n";
+    out += prom + "_sum" + prometheus_labels(name) + " " +
+           prometheus_number(histogram->sum()) + "\n";
+    out += prom + "_count" + prometheus_labels(name) + " " +
+           std::to_string(histogram->count()) + "\n";
+  }
+  return out;
 }
 
 }  // namespace lisa::obs

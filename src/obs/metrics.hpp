@@ -75,6 +75,12 @@ class Histogram {
   /// {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p95":..,"p99":..}
   [[nodiscard]] support::Json to_json() const;
 
+  /// Folds `other`'s samples into this histogram: bucket-wise counts add,
+  /// count/sum add, min/max take the combined extremes. Because buckets are
+  /// exact counts (only the positions are quantized), merged quantiles are
+  /// identical to recording the union of both sample sets directly.
+  void merge(const Histogram& other);
+
   void reset();
 
  private:
@@ -102,6 +108,13 @@ class MetricsRegistry {
   ///   {"counters": {name: value}, "gauges": {...}, "histograms": {name: {...}}}
   [[nodiscard]] support::Json snapshot() const;
 
+  /// Prometheus text exposition (format 0.0.4): counters and gauges as-is,
+  /// histograms as summaries (p50/p95/p99 quantile samples plus _sum and
+  /// _count). Names are sanitized to the Prometheus charset with a `lisa_`
+  /// prefix; embedded-label names like `budget.exhausted{reason=deadline}`
+  /// are split into a base name plus escaped labels.
+  [[nodiscard]] std::string render_prometheus() const;
+
   /// Zeroes every registered metric (names stay registered).
   void reset();
 
@@ -114,5 +127,16 @@ class MetricsRegistry {
 
 /// The process-global registry every instrumentation site uses.
 [[nodiscard]] MetricsRegistry& metrics();
+
+/// Sanitizes a registry metric name (dotted, possibly with an embedded
+/// `{label=value}` suffix) into a Prometheus metric name: `lisa_` prefix,
+/// every character outside [a-zA-Z0-9_:] replaced by `_`. The embedded label
+/// suffix, if any, is stripped here and handled separately. Exposed for
+/// tests.
+[[nodiscard]] std::string prometheus_metric_name(const std::string& name);
+
+/// Escapes a label value for Prometheus exposition: backslash, double quote
+/// and newline become \\, \" and \n. Exposed for tests.
+[[nodiscard]] std::string prometheus_escape_label(const std::string& value);
 
 }  // namespace lisa::obs

@@ -449,8 +449,11 @@ bool ProvenanceLedger::load_jsonl(const std::string& path) {
       }
       ContractCapture capture = ContractCapture::from_json(entry);
       if (capture.contract_id.empty()) continue;
-      captures_[capture.contract_id] =
-          std::make_unique<ContractCapture>(std::move(capture));
+      // The key must be copied out first: the RHS of the assignment is
+      // sequenced before the subscript, so moving the capture there would
+      // empty contract_id before the map reads it.
+      const std::string id = capture.contract_id;
+      captures_[id] = std::make_unique<ContractCapture>(std::move(capture));
     } catch (const std::exception&) {
       // Torn tail from a crash mid-append: keep everything before it.
     }

@@ -1,17 +1,11 @@
 #include "obs/trace.hpp"
 
+#include "support/log.hpp"
 #include "support/stopwatch.hpp"
 
 namespace lisa::obs {
 
 namespace {
-
-/// Small sequential thread numbers: stable within a run, readable in traces.
-std::uint32_t this_thread_number() {
-  static std::atomic<std::uint32_t> next{1};
-  thread_local std::uint32_t number = next.fetch_add(1, std::memory_order_relaxed);
-  return number;
-}
 
 /// Innermost live span ids of the current thread, for parent linkage.
 thread_local std::vector<std::uint64_t> t_span_stack;
@@ -79,7 +73,8 @@ ScopedSpan::ScopedSpan(Tracer& tracer, const char* name)
   record_ = std::make_unique<SpanRecord>();
   record_->id = tracer.next_id();
   record_->parent_id = t_span_stack.empty() ? 0 : t_span_stack.back();
-  record_->tid = this_thread_number();
+  // Shared with the logger's [tN] prefix so traces and stderr correlate.
+  record_->tid = support::this_thread_number();
   record_->name = name;
   record_->start_us = now_us();
   t_span_stack.push_back(record_->id);

@@ -66,10 +66,17 @@ std::optional<LogLevel> parse_log_level(std::string_view name) {
   return std::nullopt;
 }
 
+std::uint32_t this_thread_number() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t number =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return number;
+}
+
 std::string render_log_line(LogLevel level, const std::string& message) {
-  char prefix[48];
-  std::snprintf(prefix, sizeof(prefix), "[+%11.3fms] [%s] ", process_elapsed_ms(),
-                level_name(level));
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[+%11.3fms] [t%u] [%s] ",
+                process_elapsed_ms(), this_thread_number(), level_name(level));
   return prefix + message;
 }
 

@@ -8,11 +8,13 @@
 //
 // Each line carries a monotonic elapsed-ms prefix measured from the shared
 // process epoch (support/stopwatch.hpp) — the same clock trace spans use —
-// so stderr output is directly correlatable with exported traces:
+// plus the sequential thread number the tracer stamps on spans, so stderr
+// output is directly correlatable with exported traces:
 //
-//   [+     12.345ms] [WARN] contract zk-1208 fell through to concolic
+//   [+     12.345ms] [t1] [WARN] contract zk-1208 fell through to concolic
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -29,8 +31,14 @@ void set_log_level(LogLevel level);
 /// Parses a LISA_LOG_LEVEL value ("warn", "ERROR", ...); nullopt on junk.
 [[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
 
+/// Sequential number of the calling thread, assigned on first use: the main
+/// thread (or whichever logs/traces first) is 1, the next is 2, and so on.
+/// Shared by log lines and trace spans so `[t3]` on stderr is the same
+/// thread as `"tid": 3` in an exported trace.
+[[nodiscard]] std::uint32_t this_thread_number();
+
 /// Formats one line exactly as log_line writes it (sans trailing newline):
-/// "[+<elapsed>ms] [LEVEL] <message>". Exposed for tests.
+/// "[+<elapsed>ms] [tN] [LEVEL] <message>". Exposed for tests.
 [[nodiscard]] std::string render_log_line(LogLevel level, const std::string& message);
 
 /// Emits one line to stderr if `level` passes the global threshold.

@@ -346,5 +346,93 @@ TEST(ProfileTest, EmptySnapshotProducesEmptyTable) {
   EXPECT_DOUBLE_EQ(table.wall_ms, 0.0);
 }
 
+// --- histogram merge --------------------------------------------------------
+
+TEST(HistogramMerge, MergedQuantilesMatchUnionRecomputation) {
+  std::mt19937 rng(20260808);
+  std::uniform_real_distribution<double> fast(0.5, 2.0);
+  std::uniform_real_distribution<double> slow(50.0, 200.0);
+  Histogram a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double va = fast(rng), vb = slow(rng);
+    a.record(va);
+    combined.record(va);
+    b.record(vb);
+    combined.record(vb);
+  }
+  a.merge(b);
+  // Buckets hold exact counts (only positions are quantized), so the merged
+  // histogram is bit-equivalent to recording the union directly.
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99})
+    EXPECT_DOUBLE_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+}
+
+TEST(HistogramMerge, MergeIntoEmptyAndMergeOfEmpty) {
+  Histogram empty, filled;
+  filled.record(3.0);
+  filled.record(9.0);
+  // Merging an empty histogram is a no-op.
+  Histogram target;
+  target.record(3.0);
+  target.record(9.0);
+  target.merge(empty);
+  EXPECT_EQ(target.count(), 2);
+  EXPECT_DOUBLE_EQ(target.min(), 3.0);
+  EXPECT_DOUBLE_EQ(target.max(), 9.0);
+  // Merging INTO an empty histogram adopts the source's extremes exactly.
+  Histogram fresh;
+  fresh.merge(filled);
+  EXPECT_EQ(fresh.count(), 2);
+  EXPECT_DOUBLE_EQ(fresh.min(), 3.0);
+  EXPECT_DOUBLE_EQ(fresh.max(), 9.0);
+  EXPECT_DOUBLE_EQ(fresh.quantile(0.5), filled.quantile(0.5));
+}
+
+// --- prometheus exposition --------------------------------------------------
+
+TEST(PrometheusTest, MetricNamesAreSanitizedWithPrefix) {
+  EXPECT_EQ(prometheus_metric_name("smt.queries"), "lisa_smt_queries");
+  EXPECT_EQ(prometheus_metric_name("gate.drift-findings"), "lisa_gate_drift_findings");
+  // An embedded label suffix belongs to the labels, not the name.
+  EXPECT_EQ(prometheus_metric_name("budget.exhausted{reason=deadline}"),
+            "lisa_budget_exhausted");
+}
+
+TEST(PrometheusTest, LabelValuesAreEscaped) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_escape_label("line\nbreak"), "line\\nbreak");
+}
+
+TEST(PrometheusTest, RenderCoversCountersGaugesAndSummaries) {
+  MetricsRegistry registry;
+  registry.counter("smt.queries").add(7);
+  registry.gauge("corpus.size").set(20);
+  registry.histogram("gate.evaluation_ms").record(2.0);
+  registry.histogram("gate.evaluation_ms").record(8.0);
+  registry.counter("budget.exhausted{reason=deadline}").add(3);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("# TYPE lisa_smt_queries counter\nlisa_smt_queries 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE lisa_corpus_size gauge\nlisa_corpus_size 20\n"),
+            std::string::npos);
+  // Histograms export as summaries: three quantiles plus _sum and _count.
+  EXPECT_NE(text.find("# TYPE lisa_gate_evaluation_ms summary"), std::string::npos);
+  EXPECT_NE(text.find("lisa_gate_evaluation_ms{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("lisa_gate_evaluation_ms{quantile=\"0.95\"}"), std::string::npos);
+  EXPECT_NE(text.find("lisa_gate_evaluation_ms{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("lisa_gate_evaluation_ms_sum 10\n"), std::string::npos);
+  EXPECT_NE(text.find("lisa_gate_evaluation_ms_count 2\n"), std::string::npos);
+  // Embedded registry labels surface as real Prometheus labels.
+  EXPECT_NE(text.find("lisa_budget_exhausted{reason=\"deadline\"} 3\n"), std::string::npos)
+      << text;
+}
+
 }  // namespace
 }  // namespace lisa::obs

@@ -1,6 +1,8 @@
 // Unit tests for src/support: strings, JSON, RNG.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "support/json.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
@@ -192,10 +194,11 @@ TEST(Log, ParseLogLevelAcceptsAllSpellings) {
   EXPECT_EQ(parse_log_level(""), std::nullopt);
 }
 
-TEST(Log, RenderedLineCarriesElapsedPrefixAndLevel) {
+TEST(Log, RenderedLineCarriesElapsedPrefixThreadAndLevel) {
   const std::string line = render_log_line(LogLevel::warn, "spilled to concolic");
-  // "[+     12.345ms] [WARN] spilled to concolic" — fixed-width elapsed ms
-  // from the process epoch, so lines correlate with trace timestamps.
+  // "[+     12.345ms] [t1] [WARN] spilled to concolic" — fixed-width elapsed
+  // ms from the process epoch plus the sequential thread number, so lines
+  // correlate with trace timestamps AND span thread ids.
   ASSERT_GE(line.size(), 2u);
   EXPECT_EQ(line.substr(0, 2), "[+");
   const std::size_t ms = line.find("ms] ");
@@ -205,6 +208,24 @@ TEST(Log, RenderedLineCarriesElapsedPrefixAndLevel) {
   EXPECT_DOUBLE_EQ(std::stod(elapsed), std::stod(elapsed));  // parses as a number
   EXPECT_GE(std::stod(elapsed), 0.0);
   EXPECT_NE(line.find("[WARN] spilled to concolic"), std::string::npos);
+  // The thread field sits between elapsed and level, numbered from this
+  // thread's stable sequential id.
+  const std::string tid = "[t" + std::to_string(this_thread_number()) + "] ";
+  EXPECT_NE(line.find(tid + "[WARN]"), std::string::npos) << line;
+}
+
+TEST(Log, ThreadNumbersAreStablePerThreadAndDistinctAcrossThreads) {
+  const std::uint32_t mine = this_thread_number();
+  EXPECT_GE(mine, 1u);
+  EXPECT_EQ(this_thread_number(), mine);  // stable within a thread
+  std::uint32_t other = 0;
+  std::thread worker([&] { other = this_thread_number(); });
+  worker.join();
+  EXPECT_NE(other, mine);
+  EXPECT_GE(other, 1u);
+  // Every rendered line on this thread carries the same [tN].
+  const std::string tag = "[t" + std::to_string(mine) + "]";
+  EXPECT_NE(render_log_line(LogLevel::info, "x").find(tag), std::string::npos);
 }
 
 TEST(Log, ElapsedPrefixIsMonotonic) {

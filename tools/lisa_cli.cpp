@@ -38,9 +38,27 @@
 //                                     state, intervals) over corpus programs;
 //                                     --json emits machine-readable
 //                                     diagnostics plus aggregate counts
+//   lisa diff <a.jsonl> <b.jsonl> [--json] [--html <file>]
+//   lisa diff --history <file> <i> <j> [--json] [--html <file>]
+//                                     deterministic report of what changed
+//                                     between two gate runs: verdict flips
+//                                     with evidence-chain deltas (two ledger
+//                                     files) or signature flips + metric
+//                                     deltas (two history records by index)
+//   lisa trends <history.jsonl> [--kind k] [--label l] [--json] [--html <file>]
+//                                     per-metric sparklines over a run-history
+//                                     timeline plus the drift findings the
+//                                     newest record would raise
+//
+// `lisa check` and `lisa gate` accept --history <file> to append one
+// fingerprinted RunRecord per run to an append-only history store; gate
+// additionally runs the drift rules against the recorded baseline and can
+// block the commit on a drift finding (never silently — each finding is
+// narrated in the report).
 //
 // Exit code: 0 on success/pass, 1 on violations found/commit blocked,
 // 2 on usage or input errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,7 +74,9 @@
 #include "lisa/pipeline.hpp"
 #include "lisa/report.hpp"
 #include "minilang/sema.hpp"
+#include "obs/diff.hpp"
 #include "obs/explain.hpp"
+#include "obs/history.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/provenance.hpp"
@@ -73,22 +93,29 @@ using namespace lisa;
 int usage() {
   std::fprintf(stderr,
                "usage: lisa <command> [args]\n"
-               "  corpus | prompt <case> | infer <case> | check <case> [flags] |\n"
+               "  corpus | prompt <case> | source <case> [--buggy|--latest] |\n"
+               "  infer <case> | check <case> [flags] |\n"
                "  gate <case> <file.ml> [flags] | explain <case> [contract] [flags] |\n"
                "  slice <case> [contract] [--buggy|--latest] [--json] |\n"
+               "  diff <a.jsonl> <b.jsonl> | diff --history <file> <i> <j> |\n"
+               "  trends <history.jsonl> [--kind k] [--label l] |\n"
                "  hunt | synth <case> | explore <case> |\n"
                "  lint [case] [--buggy|--latest] [--json] |\n"
-               "  profile <system|case|all> [--json] [--trace out.json]\n"
+               "  profile <system|case|all> [--json] [--prom] [--trace out.json]\n"
                "flags for check: --latest --buggy --no-concolic --no-prune\n"
                "                 --trace out.json --metrics out.json\n"
                "flags for gate:  --trace out.json --metrics out.json --report <dir>\n"
-               "flags for explain: --buggy --latest --json --html <file>\n"
+               "                 --history-label <s> --drift-window N --drift-warn-only\n"
+               "flags for explain: --buggy --latest --json --html <file> --ledger <file>\n"
+               "flags for diff/trends: --json --html <file>\n"
                "budget flags (check, gate): --deadline-ms N --max-paths N\n"
                "                 --max-smt-queries N --max-steps N\n"
                "checkpointing (check, gate): --journal out.jsonl --resume\n"
+               "run history (check, gate): --history <file> appends one record per\n"
+               "run; gate also runs drift detection against the recorded baseline\n"
                "lint with no case runs over every patched corpus program\n"
                "profile runs the corpus slice with tracing on and prints the\n"
-               "per-span cost table and top SMT hotspots\n");
+               "per-span cost table and top SMT hotspots (--prom: Prometheus text)\n");
   return 2;
 }
 
@@ -131,6 +158,28 @@ int cmd_corpus() {
                 ticket.system.c_str(), ticket.bug_count(), ticket.original.id.c_str(),
                 ticket.title.c_str());
   }
+  return 0;
+}
+
+/// `lisa source <case> [--buggy|--latest]`: print a corpus program verbatim
+/// — the handy way to materialize a commit file for `lisa gate`.
+int cmd_source(const std::string& case_id, int argc, char** argv) {
+  const corpus::FailureTicket* ticket = require_case(case_id);
+  if (ticket == nullptr) return 2;
+  const std::string* source = &ticket->patched_source;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--buggy") == 0)
+      source = &ticket->buggy_source;
+    else if (std::strcmp(argv[i], "--latest") == 0)
+      source = &ticket->latest_source;
+    else
+      return usage();
+  }
+  if (source->empty()) {
+    std::fprintf(stderr, "case %s has no such version\n", case_id.c_str());
+    return 2;
+  }
+  std::printf("%s", source->c_str());
   return 0;
 }
 
@@ -200,6 +249,8 @@ int cmd_check(const std::string& case_id, int argc, char** argv) {
       run_options.journal_path = argv[++i];
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       run_options.resume = true;
+    } else if (std::strcmp(argv[i], "--history") == 0 && i + 1 < argc) {
+      run_options.history_path = argv[++i];
     } else if (parse_budget_flag(argc, argv, &i, &limits)) {
       // consumed
     } else {
@@ -242,9 +293,12 @@ int cmd_profile(int argc, char** argv) {
   std::string selector;
   std::string trace_path;
   bool json_output = false;
+  bool prom_output = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0)
       json_output = true;
+    else if (std::strcmp(argv[i], "--prom") == 0)
+      prom_output = true;
     else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
       trace_path = argv[++i];
     else if (argv[i][0] != '-' && selector.empty())
@@ -252,7 +306,7 @@ int cmd_profile(int argc, char** argv) {
     else
       return usage();
   }
-  if (selector.empty()) return usage();
+  if (selector.empty() || (json_output && prom_output)) return usage();
 
   std::vector<const corpus::FailureTicket*> tickets;
   if (selector == "all") {
@@ -285,7 +339,10 @@ int cmd_profile(int argc, char** argv) {
   const std::vector<obs::SpanRecord> spans = obs::tracer().snapshot();
   const obs::CostTable table = obs::build_cost_table(spans);
 
-  if (json_output) {
+  if (prom_output) {
+    // Scrape-ready exposition of the same registry the JSON snapshot reads.
+    std::printf("%s", obs::metrics().render_prometheus().c_str());
+  } else if (json_output) {
     support::JsonObject root;
     root["selector"] = selector;
     root["cases"] = tickets.size();
@@ -331,11 +388,24 @@ int cmd_gate(const std::string& case_id, const std::string& path, int argc, char
       metrics_path = argv[++i];
     else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc)
       report_dir = argv[++i];
+    else if (std::strcmp(argv[i], "--history") == 0 && i + 1 < argc)
+      run_options.history_path = argv[++i];
+    else if (std::strcmp(argv[i], "--history-label") == 0 && i + 1 < argc)
+      run_options.history_label = argv[++i];
+    else if (std::strcmp(argv[i], "--drift-window") == 0 && i + 1 < argc)
+      run_options.drift.window = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--drift-warn-only") == 0)
+      run_options.drift.fail_gate = false;
     else if (parse_budget_flag(argc, argv, &i, &limits)) {
       // consumed
     } else {
       return usage();
     }
+  }
+  if (run_options.history_path.empty() &&
+      (!run_options.history_label.empty() || !run_options.drift.fail_gate)) {
+    std::fprintf(stderr, "--history-label/--drift-* require --history <file>\n");
+    return 2;
   }
   if (run_options.resume && run_options.journal_path.empty()) {
     std::fprintf(stderr, "--resume requires --journal <path>\n");
@@ -388,6 +458,7 @@ int cmd_explain(const std::string& case_id, int argc, char** argv) {
   std::string source = ticket->patched_source;
   std::string contract_id;
   std::string html_path;
+  std::string ledger_path;
   bool json_output = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--latest") == 0) {
@@ -402,6 +473,8 @@ int cmd_explain(const std::string& case_id, int argc, char** argv) {
       json_output = true;
     } else if (std::strcmp(argv[i], "--html") == 0 && i + 1 < argc) {
       html_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--ledger") == 0 && i + 1 < argc) {
+      ledger_path = argv[++i];
     } else if (argv[i][0] != '-' && contract_id.empty()) {
       contract_id = argv[i];
     } else {
@@ -441,6 +514,10 @@ int cmd_explain(const std::string& case_id, int argc, char** argv) {
   if (!html_path.empty() &&
       !write_text_file(html_path, obs::render_ledger_html(ledger)))
     return 2;
+  if (!ledger_path.empty() && !ledger.write_jsonl(ledger_path)) {
+    std::fprintf(stderr, "cannot write %s\n", ledger_path.c_str());
+    return 2;
+  }
   return result.all_passed() ? 0 : 1;
 }
 
@@ -568,6 +645,200 @@ int cmd_slice(const std::string& case_id, int argc, char** argv) {
     root["case"] = case_id;
     root["contracts"] = support::Json(std::move(entries));
     std::printf("%s\n", support::Json(std::move(root)).pretty().c_str());
+  }
+  return 0;
+}
+
+/// `lisa diff`: what changed between two gate runs. Two ledger files give
+/// the rich evidence-delta form; `--history <file> <i> <j>` diffs two
+/// records of a run-history store by index. Deterministic: the same two
+/// inputs always render identical bytes (asserted by scripts/check.sh).
+int cmd_diff(int argc, char** argv) {
+  std::string history_path;
+  std::string html_path;
+  bool json_output = false;
+  std::vector<std::string> positional;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--history") == 0 && i + 1 < argc)
+      history_path = argv[++i];
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json_output = true;
+    else if (std::strcmp(argv[i], "--html") == 0 && i + 1 < argc)
+      html_path = argv[++i];
+    else if (argv[i][0] != '-')
+      positional.push_back(argv[i]);
+    else
+      return usage();
+  }
+  if (positional.size() != 2) return usage();
+
+  obs::DiffReport report;
+  if (!history_path.empty()) {
+    obs::RunHistory history(history_path);
+    if (!history.load()) {
+      std::fprintf(stderr, "cannot read history %s\n", history_path.c_str());
+      return 2;
+    }
+    const std::vector<obs::RunRecord>& records = history.records();
+    const long index_a = std::atol(positional[0].c_str());
+    const long index_b = std::atol(positional[1].c_str());
+    const long count = static_cast<long>(records.size());
+    if (index_a < 0 || index_a >= count || index_b < 0 || index_b >= count) {
+      std::fprintf(stderr, "history has %ld record(s); indices must be in [0, %ld)\n",
+                   count, count);
+      return 2;
+    }
+    report = obs::diff_runs(records[static_cast<std::size_t>(index_a)],
+                            records[static_cast<std::size_t>(index_b)]);
+  } else {
+    obs::ProvenanceLedger ledger_a;
+    obs::ProvenanceLedger ledger_b;
+    if (!ledger_a.load_jsonl(positional[0])) {
+      std::fprintf(stderr, "cannot read ledger %s\n", positional[0].c_str());
+      return 2;
+    }
+    if (!ledger_b.load_jsonl(positional[1])) {
+      std::fprintf(stderr, "cannot read ledger %s\n", positional[1].c_str());
+      return 2;
+    }
+    report = obs::diff_ledgers(ledger_a, ledger_b);
+  }
+  if (json_output)
+    std::printf("%s\n", report.to_json().pretty().c_str());
+  else
+    std::printf("%s", obs::render_diff_text(report).c_str());
+  if (!html_path.empty() && !write_text_file(html_path, obs::render_diff_html(report)))
+    return 2;
+  return report.verdict_flips() > 0 ? 1 : 0;
+}
+
+/// One-line unicode sparkline scaled to the series' own [min, max].
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kGlyphs[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  double lo = values.empty() ? 0.0 : values.front();
+  double hi = lo;
+  for (const double value : values) {
+    lo = std::min(lo, value);
+    hi = std::max(hi, value);
+  }
+  std::string out;
+  for (const double value : values) {
+    const int index =
+        hi > lo ? static_cast<int>((value - lo) / (hi - lo) * 7.0 + 0.5) : 3;
+    out += kGlyphs[std::max(0, std::min(7, index))];
+  }
+  return out;
+}
+
+/// `lisa trends`: per-metric sparklines over each (kind, label) timeline of
+/// a run-history store, plus the drift findings the newest record raises
+/// against its own baseline.
+int cmd_trends(int argc, char** argv) {
+  std::string history_path;
+  std::string kind_filter;
+  std::string label_filter;
+  std::string html_path;
+  bool json_output = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kind") == 0 && i + 1 < argc)
+      kind_filter = argv[++i];
+    else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc)
+      label_filter = argv[++i];
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json_output = true;
+    else if (std::strcmp(argv[i], "--html") == 0 && i + 1 < argc)
+      html_path = argv[++i];
+    else if (argv[i][0] != '-' && history_path.empty())
+      history_path = argv[i];
+    else
+      return usage();
+  }
+  if (history_path.empty()) return usage();
+  obs::RunHistory history(history_path);
+  if (!history.load()) {
+    std::fprintf(stderr, "cannot read history %s\n", history_path.c_str());
+    return 2;
+  }
+
+  // Timelines in first-seen order; (kind, label) is the baseline key.
+  std::vector<std::pair<std::string, std::string>> timelines;
+  for (const obs::RunRecord& record : history.records()) {
+    if (!kind_filter.empty() && record.kind != kind_filter) continue;
+    if (!label_filter.empty() && record.label != label_filter) continue;
+    const auto key = std::make_pair(record.kind, record.label);
+    if (std::find(timelines.begin(), timelines.end(), key) == timelines.end())
+      timelines.push_back(key);
+  }
+
+  support::JsonArray timeline_entries;
+  std::string text;
+  std::string html_body;
+  for (const auto& [kind, label] : timelines) {
+    const std::vector<const obs::RunRecord*> records = history.matching(kind, label);
+    // Metric names across the whole timeline, sorted for determinism.
+    std::map<std::string, std::vector<double>> series;
+    for (const obs::RunRecord* record : records)
+      for (const auto& [name, value] : record->metrics) series[name].push_back(value);
+    std::vector<obs::DriftFinding> findings;
+    if (records.size() >= 2) {
+      const std::vector<const obs::RunRecord*> baseline(records.begin(),
+                                                        records.end() - 1);
+      findings = obs::detect_drift(baseline, *records.back());
+    }
+
+    if (json_output || !html_path.empty()) {
+      support::JsonObject entry;
+      entry["kind"] = kind;
+      entry["label"] = label;
+      entry["runs"] = static_cast<std::int64_t>(records.size());
+      support::JsonObject metric_entries;
+      for (const auto& [name, values] : series) {
+        support::JsonObject metric;
+        support::JsonArray value_entries;
+        for (const double value : values) value_entries.push_back(support::Json(value));
+        metric["values"] = support::Json(std::move(value_entries));
+        metric["latest"] = values.back();
+        metric["sparkline"] = sparkline(values);
+        metric_entries[name] = support::Json(std::move(metric));
+      }
+      entry["metrics"] = support::Json(std::move(metric_entries));
+      support::JsonArray finding_entries;
+      for (const obs::DriftFinding& finding : findings)
+        finding_entries.push_back(finding.to_json());
+      entry["drift"] = support::Json(std::move(finding_entries));
+      timeline_entries.push_back(support::Json(std::move(entry)));
+    }
+    text += "=== " + kind + " " + label + " (" + std::to_string(records.size()) +
+            " run(s)) ===\n";
+    for (const auto& [name, values] : series) {
+      char line[224];
+      std::snprintf(line, sizeof(line), "  %-20s %s  latest %.2f\n", name.c_str(),
+                    sparkline(values).c_str(), values.back());
+      text += line;
+    }
+    for (const obs::DriftFinding& finding : findings)
+      text += std::string("  ") + (finding.fails_gate ? "[DRIFT] " : "[warn]  ") +
+              finding.kind + " (" + finding.subject + "): " + finding.cause + "\n";
+    text += "\n";
+  }
+  if (json_output) {
+    support::JsonObject root;
+    root["history"] = history_path;
+    root["timelines"] = support::Json(std::move(timeline_entries));
+    std::printf("%s\n", support::Json(std::move(root)).pretty().c_str());
+  } else {
+    std::printf("%s", text.c_str());
+  }
+  if (!html_path.empty()) {
+    std::string html =
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n"
+        "<title>LISA gate trends</title>\n<style>\n"
+        "body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:64rem;"
+        "color:#1a1a2e;line-height:1.45}\n"
+        "pre{background:#f2f2f7;padding:1rem;border-radius:6px;overflow-x:auto}\n"
+        "</style></head><body>\n<h1>LISA gate trends</h1>\n<pre>\n" +
+        text + "</pre>\n</body></html>\n";
+    if (!write_text_file(html_path, html)) return 2;
   }
   return 0;
 }
@@ -786,12 +1057,15 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "corpus") return cmd_corpus();
+    if (command == "source" && argc >= 3) return cmd_source(argv[2], argc - 3, argv + 3);
     if (command == "prompt" && argc >= 3) return cmd_prompt(argv[2]);
     if (command == "infer" && argc >= 3) return cmd_infer(argv[2]);
     if (command == "check" && argc >= 3) return cmd_check(argv[2], argc - 3, argv + 3);
     if (command == "gate" && argc >= 4) return cmd_gate(argv[2], argv[3], argc - 4, argv + 4);
     if (command == "explain" && argc >= 3) return cmd_explain(argv[2], argc - 3, argv + 3);
     if (command == "slice" && argc >= 3) return cmd_slice(argv[2], argc - 3, argv + 3);
+    if (command == "diff") return cmd_diff(argc - 2, argv + 2);
+    if (command == "trends") return cmd_trends(argc - 2, argv + 2);
     if (command == "hunt") return cmd_hunt();
     if (command == "synth" && argc >= 3) return cmd_synth(argv[2]);
     if (command == "explore" && argc >= 3) return cmd_explore(argv[2]);
