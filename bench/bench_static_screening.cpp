@@ -162,12 +162,20 @@ ScreenStats run_comparison(bool use_summaries, std::vector<std::string>* disagre
       }
     } else {
       ++stats.unknown;
+      // Atomicity/liveness contracts never produce a screen verdict: the
+      // schedule explorer decides them instead. A found violation or a
+      // conclusively drained schedule space is a settled outcome — and the
+      // explorer is summary-independent, so it must agree with ground truth.
+      const bool explorer_decided =
+          interleaving && (screened.schedule_violations > 0 ||
+                           (screened.schedules_explored > 0 && screened.schedule_conclusive));
+      if (explorer_decided) ++stats.interleaving_settled;
       // Unknown must fall through to the identical full-check outcome —
-      // except interleaving contracts, which have no dynamic fall-through
-      // (single-threaded replay cannot observe interleavings): with
-      // summaries off they are simply unchecked, so comparing against the
-      // summaries-on ground truth is meaningless.
-      if (!interleaving && screened.passed() != truth_passed) {
+      // except interleaving contracts without an explorer verdict, which
+      // have no dynamic fall-through (single-threaded replay cannot observe
+      // interleavings): with summaries off they are simply unchecked, so
+      // comparing against the summaries-on ground truth is meaningless.
+      if ((!interleaving || explorer_decided) && screened.passed() != truth_passed) {
         ++stats.disagreements;
         if (disagreement_lines != nullptr)
           disagreement_lines->push_back(item.label + " " + item.contract->id +
@@ -220,8 +228,8 @@ int print_screening_table() {
   std::printf("shape check: %s — screening settles a third or more of the corpus\n"
               "statically, never contradicts the concolic verdict in either mode,\n"
               "settles strictly more with summaries on, settles every interleaving\n"
-              "contract through the lock graph, and cuts the end-to-end checking\n"
-              "time.\n\n",
+              "contract (lock graph or schedule explorer), and cuts the end-to-end\n"
+              "checking time.\n\n",
               ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -127,15 +127,28 @@ i_safe = counters.get("screen.interleaving.proved-safe", 0)
 i_refuted = counters.get("screen.interleaving.proved-violated", 0)
 i_unknown = counters.get("screen.interleaving.unknown", 0)
 i_screened = i_safe + i_refuted + i_unknown
+# Atomicity/liveness contracts are decided by the schedule explorer, not the
+# lock graph: track how many interleavings it ran and what fraction of those
+# contracts it drained conclusively (an inconclusive exploration is a typed
+# gate failure, so a drop here means the schedule workload outgrew its bound).
+sched_contracts = counters.get("checker.schedule_contracts", 0)
+sched_inconclusive = counters.get("checker.schedule_inconclusive", 0)
 snapshot["corpus"] = {
     "cases": corpus.get("cases", 0),
     "violations": corpus.get("violations", 0),
     "settled_fraction": (safe + refuted) / screened if screened else 1.0,
     "interleaving_settled_fraction":
         (i_safe + i_refuted) / i_screened if i_screened else 1.0,
+    "schedules_explored": counters.get("checker.schedules_explored", 0),
+    "interleaving_conclusive_fraction":
+        (sched_contracts - sched_inconclusive) / sched_contracts
+        if sched_contracts else 1.0,
     "verdicts": {
         "contracts": counters.get("checker.contracts", 0),
         "interleaving_contracts": counters.get("checker.interleaving_contracts", 0),
+        "schedule_contracts": sched_contracts,
+        "schedule_violations": counters.get("checker.schedule_violations", 0),
+        "schedule_inconclusive": sched_inconclusive,
         "paths_verified": counters.get("checker.paths_verified", 0),
         "paths_violated": counters.get("checker.paths_violated", 0),
         "paths_unmappable": counters.get("checker.paths_unmappable", 0),
@@ -167,7 +180,11 @@ if history:
         "input_fingerprint": snapshot["git"]["sha"],
         "contracts": {},
         "metrics": {"settled_fraction": snapshot["corpus"]["settled_fraction"],
-                    "violations": float(snapshot["corpus"]["violations"])},
+                    "violations": float(snapshot["corpus"]["violations"]),
+                    "schedules_explored":
+                        float(snapshot["corpus"]["schedules_explored"]),
+                    "interleaving_conclusive_fraction":
+                        snapshot["corpus"]["interleaving_conclusive_fraction"]},
         "meta": {"git_sha": snapshot["git"]["sha"],
                  "git_branch": snapshot["git"]["branch"],
                  "git_dirty": str(snapshot["git"]["dirty"]).lower(),

@@ -226,6 +226,39 @@ fi
 rm -rf "$drift_dir"
 echo "drift smoke: OK (injected regression blocked the gate, narrated)"
 
+# Schedule chaos smoke: injecting a failure into schedule exploration must
+# block the gate with a narrated inconclusive cause — an undrained schedule
+# space is "no violation found so far", never a silent pass. The explicit
+# --schedule-warn-only escape hatch downgrades the block; a clean rerun goes
+# green, proving the block came from the injected fault.
+sched_dir=$(mktemp -d)
+"$BUILD_DIR"/tools/lisa source zk-session-close-race > "$sched_dir/commit.ml"
+sched_status=0
+sched_out=$(LISA_FAULTPOINTS=schedule.explore=fail \
+  "$BUILD_DIR"/tools/lisa gate zk-session-close-race "$sched_dir/commit.ml" \
+  2>/dev/null) || sched_status=$?
+if [[ "$sched_status" -ne 1 ]]; then
+  echo "check.sh: schedule-chaos gate run exited $sched_status (expected 1: blocked)" >&2
+  exit 1
+fi
+if [[ "$sched_out" != *"schedule exploration inconclusive"* || \
+      "$sched_out" != *"fault injected: schedule.explore"* ]]; then
+  echo "check.sh: blocked schedule-chaos run lacks the narrated cause:" >&2
+  echo "$sched_out" >&2
+  exit 1
+fi
+warn_status=0
+LISA_FAULTPOINTS=schedule.explore=fail \
+  "$BUILD_DIR"/tools/lisa gate zk-session-close-race "$sched_dir/commit.ml" \
+  --schedule-warn-only > /dev/null 2>&1 || warn_status=$?
+if [[ "$warn_status" -ne 0 ]]; then
+  echo "check.sh: --schedule-warn-only did not downgrade the inconclusive block" >&2
+  exit 1
+fi
+"$BUILD_DIR"/tools/lisa gate zk-session-close-race "$sched_dir/commit.ml" > /dev/null
+rm -rf "$sched_dir"
+echo "schedule chaos smoke: OK (injected fault blocked the gate, narrated)"
+
 # Bench-snapshot smoke: a FAST snapshot must produce a parseable file with
 # the documented schema (benches -> wall_ms, corpus -> settled fraction and
 # verdict counts), and the incremental bench must export its re-check
@@ -252,6 +285,12 @@ assert 0.0 <= corpus["settled_fraction"] <= 1.0
 assert 0.0 <= corpus["interleaving_settled_fraction"] <= 1.0
 assert corpus["verdicts"]["contracts"] > 0
 assert "screen_interleaving_proved_safe" in corpus["verdicts"]
+# The schedule-explorer workload is on record: the corpus pass explored
+# interleavings, and every explored contract was drained conclusively (the
+# corpus patched sources fit the default bound by construction).
+assert corpus["schedules_explored"] > 0, corpus
+assert corpus["verdicts"]["schedule_contracts"] > 0, corpus["verdicts"]
+assert corpus["interleaving_conclusive_fraction"] == 1.0, corpus
 PY
 # The snapshot also appends a kind="bench" record the trends CLI can read.
 if [[ ! -s "$snap_dir/history.jsonl" ]]; then

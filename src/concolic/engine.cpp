@@ -419,6 +419,12 @@ class Engine::Impl {
       case Stmt::Kind::kSync:
         eval(*stmt.expr, frame);
         return exec_block(stmt.body, frame, return_value);
+      case Stmt::Kind::kSpawn:
+        // Serial spawn semantics: the concolic walk runs the thread root
+        // inline — single-schedule replay by construction (the schedule
+        // explorer, not this engine, quantifies over interleavings).
+        eval(*stmt.expr, frame);
+        return Flow::kNormal;
       case Stmt::Kind::kBlock:
         return exec_block(stmt.body, frame, return_value);
       case Stmt::Kind::kTry: {

@@ -487,10 +487,127 @@ fn test_casshints_delivery_preserves_new_hints() {
   return ticket;
 }
 
+// ---------------------------------------------------------------------------
+// Case 5: flush waiter hangs when the signal lands in the check-to-wait window.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kCassFlushNotifyCommon = R"ml(
+struct FlushQueue { ready: int; observed: int; }
+
+fn new_flush_queue() -> FlushQueue {
+  return new FlushQueue { ready: 0, observed: 0 };
+}
+)ml";
+
+constexpr const char* kCassFlushNotifyTests = R"ml(
+@test
+fn test_signal_marks_flush_ready() {
+  let q = new_flush_queue();
+  signal_flush(q);
+  assert(q.ready == 1, "flush marked ready");
+}
+
+@test
+fn test_waiter_observes_completed_flush() {
+  let q = new_flush_queue();
+  signal_flush(q);
+  await_flush(q);
+  assert(q.observed == 1, "waiter observed the flush");
+}
+
+@test
+fn test_concurrent_signal_wakes_waiter() {
+  let q = new_flush_queue();
+  spawn signal_flush(q);
+  spawn await_flush(q);
+  join_all();
+  assert(q.observed == 1, "waiter eventually observes the flush");
+}
+)ml";
+
+FailureTicket cass_flush_notify_case() {
+  FailureTicket ticket;
+  ticket.case_id = "cass-flush-notify";
+  ticket.system = "cassandra";
+  ticket.feature = "memtable flush";
+  ticket.title = "Flush waiter hangs forever: wakeup signal lost in the check-to-wait window";
+  ticket.description =
+      "A thread waiting for a memtable flush checked the ready flag and "
+      "then blocked, but the flush writer could set the flag and fire its "
+      "notify between the check and the wait — the wakeup signal was lost "
+      "and the waiter hung forever, wedging the write path until restart. "
+      "Developer discussion: the waiter must hold the queue monitor across "
+      "the check-and-wait and re-check in a loop, and the writer must "
+      "signal under the same monitor so the notify cannot race the check. "
+      "Fix moves both sides into the queue critical section.";
+
+  const std::string buggy_flush = R"ml(
+@entry
+fn await_flush(q: FlushQueue) {
+  if (q.ready == 0) {
+    wait(q);
+  }
+  q.observed = q.observed + 1;
+}
+
+@entry
+fn signal_flush(q: FlushQueue) {
+  q.ready = 1;
+  notify(q);
+}
+)ml";
+
+  const std::string patched_flush = R"ml(
+@entry
+fn await_flush(q: FlushQueue) {
+  sync (q) {
+    while (q.ready == 0) {
+      wait(q);
+    }
+  }
+  q.observed = q.observed + 1;
+}
+
+@entry
+fn signal_flush(q: FlushQueue) {
+  sync (q) {
+    q.ready = 1;
+    notify_all(q);
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_cassflush_waiter_skips_wait_when_ready() {
+  let q = new_flush_queue();
+  signal_flush(q);
+  await_flush(q);
+  await_flush(q);
+  assert(q.observed == 2, "ready flag short-circuits every later waiter");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kCassFlushNotifyCommon) + buggy_flush + kCassFlushNotifyTests;
+  ticket.patched_source =
+      std::string(kCassFlushNotifyCommon) + patched_flush + kCassFlushNotifyTests + regression_test;
+  ticket.regression_tests = {"test_cassflush_waiter_skips_wait_when_ready"};
+  ticket.original = {"CASS-F1", "2014-07-23",
+                     "Write path wedged: flush waiter misses the wakeup and blocks forever"};
+  ticket.regressions = {{"CASS-F2", "2016-11-15",
+                         "Index rebuild waiter repeats the unguarded check-then-wait; "
+                         "flush-path fix missed it"}};
+  ticket.kind = SemanticsKind::kInterleavingSensitive;
+  ticket.expected_target = "wait(";
+  ticket.expected_condition = "eventually(ready)";
+  return ticket;
+}
+
 }  // namespace
 
 std::vector<FailureTicket> cassandra_cases() {
-  return {cass_hint_case(), cass_repair_case(), cass_counter_case(), cass_hint_race_case()};
+  return {cass_hint_case(), cass_repair_case(), cass_counter_case(), cass_hint_race_case(),
+          cass_flush_notify_case()};
 }
 
 }  // namespace lisa::corpus

@@ -684,11 +684,102 @@ fn test_hbflush_enqueue_outside_region_monitor() {
   return ticket;
 }
 
+// ---------------------------------------------------------------------------
+// Case 6: region operation counter loses concurrent increments.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHbaseCounterCommon = R"ml(
+struct RegionCounter { value: int; }
+
+fn new_region_counter() -> RegionCounter {
+  return new RegionCounter { value: 0 };
+}
+)ml";
+
+constexpr const char* kHbaseCounterTests = R"ml(
+@test
+fn test_single_increment_lands() {
+  let c = new_region_counter();
+  bump_counter(c);
+  assert(c.value == 1, "increment applied");
+}
+
+@test
+fn test_concurrent_increments_all_land() {
+  let c = new_region_counter();
+  spawn bump_counter(c);
+  spawn bump_counter(c);
+  join_all();
+  assert(c.value == 2, "no increment lost");
+}
+)ml";
+
+FailureTicket hbase_counter_case() {
+  FailureTicket ticket;
+  ticket.case_id = "hbase-counter-race";
+  ticket.system = "hbase";
+  ticket.feature = "region metrics";
+  ticket.title = "Region operation counter drops updates under concurrent increments";
+  ticket.description =
+      "The per-region operation counter was incremented with a plain "
+      "read-modify-write: two handler threads read the same value, both "
+      "added one, and one update was lost, so the reported request count "
+      "drifted below the real load and quota decisions ran on stale "
+      "numbers. The lost update only appears when two increments "
+      "interleave — every single-threaded run passes. Developer "
+      "discussion: the read-modify-write must be atomic. Fix performs the "
+      "increment inside the counter monitor.";
+
+  const std::string buggy_bump = R"ml(
+@entry
+fn bump_counter(c: RegionCounter) {
+  let v = c.value;
+  c.value = v + 1;
+}
+)ml";
+
+  const std::string patched_bump = R"ml(
+@entry
+fn bump_counter(c: RegionCounter) {
+  sync (c) {
+    let v = c.value;
+    c.value = v + 1;
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_hbasecounter_triple_concurrent_bumps() {
+  let c = new_region_counter();
+  spawn bump_counter(c);
+  spawn bump_counter(c);
+  spawn bump_counter(c);
+  join_all();
+  assert(c.value == 3, "every concurrent increment kept");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kHbaseCounterCommon) + buggy_bump + kHbaseCounterTests;
+  ticket.patched_source =
+      std::string(kHbaseCounterCommon) + patched_bump + kHbaseCounterTests + regression_test;
+  ticket.regression_tests = {"test_hbasecounter_triple_concurrent_bumps"};
+  ticket.original = {"HBASE-C1", "2013-03-18",
+                     "Region request counter loses concurrent increments; metrics under-report"};
+  ticket.regressions = {{"HBASE-C2", "2015-12-04",
+                         "Bulk-load path increments the counter outside the monitor; "
+                         "single-increment fix missed it"}};
+  ticket.kind = SemanticsKind::kInterleavingSensitive;
+  ticket.expected_target = "value";
+  ticket.expected_condition = "atomic(c)";
+  return ticket;
+}
+
 }  // namespace
 
 std::vector<FailureTicket> hbase_cases() {
-  return {hbase_snapshot_case(), hbase_split_case(), hbase_meta_case(), hbase_wal_case(),
-          hbase_flush_lock_case()};
+  return {hbase_snapshot_case(), hbase_split_case(),      hbase_meta_case(),
+          hbase_wal_case(),      hbase_flush_lock_case(), hbase_counter_case()};
 }
 
 }  // namespace lisa::corpus

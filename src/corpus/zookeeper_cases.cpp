@@ -840,11 +840,125 @@ fn test_zkelection_broadcast_then_elect() {
   return ticket;
 }
 
+// ---------------------------------------------------------------------------
+// Case 7: ephemeral created in the check-then-act window of session close.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kZkSessionCloseCommon = R"ml(
+struct SessionTracker { closing: int; ephemerals: int; }
+
+fn new_session_tracker() -> SessionTracker {
+  return new SessionTracker { closing: 0, ephemerals: 0 };
+}
+)ml";
+
+constexpr const char* kZkSessionCloseTests = R"ml(
+@test
+fn test_create_then_close_cleans_up() {
+  let s = new_session_tracker();
+  submit_create(s);
+  close_session(s);
+  assert(s.ephemerals == 0, "closed session keeps no ephemerals");
+}
+
+@test
+fn test_create_on_open_session_registers() {
+  let s = new_session_tracker();
+  submit_create(s);
+  assert(s.ephemerals == 1, "ephemeral registered on open session");
+}
+
+@test
+fn test_concurrent_create_and_close() {
+  let s = new_session_tracker();
+  spawn submit_create(s);
+  spawn close_session(s);
+  join_all();
+  assert(s.closing == 0 || s.ephemerals == 0,
+         "no ephemeral survives a closed session");
+}
+)ml";
+
+FailureTicket zk_session_close_case() {
+  FailureTicket ticket;
+  ticket.case_id = "zk-session-close-race";
+  ticket.system = "zookeeper";
+  ticket.feature = "session tracker";
+  ticket.title = "Ephemeral node survives session close via check-then-act window";
+  ticket.description =
+      "The create path checked that the session was not closing and then "
+      "registered the ephemeral in two separate steps; the session closer "
+      "could interleave between the check and the act, so a freshly created "
+      "ephemeral survived the close and was never cleaned up — a classic "
+      "check-then-act atomicity violation that single-threaded replay never "
+      "exposes. Developer discussion: the closing check and the ephemeral "
+      "registration must be atomic with respect to close. Fix wraps both "
+      "paths in the session-tracker monitor.";
+
+  const std::string buggy_ops = R"ml(
+@entry
+fn submit_create(s: SessionTracker) {
+  if (s.closing == 0) {
+    s.ephemerals = s.ephemerals + 1;
+  }
+}
+
+@entry
+fn close_session(s: SessionTracker) {
+  s.closing = 1;
+  s.ephemerals = 0;
+}
+)ml";
+
+  const std::string patched_ops = R"ml(
+@entry
+fn submit_create(s: SessionTracker) {
+  sync (s) {
+    if (s.closing == 0) {
+      s.ephemerals = s.ephemerals + 1;
+    }
+  }
+}
+
+@entry
+fn close_session(s: SessionTracker) {
+  sync (s) {
+    s.closing = 1;
+    s.ephemerals = 0;
+  }
+}
+)ml";
+
+  const std::string regression_test = R"ml(
+@test
+fn test_zksession_create_rejected_after_close() {
+  let s = new_session_tracker();
+  close_session(s);
+  submit_create(s);
+  assert(s.ephemerals == 0, "create after close registers nothing");
+}
+)ml";
+
+  ticket.buggy_source = std::string(kZkSessionCloseCommon) + buggy_ops + kZkSessionCloseTests;
+  ticket.patched_source =
+      std::string(kZkSessionCloseCommon) + patched_ops + kZkSessionCloseTests + regression_test;
+  ticket.regression_tests = {"test_zksession_create_rejected_after_close"};
+  ticket.original = {"ZK-S1", "2011-10-21",
+                     "Ephemeral node remains after session close; create raced the closer"};
+  ticket.regressions = {{"ZK-S2", "2014-06-12",
+                         "Multi-op create path repeats the unguarded closing check; "
+                         "single-op fix missed it"}};
+  ticket.kind = SemanticsKind::kInterleavingSensitive;
+  ticket.expected_target = "ephemerals";
+  ticket.expected_condition = "atomic(s)";
+  return ticket;
+}
+
 }  // namespace
 
 std::vector<FailureTicket> zookeeper_cases() {
-  return {zk_ephemeral_case(), zk_sync_serialize_case(), zk_watch_case(), zk_quota_case(),
-          zk_acl_case(),       zk_election_case()};
+  return {zk_ephemeral_case(), zk_sync_serialize_case(), zk_watch_case(),        zk_quota_case(),
+          zk_acl_case(),       zk_election_case(),       zk_session_close_case()};
 }
 
 }  // namespace lisa::corpus

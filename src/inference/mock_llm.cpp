@@ -127,6 +127,46 @@ bool has_sync_stmt(const Program& program) {
   return found;
 }
 
+/// True when the program contains at least one `spawn` statement — the
+/// discriminator between interleaving tickets settled statically (lockset /
+/// lock-order over entry points) and tickets whose bug only exists under a
+/// real thread schedule (check-then-act, lost update, missed notify).
+bool has_spawn_stmt(const Program& program) {
+  bool found = false;
+  program.for_each_stmt([&](const FuncDecl&, const Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kSpawn) found = true;
+  });
+  return found;
+}
+
+/// First field name read anywhere in `expr` (pre-order), or "".
+std::string first_field_read(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kField) return expr.text;
+  for (const minilang::ExprPtr& arg : expr.args) {
+    std::string nested = first_field_read(*arg);
+    if (!nested.empty()) return nested;
+  }
+  return "";
+}
+
+/// First `while` loop in `stmts` (recursive) whose body calls wait() — the
+/// guarded-wait shape a missed-notify patch introduces.
+const Stmt* find_wait_loop(const std::vector<StmtPtr>& stmts) {
+  for (const StmtPtr& stmt : stmts) {
+    if (stmt->kind == Stmt::Kind::kWhile) {
+      for (const StmtPtr& inner : stmt->body) {
+        const Expr* call = first_call_in_stmt(*inner);
+        if (call != nullptr && call->text == "wait") return stmt.get();
+      }
+    }
+    const Stmt* nested = find_wait_loop(stmt->body);
+    if (nested != nullptr) return nested;
+    nested = find_wait_loop(stmt->else_body);
+    if (nested != nullptr) return nested;
+  }
+  return nullptr;
+}
+
 /// First field name written by an assignment in `stmts` (recursive), or "".
 std::string first_field_write(const std::vector<StmtPtr>& stmts) {
   for (const StmtPtr& stmt : stmts) {
@@ -205,6 +245,89 @@ SemanticsProposal MockLlm::infer(const corpus::FailureTicket& ticket) const {
   proposal.case_id = ticket.case_id;
   std::string reasoning =
       "Root cause localized from the patch diff of " + ticket.case_id + ". ";
+
+  // ---- Interleaving rule: missed notify fixed by a guarded wait loop -------
+  // Lost-wakeup tickets on spawning programs are patched by moving the
+  // check-and-wait under the monitor and re-checking in a loop; the
+  // checkable rule is liveness — every schedule must eventually observe the
+  // condition — which only the schedule explorer can decide.
+  const bool spawning = has_spawn_stmt(before) || has_spawn_stmt(after);
+  const bool notify_language =
+      support::contains_ci(ticket.description, "notify") ||
+      support::contains_ci(ticket.description, "wakeup") ||
+      support::contains_ci(ticket.description, "signal");
+  if (spawning && notify_language) {
+    for (const corpus::DiffEntry& added : diff.added) {
+      if (added.stmt->kind != Stmt::Kind::kSync || added.stmt->expr == nullptr)
+        continue;
+      const Stmt* loop = find_wait_loop(added.stmt->body);
+      if (loop == nullptr || loop->expr == nullptr) continue;
+      const std::string field = first_field_read(*loop->expr);
+      if (field.empty()) continue;
+      proposal.kind = corpus::SemanticsKind::kInterleavingSensitive;
+      proposal.pattern = "eventually";
+      proposal.high_level_semantics =
+          "A waiter blocked on a condition must eventually observe it under "
+          "every thread schedule: a wakeup signal that can land between the "
+          "check and the wait is a lost-notify hang.";
+      LowLevelSemantics low;
+      low.description =
+          "Under every interleaving, a thread that waits on '" + field +
+          "' must eventually be woken and observe the condition; no schedule "
+          "may strand the waiter after the signal has fired.";
+      low.target_statement = "wait(";
+      low.condition_statement = "eventually(" + field + ")";
+      proposal.low_level.push_back(std::move(low));
+      reasoning +=
+          "The patch moved the check of '" + field +
+          "' and the wait into one monitor region with a re-check loop; the "
+          "generalized rule quantifies over schedules — the waiter must "
+          "eventually proceed in every interleaving, not just the serial one.";
+      proposal.reasoning = reasoning;
+      return proposal;
+    }
+  }
+
+  // ---- Interleaving rule: check-then-act / lost update made atomic ---------
+  // Atomicity tickets on spawning programs are patched by wrapping the
+  // multi-step access in a monitor; the rule quantifies over interleavings
+  // (the region must appear indivisible in every schedule), so it is decided
+  // by the schedule explorer, not the static lockset screen.
+  const bool atomic_language =
+      support::contains_ci(ticket.description, "check-then-act") ||
+      support::contains_ci(ticket.description, "lost update") ||
+      support::contains_ci(ticket.description, "read-modify-write") ||
+      support::contains_ci(ticket.description, "atomic");
+  if (spawning && atomic_language) {
+    for (const corpus::DiffEntry& added : diff.added) {
+      if (added.stmt->kind != Stmt::Kind::kSync || added.stmt->expr == nullptr)
+        continue;
+      const std::string monitor = minilang::expr_text(*added.stmt->expr);
+      const std::string field = first_field_write(added.stmt->body);
+      if (field.empty() || monitor.empty()) continue;
+      proposal.kind = corpus::SemanticsKind::kInterleavingSensitive;
+      proposal.pattern = "atomic";
+      proposal.high_level_semantics =
+          "A multi-step access of shared state must be indivisible: no other "
+          "thread may observe or mutate the state between the check (or "
+          "read) and the act (or write).";
+      LowLevelSemantics low;
+      low.description =
+          "The region updating field '" + field + "' under monitor '" + monitor +
+          "' must execute atomically in every interleaving; a schedule that "
+          "interleaves another thread inside it is a violation.";
+      low.target_statement = field;
+      low.condition_statement = "atomic(" + monitor + ")";
+      proposal.low_level.push_back(std::move(low));
+      reasoning +=
+          "The patch wrapped the multi-step update of '" + field +
+          "' in sync (" + monitor +
+          "); generalized from the patched site to atomicity of the region "
+          "under every thread schedule, which serial replay cannot check.";
+      proposal.reasoning = reasoning;
+      return proposal;
+    }
+  }
 
   // ---- Interleaving rule: lock-order inversion fixed by the patch ----------
   // Deadlock tickets talk about lock ordering; the checkable rule is global

@@ -7,6 +7,7 @@
 #include "analysis/paths.hpp"
 #include "analysis/patterns.hpp"
 #include "concolic/engine.hpp"
+#include "concolic/schedule.hpp"
 #include "inference/embedding.hpp"
 #include "minilang/printer.hpp"
 #include "obs/explain.hpp"
@@ -136,6 +137,24 @@ Json ContractCheckReport::to_json() const {
     screen["skipped_concolic"] = screen_skipped_concolic;
     root["screen"] = Json(std::move(screen));
   }
+  // Emitted only when exploration actually ran (or degraded), so reports for
+  // thread-free programs stay byte-identical to the pre-scheduler checker.
+  if (schedules_explored > 0 || !schedule_conclusive) {
+    JsonObject schedule;
+    schedule["explored"] = schedules_explored;
+    schedule["conclusive"] = schedule_conclusive;
+    schedule["violations"] = schedule_violations;
+    if (!schedule_witness.empty()) schedule["witness"] = schedule_witness;
+    if (!schedule_inconclusive_reason.empty())
+      schedule["reason"] = schedule_inconclusive_reason;
+    if (!schedule_violation_details.empty()) {
+      JsonArray details;
+      for (const std::string& detail : schedule_violation_details)
+        details.push_back(Json(detail));
+      schedule["violation_details"] = Json(std::move(details));
+    }
+    root["schedule"] = Json(std::move(schedule));
+  }
   if (!slice_fp.empty()) root["slice_fp"] = slice_fp;
   return Json(std::move(root));
 }
@@ -226,6 +245,20 @@ ContractCheckReport ContractCheckReport::from_json(const Json& json) {
                                      screen.at("skipped_concolic").is_bool() &&
                                      screen.at("skipped_concolic").as_bool();
   }
+  if (json.has("schedule") && json.at("schedule").is_object()) {
+    const Json& schedule = json.at("schedule");
+    report.schedules_explored = static_cast<int>(schedule.get_int("explored"));
+    report.schedule_conclusive = !schedule.has("conclusive") ||
+                                 !schedule.at("conclusive").is_bool() ||
+                                 schedule.at("conclusive").as_bool();
+    report.schedule_violations = static_cast<int>(schedule.get_int("violations"));
+    report.schedule_witness = schedule.get_string("witness");
+    report.schedule_inconclusive_reason = schedule.get_string("reason");
+    if (schedule.has("violation_details") && schedule.at("violation_details").is_array())
+      for (const Json& detail : schedule.at("violation_details").as_array())
+        if (detail.is_string())
+          report.schedule_violation_details.push_back(detail.as_string());
+  }
   report.slice_fp = json.get_string("slice_fp");
   return report;
 }
@@ -259,6 +292,12 @@ std::string ContractCheckReport::verdict_signature() const {
   sig += " concrete=" + std::to_string(dynamic.concrete_violations);
   for (const std::string& detail : dynamic.violation_details) sig += "\nviolation " + detail;
   if (!screen_verdict.empty()) sig += "\nscreen " + screen_verdict;
+  if (schedules_explored > 0 || !schedule_conclusive) {
+    sig += "\nschedule explored=" + std::to_string(schedules_explored);
+    sig += " violations=" + std::to_string(schedule_violations);
+    sig += schedule_conclusive ? " conclusive" : " inconclusive";
+    if (!schedule_witness.empty()) sig += " " + schedule_witness;
+  }
   return sig;
 }
 
@@ -359,6 +398,7 @@ void finalize_capture(const obs::CaptureHandle& capture, const ContractCheckRepo
     cell->budget.charges["paths"] = budget->paths();
     cell->budget.charges["fork-points"] = budget->fork_points();
     cell->budget.charges["steps"] = budget->steps();
+    cell->budget.charges["schedules"] = budget->schedules();
   }
 }
 
@@ -443,6 +483,79 @@ ContractCheckReport Checker::check(const minilang::Program& program,
       for (const minilang::FuncDecl* fn : program.functions_with("test"))
         request.candidate_tests.push_back(fn->name);
       capture.capture->narration = obs::narrate_counterexample(program, request);
+    }
+    finalize_capture(capture, report, options.budget);
+    record_contract_outcome(span, report, span.elapsed_ms());
+    return report;
+  }
+
+  if (contract.kind == corpus::SemanticsKind::kInterleavingSensitive &&
+      (contract.pattern == "atomic" || contract.pattern == "eventually")) {
+    // Atomicity and liveness patterns cannot be settled by the lockset
+    // screen: the violation is a specific interleaving of spawned threads,
+    // not a missing lock edge. The schedule explorer quantifies over
+    // interleavings instead — every spawning @test is re-run under the
+    // cooperative scheduler, one thread order per run, bounded by
+    // max_schedules and charged to the budget. Serial replay of the same
+    // tests sees exactly one schedule and is provably blind to these bugs
+    // (schedule_test.cpp asserts it), so the explorer's verdict is final:
+    // a violating schedule fails the contract with a replayable witness;
+    // an undrained schedule space is a typed inconclusive, never a pass.
+    const staticcheck::Screener screener(program, options.use_summaries);
+    if (screener.summaries() != nullptr)
+      report.summary_ms = screener.summaries()->stats().elapsed_ms;
+    if (options.compute_slice_fp) {
+      const staticcheck::SliceEngine slicer(program, screener.graph(), screener.summaries());
+      report.slice_fp = contract_slice_fingerprint(slicer, contract, options.run_concolic);
+    }
+    report.target_statements =
+        analysis::find_target_statements(program, contract.target_fragment).size();
+    report.sanity_ok = true;  // the witness schedule is its own evidence
+
+    concolic::ScheduleExploreOptions schedule_options;
+    schedule_options.max_schedules = options.max_schedules;
+    schedule_options.seed = options.schedule_seed;
+    schedule_options.budget = options.budget;
+    concolic::ScheduleExplorer explorer(program, schedule_options);
+    const concolic::ScheduleExplorationResult explored = explorer.explore();
+    report.schedules_explored = explored.schedules_explored;
+    report.schedule_conclusive = explored.conclusive;
+    report.schedule_inconclusive_reason = explored.inconclusive_reason;
+    report.schedule_violations = static_cast<int>(explored.witnesses.size());
+    for (const concolic::ScheduleWitness& witness : explored.witnesses) {
+      report.schedule_violation_details.push_back(
+          witness.test + ": " + witness.outcome + " under schedule [" +
+          witness.decisions_text() + "]" +
+          (witness.detail.empty() ? "" : " — " + witness.detail));
+      if (report.schedule_witness.empty())
+        report.schedule_witness = witness.to_compact();
+    }
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      report.budget_exhausted = true;
+      report.budget_reason = options.budget->exhausted_reason();
+      report.budget_resource =
+          support::budget_resource_name(options.budget->exhausted_resource());
+    }
+    obs::metrics().counter("checker.interleaving_contracts").add();
+    obs::metrics().counter("checker.schedule_contracts").add();
+    obs::metrics().counter("checker.schedules_explored").add(explored.schedules_explored);
+    if (explored.violation_found)
+      obs::metrics().counter("checker.schedule_violations").add();
+    if (!explored.conclusive)
+      obs::metrics().counter("checker.schedule_inconclusive").add();
+    if (capture.active()) {
+      capture.capture->schedules_explored = report.schedules_explored;
+      capture.capture->schedule_conclusive = report.schedule_conclusive;
+      capture.capture->schedule_witness = report.schedule_witness;
+      capture.capture->schedule_reason =
+          !report.schedule_violation_details.empty()
+              ? report.schedule_violation_details.front()
+              : report.schedule_inconclusive_reason;
+      if (!explored.witnesses.empty())
+        // Narrate the violating interleaving: replay the witness with a
+        // recording observer, each step tagged with its MiniLang thread id.
+        capture.capture->narration =
+            concolic::narrate_schedule(program, explored.witnesses.front());
     }
     finalize_capture(capture, report, options.budget);
     record_contract_outcome(span, report, span.elapsed_ms());

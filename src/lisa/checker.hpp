@@ -18,6 +18,7 @@
 // Structural contracts are checked over the call graph instead.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -112,6 +113,23 @@ struct ContractCheckReport {
   /// "fork-points" | "steps"); empty unless budget_exhausted.
   std::string budget_resource;
 
+  /// Schedule exploration (concolic/schedule.hpp): interleaving contracts
+  /// with `atomic` / `eventually` patterns are decided by re-running every
+  /// spawning @test under the cooperative scheduler, one interleaving per
+  /// run. Serial replay sees exactly one schedule and is provably blind to
+  /// these bugs, so the explorer's verdict is the contract's verdict.
+  int schedules_explored = 0;
+  /// False when the DFS could not drain the reduced schedule space within
+  /// the bound (or the budget): "no violation found so far", never a pass.
+  bool schedule_conclusive = true;
+  int schedule_violations = 0;
+  /// Compact replayable witness of the first violating interleaving
+  /// (ScheduleWitness::to_compact): seed + decision list re-derive the
+  /// identical trace on any later run.
+  std::string schedule_witness;
+  std::string schedule_inconclusive_reason;
+  std::vector<std::string> schedule_violation_details;
+
   /// Slice fingerprint of this contract's verdict cone
   /// (staticcheck/slice.hpp): the canonical identity of everything the
   /// verdict can depend on. Journal resume replays a checkpointed entry iff
@@ -122,7 +140,8 @@ struct ContractCheckReport {
   /// True when the checked program satisfies the contract everywhere.
   [[nodiscard]] bool passed() const {
     return violated == 0 && structural_violations.empty() &&
-           dynamic.symbolic_violations == 0 && dynamic.concrete_violations == 0;
+           dynamic.symbolic_violations == 0 && dynamic.concrete_violations == 0 &&
+           schedule_violations == 0;
   }
 
   /// True when every phase ran to completion: no path refused, no run
@@ -130,7 +149,8 @@ struct ContractCheckReport {
   /// "no violation found so far" — needs attention, not a green light.
   [[nodiscard]] bool conclusive() const {
     return !budget_exhausted && inconclusive == 0 &&
-           dynamic.inconclusive_hits == 0 && dynamic.degraded_runs == 0;
+           dynamic.inconclusive_hits == 0 && dynamic.degraded_runs == 0 &&
+           schedule_conclusive;
   }
 
   /// Canonical rendering of everything verdict-relevant — counts, per-path
@@ -169,6 +189,16 @@ struct CheckOptions {
   /// the ablation axis of bench_static_screening. Never affects the static
   /// tree or concolic phases, only which contracts the screener can settle.
   bool use_summaries = true;
+  /// Schedule-exploration bound for interleaving contracts with `atomic` /
+  /// `eventually` patterns: the total number of interleavings the explorer
+  /// may run across all spawning @tests before the verdict degrades to a
+  /// typed inconclusive. Every run is charged to the budget's `schedules`
+  /// resource when one is attached.
+  int max_schedules = 2048;
+  /// Seed for the explorer's PCT-style random phase (used only when the DFS
+  /// cannot drain the reduced schedule space within the bound). Fixed
+  /// default so repeated runs explore identical schedules.
+  std::uint64_t schedule_seed = 0x5eedULL;
   /// Cooperative resource budget shared across phases: the static loop
   /// charges paths and SMT queries, the concolic engine charges steps and
   /// fork points. Refused work surfaces as kInconclusive paths or degraded

@@ -62,6 +62,14 @@ Json GateDecision::to_json() const {
   if (inconclusive_contracts > 0) root["inconclusive_contracts"] = inconclusive_contracts;
   if (needs_attention) root["needs_attention"] = true;
   if (resumed_contracts > 0) root["resumed_contracts"] = resumed_contracts;
+  // Emitted only when the explorer decided at least one contract, so gate
+  // output for thread-free programs stays byte-identical.
+  if (schedule_contracts > 0) {
+    root["schedule_contracts"] = schedule_contracts;
+    root["schedules_explored"] = schedules_explored;
+    root["schedule_inconclusive"] = schedule_inconclusive;
+    root["interleaving_conclusive_fraction"] = interleaving_conclusive_fraction();
+  }
   // Longitudinal fields appear only when a history file was in play, so
   // history-off output stays byte-identical to pre-history LISA.
   if (baseline_runs >= 0) {
@@ -157,6 +165,27 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
       ++decision.screened_unknown;
     if (report.screen_skipped_concolic) ++decision.concolic_skipped;
     decision.summary_ms += report.summary_ms;
+    if (report.schedules_explored > 0 || !report.schedule_conclusive) {
+      ++decision.schedule_contracts;
+      decision.schedules_explored += report.schedules_explored;
+      if (!report.schedule_conclusive) {
+        ++decision.schedule_inconclusive;
+        // An undrained schedule space is "no violation found so far", not a
+        // pass: it blocks the commit unless the operator explicitly
+        // downgraded it. Violating interleavings block unconditionally
+        // through the passed() branch below.
+        if (run_options.schedule_warn_only) {
+          decision.needs_attention = true;
+        } else {
+          decision.allowed = false;
+          decision.violations.push_back(
+              contract.id + " [" + contract.target_fragment +
+              "]: schedule exploration inconclusive — " +
+              report.schedule_inconclusive_reason +
+              " (raise --max-schedules or pass --schedule-warn-only to downgrade)");
+        }
+      }
+    }
     if (!report.passed()) {
       decision.allowed = false;
       std::string reason = contract.id + " [" + contract.target_fragment + "]: ";
@@ -168,6 +197,9 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
       if (report.dynamic.symbolic_violations > 0)
         reason += std::to_string(report.dynamic.symbolic_violations) +
                   " missing-check trace(s); ";
+      if (report.schedule_violations > 0)
+        reason += std::to_string(report.schedule_violations) +
+                  " violating interleaving(s), witness " + report.schedule_witness + "; ";
       reason += contract.description;
       decision.violations.push_back(std::move(reason));
     }
@@ -180,6 +212,10 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
   if (decision.needs_attention) registry.counter("gate.needs_attention").add();
   if (decision.resumed_contracts > 0)
     registry.counter("gate.resumed_contracts").add(decision.resumed_contracts);
+  if (decision.schedules_explored > 0)
+    registry.counter("gate.schedules_explored").add(decision.schedules_explored);
+  if (decision.schedule_inconclusive > 0)
+    registry.counter("gate.schedule_inconclusive").add(decision.schedule_inconclusive);
   registry.histogram("gate.evaluation_ms").record(decision.evaluation_ms);
   if (history_enabled) {
     obs::RunHistory history(run_options.history_path);
@@ -230,6 +266,16 @@ GateDecision CiGate::evaluate(const std::string& source, const ContractStore& st
     record.metrics["contracts"] = static_cast<double>(decision.reports.size());
     record.metrics["violations"] = static_cast<double>(decision.violations.size());
     record.metrics["inconclusive"] = static_cast<double>(decision.inconclusive_contracts);
+    // Longitudinal interleaving coverage: `lisa trends` watches these to
+    // catch a fleet whose schedule exploration quietly stops concluding.
+    // Only written when the explorer ran, keeping thread-free history
+    // records byte-identical.
+    if (decision.schedule_contracts > 0) {
+      record.metrics["schedules_explored"] =
+          static_cast<double>(decision.schedules_explored);
+      record.metrics["interleaving_conclusive_fraction"] =
+          decision.interleaving_conclusive_fraction();
+    }
     const std::vector<const obs::RunRecord*> baseline =
         history.matching("gate", record.label);
     decision.baseline_runs = static_cast<int>(baseline.size());

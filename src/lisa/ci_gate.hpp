@@ -53,6 +53,11 @@ struct GateRunOptions {
   std::string history_label;
   /// Thresholds for the drift rules (only read when history_path is set).
   obs::DriftOptions drift;
+  /// Downgrade schedule-exploration inconclusiveness (budget exhaustion,
+  /// undrained DFS, injected fault) from a gate block to needs_attention
+  /// (`--schedule-warn-only`). A violating interleaving always blocks; only
+  /// the "could not finish exploring" outcome is downgradable.
+  bool schedule_warn_only = false;
 };
 
 struct GateDecision {
@@ -72,6 +77,13 @@ struct GateDecision {
   bool needs_attention = false;
   /// Contracts replayed from the checkpoint journal instead of re-checked.
   int resumed_contracts = 0;
+  /// Schedule-exploration accounting (interleaving contracts with atomic /
+  /// eventually patterns): contracts the explorer decided, total
+  /// interleavings run, and contracts whose exploration stayed inconclusive.
+  /// All zero when no stored contract routes to the explorer.
+  int schedule_contracts = 0;
+  int schedules_explored = 0;
+  int schedule_inconclusive = 0;
   /// Longitudinal drift findings (only populated when GateRunOptions names a
   /// history file). A finding with `fails_gate` blocks the commit; the rest
   /// set `needs_attention`.
@@ -85,6 +97,15 @@ struct GateDecision {
   [[nodiscard]] double settled_fraction() const {
     const int total = screened_settled + screened_unknown;
     return total == 0 ? 1.0 : static_cast<double>(screened_settled) / total;
+  }
+
+  /// Fraction of schedule-explored contracts whose exploration drained the
+  /// reduced interleaving space (1.0 when none was explored).
+  [[nodiscard]] double interleaving_conclusive_fraction() const {
+    return schedule_contracts == 0
+               ? 1.0
+               : static_cast<double>(schedule_contracts - schedule_inconclusive) /
+                     schedule_contracts;
   }
 
   [[nodiscard]] support::Json to_json() const;

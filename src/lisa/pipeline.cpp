@@ -43,8 +43,26 @@ int PipelineResult::total_violations() const {
     total += report.violated;
     total += static_cast<int>(report.structural_violations.size());
     total += report.dynamic.symbolic_violations;
+    total += report.schedule_violations;
   }
   return total;
+}
+
+int PipelineResult::schedules_explored() const {
+  int total = 0;
+  for (const ContractCheckReport& report : reports) total += report.schedules_explored;
+  return total;
+}
+
+double PipelineResult::interleaving_conclusive_fraction() const {
+  int explored = 0;
+  int conclusive = 0;
+  for (const ContractCheckReport& report : reports) {
+    if (report.schedules_explored == 0 && report.schedule_conclusive) continue;
+    ++explored;
+    if (report.schedule_conclusive) ++conclusive;
+  }
+  return explored == 0 ? 1.0 : static_cast<double>(conclusive) / explored;
 }
 
 Json PipelineResult::to_json() const {
@@ -79,6 +97,12 @@ Json PipelineResult::to_json() const {
   screen["concolic_skipped"] = summary.concolic_skipped;
   root["screening"] = Json(std::move(screen));
   root["all_passed"] = all_passed();
+  // Present only when the schedule explorer ran, so thread-free pipeline
+  // output stays byte-identical to the pre-scheduler form.
+  if (schedules_explored() > 0) {
+    root["schedules_explored"] = schedules_explored();
+    root["interleaving_conclusive_fraction"] = interleaving_conclusive_fraction();
+  }
   if (inference_attempts > 1) root["inference_attempts"] = inference_attempts;
   if (inference_failed) {
     root["inference_failed"] = true;
@@ -275,6 +299,14 @@ PipelineResult Pipeline::run(const corpus::FailureTicket& ticket,
     record.metrics["contracts"] = static_cast<double>(result.reports.size());
     record.metrics["violations"] = static_cast<double>(result.total_violations());
     record.metrics["inconclusive"] = static_cast<double>(inconclusive);
+    // Interleaving coverage for `lisa trends`; written only when the
+    // explorer ran so thread-free history records stay byte-identical.
+    if (result.schedules_explored() > 0) {
+      record.metrics["schedules_explored"] =
+          static_cast<double>(result.schedules_explored());
+      record.metrics["interleaving_conclusive_fraction"] =
+          result.interleaving_conclusive_fraction();
+    }
     (void)history.append(record);
   }
   run_span.attr("contracts", result.contracts.size());

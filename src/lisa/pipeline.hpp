@@ -96,8 +96,14 @@ struct PipelineResult {
   /// to completion: an inconclusive (budget-cut / fault-degraded) report or
   /// a failed inference never counts as a pass.
   [[nodiscard]] bool all_passed() const;
-  /// Total violated paths + structural + dynamic violations across contracts.
+  /// Total violated paths + structural + dynamic + schedule violations
+  /// across contracts.
   [[nodiscard]] int total_violations() const;
+  /// Total interleavings the schedule explorer ran across contracts.
+  [[nodiscard]] int schedules_explored() const;
+  /// Fraction of schedule-explored contracts whose exploration drained the
+  /// reduced interleaving space (1.0 when none was explored).
+  [[nodiscard]] double interleaving_conclusive_fraction() const;
   /// Screening verdict counts aggregated over `reports`.
   [[nodiscard]] ScreeningSummary screening() const;
 

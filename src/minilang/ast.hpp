@@ -108,6 +108,8 @@ struct Stmt {
     kThrow,     // expr
     kExpr,      // expr
     kSync,      // expr = monitor, body
+    kSpawn,     // expr = kCall naming the thread root (scheduler: new thread;
+                // serial engines: the call runs inline to completion)
     kBlock,     // body
     kTry,       // body, catch_var, else_body = catch handler
     kBreak,

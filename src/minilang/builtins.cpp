@@ -118,6 +118,21 @@ std::optional<Value> dispatch_builtin(const std::string& name, std::vector<Value
     }
     return Value::null();
   }
+  if (name == "wait") {
+    need(1);
+    if (context.sched != nullptr) context.sched->wait_on(args[0]);
+    return Value::null();
+  }
+  if (name == "notify" || name == "notify_all") {
+    need(1);
+    if (context.sched != nullptr) context.sched->notify(args[0], name == "notify_all");
+    return Value::null();
+  }
+  if (name == "join_all") {
+    need(0);
+    if (context.sched != nullptr) context.sched->join_all();
+    return Value::null();
+  }
   if (name == "now") {
     need(0);
     return Value::of_int(context.now_ms != nullptr ? *context.now_ms : 0);

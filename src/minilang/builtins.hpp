@@ -19,6 +19,11 @@ struct BuiltinContext {
   std::int64_t blocking_latency_ms = 5;
   ExecObserver* observer = nullptr;         // may be null
   int sync_depth = 0;                       // for on_blocking()
+  /// Non-null only during scheduled runs. The coordination builtins
+  /// (wait/notify/notify_all/join_all) delegate here; with no scheduler they
+  /// are no-ops — consistent with the serial semantics, under which spawned
+  /// roots already ran to completion at their spawn points.
+  SchedulerHooks* sched = nullptr;
 };
 
 /// Executes builtin `name` on already-evaluated arguments. Returns nullopt

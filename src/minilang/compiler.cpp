@@ -174,6 +174,14 @@ class FunctionCompiler {
         emit(Op::kPop);
         return;
       }
+      case Stmt::Kind::kSpawn: {
+        // The VM has no scheduler: spawn degrades to the serial semantics
+        // (the thread root runs inline to completion), matching the
+        // unscheduled tree-walking interpreter.
+        compile_expr(*stmt.expr);
+        emit(Op::kPop);
+        return;
+      }
       case Stmt::Kind::kSync: {
         compile_expr(*stmt.expr);
         emit(Op::kSyncEnter);

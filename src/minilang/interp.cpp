@@ -1,5 +1,8 @@
 #include "minilang/interp.hpp"
 
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "minilang/builtins.hpp"
@@ -15,6 +18,458 @@ const std::unordered_set<std::string>& blocking_builtins() {
   };
   return names;
 }
+
+const char* schedule_op_name(ScheduleOp::Kind kind) {
+  switch (kind) {
+    case ScheduleOp::Kind::kStart: return "start";
+    case ScheduleOp::Kind::kSpawn: return "spawn";
+    case ScheduleOp::Kind::kSyncEnter: return "sync-enter";
+    case ScheduleOp::Kind::kSyncExit: return "sync-exit";
+    case ScheduleOp::Kind::kFieldRead: return "field-read";
+    case ScheduleOp::Kind::kFieldWrite: return "field-write";
+    case ScheduleOp::Kind::kBlocking: return "blocking";
+    case ScheduleOp::Kind::kWait: return "wait";
+    case ScheduleOp::Kind::kNotify: return "notify";
+    case ScheduleOp::Kind::kJoin: return "join";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Unwind signal for threads of a torn-down schedule (deadlock, failure, or
+/// early teardown). Deliberately not a MiniThrow/InterpError subtype so no
+/// MiniLang `try` or engine catch site can swallow it.
+struct ScheduleAborted {};
+
+/// Deterministic monitor identity: object identity for objects, value
+/// identity for primitives (two threads syncing on the string "log" contend
+/// for the same monitor, matching how the lockset analysis names monitors).
+std::string monitor_key_of(const Value& v) {
+  if (v.is_object()) return "obj:" + std::to_string(v.as_object()->object_id);
+  if (v.is_string()) return "str:" + v.as_string();
+  if (v.is_int()) return "int:" + std::to_string(v.as_int());
+  return "val:" + v.to_display();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cooperative scheduler
+// ---------------------------------------------------------------------------
+//
+// One OS thread per spawned MiniLang thread, but a single execution token:
+// exactly one thread runs interpreter code at any instant, and the token
+// moves only through `mu_`/`cv_` (which gives every handoff a happens-before
+// edge, so the interpreter needs no further synchronization and runs are
+// TSan-clean). Teardown is sequential for the same reason: an aborting
+// schedule passes the token through each remaining thread in turn so that no
+// two threads ever unwind interpreter frames concurrently.
+class Interp::Scheduler final : public SchedulerHooks {
+ public:
+  enum class TState { kRunnable, kBlockedMonitor, kWaiting, kNotified, kJoining, kFinished };
+
+  struct TRec {
+    int id = 0;
+    TState state = TState::kRunnable;
+    ScheduleOp pending;       // the operation this thread performs when scheduled
+    std::string blocked_on;   // monitor key for kBlockedMonitor/kWaiting/kNotified
+    int wait_depth = 0;       // reentry depth to restore when a wait() resumes
+    std::thread os_thread;    // empty for the main/test thread
+    Interp::ThreadCtx ctx;
+  };
+
+  Scheduler(Interp& interp, ScheduleController& controller)
+      : interp_(interp), controller_(controller) {
+    auto main_rec = std::make_unique<TRec>();
+    main_rec->id = 0;
+    main_rec->ctx.id = 0;
+    main_rec->pending = {ScheduleOp::Kind::kStart, ""};
+    threads_.push_back(std::move(main_rec));
+    saved_ctx_ = interp_.ctx_;
+    interp_.ctx_ = &threads_[0]->ctx;
+    active_ = 0;
+  }
+
+  ~Scheduler() override {
+    finalize_teardown();
+    interp_.ctx_ = saved_ctx_;
+  }
+
+  // --- yield points (called by the token-holding thread) -------------------
+
+  void yield(ScheduleOp op) {
+    std::unique_lock<std::mutex> lk(mu_);
+    TRec& self = current_locked();
+    self.pending = std::move(op);
+    reschedule(lk, self);
+  }
+
+  void spawn(const FuncDecl& fn, std::vector<Value> args) {
+    std::unique_lock<std::mutex> lk(mu_);
+    TRec& self = current_locked();
+    auto rec = std::make_unique<TRec>();
+    rec->id = static_cast<int>(threads_.size());
+    rec->ctx.id = rec->id;
+    rec->pending = {ScheduleOp::Kind::kStart, fn.name};
+    TRec* raw = rec.get();
+    threads_.push_back(std::move(rec));
+    ++result_.threads_spawned;
+    raw->os_thread = std::thread([this, raw, &fn, moved_args = std::move(args)]() mutable {
+      thread_main(*raw, fn, std::move(moved_args));
+    });
+    self.pending = {ScheduleOp::Kind::kSpawn, fn.name};
+    reschedule(lk, self);
+  }
+
+  void sync_enter(const std::string& key) {
+    std::unique_lock<std::mutex> lk(mu_);
+    TRec& self = current_locked();
+    self.pending = {ScheduleOp::Kind::kSyncEnter, "m:" + key};
+    for (;;) {
+      reschedule(lk, self);  // preemption point before acquisition
+      const auto it = monitors_.find(key);
+      if (it == monitors_.end()) {
+        monitors_[key] = {self.id, 1};
+        break;
+      }
+      if (it->second.first == self.id) {
+        ++it->second.second;  // reentrant acquisition
+        break;
+      }
+      self.state = TState::kBlockedMonitor;
+      self.blocked_on = key;
+    }
+    self.state = TState::kRunnable;
+    self.blocked_on.clear();
+  }
+
+  void sync_exit(const std::string& key) {
+    std::unique_lock<std::mutex> lk(mu_);
+    TRec& self = current_locked();
+    const auto it = monitors_.find(key);
+    if (it != monitors_.end() && it->second.first == self.id) {
+      if (--it->second.second == 0) monitors_.erase(it);
+    }
+    self.pending = {ScheduleOp::Kind::kSyncExit, "m:" + key};
+    reschedule(lk, self);
+  }
+
+  // --- builtin-reachable operations (SchedulerHooks) -----------------------
+
+  void wait_on(const Value& monitor) override {
+    const std::string key = monitor_key_of(monitor);
+    std::unique_lock<std::mutex> lk(mu_);
+    TRec& self = current_locked();
+    // First a *runnable* yield before joining the waitset: this is the
+    // check-to-wait window. A notify scheduled into it finds no waiter and
+    // is lost — the missed-notify failure mode; without this gap the
+    // preceding guard read and the wait would be atomic under the token.
+    self.pending = {ScheduleOp::Kind::kWait, "m:" + key};
+    reschedule(lk, self);
+    // Release the monitor fully if held, remembering the depth to restore on
+    // wakeup. Waiting *without* holding the monitor is deliberately allowed:
+    // that unguarded check-then-wait is exactly the missed-notify bug shape
+    // the corpus models (Java would throw IllegalMonitorStateException).
+    self.wait_depth = 0;
+    const auto it = monitors_.find(key);
+    if (it != monitors_.end() && it->second.first == self.id) {
+      self.wait_depth = it->second.second;
+      monitors_.erase(it);
+    }
+    self.state = TState::kWaiting;
+    self.blocked_on = key;
+    self.pending = {ScheduleOp::Kind::kWait, "m:" + key};
+    reschedule(lk, self);
+    // Resumed: a notify moved us to kNotified and the runnable test held the
+    // monitor free, so reacquisition at the remembered depth cannot fail.
+    if (self.wait_depth > 0) monitors_[key] = {self.id, self.wait_depth};
+    self.state = TState::kRunnable;
+    self.blocked_on.clear();
+    self.wait_depth = 0;
+  }
+
+  void notify(const Value& monitor, bool all) override {
+    const std::string key = monitor_key_of(monitor);
+    std::unique_lock<std::mutex> lk(mu_);
+    TRec& self = current_locked();
+    // Wake waiters in thread-id order (deterministic FIFO). A notify with no
+    // waiter is lost — the missed-notify failure mode, not an error.
+    for (const auto& rec : threads_) {
+      if (rec->state == TState::kWaiting && rec->blocked_on == key) {
+        rec->state = TState::kNotified;
+        if (!all) break;
+      }
+    }
+    self.pending = {ScheduleOp::Kind::kNotify, "m:" + key};
+    reschedule(lk, self);
+  }
+
+  void join_all() override {
+    std::unique_lock<std::mutex> lk(mu_);
+    TRec& self = current_locked();
+    self.pending = {ScheduleOp::Kind::kJoin, ""};
+    while (unfinished_other_count(self.id) > 0) {
+      self.state = TState::kJoining;
+      reschedule(lk, self);
+      self.state = TState::kRunnable;
+    }
+  }
+
+  /// Implicit join when the test body returns: threads still running are
+  /// drained to completion before the run is judged.
+  void drain() { join_all(); }
+
+  /// Joins every OS thread (aborting stragglers) and merges the outcome.
+  /// Must be called off the token-passing paths, i.e. by run_scheduled_test
+  /// after the main thread has unwound.
+  void finalize(ScheduleRunResult& out) {
+    finalize_teardown();
+    out.threads_spawned = result_.threads_spawned;
+    out.decisions = result_.decisions;
+    out.hung = result_.hung;
+    out.degraded = out.degraded || result_.degraded;
+    out.pruned = result_.pruned;
+    if (out.error.empty()) out.error = result_.error;
+  }
+
+ private:
+  TRec& current_locked() { return *threads_[static_cast<std::size_t>(active_)]; }
+
+  [[nodiscard]] int unfinished_other_count(int self_id) const {
+    int count = 0;
+    for (const auto& rec : threads_)
+      if (rec->id != self_id && rec->state != TState::kFinished) ++count;
+    return count;
+  }
+
+  [[nodiscard]] bool runnable_locked(const TRec& t) const {
+    switch (t.state) {
+      case TState::kRunnable:
+        return true;
+      case TState::kBlockedMonitor: {
+        const auto it = monitors_.find(t.blocked_on);
+        return it == monitors_.end() || it->second.first == t.id;
+      }
+      case TState::kNotified: {
+        if (t.wait_depth == 0) return true;
+        return monitors_.find(t.blocked_on) == monitors_.end();
+      }
+      case TState::kJoining:
+        return unfinished_other_count(t.id) == 0;
+      case TState::kWaiting:
+      case TState::kFinished:
+        return false;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::vector<ThreadStatus> collect_runnable() const {
+    std::vector<ThreadStatus> runnable;  // threads_ is in id order already
+    for (const auto& rec : threads_)
+      if (runnable_locked(*rec)) runnable.push_back({rec->id, rec->pending});
+    return runnable;
+  }
+
+  void activate(int id) {
+    active_ = id;
+    interp_.ctx_ = &threads_[static_cast<std::size_t>(id)]->ctx;
+  }
+
+  static const char* state_name(TState state) {
+    switch (state) {
+      case TState::kRunnable: return "runnable";
+      case TState::kBlockedMonitor: return "blocked";
+      case TState::kWaiting: return "waiting";
+      case TState::kNotified: return "notified";
+      case TState::kJoining: return "joining";
+      case TState::kFinished: return "finished";
+    }
+    return "?";
+  }
+
+  void record_hang() {
+    result_.hung = true;
+    std::string detail = "schedule hang: no runnable thread;";
+    for (const auto& rec : threads_) {
+      if (rec->state == TState::kFinished) continue;
+      detail += " t" + std::to_string(rec->id) + " " + state_name(rec->state);
+      if (!rec->blocked_on.empty()) detail += " on " + rec->blocked_on;
+    }
+    if (result_.error.empty()) result_.error = detail;
+  }
+
+  /// Hands the token to the lowest-id unfinished thread other than
+  /// `self_id`, so aborting threads unwind one at a time.
+  void abort_next(int self_id) {
+    for (const auto& rec : threads_) {
+      if (rec->id != self_id && rec->state != TState::kFinished) {
+        activate(rec->id);
+        cv_.notify_all();
+        return;
+      }
+    }
+  }
+
+  /// Core handoff: choose the next thread (consulting the controller only
+  /// when the choice is real), activate it, and block until the token comes
+  /// back. Throws ScheduleAborted when the schedule is being torn down.
+  void reschedule(std::unique_lock<std::mutex>& lk, TRec& self) {
+    if (aborting_) throw ScheduleAborted{};
+    const std::vector<ThreadStatus> runnable = collect_runnable();
+    if (runnable.empty()) {
+      // Deadlock or missed notify: unfinished threads, none can proceed.
+      record_hang();
+      aborting_ = true;
+      abort_next(self.id);
+    } else {
+      int next = runnable.front().thread_id;
+      if (runnable.size() > 1) {
+        ++result_.decisions;
+        const int picked = controller_.pick(runnable);
+        if (picked == ScheduleController::kPruneRun) {
+          // The controller proved this interleaving redundant: tear the
+          // schedule down with no verdict (sequential, like a hang abort).
+          result_.pruned = true;
+          aborting_ = true;
+          abort_next(self.id);
+          cv_.wait(lk, [&] { return active_ == self.id; });
+          throw ScheduleAborted{};
+        }
+        for (const ThreadStatus& status : runnable)
+          if (status.thread_id == picked) next = picked;
+      }
+      grant(runnable, next);
+      activate(next);
+      if (next == self.id) return;
+      cv_.notify_all();
+    }
+    cv_.wait(lk, [&] { return active_ == self.id; });
+    if (aborting_) throw ScheduleAborted{};
+  }
+
+  /// Reports the grant (thread + pending op) to the controller — every
+  /// grant, even forced single-runnable ones, so sleep-set wake rules see
+  /// the complete op stream.
+  void grant(const std::vector<ThreadStatus>& runnable, int next) {
+    for (const ThreadStatus& status : runnable)
+      if (status.thread_id == next) {
+        controller_.observe(status);
+        return;
+      }
+  }
+
+  /// Body of a spawned OS thread: wait for the first activation, run the
+  /// MiniLang thread root, then hand the token onward.
+  void thread_main(TRec& self, const FuncDecl& fn, std::vector<Value> args) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return active_ == self.id; });
+      if (aborting_) {
+        self.state = TState::kFinished;
+        abort_next(self.id);
+        return;
+      }
+    }
+    bool failed = false;
+    bool degraded = false;
+    std::string error;
+    try {
+      interp_.call_function(fn, std::move(args));
+    } catch (const ScheduleAborted&) {
+      std::unique_lock<std::mutex> lk(mu_);
+      self.state = TState::kFinished;
+      abort_next(self.id);
+      return;
+    } catch (const MiniThrow& thrown) {
+      failed = true;
+      error = "thread t" + std::to_string(self.id) + ": " + thrown.value().to_display();
+    } catch (const StepLimitExceeded& limit) {
+      failed = true;
+      degraded = true;
+      error = limit.what();
+    } catch (const InterpError& engine_error) {
+      failed = true;
+      error = "thread t" + std::to_string(self.id) + ": " + engine_error.what();
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    self.state = TState::kFinished;
+    self.pending = {};
+    if (degraded) result_.degraded = true;
+    if (failed) {
+      // A failing thread decides the schedule: record it and stop scheduling
+      // (sequential teardown keeps the remaining unwinds single-threaded).
+      if (result_.error.empty()) result_.error = error;
+      result_.failed = true;
+      aborting_ = true;
+    }
+    if (aborting_) {
+      abort_next(self.id);
+      return;
+    }
+    const std::vector<ThreadStatus> runnable = collect_runnable();
+    if (runnable.empty()) {
+      if (unfinished_other_count(self.id) > 0) {
+        record_hang();
+        aborting_ = true;
+        abort_next(self.id);
+      }
+      return;
+    }
+    int next = runnable.front().thread_id;
+    if (runnable.size() > 1) {
+      ++result_.decisions;
+      const int picked = controller_.pick(runnable);
+      if (picked == ScheduleController::kPruneRun) {
+        result_.pruned = true;
+        aborting_ = true;
+        abort_next(self.id);
+        return;
+      }
+      for (const ThreadStatus& status : runnable)
+        if (status.thread_id == picked) next = picked;
+    }
+    grant(runnable, next);
+    activate(next);
+    cv_.notify_all();
+  }
+
+  /// Tears down any still-running threads (the exception paths) and joins
+  /// every OS thread. Idempotent; called by finalize() and the destructor.
+  void finalize_teardown() {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      threads_[0]->state = TState::kFinished;  // the main thread has unwound
+      if (unfinished_other_count(0) > 0) {
+        aborting_ = true;
+        abort_next(0);
+      }
+    }
+    for (const auto& rec : threads_)
+      if (rec->os_thread.joinable()) rec->os_thread.join();
+  }
+
+  struct Result {
+    int threads_spawned = 0;
+    int decisions = 0;
+    bool hung = false;
+    bool degraded = false;
+    bool pruned = false;
+    bool failed = false;
+    std::string error;
+  };
+
+  Interp& interp_;
+  ScheduleController& controller_;
+  Interp::ThreadCtx* saved_ctx_ = nullptr;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<TRec>> threads_;  // index == thread id
+  std::unordered_map<std::string, std::pair<int, int>> monitors_;  // key -> (owner, depth)
+  int active_ = 0;
+  bool aborting_ = false;
+  Result result_;
+};
 
 Interp::Interp(const Program& program) : program_(program) {}
 
@@ -39,31 +494,33 @@ Value Interp::call_function(const FuncDecl& fn, std::vector<Value> args) {
     throw InterpError("arity mismatch calling " + fn.name + ": expected " +
                       std::to_string(fn.params.size()) + ", got " +
                       std::to_string(args.size()));
-  if (++call_depth_ > 256) {
-    --call_depth_;
+  if (++ctx_->call_depth > 256) {
+    --ctx_->call_depth;
     throw InterpError("call depth limit exceeded in " + fn.name);
   }
   if (observer_ != nullptr) observer_->on_call(fn);
   if (fn.has_annotation("blocking")) {
+    if (sched_ != nullptr)
+      sched_->yield({ScheduleOp::Kind::kBlocking, "io:" + fn.name});
     now_ms_ += blocking_latency_ms_;
-    if (observer_ != nullptr) observer_->on_blocking(fn.name, sync_depth_);
+    if (observer_ != nullptr) observer_->on_blocking(fn.name, ctx_->sync_depth);
   }
   Frame frame;
   frame.scopes.emplace_back();
   for (std::size_t i = 0; i < args.size(); ++i)
     frame.scopes.back()[fn.params[i].name] = std::move(args[i]);
   Value return_value;
-  const FuncDecl* caller_fn = current_fn_;
-  current_fn_ = &fn;
+  const FuncDecl* caller_fn = ctx_->current_fn;
+  ctx_->current_fn = &fn;
   try {
     exec_block(fn.body, frame, return_value);
   } catch (...) {
-    current_fn_ = caller_fn;
-    --call_depth_;
+    ctx_->current_fn = caller_fn;
+    --ctx_->call_depth;
     throw;
   }
-  current_fn_ = caller_fn;
-  --call_depth_;
+  ctx_->current_fn = caller_fn;
+  --ctx_->call_depth;
   return return_value;
 }
 
@@ -118,10 +575,10 @@ Interp::Flow Interp::exec_stmt(const Stmt& stmt, Frame& frame, Value& return_val
   covered_.insert(stmt.id);
   if (observer_ != nullptr) {
     static const FuncDecl kNoFunc{};
-    const FuncDecl& owner = current_fn_ != nullptr ? *current_fn_ : kNoFunc;
+    const FuncDecl& owner = ctx_->current_fn != nullptr ? *ctx_->current_fn : kNoFunc;
     observer_->on_stmt(owner, stmt);
     if (observer_->wants_state()) {
-      FrameStateAccess state(frame.scopes, sync_depth_);
+      FrameStateAccess state(frame.scopes, ctx_->sync_depth);
       observer_->on_state(owner, stmt, state);
     }
   }
@@ -154,17 +611,55 @@ Interp::Flow Interp::exec_stmt(const Stmt& stmt, Frame& frame, Value& return_val
     case Stmt::Kind::kExpr:
       eval(*stmt.expr, frame);
       return Flow::kNormal;
+    case Stmt::Kind::kSpawn: {
+      const Expr& call = *stmt.expr;
+      const FuncDecl* fn = program_.find_function(call.text);
+      if (fn == nullptr)
+        throw InterpError("spawn target must be a declared function: " + call.text);
+      std::vector<Value> args;
+      args.reserve(call.args.size());
+      for (const ExprPtr& arg : call.args) args.push_back(eval(*arg, frame));
+      if (args.size() != fn->params.size())
+        throw InterpError("arity mismatch spawning " + fn->name + ": expected " +
+                          std::to_string(fn->params.size()) + ", got " +
+                          std::to_string(args.size()));
+      if (sched_ != nullptr) {
+        sched_->spawn(*fn, std::move(args));
+      } else {
+        // Serial semantics: the thread root runs inline to completion at the
+        // spawn point, so replay without the scheduler sees exactly one
+        // interleaving. Only the schedule explorer quantifies over others.
+        call_function(*fn, std::move(args));
+      }
+      return Flow::kNormal;
+    }
     case Stmt::Kind::kSync: {
-      eval(*stmt.expr, frame);  // the monitor expression; evaluated for effect
-      ++sync_depth_;
+      const Value monitor = eval(*stmt.expr, frame);
+      if (sched_ != nullptr) {
+        const std::string key = monitor_key_of(monitor);
+        sched_->sync_enter(key);
+        ++ctx_->sync_depth;
+        Flow flow;
+        try {
+          flow = exec_block(stmt.body, frame, return_value);
+        } catch (...) {
+          --ctx_->sync_depth;
+          sched_->sync_exit(key);
+          throw;
+        }
+        --ctx_->sync_depth;
+        sched_->sync_exit(key);
+        return flow;
+      }
+      ++ctx_->sync_depth;
       Flow flow;
       try {
         flow = exec_block(stmt.body, frame, return_value);
       } catch (...) {
-        --sync_depth_;
+        --ctx_->sync_depth;
         throw;
       }
-      --sync_depth_;
+      --ctx_->sync_depth;
       return flow;
     }
     case Stmt::Kind::kBlock:
@@ -213,6 +708,9 @@ void Interp::assign_lvalue(const Expr& lvalue, Value value, Frame& frame) {
       if (base.is_null())
         throw MiniThrow(Value::of_string("NullPointerException: field write ." + lvalue.text));
       if (!base.is_object()) throw InterpError("field write on non-object");
+      if (sched_ != nullptr)
+        sched_->yield({ScheduleOp::Kind::kFieldWrite,
+                       "f:" + std::to_string(base.as_object()->object_id) + "." + lvalue.text});
       base.as_object()->fields[lvalue.text] = std::move(value);
       return;
     }
@@ -257,6 +755,9 @@ Value Interp::eval(const Expr& expr, Frame& frame) {
       if (base.is_null())
         throw MiniThrow(Value::of_string("NullPointerException: field read ." + expr.text));
       if (!base.is_object()) throw InterpError("field read on non-object: ." + expr.text);
+      if (sched_ != nullptr)
+        sched_->yield({ScheduleOp::Kind::kFieldRead,
+                       "f:" + std::to_string(base.as_object()->object_id) + "." + expr.text});
       const auto& fields = base.as_object()->fields;
       const auto it = fields.find(expr.text);
       if (it == fields.end())
@@ -405,12 +906,15 @@ Value Interp::call_builtin(const std::string& name, const Expr& expr, Frame& fra
   std::vector<Value> args;
   args.reserve(expr.args.size());
   for (const ExprPtr& arg : expr.args) args.push_back(eval(*arg, frame));
+  if (sched_ != nullptr && blocking_builtins().count(name) > 0)
+    sched_->yield({ScheduleOp::Kind::kBlocking, "io:" + name});
   BuiltinContext context;
   context.output = &output_;
   context.now_ms = &now_ms_;
   context.blocking_latency_ms = blocking_latency_ms_;
   context.observer = observer_;
-  context.sync_depth = sync_depth_;
+  context.sync_depth = ctx_->sync_depth;
+  context.sched = sched_;
   std::optional<Value> result = dispatch_builtin(name, args, context);
   if (!result.has_value()) throw InterpError("unknown function or builtin: " + name);
   return std::move(*result);
@@ -433,6 +937,47 @@ bool Interp::run_test(const std::string& test_name) {
     last_error_ = error.what();
     return false;
   }
+}
+
+ScheduleRunResult Interp::run_scheduled_test(const std::string& test_name,
+                                             ScheduleController& controller) {
+  last_error_.clear();
+  step_limit_hit_ = false;
+  ScheduleRunResult out;
+  const FuncDecl* fn = program_.find_function(test_name);
+  if (fn == nullptr) {
+    out.error = "unknown test: " + test_name;
+    return out;
+  }
+  Scheduler scheduler(*this, controller);
+  sched_ = &scheduler;
+  bool main_ok = false;
+  std::string main_error;
+  try {
+    call_function(*fn, {});
+    scheduler.drain();  // implicit join: finish threads still running
+    main_ok = true;
+  } catch (const ScheduleAborted&) {
+    // Hang or spawned-thread failure; the scheduler recorded the cause.
+  } catch (const MiniThrow& thrown) {
+    main_error = thrown.value().to_display();
+  } catch (const StepLimitExceeded& limit) {
+    step_limit_hit_ = true;
+    out.degraded = true;
+    main_error = limit.what();
+  } catch (const InterpError& error) {
+    main_error = error.what();
+  }
+  // Finalize (which joins every spawned thread, unwinding stragglers) must
+  // run before sched_ is cleared: threads parked inside sync bodies call
+  // sched_->sync_exit while unwinding ScheduleAborted.
+  scheduler.finalize(out);
+  sched_ = nullptr;
+  if (!main_error.empty()) out.error = main_error;
+  if (out.degraded) step_limit_hit_ = true;
+  out.test_passed = main_ok && out.error.empty() && !out.hung && !out.degraded;
+  last_error_ = out.error;
+  return out;
 }
 
 std::pair<int, int> Interp::run_all_tests() {

@@ -4,10 +4,22 @@
 // functions natively (the concolic engine in src/concolic re-implements the
 // walk with shadow symbolic state). A virtual clock and a pluggable observer
 // make executions deterministic and measurable.
+//
+// Thread scheduling: `spawn f(args);` statements create cooperative thread
+// roots. Outside a scheduled run the spawned call executes inline to
+// completion at the spawn point (serial semantics — single-schedule replay
+// by construction). Inside run_scheduled_test() every spawn becomes a real
+// thread handing a single execution token around: the interpreter yields at
+// scheduling points (spawn, sync enter/exit, blocking builtins, shared
+// field access, wait/notify/join), and a ScheduleController decides which
+// runnable thread proceeds. Exactly one thread executes at any moment, so
+// interpreter state needs no locking and runs are fully deterministic for a
+// fixed decision sequence.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <string>
@@ -97,6 +109,91 @@ class ExecObserver {
 /// These advance the virtual clock and trip the blocking-in-sync detector.
 [[nodiscard]] const std::unordered_set<std::string>& blocking_builtins();
 
+// ---------------------------------------------------------------------------
+// Cooperative scheduling
+// ---------------------------------------------------------------------------
+
+/// One operation a scheduled thread is about to perform at a yield point.
+/// `resource` is a deterministic key ("m:obj:7" for monitors,
+/// "f:7.value" for field access) used by the schedule explorer to decide
+/// which pending operations commute.
+struct ScheduleOp {
+  enum class Kind {
+    kStart,       // thread created, first statement pending
+    kSpawn,       // about to create a new thread (resource = root function)
+    kSyncEnter,   // about to acquire a monitor
+    kSyncExit,    // just released a monitor
+    kFieldRead,   // about to read an object field
+    kFieldWrite,  // about to write an object field
+    kBlocking,    // about to run a blocking builtin
+    kWait,        // about to wait on a monitor
+    kNotify,      // just notified a monitor
+    kJoin,        // waiting for every other thread to finish
+  };
+  Kind kind = Kind::kStart;
+  std::string resource;
+};
+
+[[nodiscard]] const char* schedule_op_name(ScheduleOp::Kind kind);
+
+/// A runnable thread offered to the controller at a yield point, with the
+/// operation it will perform when scheduled.
+struct ThreadStatus {
+  int thread_id = 0;
+  ScheduleOp op;
+};
+
+/// Schedule decision source. pick() fires at every yield point where more
+/// than one thread is runnable; `runnable` is sorted by thread id and never
+/// empty. Returning an id not in the list falls back to the lowest id (so a
+/// stale witness degrades deterministically instead of aborting the run);
+/// returning kPruneRun aborts the run without a verdict (the sleep-set DFS
+/// uses it to cut interleavings it has proven redundant).
+class ScheduleController {
+ public:
+  /// pick() may return this to abandon the run as redundant: the scheduler
+  /// tears the schedule down and reports the run as pruned, not failed.
+  static constexpr int kPruneRun = -1;
+
+  virtual ~ScheduleController() = default;
+  virtual int pick(const std::vector<ThreadStatus>& runnable) = 0;
+  /// Fired at every scheduling grant — including forced grants where only
+  /// one thread was runnable and pick() was never consulted — with the
+  /// thread and the operation it is about to perform. Sleep-set pruning
+  /// needs this full op stream to decide which sleeping threads to wake.
+  virtual void observe(const ThreadStatus& granted) { (void)granted; }
+};
+
+/// Outcome of one scheduled execution of a @test function.
+struct ScheduleRunResult {
+  bool test_passed = false;
+  /// No runnable thread while unfinished threads remained: a deadlock or a
+  /// missed-notify hang under this schedule.
+  bool hung = false;
+  /// The run was cut short by the interpreter step limit — a resource
+  /// outcome, not a verdict (the explorer reports it as inconclusive).
+  bool degraded = false;
+  /// The controller returned kPruneRun: the interleaving was abandoned as
+  /// redundant. Neither a pass nor a failure — the covering schedule was
+  /// (or will be) explored elsewhere.
+  bool pruned = false;
+  int threads_spawned = 0;
+  /// pick() calls made — yield points where the schedule actually chose.
+  int decisions = 0;
+  std::string error;  // first failure: assert text, hang detail, engine error
+};
+
+/// Scheduler operations reachable from builtins (wait/notify/join_all).
+/// Null outside scheduled runs, where these builtins are no-ops — the
+/// serial semantics under which spawned roots already ran to completion.
+class SchedulerHooks {
+ public:
+  virtual ~SchedulerHooks() = default;
+  virtual void wait_on(const Value& monitor) = 0;
+  virtual void notify(const Value& monitor, bool all) = 0;
+  virtual void join_all() = 0;
+};
+
 class Interp {
  public:
   /// `program` must outlive the interpreter.
@@ -112,6 +209,19 @@ class Interp {
 
   /// Runs every @test function; returns (passed, failed) counts.
   std::pair<int, int> run_all_tests();
+
+  /// Runs one @test function under the cooperative scheduler: every spawn
+  /// becomes a thread and `controller` decides the interleaving. Threads
+  /// still running when the test body returns are drained to completion
+  /// (an implicit join); a state where no thread can proceed is reported
+  /// as hung, not as a crash.
+  ScheduleRunResult run_scheduled_test(const std::string& test_name,
+                                       ScheduleController& controller);
+
+  /// Id of the currently executing thread: 0 for the main/test thread and
+  /// for every serial run, 1.. for spawned threads during scheduled runs.
+  /// Trace recorders use this to tag steps with their thread.
+  [[nodiscard]] int current_thread_id() const { return ctx_->id; }
 
   [[nodiscard]] const std::string& last_error() const { return last_error_; }
 
@@ -145,6 +255,21 @@ class Interp {
   };
   enum class Flow { kNormal, kReturn, kBreak, kContinue };
 
+  /// Per-thread interpreter state. Serial runs use main_ctx_ only; during
+  /// scheduled runs the scheduler swaps ctx_ to the active thread's record
+  /// at every token handoff, so monitor depth, call depth, and the current
+  /// function are tracked per thread (two runnable threads must not share a
+  /// sync depth — the blocking-in-sync detector would misfire).
+  struct ThreadCtx {
+    int id = 0;
+    int sync_depth = 0;
+    int call_depth = 0;
+    const FuncDecl* current_fn = nullptr;  // function whose body is executing
+  };
+
+  class Scheduler;  // cooperative token-passing scheduler (interp.cpp)
+  friend class Scheduler;
+
   Value call_function(const FuncDecl& fn, std::vector<Value> args);
   Flow exec_block(const std::vector<StmtPtr>& stmts, Frame& frame, Value& return_value);
   Flow exec_stmt(const Stmt& stmt, Frame& frame, Value& return_value);
@@ -158,7 +283,6 @@ class Interp {
 
   const Program& program_;
   ExecObserver* observer_ = nullptr;
-  const FuncDecl* current_fn_ = nullptr;  // function whose body is executing
   std::string output_;
   std::string last_error_;
   std::int64_t now_ms_ = 0;
@@ -166,8 +290,9 @@ class Interp {
   std::int64_t fuel_limit_ = 2'000'000;
   std::int64_t fuel_used_ = 0;
   bool step_limit_hit_ = false;
-  int sync_depth_ = 0;
-  int call_depth_ = 0;
+  ThreadCtx main_ctx_;
+  ThreadCtx* ctx_ = &main_ctx_;
+  Scheduler* sched_ = nullptr;  // non-null only inside run_scheduled_test
   std::uint64_t next_object_id_ = 1;
   std::unordered_set<int> covered_;
 };

@@ -22,6 +22,7 @@ const char* token_kind_name(TokenKind kind) {
     case TokenKind::kTry: return "'try'";
     case TokenKind::kCatch: return "'catch'";
     case TokenKind::kSync: return "'sync'";
+    case TokenKind::kSpawn: return "'spawn'";
     case TokenKind::kNew: return "'new'";
     case TokenKind::kNull: return "'null'";
     case TokenKind::kTrue: return "'true'";
@@ -69,7 +70,8 @@ const std::unordered_map<std::string_view, TokenKind>& keywords() {
       {"else", TokenKind::kElse},     {"while", TokenKind::kWhile},
       {"return", TokenKind::kReturn}, {"throw", TokenKind::kThrow},
       {"try", TokenKind::kTry},       {"catch", TokenKind::kCatch},
-      {"sync", TokenKind::kSync},     {"new", TokenKind::kNew},
+      {"sync", TokenKind::kSync},     {"spawn", TokenKind::kSpawn},
+      {"new", TokenKind::kNew},
       {"null", TokenKind::kNull},     {"true", TokenKind::kTrue},
       {"false", TokenKind::kFalse},   {"break", TokenKind::kBreak},
       {"continue", TokenKind::kContinue},

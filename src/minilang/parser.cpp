@@ -222,6 +222,15 @@ class Parser {
         stmt->body = parse_block();
         return stmt;
       }
+      case TokenKind::kSpawn: {
+        advance();
+        StmtPtr stmt = make_stmt(Stmt::Kind::kSpawn, loc);
+        stmt->expr = parse_expr();
+        if (stmt->expr->kind != Expr::Kind::kCall)
+          fail("spawn expects a function call");
+        expect(TokenKind::kSemi, "';'");
+        return stmt;
+      }
       case TokenKind::kReturn: {
         advance();
         StmtPtr stmt = make_stmt(Stmt::Kind::kReturn, loc);

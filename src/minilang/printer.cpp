@@ -134,6 +134,11 @@ void append_stmt_header(std::string& out, const Stmt& stmt) {
       append_expr(out, *stmt.expr);
       out.push_back(')');
       return;
+    case Stmt::Kind::kSpawn:
+      out += "spawn ";
+      append_expr(out, *stmt.expr);
+      out.push_back(';');
+      return;
     case Stmt::Kind::kBlock:
       out.push_back('{');
       return;

@@ -12,7 +12,8 @@ const std::unordered_set<std::string>& known_builtins() {
   static const std::unordered_set<std::string> names = {
       "print", "log",   "len",  "list_new", "map_new",       "push",   "put",
       "get",   "has",   "del",  "keys",     "contains",      "str",    "min",
-      "max",   "abs",   "assert", "now",    "advance_clock",
+      "max",   "abs",   "assert", "now",    "advance_clock", "wait",   "notify",
+      "notify_all", "join_all",
   };
   return names;
 }
@@ -117,6 +118,13 @@ class Checker {
         return;
       case Stmt::Kind::kThrow:
       case Stmt::Kind::kExpr:
+        check_expr(*stmt.expr);
+        return;
+      case Stmt::Kind::kSpawn:
+        // The parser guarantees expr is a call; the thread root must be a
+        // declared function (builtins have no body to schedule).
+        if (program_.find_function(stmt.expr->text) == nullptr)
+          report(stmt.loc, "spawn target must be a declared function: " + stmt.expr->text);
         check_expr(*stmt.expr);
         return;
       case Stmt::Kind::kBlock:

@@ -28,6 +28,7 @@ enum class TokenKind {
   kTry,
   kCatch,
   kSync,
+  kSpawn,
   kNew,
   kNull,
   kTrue,

@@ -663,6 +663,16 @@ std::string render_capture_text(const ContractCapture& capture) {
       append_line(&out, "    witness: " + capture.screen_witness);
   }
 
+  if (capture.schedules_explored > 0 || !capture.schedule_conclusive) {
+    append_line(&out, "  schedules: " + std::to_string(capture.schedules_explored) +
+                          " explored — " +
+                          (capture.schedule_conclusive ? "conclusive" : "INCONCLUSIVE"));
+    if (!capture.schedule_reason.empty())
+      append_line(&out, "    " + capture.schedule_reason);
+    if (!capture.schedule_witness.empty())
+      append_line(&out, "    witness: " + capture.schedule_witness);
+  }
+
   if (!capture.facts.empty()) {
     append_line(&out, "  facts (" + std::to_string(capture.facts.size()) + "):");
     for (const FactEvidence& fact : capture.facts)
@@ -715,8 +725,13 @@ std::string render_capture_text(const ContractCapture& capture) {
                           (narration.test.empty() ? "" : " via " + narration.test) +
                           (narration.reproduced ? " — violation reproduced" : ""));
     if (!narration.detail.empty()) append_line(&out, "    " + narration.detail);
+    // Interleaved traces tag every step with its thread: [t0] is the test
+    // body, [tN] the N-th spawned thread. Serial narrations stay untagged.
+    const bool interleaved = narration.kind == "schedule-replay";
     for (const NarrationStep& step : narration.steps) {
-      std::string line = "    " + step.function + ":" + std::to_string(step.line) + "  " +
+      std::string line = "    " +
+                         (interleaved ? "[t" + std::to_string(step.thread) + "] " : "") +
+                         step.function + ":" + std::to_string(step.line) + "  " +
                          step.stmt;
       if (step.sync_depth > 0) line += "  [sync " + std::to_string(step.sync_depth) + "]";
       if (!step.note.empty()) line += "  | " + step.note;
@@ -779,6 +794,18 @@ void render_contract_html(const ContractCapture& capture, std::string* out) {
             html_escape(capture.screen_reason) + "</p>\n";
     if (!capture.screen_witness.empty())
       *out += "<p class=\"meta\">witness <code>" + html_escape(capture.screen_witness) +
+              "</code></p>\n";
+  }
+
+  if (capture.schedules_explored > 0 || !capture.schedule_conclusive) {
+    *out += "<h4>Schedule exploration</h4><p>" +
+            std::to_string(capture.schedules_explored) + " interleaving(s) explored — " +
+            std::string(capture.schedule_conclusive ? "conclusive" : "<strong>inconclusive</strong>");
+    if (!capture.schedule_reason.empty())
+      *out += " · " + html_escape(capture.schedule_reason);
+    *out += "</p>\n";
+    if (!capture.schedule_witness.empty())
+      *out += "<p class=\"meta\">witness <code>" + html_escape(capture.schedule_witness) +
               "</code></p>\n";
   }
 
@@ -851,10 +878,13 @@ void render_contract_html(const ContractCapture& capture, std::string* out) {
     if (!narration.detail.empty())
       *out += "<p class=\"meta\">" + html_escape(narration.detail) + "</p>\n";
     if (!narration.steps.empty()) {
+      const bool interleaved = narration.kind == "schedule-replay";
       *out += "<table class=\"trace\"><tr><th>location</th><th>statement</th>"
               "<th>sync</th><th>notes</th></tr>\n";
       for (const NarrationStep& step : narration.steps)
-        *out += "<tr><td>" + html_escape(step.function) + ":" + std::to_string(step.line) +
+        *out += "<tr><td>" +
+                (interleaved ? "[t" + std::to_string(step.thread) + "] " : "") +
+                html_escape(step.function) + ":" + std::to_string(step.line) +
                 "</td><td><code>" + html_escape(step.stmt) + "</code></td><td>" +
                 (step.sync_depth > 0 ? std::to_string(step.sync_depth) : "") + "</td><td>" +
                 html_escape(step.note) + "</td></tr>\n";

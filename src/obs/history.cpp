@@ -242,6 +242,36 @@ std::vector<DriftFinding> detect_drift(const std::vector<const RunRecord*>& base
     }
   }
 
+  // Rule 2b: interleaving-conclusive drop — schedule exploration is draining
+  // fewer atomicity/liveness contracts within its bound than it used to.
+  // Each inconclusive exploration is already a typed per-run failure; this
+  // rule catches the longitudinal version, where the schedule workload grows
+  // until the bound quietly stops being enough.
+  {
+    const std::vector<double> series =
+        metric_series(window, "interleaving_conclusive_fraction");
+    const auto it = current.metrics.find("interleaving_conclusive_fraction");
+    if (!series.empty() && it != current.metrics.end()) {
+      const double median = drift_median(series);
+      if (it->second < median - options.conclusive_drop) {
+        DriftFinding finding;
+        finding.kind = "interleaving-conclusive-drop";
+        finding.subject = "interleaving_conclusive_fraction";
+        finding.baseline = median;
+        finding.observed = it->second;
+        finding.cause =
+            "interleaving-conclusive fraction dropped to " + format_value(it->second) +
+            " from a baseline median of " + format_value(median) + " (last " +
+            std::to_string(window_size) +
+            " run(s)): schedule exploration no longer drains the interleaving "
+            "space of every atomicity/liveness contract — raise --max-schedules "
+            "or shrink the spawning tests";
+        finding.fails_gate = options.fail_gate;
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+
   // Rule 3: latency regressions on every watched *_ms metric present on both
   // sides. Factor × median AND an absolute floor: a 0.2 ms stage tripling to
   // 0.6 ms is noise, a 200 ms stage tripling is an incident.

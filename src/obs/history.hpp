@@ -149,6 +149,11 @@ struct DriftOptions {
   /// Settled fraction (screener effectiveness) may drop at most this much
   /// below the baseline median before the gate complains.
   double settled_drop = 0.05;
+  /// Interleaving-conclusive fraction (schedule-explored contracts the
+  /// explorer drained within its bound) may drop at most this much below
+  /// the baseline median — a drop means the schedule workload outgrew
+  /// --max-schedules and inconclusives are creeping in.
+  double conclusive_drop = 0.05;
   /// When false, findings are reported but `fails_gate` is never set —
   /// observe-only mode for seeding a fresh baseline.
   bool fail_gate = true;
@@ -183,6 +188,8 @@ struct DriftFinding {
 ///     unchanged code: a flake, the worst kind of gate rot;
 ///   * settled-drop: current settled_fraction fell more than
 ///     `settled_drop` below the baseline median;
+///   * interleaving-conclusive-drop: current interleaving_conclusive_fraction
+///     fell more than `conclusive_drop` below the baseline median;
 ///   * latency-regression: a `*_ms` metric exceeded the factor and floor;
 ///   * smt-regression: smt_queries exceeded the factor and floor.
 /// Findings are sorted (kind, then subject) so the report is deterministic.

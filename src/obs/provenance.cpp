@@ -142,6 +142,7 @@ Json narration_to_json(const Narration& narration) {
     item["line"] = step.line;
     item["stmt"] = step.stmt;
     item["sync_depth"] = step.sync_depth;
+    if (step.thread != 0) item["thread"] = step.thread;
     if (!step.note.empty()) item["note"] = step.note;
     steps.push_back(Json(std::move(item)));
   }
@@ -172,6 +173,7 @@ Narration narration_from_json(const Json& json) {
       step.line = static_cast<int>(item.get_int("line"));
       step.stmt = item.get_string("stmt");
       step.sync_depth = static_cast<int>(item.get_int("sync_depth"));
+      step.thread = static_cast<int>(item.get_int("thread"));
       step.note = item.get_string("note");
       narration.steps.push_back(std::move(step));
     }
@@ -243,6 +245,16 @@ Json ContractCapture::to_json() const {
     if (!screen_witness.empty()) screen["witness"] = screen_witness;
     root["screen"] = Json(std::move(screen));
   }
+  // Emitted only when exploration ran (or degraded): captures for contracts
+  // the explorer never touched stay byte-identical to the pre-scheduler form.
+  if (schedules_explored > 0 || !schedule_conclusive) {
+    JsonObject schedule;
+    schedule["explored"] = schedules_explored;
+    schedule["conclusive"] = schedule_conclusive;
+    if (!schedule_witness.empty()) schedule["witness"] = schedule_witness;
+    if (!schedule_reason.empty()) schedule["reason"] = schedule_reason;
+    root["schedule"] = Json(std::move(schedule));
+  }
   JsonArray fact_entries;
   for (const FactEvidence& fact : facts) fact_entries.push_back(fact_to_json(fact));
   root["facts"] = Json(std::move(fact_entries));
@@ -294,6 +306,15 @@ ContractCapture ContractCapture::from_json(const Json& json) {
     capture.screen_verdict = screen.get_string("verdict");
     capture.screen_reason = screen.get_string("reason");
     capture.screen_witness = screen.get_string("witness");
+  }
+  if (json.has("schedule") && json.at("schedule").is_object()) {
+    const Json& schedule = json.at("schedule");
+    capture.schedules_explored = static_cast<int>(schedule.get_int("explored"));
+    capture.schedule_conclusive = !schedule.has("conclusive") ||
+                                  !schedule.at("conclusive").is_bool() ||
+                                  schedule.at("conclusive").as_bool();
+    capture.schedule_witness = schedule.get_string("witness");
+    capture.schedule_reason = schedule.get_string("reason");
   }
   if (json.has("facts") && json.at("facts").is_array())
     for (const Json& entry : json.at("facts").as_array())

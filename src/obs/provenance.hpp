@@ -112,6 +112,9 @@ struct NarrationStep {
   int line = 0;
   std::string stmt;       // statement header text
   int sync_depth = 0;     // monitors held when the statement ran
+  /// MiniLang thread that executed the statement (schedule-replay
+  /// narrations; 0 = the main/test thread). Rendered as a [tN] marker.
+  int thread = 0;
   std::string note;       // variable delta or witness-injection annotation
 };
 
@@ -129,6 +132,9 @@ struct PredicateTerm {
 ///                           path's SMT model injected into the live state;
 ///   * "structural-replay" — test replayed until a blocking call executed
 ///                           under a held monitor;
+///   * "schedule-replay"   — a violating interleaving witness replayed under
+///                           the cooperative scheduler; steps carry the
+///                           executing thread id;
 ///   * "not-reproduced"    — the replay reached the target but the
 ///                           predicate held (witness state not reachable
 ///                           through the available tests);
@@ -184,6 +190,15 @@ struct ContractCapture {
   std::string screen_verdict;
   std::string screen_reason;
   std::string screen_witness;
+  /// Schedule exploration evidence (interleaving contracts decided by the
+  /// ScheduleExplorer): interleavings run, whether the DFS drained the
+  /// reduced space, the compact replayable witness on violation, and the
+  /// narrated cause (first violation detail, or the typed inconclusive
+  /// reason). All zero/empty for contracts the explorer never touched.
+  int schedules_explored = 0;
+  bool schedule_conclusive = true;
+  std::string schedule_witness;
+  std::string schedule_reason;
   std::vector<FactEvidence> facts;
   std::vector<PathEvidence> paths;
   std::vector<SmtQueryEvidence> smt_queries;

@@ -82,7 +82,8 @@ class Builder {
     switch (stmt.kind) {
       case Stmt::Kind::kLet:
       case Stmt::Kind::kAssign:
-      case Stmt::Kind::kExpr: {
+      case Stmt::Kind::kExpr:
+      case Stmt::Kind::kSpawn: {
         const int node = add(CfgNode::Kind::kStmt, &stmt, stmt.loc);
         link(pred, node);
         note_may_throw(node);

@@ -12,6 +12,7 @@ const char* budget_resource_name(BudgetResource resource) {
     case BudgetResource::kPaths: return "paths";
     case BudgetResource::kForkPoints: return "fork-points";
     case BudgetResource::kSteps: return "steps";
+    case BudgetResource::kSchedules: return "schedules";
   }
   return "?";
 }
@@ -35,6 +36,8 @@ std::string Budget::exhausted_reason() const {
       return "fork-point budget exceeded (" + std::to_string(limits_.max_fork_points) + ")";
     case BudgetResource::kSteps:
       return "step budget exceeded (" + std::to_string(limits_.max_steps) + ")";
+    case BudgetResource::kSchedules:
+      return "schedule budget exceeded (" + std::to_string(limits_.max_schedules) + ")";
   }
   return "?";
 }

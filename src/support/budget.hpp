@@ -33,7 +33,9 @@
 namespace lisa::support {
 
 /// Which resource ran out first (kNone while the budget has headroom).
-enum class BudgetResource { kNone, kDeadline, kSmtQueries, kPaths, kForkPoints, kSteps };
+enum class BudgetResource {
+  kNone, kDeadline, kSmtQueries, kPaths, kForkPoints, kSteps, kSchedules,
+};
 
 [[nodiscard]] const char* budget_resource_name(BudgetResource resource);
 
@@ -44,10 +46,11 @@ struct BudgetLimits {
   std::int64_t max_paths = 0;          // static execution-tree paths asserted
   std::int64_t max_fork_points = 0;    // concolic branch decisions recorded
   std::int64_t max_steps = 0;          // concolic interpreter statements
+  std::int64_t max_schedules = 0;      // interleavings the schedule explorer runs
 
   [[nodiscard]] bool unlimited() const {
     return deadline_ms <= 0.0 && max_smt_queries <= 0 && max_paths <= 0 &&
-           max_fork_points <= 0 && max_steps <= 0;
+           max_fork_points <= 0 && max_steps <= 0 && max_schedules <= 0;
   }
 };
 
@@ -73,6 +76,7 @@ class Budget {
   bool charge_path() { return charge(paths_, limits_.max_paths, BudgetResource::kPaths, 1); }
   bool charge_fork_point() { return charge(fork_points_, limits_.max_fork_points, BudgetResource::kForkPoints, 1); }
   bool charge_steps(std::int64_t n = 1) { return charge(steps_, limits_.max_steps, BudgetResource::kSteps, n); }
+  bool charge_schedule() { return charge(schedules_, limits_.max_schedules, BudgetResource::kSchedules, 1); }
 
   /// Pure poll: deadline + latched state, no counter movement.
   bool check() {
@@ -96,6 +100,7 @@ class Budget {
   [[nodiscard]] std::int64_t paths() const { return paths_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::int64_t fork_points() const { return fork_points_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::int64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t schedules() const { return schedules_.load(std::memory_order_relaxed); }
   [[nodiscard]] double elapsed_ms() const {
     return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                      start_)
@@ -136,6 +141,7 @@ class Budget {
   std::atomic<std::int64_t> paths_{0};
   std::atomic<std::int64_t> fork_points_{0};
   std::atomic<std::int64_t> steps_{0};
+  std::atomic<std::int64_t> schedules_{0};
   std::atomic<int> exhausted_{static_cast<int>(BudgetResource::kNone)};
 };
 

@@ -33,37 +33,66 @@ TEST(Corpus, StudyShapeMatchesPaper) {
   }
   EXPECT_EQ(study_cases, 16u);
   EXPECT_EQ(bugs, 34);
-  EXPECT_EQ(interleaving_cases, 4u);
-  EXPECT_EQ(cases.size(), 20u);
+  EXPECT_EQ(interleaving_cases, 7u);
+  EXPECT_EQ(cases.size(), 23u);
   EXPECT_EQ(systems, (std::set<std::string>{"zookeeper", "hdfs", "hbase", "cassandra"}));
 }
 
 TEST(Corpus, LookupHelpers) {
   EXPECT_NE(Corpus::find("zk-1208-ephemeral-create"), nullptr);
   EXPECT_EQ(Corpus::find("nope"), nullptr);
-  EXPECT_EQ(Corpus::for_system("zookeeper").size(), 6u);
+  EXPECT_EQ(Corpus::for_system("zookeeper").size(), 7u);
   EXPECT_EQ(Corpus::for_system("hdfs").size(), 5u);
-  EXPECT_EQ(Corpus::for_system("hbase").size(), 5u);
-  EXPECT_EQ(Corpus::for_system("cassandra").size(), 4u);
+  EXPECT_EQ(Corpus::for_system("hbase").size(), 6u);
+  EXPECT_EQ(Corpus::for_system("cassandra").size(), 5u);
 }
 
-TEST(Corpus, InterleavingCasesCoverBothConcurrencyShapes) {
-  // The concurrency extension contributes one deadlock-shaped and one
-  // race-shaped case pair; each system family gains at most one.
+TEST(Corpus, InterleavingCasesCoverAllConcurrencyShapes) {
+  // The concurrency extension covers the statically-settled shapes (a
+  // deadlock-shaped and a race-shaped pair) plus the schedule-explored
+  // shapes: two atomicity cases (check-then-act, lost update) and one
+  // missed-notify liveness case, which only exploration can decide.
   std::size_t deadlock_shaped = 0;
   std::size_t race_shaped = 0;
+  std::size_t atomic_shaped = 0;
+  std::size_t eventually_shaped = 0;
   for (const FailureTicket& ticket : Corpus::all()) {
     if (ticket.kind != SemanticsKind::kInterleavingSensitive) continue;
     if (ticket.expected_condition == "lock_order_acyclic") {
       EXPECT_EQ(ticket.expected_target, "sync (") << ticket.case_id;
       ++deadlock_shaped;
-    } else {
-      EXPECT_EQ(ticket.expected_condition.rfind("holds(", 0), 0u) << ticket.case_id;
+    } else if (ticket.expected_condition.rfind("holds(", 0) == 0) {
       ++race_shaped;
+    } else if (ticket.expected_condition.rfind("atomic(", 0) == 0) {
+      ++atomic_shaped;
+    } else {
+      EXPECT_EQ(ticket.expected_condition.rfind("eventually(", 0), 0u) << ticket.case_id;
+      EXPECT_EQ(ticket.expected_target, "wait(") << ticket.case_id;
+      ++eventually_shaped;
     }
   }
   EXPECT_EQ(deadlock_shaped, 2u);
   EXPECT_EQ(race_shaped, 2u);
+  EXPECT_EQ(atomic_shaped, 2u);
+  EXPECT_EQ(eventually_shaped, 1u);
+}
+
+TEST(Corpus, ScheduleExploredCasesSpawnThreads) {
+  // The atomic/eventually cases are only decidable by the schedule
+  // explorer, so their embedded tests must actually spawn threads — and the
+  // statically-settled cases must not (spawn is the routing discriminator).
+  for (const FailureTicket& ticket : Corpus::all()) {
+    const bool explored = ticket.expected_condition.rfind("atomic(", 0) == 0 ||
+                          ticket.expected_condition.rfind("eventually(", 0) == 0;
+    for (const std::string* source : {&ticket.buggy_source, &ticket.patched_source}) {
+      const minilang::Program program = minilang::parse_checked(*source);
+      bool spawns = false;
+      program.for_each_stmt([&](const minilang::FuncDecl&, const minilang::Stmt& stmt) {
+        if (stmt.kind == minilang::Stmt::Kind::kSpawn) spawns = true;
+      });
+      EXPECT_EQ(spawns, explored) << ticket.case_id;
+    }
+  }
 }
 
 TEST(Corpus, EveryProgramParsesAndChecksClean) {

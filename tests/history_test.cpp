@@ -233,6 +233,39 @@ TEST(DetectDrift, SettledDropAndSmtRegression) {
   EXPECT_TRUE(obs::detect_drift(small, make_record("gate", "a", 10.0, 1.0, 12.0)).empty());
 }
 
+TEST(DetectDrift, InterleavingConclusiveDropFailsGate) {
+  // Baseline: schedule exploration drains every interleaving contract.
+  std::vector<obs::RunRecord> baseline_storage;
+  for (int i = 0; i < 5; ++i) {
+    obs::RunRecord record = make_record("gate", "a", 10.0);
+    record.metrics["interleaving_conclusive_fraction"] = 1.0;
+    record.metrics["schedules_explored"] = 1300.0;
+    baseline_storage.push_back(std::move(record));
+  }
+  std::vector<const obs::RunRecord*> baseline;
+  for (const obs::RunRecord& record : baseline_storage) baseline.push_back(&record);
+
+  // One of three schedule contracts stops concluding: the rule fires and
+  // names the remedy in its cause.
+  obs::RunRecord dropped = make_record("gate", "a", 10.0);
+  dropped.metrics["interleaving_conclusive_fraction"] = 2.0 / 3.0;
+  dropped.metrics["schedules_explored"] = 6000.0;
+  const std::vector<obs::DriftFinding> findings = obs::detect_drift(baseline, dropped);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, "interleaving-conclusive-drop");
+  EXPECT_EQ(findings[0].subject, "interleaving_conclusive_fraction");
+  EXPECT_DOUBLE_EQ(findings[0].baseline, 1.0);
+  EXPECT_TRUE(findings[0].fails_gate);
+  EXPECT_NE(findings[0].cause.find("--max-schedules"), std::string::npos);
+
+  // Within tolerance stays quiet; so does a thread-free run that never
+  // writes the metric at all (no false positives from absence).
+  obs::RunRecord near_baseline = make_record("gate", "a", 10.0);
+  near_baseline.metrics["interleaving_conclusive_fraction"] = 0.97;
+  EXPECT_TRUE(obs::detect_drift(baseline, near_baseline).empty());
+  EXPECT_TRUE(obs::detect_drift(baseline, make_record("gate", "a", 10.0)).empty());
+}
+
 TEST(DetectDrift, VerdictFlipOnUnchangedFingerprintsIsAFlake) {
   obs::RunRecord before = make_record("gate", "a", 10.0);
   obs::ContractOutcome outcome;

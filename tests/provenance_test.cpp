@@ -150,8 +150,17 @@ TEST(Explain, NarrationReproducesEveryViolatedCorpusContract) {
         EXPECT_TRUE(violated_term) << report.contract_id;
       } else {
         EXPECT_TRUE(narration.kind == "structural-replay" ||
-                    narration.kind == "interleaving-replay")
+                    narration.kind == "interleaving-replay" ||
+                    narration.kind == "schedule-replay")
             << report.contract_id << ": " << narration.kind;
+        if (narration.kind == "schedule-replay") {
+          // A violating interleaving must narrate a multi-threaded trace:
+          // at least one step off the main thread.
+          bool off_main = false;
+          for (const obs::NarrationStep& step : narration.steps)
+            if (step.thread != 0) off_main = true;
+          EXPECT_TRUE(off_main) << report.contract_id;
+        }
       }
     }
   }

@@ -106,10 +106,12 @@ int usage() {
                "                 --trace out.json --metrics out.json\n"
                "flags for gate:  --trace out.json --metrics out.json --report <dir>\n"
                "                 --history-label <s> --drift-window N --drift-warn-only\n"
+               "                 --schedule-warn-only\n"
                "flags for explain: --buggy --latest --json --html <file> --ledger <file>\n"
                "flags for diff/trends: --json --html <file>\n"
                "budget flags (check, gate): --deadline-ms N --max-paths N\n"
-               "                 --max-smt-queries N --max-steps N\n"
+               "                 --max-smt-queries N --max-steps N --max-schedules N\n"
+               "schedule flags (check, gate): --max-schedules N --schedule-seed N\n"
                "checkpointing (check, gate): --journal out.jsonl --resume\n"
                "run history (check, gate): --history <file> appends one record per\n"
                "run; gate also runs drift detection against the recorded baseline\n"
@@ -216,7 +218,17 @@ bool parse_budget_flag(int argc, char** argv, int* i, support::BudgetLimits* lim
   if (std::strcmp(argv[*i], "--max-smt-queries") == 0)
     return int_value(&limits->max_smt_queries);
   if (std::strcmp(argv[*i], "--max-steps") == 0) return int_value(&limits->max_steps);
+  if (std::strcmp(argv[*i], "--max-schedules") == 0)
+    return int_value(&limits->max_schedules);
   return false;
+}
+
+/// `--max-schedules N` is both a budget limit and the explorer's own bound:
+/// "at most N interleavings total". Exhausting it is a typed inconclusive.
+void apply_schedule_limits(const support::BudgetLimits& limits,
+                           core::CheckOptions* options) {
+  if (limits.max_schedules > 0)
+    options->max_schedules = static_cast<int>(limits.max_schedules);
 }
 
 int cmd_check(const std::string& case_id, int argc, char** argv) {
@@ -251,6 +263,8 @@ int cmd_check(const std::string& case_id, int argc, char** argv) {
       run_options.resume = true;
     } else if (std::strcmp(argv[i], "--history") == 0 && i + 1 < argc) {
       run_options.history_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--schedule-seed") == 0 && i + 1 < argc) {
+      options.schedule_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (parse_budget_flag(argc, argv, &i, &limits)) {
       // consumed
     } else {
@@ -262,6 +276,7 @@ int cmd_check(const std::string& case_id, int argc, char** argv) {
     return 2;
   }
   if (!trace_path.empty()) obs::tracer().set_enabled(true);
+  apply_schedule_limits(limits, &options);
   support::Budget budget(limits);
   if (!limits.unlimited()) options.budget = &budget;
   const core::Pipeline pipeline(inference::MockLlmOptions{}, options);
@@ -273,12 +288,16 @@ int cmd_check(const std::string& case_id, int argc, char** argv) {
       if (!report.conclusive()) ++inconclusive;
     const std::string exhausted_note =
         budget.exhausted() ? " — exhausted: " + budget.exhausted_reason() : "";
+    std::string schedule_note;
+    if (budget.schedules() > 0)
+      schedule_note =
+          ", " + std::to_string(static_cast<long long>(budget.schedules())) + " schedules";
     std::printf(
-        "_Budget: %lld SMT queries, %lld paths, %lld fork points, %lld steps%s; "
+        "_Budget: %lld SMT queries, %lld paths, %lld fork points, %lld steps%s%s; "
         "%d contract(s) inconclusive._\n",
         static_cast<long long>(budget.smt_queries()), static_cast<long long>(budget.paths()),
         static_cast<long long>(budget.fork_points()), static_cast<long long>(budget.steps()),
-        exhausted_note.c_str(), inconclusive);
+        schedule_note.c_str(), exhausted_note.c_str(), inconclusive);
   }
   if (!trace_path.empty() &&
       !write_json_file(trace_path, obs::tracer().chrome_trace()))
@@ -377,6 +396,7 @@ int cmd_gate(const std::string& case_id, const std::string& path, int argc, char
   std::string trace_path;
   std::string metrics_path;
   std::string report_dir;
+  std::uint64_t schedule_seed = 0;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc)
       run_options.journal_path = argv[++i];
@@ -396,6 +416,10 @@ int cmd_gate(const std::string& case_id, const std::string& path, int argc, char
       run_options.drift.window = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--drift-warn-only") == 0)
       run_options.drift.fail_gate = false;
+    else if (std::strcmp(argv[i], "--schedule-warn-only") == 0)
+      run_options.schedule_warn_only = true;
+    else if (std::strcmp(argv[i], "--schedule-seed") == 0 && i + 1 < argc)
+      schedule_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     else if (parse_budget_flag(argc, argv, &i, &limits)) {
       // consumed
     } else {
@@ -419,6 +443,8 @@ int cmd_gate(const std::string& case_id, const std::string& path, int argc, char
   store.add_all(std::move(translation.contracts));
   core::CheckOptions options;
   options.run_concolic = false;
+  apply_schedule_limits(limits, &options);
+  if (schedule_seed != 0) options.schedule_seed = schedule_seed;
   support::Budget budget(limits);
   if (!limits.unlimited()) options.budget = &budget;
   obs::ProvenanceLedger ledger;
